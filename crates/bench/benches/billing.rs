@@ -1,0 +1,43 @@
+//! Bench: billing-record flushes through RDMA fetch-and-add (Sec. IV-C) and
+//! the cost-model arithmetic itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdma_fabric::{Endpoint, Fabric, QueuePair};
+use rfaas::billing::{BillingClient, BillingDatabase, UsageRecord};
+use rfaas::RFaasConfig;
+use sim_core::SimDuration;
+
+fn billing_flush(c: &mut Criterion) {
+    let fabric = Fabric::with_defaults();
+    let manager_ep = Endpoint::new(&fabric, &fabric.add_node("manager"));
+    let executor_ep = Endpoint::new(&fabric, &fabric.add_node("executor"));
+    let db = BillingDatabase::new(&manager_ep);
+    let manager_qp = QueuePair::new(&manager_ep);
+    let executor_qp = QueuePair::new(&executor_ep);
+    QueuePair::connect_pair(&manager_qp, &executor_qp).unwrap();
+    let client = BillingClient::new(executor_qp, db.slot_handle(db.reserve_slot()));
+
+    c.bench_function("billing_record_and_flush", |b| {
+        b.iter(|| {
+            client.record_compute(SimDuration::from_micros(120));
+            client.record_hot_poll(SimDuration::from_micros(15));
+            client.record_allocation(SimDuration::from_millis(1), 2048);
+            client.flush().unwrap();
+        })
+    });
+
+    let config = RFaasConfig::default();
+    c.bench_function("billing_cost_model", |b| {
+        b.iter(|| {
+            let usage = UsageRecord {
+                allocation_gib_us: 5_000_000,
+                compute_us: 750_000,
+                hot_poll_us: 250_000,
+            };
+            usage.cost(&config)
+        })
+    });
+}
+
+criterion_group!(benches, billing_flush);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: hot/warm invocation latency (virtual time is the metric
+//! of record — see the fig8 binary — but this bench also keeps the *real*
+//! cost of the client/executor code path visible, which is what Criterion
+//! measures here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfaas::PollingMode;
+use rfaas_bench::Testbed;
+use sandbox::SandboxType;
+
+fn invocation_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invocation_roundtrip");
+    group.sample_size(20);
+    for (label, mode) in [("hot", PollingMode::Hot), ("warm", PollingMode::Warm)] {
+        for payload in [64usize, 4096, 64 * 1024] {
+            let testbed = Testbed::new(1);
+            let invoker =
+                testbed.allocated_invoker("bench-client", 1, SandboxType::BareMetal, mode);
+            let alloc = invoker.allocator();
+            let input = alloc.input(payload);
+            let output = alloc.output(payload);
+            input
+                .write_payload(&workloads::generate_payload(payload, 1))
+                .unwrap();
+            invoker.invoke_sync("echo", &input, payload, &output).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, payload),
+                &payload,
+                |b, &payload| {
+                    b.iter(|| invoker.invoke_sync("echo", &input, payload, &output).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, invocation_latency);
+criterion_main!(benches);

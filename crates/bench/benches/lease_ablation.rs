@@ -1,0 +1,70 @@
+//! Ablation bench: allocation leases vs per-invocation control-plane
+//! involvement — the architectural claim of Sec. III-B. Compares invoking on
+//! a cached lease with tearing the lease down and reacquiring it around every
+//! invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfaas::{LeaseRequest, PollingMode};
+use rfaas_bench::{Testbed, PACKAGE};
+use sandbox::SandboxType;
+
+fn lease_reuse_vs_reallocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lease_ablation");
+    group.sample_size(10);
+
+    // With leases: the control plane is involved exactly once.
+    {
+        let testbed = Testbed::new(1);
+        let invoker =
+            testbed.allocated_invoker("lease-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+        let alloc = invoker.allocator();
+        let input = alloc.input(1024);
+        let output = alloc.output(1024);
+        input.write_payload(&[3u8; 512]).unwrap();
+        invoker.invoke_sync("echo", &input, 512, &output).unwrap();
+        let virtual_us = invoker.invoke_sync("echo", &input, 512, &output).unwrap().1;
+        println!("[lease] cached lease invocation: {virtual_us} (virtual)");
+        group.bench_function("cached_lease_invocation", |b| {
+            b.iter(|| invoker.invoke_sync("echo", &input, 512, &output).unwrap())
+        });
+    }
+
+    // Without leases: every invocation pays manager placement + cold start,
+    // which is what centralized FaaS control planes effectively do.
+    {
+        let testbed = Testbed::new(1);
+        group.bench_function("reallocate_per_invocation", |b| {
+            b.iter(|| {
+                let mut invoker = testbed.invoker("no-lease-client");
+                invoker
+                    .allocate(
+                        LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(512),
+                        PollingMode::Hot,
+                    )
+                    .unwrap();
+                let alloc = invoker.allocator();
+                let input = alloc.input(1024);
+                let output = alloc.output(1024);
+                input.write_payload(&[3u8; 512]).unwrap();
+                let (_, rtt) = invoker.invoke_sync("echo", &input, 512, &output).unwrap();
+                invoker.deallocate().unwrap();
+                rtt
+            })
+        });
+        let mut invoker = testbed.invoker("no-lease-report");
+        invoker
+            .allocate(
+                LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(512),
+                PollingMode::Hot,
+            )
+            .unwrap();
+        println!(
+            "[lease] cold path per invocation without leases: {} (virtual)",
+            invoker.cold_start().unwrap().total()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lease_reuse_vs_reallocation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation bench: hot vs warm vs adaptive polling — the design choice of
+//! Sec. III-C. Reports the virtual-time RTT per mode as a custom measurement
+//! printed alongside the Criterion wall-clock numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfaas::PollingMode;
+use rfaas_bench::Testbed;
+use sandbox::SandboxType;
+use sim_core::median;
+
+fn polling_mode_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polling_mode_ablation");
+    group.sample_size(15);
+    for (label, mode) in [
+        ("hot_busy_poll", PollingMode::Hot),
+        ("warm_blocking", PollingMode::Warm),
+        ("adaptive", PollingMode::Adaptive),
+    ] {
+        let testbed = Testbed::new(1);
+        let invoker = testbed.allocated_invoker("ablation-client", 1, SandboxType::BareMetal, mode);
+        let alloc = invoker.allocator();
+        let input = alloc.input(256);
+        let output = alloc.output(256);
+        input.write_payload(&[7u8; 128]).unwrap();
+        invoker.invoke_sync("echo", &input, 128, &output).unwrap();
+
+        // Report the virtual-time latency (the paper's metric) once per mode.
+        let virtual_us: Vec<f64> = (0..50)
+            .map(|_| {
+                invoker
+                    .invoke_sync("echo", &input, 128, &output)
+                    .unwrap()
+                    .1
+                    .as_micros_f64()
+            })
+            .collect();
+        println!("[ablation] {label}: median virtual RTT {:.2} us", median(&virtual_us));
+
+        group.bench_function(label, |b| {
+            b.iter(|| invoker.invoke_sync("echo", &input, 128, &output).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, polling_mode_ablation);
+criterion_main!(benches);

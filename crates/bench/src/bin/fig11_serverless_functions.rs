@@ -1,0 +1,113 @@
+//! Figure 11: real-world serverless functions from SeBS on rFaaS and AWS
+//! Lambda — (a) thumbnail generation and (b) ResNet-50 image recognition —
+//! with small and large inputs, bare-metal and Docker executors, hot and warm
+//! invocations.
+
+use faas_baselines::aws_lambda;
+use rfaas::PollingMode;
+use rfaas_bench::{print_table, quick_mode, sub_experiment, summarize_ms, ResultRow, Testbed};
+use sandbox::SandboxType;
+use sim_core::{DeterministicRng, Summary};
+use workloads::{image_recognition_function, thumbnailer_function, Image, InputSizes};
+
+struct Case {
+    function: &'static str,
+    input_label: &'static str,
+    input_bytes: usize,
+    output_capacity: usize,
+}
+
+fn thumbnailer_cases() -> Vec<Case> {
+    vec![
+        Case { function: "thumbnailer", input_label: "small (97 kB)", input_bytes: InputSizes::THUMBNAIL_SMALL, output_capacity: 300 * 1024 },
+        Case { function: "thumbnailer", input_label: "large (3.6 MB)", input_bytes: InputSizes::THUMBNAIL_LARGE, output_capacity: 300 * 1024 },
+    ]
+}
+
+fn inference_cases() -> Vec<Case> {
+    vec![
+        Case { function: "image-recognition", input_label: "small (53 kB)", input_bytes: InputSizes::INFERENCE_SMALL, output_capacity: 16 * 1024 },
+        Case { function: "image-recognition", input_label: "large (230 kB)", input_bytes: InputSizes::INFERENCE_LARGE, output_capacity: 16 * 1024 },
+    ]
+}
+
+fn run(cases: &[Case], title: &str, repetitions: usize) {
+    let mut rows = Vec::new();
+    let configurations = [
+        ("rFaaS bare-metal hot", SandboxType::BareMetal, PollingMode::Hot),
+        ("rFaaS bare-metal warm", SandboxType::BareMetal, PollingMode::Warm),
+        ("rFaaS Docker hot", SandboxType::Docker, PollingMode::Hot),
+        ("rFaaS Docker warm", SandboxType::Docker, PollingMode::Warm),
+    ];
+    for (case_idx, case) in cases.iter().enumerate() {
+        let image = Image::synthetic(case.input_bytes, 40 + case_idx as u64);
+        let payload = image.encode();
+        for (label, sandbox, mode) in configurations {
+            let testbed = Testbed::new(1);
+            let invoker = testbed.allocated_invoker("fig11-client", 1, sandbox, mode);
+            let alloc = invoker.allocator();
+            let input = alloc.input(payload.len());
+            let output = alloc.output(case.output_capacity);
+            input.write_payload(&payload).expect("payload fits");
+            invoker
+                .invoke_sync(case.function, &input, payload.len(), &output)
+                .expect("warm-up invocation");
+            let samples: Vec<_> = (0..repetitions)
+                .map(|_| {
+                    invoker
+                        .invoke_sync(case.function, &input, payload.len(), &output)
+                        .expect("invocation")
+                        .1
+                })
+                .collect();
+            let summary = summarize_ms(&samples);
+            rows.push(ResultRow {
+                series: format!("{label}, {}", case.input_label),
+                x: case.input_bytes as f64 / 1024.0,
+                median: summary.median,
+                p99: summary.p99,
+                unit: "ms".into(),
+            });
+        }
+
+        // AWS Lambda baseline: same function work, HTTP/JSON invocation path.
+        let aws = aws_lambda();
+        let work = if case.function == "thumbnailer" {
+            thumbnailer_function().compute_cost(payload.len())
+        } else {
+            image_recognition_function().compute_cost(payload.len())
+        };
+        let mut rng = DeterministicRng::new(99);
+        let samples: Vec<_> = (0..200)
+            .map(|_| aws.sample_rtt(payload.len(), case.output_capacity.min(256 * 1024), work, &mut rng))
+            .collect();
+        let summary = Summary::of_durations_ms(&samples);
+        rows.push(ResultRow {
+            series: format!("AWS Lambda, {}", case.input_label),
+            x: case.input_bytes as f64 / 1024.0,
+            median: summary.median,
+            p99: summary.p99,
+            unit: "ms".into(),
+        });
+    }
+    print_table(title, &rows);
+}
+
+fn main() {
+    let repetitions = if quick_mode() { 5 } else { 30 };
+    let which = sub_experiment().unwrap_or_else(|| "all".to_string());
+    if which == "thumbnailer" || which == "all" {
+        run(
+            &thumbnailer_cases(),
+            "Figure 11a: thumbnail generation (paper: rFaaS bare-metal 4.4 ms small / ~115 ms large; AWS 128-3072 ms)",
+            repetitions,
+        );
+    }
+    if which == "inference" || which == "all" {
+        run(
+            &inference_cases(),
+            "Figure 11b: ResNet-50 image recognition (paper: rFaaS ~112-118 ms; AWS 512-3072 ms)",
+            repetitions,
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Figure 13: accelerating MPI applications with rFaaS — (a) per-rank
+//! matrix-matrix multiplication and (b) a Jacobi linear solver whose system
+//! matrix is cached in the warm executor.
+//!
+//! Every MPI rank leases one bare-metal rFaaS worker and offloads half of its
+//! work; the plotted metric is the median per-rank kernel time (a) or the
+//! total solve time (b), for MPI-only versus MPI + rFaaS.
+
+use mpi_sim::MpiWorld;
+use rfaas::{LeaseRequest, PollingMode, RFaasConfig};
+use rfaas_bench::{print_table, quick_mode, sub_experiment, ResultRow, Testbed, PACKAGE};
+use sim_core::median;
+use workloads::jacobi::{encode_install, encode_iterate, sweep_cost, JacobiSystem};
+use workloads::matmul::{compute_cost, encode_matmul_request, random_matrix};
+
+fn rank_counts() -> Vec<usize> {
+    if quick_mode() {
+        vec![8]
+    } else if std::env::args().any(|a| a == "--full") {
+        vec![16, 32, 64]
+    } else {
+        vec![16, 32]
+    }
+}
+
+/// Per-rank allocation of one rFaaS worker inside an MPI rank body.
+fn rank_invoker(testbed: &Testbed, config: &RFaasConfig, rank: usize) -> rfaas::Invoker {
+    let mut invoker = rfaas::Invoker::new(
+        &testbed.fabric,
+        &format!("mpi-rank-{rank}"),
+        &testbed.manager,
+        config.clone(),
+    );
+    invoker
+        .allocate(
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(1)
+                .with_memory_mib(4 * 1024),
+            PollingMode::Hot,
+        )
+        .expect("rank allocation");
+    invoker
+}
+
+fn matmul_experiment() {
+    let sizes: Vec<usize> = if quick_mode() { vec![400, 800] } else { vec![400, 500, 600, 700, 800] };
+    let mut rows = Vec::new();
+    for &ranks in &rank_counts() {
+        for &n in &sizes {
+            // MPI only: every rank multiplies its full n x n matrices.
+            let world = MpiWorld::new();
+            let mpi_only = world.run(ranks, |rank| {
+                rank.barrier();
+                rank.compute(compute_cost(n, n));
+                rank.barrier();
+                compute_cost(n, n).as_secs_f64()
+            });
+            let mpi_median = median(&mpi_only.iter().map(|r| r.value).collect::<Vec<_>>());
+            rows.push(ResultRow {
+                series: format!("MPI ({ranks} processes)"),
+                x: n as f64,
+                median: mpi_median,
+                p99: mpi_median,
+                unit: "s".into(),
+            });
+
+            // MPI + rFaaS: each rank offloads the lower half of the result.
+            let mut config = RFaasConfig::paper_calibration();
+            config.max_payload_bytes = 2 * n * n * 8 + 1024;
+            let testbed = Testbed::with_config(2, config.clone());
+            let testbed = &testbed;
+            let config = &config;
+            let world = MpiWorld::new();
+            let results = world.run(ranks, move |rank| {
+                let invoker = rank_invoker(testbed, config, rank.rank());
+                let a = random_matrix(n, rank.rank() as u64 + 1);
+                let b = random_matrix(n, rank.rank() as u64 + 1000);
+                let request = encode_matmul_request(&a, &b, n, n / 2, n);
+                let alloc = invoker.allocator();
+                let input = alloc.input(request.len());
+                let output = alloc.output((n / 2) * n * 8);
+                input.write_payload(&request).expect("request fits");
+                rank.barrier();
+                let start = invoker.clock().now();
+                // Offload the lower half, compute the upper half locally.
+                let future = invoker
+                    .submit("matmul", &input, request.len(), &output)
+                    .expect("submit");
+                rank.compute(compute_cost(n / 2, n));
+                // The client clock must reflect the local half's work before
+                // it waits for the offloaded half.
+                invoker.clock().advance(compute_cost(n / 2, n));
+                future.wait().expect("offloaded half");
+                let elapsed = invoker.clock().now().saturating_since(start);
+                rank.barrier();
+                elapsed.as_secs_f64()
+            });
+            let hybrid_median = median(&results.iter().map(|r| r.value).collect::<Vec<_>>());
+            rows.push(ResultRow {
+                series: format!("MPI + rFaaS ({ranks} processes)"),
+                x: n as f64,
+                median: hybrid_median,
+                p99: hybrid_median,
+                unit: "s".into(),
+            });
+            println!(
+                "# matmul n={n}, {ranks} ranks: MPI {mpi_median:.3} s, MPI+rFaaS {hybrid_median:.3} s, speedup {:.2}x",
+                mpi_median / hybrid_median
+            );
+        }
+    }
+    print_table(
+        "Figure 13a: matrix-matrix multiplication, MPI vs MPI + rFaaS (paper speedup: 1.88x-1.97x)",
+        &rows,
+    );
+}
+
+fn jacobi_experiment() {
+    let sizes: Vec<usize> = if quick_mode() { vec![500, 1500] } else { vec![500, 1000, 1500, 2000, 2500] };
+    let iterations = if quick_mode() { 30 } else { 100 };
+    let mut rows = Vec::new();
+    for &ranks in &rank_counts() {
+        for &n in &sizes {
+            // MPI only: every rank runs the full solver locally.
+            let world = MpiWorld::new();
+            let mpi_only = world.run(ranks, |rank| {
+                rank.barrier();
+                for _ in 0..iterations {
+                    rank.compute(sweep_cost(n, n));
+                }
+                (sweep_cost(n, n) * iterations as u64).as_secs_f64()
+            });
+            let mpi_median = median(&mpi_only.iter().map(|r| r.value).collect::<Vec<_>>());
+            rows.push(ResultRow {
+                series: format!("MPI ({ranks} processes)"),
+                x: n as f64,
+                median: mpi_median,
+                p99: mpi_median,
+                unit: "s".into(),
+            });
+
+            // MPI + rFaaS: half of every sweep offloaded; the matrix is sent
+            // only with the first invocation (cached in the warm executor).
+            let mut config = RFaasConfig::paper_calibration();
+            config.max_payload_bytes = n * n * 8 + 4 * n * 8 + 4096;
+            let testbed = Testbed::with_config(2, config.clone());
+            let testbed = &testbed;
+            let config = &config;
+            let world = MpiWorld::new();
+            let results = world.run(ranks, move |rank| {
+                let invoker = rank_invoker(testbed, config, rank.rank());
+                // Every rank solves the same system: the registry hands every
+                // executor process the same function object, so the cached
+                // matrix is shared platform-wide (one deployed model/system
+                // per code package, as with the ResNet checkpoint in V-E).
+                let system = JacobiSystem::generate(n, 7);
+                let alloc = invoker.allocator();
+                let input = alloc.input(config.max_payload_bytes);
+                let output = alloc.output(n * 8);
+                let mut x = vec![0.0f64; n];
+                rank.barrier();
+                let start = invoker.clock().now();
+                for iteration in 0..iterations {
+                    let message = if iteration == 0 {
+                        encode_install(&system, &x, n / 2, n)
+                    } else {
+                        encode_iterate(&x, n / 2, n)
+                    };
+                    input.write_payload(&message).expect("message fits");
+                    let future = invoker
+                        .submit("jacobi", &input, message.len(), &output)
+                        .expect("submit");
+                    // Local upper half while the executor computes the lower half.
+                    let local = workloads::jacobi::jacobi_sweep_rows(&system, &x, 0, n / 2);
+                    rank.compute(sweep_cost(n / 2, n));
+                    invoker.clock().advance(sweep_cost(n / 2, n));
+                    let out_len = future.wait().expect("offloaded half");
+                    let remote = output.read_f64(out_len).expect("result readable");
+                    x[..n / 2].copy_from_slice(&local);
+                    x[n / 2..].copy_from_slice(&remote);
+                }
+                let elapsed = invoker.clock().now().saturating_since(start);
+                // Sanity: the distributed solve must actually converge.
+                assert!(system.residual(&x) < system.residual(&vec![0.0; n]).max(1.0));
+                rank.barrier();
+                elapsed.as_secs_f64()
+            });
+            let hybrid_median = median(&results.iter().map(|r| r.value).collect::<Vec<_>>());
+            rows.push(ResultRow {
+                series: format!("MPI + rFaaS ({ranks} processes)"),
+                x: n as f64,
+                median: hybrid_median,
+                p99: hybrid_median,
+                unit: "s".into(),
+            });
+            println!(
+                "# jacobi n={n}, {ranks} ranks, {iterations} iterations: MPI {mpi_median:.3} s, MPI+rFaaS {hybrid_median:.3} s, speedup {:.2}x",
+                mpi_median / hybrid_median
+            );
+        }
+    }
+    print_table(
+        "Figure 13b: Jacobi solver, MPI vs MPI + rFaaS (paper speedup: 1.7x-2.2x on large systems)",
+        &rows,
+    );
+}
+
+fn main() {
+    let which = sub_experiment().unwrap_or_else(|| "all".to_string());
+    if which == "matmul" || which == "all" {
+        matmul_experiment();
+    }
+    if which == "jacobi" || which == "all" {
+        jacobi_experiment();
+    }
+}

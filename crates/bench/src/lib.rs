@@ -1,0 +1,212 @@
+//! Shared harness for the figure-regeneration binaries and Criterion benches.
+//!
+//! Every evaluation binary stands up the same testbed: an RDMA fabric with a
+//! resource manager, a set of spot executors offering the evaluation nodes'
+//! resources, a function registry with all workload functions deployed, and a
+//! client-side invoker. [`Testbed`] wraps that plumbing; the binaries then
+//! only express the experiment itself (payload sweep, worker sweep, ...).
+
+use std::sync::Arc;
+
+use cluster_sim::NodeResources;
+use rdma_fabric::Fabric;
+use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use sandbox::{echo_function, CodePackage, FunctionRegistry, SandboxType};
+use sim_core::{SimDuration, Summary};
+use workloads::{
+    blackscholes_function, image_recognition_function, jacobi_function, matmul_function,
+    thumbnailer_function,
+};
+
+/// Name of the code package every testbed deploys.
+pub const PACKAGE: &str = "evaluation";
+
+/// A ready-to-use rFaaS deployment for experiments.
+pub struct Testbed {
+    /// The RDMA fabric connecting every node.
+    pub fabric: Arc<Fabric>,
+    /// The resource manager.
+    pub manager: Arc<ResourceManager>,
+    /// The spot executors registered with the manager.
+    pub executors: Vec<Arc<SpotExecutor>>,
+    /// Platform configuration used everywhere.
+    pub config: RFaasConfig,
+}
+
+impl Testbed {
+    /// Build a testbed with `executor_nodes` spot executors shaped like the
+    /// paper's evaluation nodes (36 cores, 377 GiB).
+    pub fn new(executor_nodes: usize) -> Testbed {
+        Testbed::with_config(executor_nodes, RFaasConfig::paper_calibration())
+    }
+
+    /// Build a testbed with an explicit platform configuration (used by
+    /// experiments that need larger invocation payloads than the default).
+    pub fn with_config(executor_nodes: usize, config: RFaasConfig) -> Testbed {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(evaluation_package());
+        let manager = ResourceManager::new(&fabric, config.clone());
+        let executors: Vec<Arc<SpotExecutor>> = (0..executor_nodes)
+            .map(|i| {
+                let executor = SpotExecutor::new(
+                    &fabric,
+                    &format!("spot-{i:02}"),
+                    NodeResources::xeon_gold_6154_dual(),
+                    registry.clone(),
+                    config.clone(),
+                );
+                manager.register_executor(&executor);
+                executor
+            })
+            .collect();
+        Testbed {
+            fabric,
+            manager,
+            executors,
+            config,
+        }
+    }
+
+    /// Create a client invoker on its own node.
+    pub fn invoker(&self, client_name: &str) -> Invoker {
+        Invoker::new(&self.fabric, client_name, &self.manager, self.config.clone())
+    }
+
+    /// Create an invoker and lease `workers` workers with the given sandbox
+    /// and polling mode.
+    pub fn allocated_invoker(
+        &self,
+        client_name: &str,
+        workers: u32,
+        sandbox: SandboxType,
+        mode: PollingMode,
+    ) -> Invoker {
+        let mut invoker = self.invoker(client_name);
+        invoker
+            .allocate(
+                LeaseRequest::single_worker(PACKAGE)
+                    .with_cores(workers)
+                    .with_memory_mib(16 * 1024)
+                    .with_sandbox(sandbox),
+                mode,
+            )
+            .expect("allocation on a fresh testbed succeeds");
+        invoker
+    }
+}
+
+/// The code package containing every evaluation function.
+pub fn evaluation_package() -> CodePackage {
+    CodePackage::minimal(PACKAGE)
+        .with_function(echo_function())
+        .with_function(thumbnailer_function())
+        .with_function(image_recognition_function())
+        .with_function(blackscholes_function())
+        .with_function(matmul_function())
+        .with_function(jacobi_function())
+}
+
+/// One row of a results table printed by a figure binary.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ResultRow {
+    /// Series label (platform, configuration, ...).
+    pub series: String,
+    /// X-axis value (payload bytes, worker count, matrix size, ...).
+    pub x: f64,
+    /// Median of the measured metric.
+    pub median: f64,
+    /// 99th percentile of the measured metric.
+    pub p99: f64,
+    /// Unit of the metric (`us`, `ms`, `s`, `%`).
+    pub unit: String,
+}
+
+/// Print a results table both as an aligned text table and as JSON lines
+/// (machine-readable for plotting scripts).
+pub fn print_table(title: &str, rows: &[ResultRow]) {
+    println!("\n# {title}");
+    println!("{:<28} {:>14} {:>14} {:>14}  unit", "series", "x", "median", "p99");
+    for row in rows {
+        println!(
+            "{:<28} {:>14.3} {:>14.3} {:>14.3}  {}",
+            row.series, row.x, row.median, row.p99, row.unit
+        );
+    }
+    println!("## json");
+    for row in rows {
+        println!("{}", serde_json::to_string(row).expect("row serialises"));
+    }
+}
+
+/// Summarise a set of virtual durations in microseconds.
+pub fn summarize_us(samples: &[SimDuration]) -> Summary {
+    Summary::of_durations_us(samples)
+}
+
+/// Summarise a set of virtual durations in milliseconds.
+pub fn summarize_ms(samples: &[SimDuration]) -> Summary {
+    Summary::of_durations_ms(samples)
+}
+
+/// Whether the binary was invoked with `--quick` (fewer repetitions / smaller
+/// problem sizes, for CI and smoke testing).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// First non-flag command-line argument, if any (used by binaries that select
+/// a sub-experiment, e.g. `thumbnailer` vs `inference`).
+pub fn sub_experiment() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_builds_and_serves_invocations() {
+        let testbed = Testbed::new(2);
+        assert_eq!(testbed.manager.executor_count(), 2);
+        let invoker =
+            testbed.allocated_invoker("client", 1, SandboxType::BareMetal, PollingMode::Hot);
+        let alloc = invoker.allocator();
+        let input = alloc.input(256);
+        let output = alloc.output(256);
+        input.write_payload(&[9u8; 64]).unwrap();
+        let (len, rtt) = invoker.invoke_sync("echo", &input, 64, &output).unwrap();
+        assert_eq!(len, 64);
+        assert!(rtt.as_micros_f64() < 50.0);
+    }
+
+    #[test]
+    fn evaluation_package_contains_all_functions() {
+        let pkg = evaluation_package();
+        for name in [
+            "echo",
+            "thumbnailer",
+            "image-recognition",
+            "blackscholes",
+            "matmul",
+            "jacobi",
+        ] {
+            assert!(pkg.function_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn result_rows_serialise() {
+        let row = ResultRow {
+            series: "rFaaS hot".into(),
+            x: 1024.0,
+            median: 3.96,
+            p99: 4.2,
+            unit: "us".into(),
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("rFaaS hot"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Cluster, batch scheduler and idle-resource harvesting simulation.
+//!
+//! rFaaS's motivation (Sec. II-A, Fig. 2) is that batch-managed HPC systems
+//! leave CPU cores and — especially — memory idle for short, unpredictable
+//! windows, and that those windows can host ephemeral serverless executors.
+//! The paper observes Piz Daint through SLURM at one-minute granularity; real
+//! traces are not redistributable, so this crate builds a synthetic cluster
+//! with a batch-job arrival process whose utilisation statistics match the
+//! published figures (80–94% node utilisation, ~75% of node memory unused),
+//! and exposes the harvested idle resources to the rFaaS resource manager.
+//!
+//! * [`node`] — node inventory and resource accounting,
+//! * [`jobs`] — batch-job generator and a simple FCFS backfilling scheduler,
+//! * [`trace`] — utilisation time series (regenerates Fig. 2),
+//! * [`harvest`] — the idle-resource feed consumed by spot executors.
+
+pub mod harvest;
+pub mod jobs;
+pub mod node;
+pub mod trace;
+
+pub use harvest::{HarvestedResources, ResourceHarvester};
+pub use jobs::{BatchJob, BatchScheduler, JobGenerator};
+pub use node::{ClusterNode, NodeResources};
+pub use trace::{TracePoint, UtilizationTrace};

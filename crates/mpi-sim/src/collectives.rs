@@ -1,0 +1,194 @@
+//! Collective operations: barrier, broadcast, gather, all-reduce.
+//!
+//! Implemented with the flat gather-to-root + broadcast pattern, which is
+//! accurate enough for the rank counts of the paper's experiments (16–64) and
+//! keeps the virtual-time accounting honest: every collective synchronises
+//! the participating clocks to the latest participant plus the communication
+//! cost, which is exactly the bulk-synchronous behaviour the Jacobi benchmark
+//! relies on.
+
+use crate::comm::Rank;
+
+const TAG_BARRIER_UP: u32 = 0xB000_0001;
+const TAG_BARRIER_DOWN: u32 = 0xB000_0002;
+const TAG_GATHER: u32 = 0xB000_0003;
+const TAG_BCAST: u32 = 0xB000_0004;
+const TAG_REDUCE: u32 = 0xB000_0005;
+
+impl Rank {
+    /// Synchronise all ranks; no rank leaves the barrier before every rank
+    /// has entered it.
+    pub fn barrier(&self) {
+        if self.size() == 1 {
+            return;
+        }
+        if self.rank() == 0 {
+            for source in 1..self.size() {
+                let _ = self.recv(source, TAG_BARRIER_UP);
+            }
+            for dest in 1..self.size() {
+                self.send(dest, TAG_BARRIER_DOWN, &[]);
+            }
+        } else {
+            self.send(0, TAG_BARRIER_UP, &[]);
+            let _ = self.recv(0, TAG_BARRIER_DOWN);
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the broadcast
+    /// value on all ranks.
+    pub fn broadcast_f64(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        if self.size() == 1 {
+            return data.to_vec();
+        }
+        if self.rank() == root {
+            for dest in 0..self.size() {
+                if dest != root {
+                    self.send_f64(dest, TAG_BCAST, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv_f64(root, TAG_BCAST)
+        }
+    }
+
+    /// Gather every rank's `data` at `root`; returns `Some(all)` (in rank
+    /// order, concatenated) at the root and `None` elsewhere.
+    pub fn gather_f64(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.rank() == root {
+            let mut all: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
+            all[root] = data.to_vec();
+            for source in 0..self.size() {
+                if source != root {
+                    all[source] = self.recv_f64(source, TAG_GATHER);
+                }
+            }
+            Some(all)
+        } else {
+            self.send_f64(root, TAG_GATHER, data);
+            None
+        }
+    }
+
+    /// Element-wise sum all-reduce over `f64` vectors; every rank receives
+    /// the reduced vector.
+    pub fn allreduce_sum_f64(&self, data: &[f64]) -> Vec<f64> {
+        if self.size() == 1 {
+            return data.to_vec();
+        }
+        if self.rank() == 0 {
+            let mut sum = data.to_vec();
+            for source in 1..self.size() {
+                let contribution = self.recv_f64(source, TAG_REDUCE);
+                assert_eq!(contribution.len(), sum.len(), "allreduce length mismatch");
+                for (s, c) in sum.iter_mut().zip(contribution.iter()) {
+                    *s += c;
+                }
+            }
+            self.broadcast_f64(0, &sum)
+        } else {
+            self.send_f64(0, TAG_REDUCE, data);
+            self.broadcast_f64(0, &[])
+        }
+    }
+
+    /// Maximum of one scalar over all ranks (used to compute makespans of
+    /// bulk-synchronous phases from inside the application).
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        let gathered = self.gather_f64(0, &[value]);
+        let max = match gathered {
+            Some(all) => all
+                .iter()
+                .flat_map(|v| v.iter().copied())
+                .fold(f64::MIN, f64::max),
+            None => 0.0,
+        };
+        self.broadcast_f64(0, &[max])[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::MpiWorld;
+    use sim_core::SimDuration;
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        let world = MpiWorld::new();
+        let results = world.run(4, |rank| {
+            // Rank 2 does 10 ms of work before the barrier; everyone must
+            // observe at least that much time after the barrier.
+            if rank.rank() == 2 {
+                rank.compute(SimDuration::from_millis(10));
+            }
+            rank.barrier();
+            rank.clock().now()
+        });
+        for r in &results {
+            assert!(
+                r.value.as_millis_f64() >= 10.0,
+                "rank {} left the barrier at {}",
+                r.rank,
+                r.value
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_data() {
+        let world = MpiWorld::new();
+        let results = world.run(5, |rank| {
+            let data = if rank.rank() == 2 { vec![3.25, 1.0] } else { vec![] };
+            rank.broadcast_f64(2, &data)
+        });
+        for r in results {
+            assert_eq!(r.value, vec![3.25, 1.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let world = MpiWorld::new();
+        let results = world.run(4, |rank| rank.gather_f64(0, &[rank.rank() as f64]));
+        let root = results[0].value.as_ref().unwrap();
+        assert_eq!(root.len(), 4);
+        for (i, v) in root.iter().enumerate() {
+            assert_eq!(v, &vec![i as f64]);
+        }
+        for r in &results[1..] {
+            assert!(r.value.is_none());
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_elementwise() {
+        let world = MpiWorld::new();
+        let results = world.run(6, |rank| rank.allreduce_sum_f64(&[1.0, rank.rank() as f64]));
+        let expected_second: f64 = (0..6).map(|i| i as f64).sum();
+        for r in results {
+            assert_eq!(r.value, vec![6.0, expected_second]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_finds_global_maximum() {
+        let world = MpiWorld::new();
+        let results = world.run(8, |rank| rank.allreduce_max(rank.rank() as f64 * 1.5));
+        for r in results {
+            assert_eq!(r.value, 10.5);
+        }
+    }
+
+    #[test]
+    fn collectives_work_with_a_single_rank() {
+        let world = MpiWorld::new();
+        let results = world.run(1, |rank| {
+            rank.barrier();
+            let b = rank.broadcast_f64(0, &[1.0]);
+            let s = rank.allreduce_sum_f64(&[2.0]);
+            (b, s)
+        });
+        assert_eq!(results[0].value, (vec![1.0], vec![2.0]));
+    }
+}

@@ -1,0 +1,22 @@
+//! Simulated kernel TCP/IP networking and HTTP/REST request costs.
+//!
+//! rFaaS's central claim is that replacing HTTP/REST (and even raw TCP RPC)
+//! with RDMA removes milliseconds of operating-system and copy overhead from
+//! the serverless critical path. This crate models the transports that the
+//! paper's baselines use:
+//!
+//! * [`tcp`] — a kernel TCP/IP path with socket syscall overheads and a
+//!   bandwidth model, calibrated to the `netperf` baseline in Fig. 8,
+//! * [`http`] — request/response costs of an HTTP/JSON API layer (gateways,
+//!   REST triggers) on top of TCP,
+//! * [`encoding`] — a real base64 codec plus the cost model for encoding
+//!   binary payloads into JSON-safe strings, which the paper identifies as a
+//!   hidden cost of commercial FaaS APIs (Sec. V-C, V-E).
+
+pub mod encoding;
+pub mod http;
+pub mod tcp;
+
+pub use encoding::{base64_decode, base64_encode, EncodingCost};
+pub use http::{HttpExchange, HttpProfile};
+pub use tcp::{TcpConnection, TcpNetwork, TcpProfile};

@@ -1,0 +1,313 @@
+//! Connection management, the `rdma_cm` analogue.
+//!
+//! Servers bind a [`Listener`] at a string address ("host:service"); clients
+//! call [`connect`] with an [`Endpoint`] describing where they run. The
+//! handshake produces a connected [`QueuePair`] on both sides and charges the
+//! reliable-connection establishment cost from the NIC profile — the cost
+//! rFaaS clients amortise by caching connections inside leases (Sec. III-B).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use sim_core::SimTime;
+
+use crate::error::{FabricError, Result};
+use crate::fabric::Fabric;
+use crate::qp::{Endpoint, QueuePair};
+
+/// Private message describing a pending connection request.
+pub(crate) struct ConnectRequest {
+    client_qp: QueuePair,
+    client_time: SimTime,
+    reply: Sender<()>,
+}
+
+/// Cloneable handle stored in the fabric's listener table.
+#[derive(Clone)]
+pub(crate) struct ListenerHandle {
+    tx: Sender<ConnectRequest>,
+    token: u64,
+}
+
+impl std::fmt::Debug for ListenerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ListenerHandle").field("token", &self.token).finish()
+    }
+}
+
+/// A listening endpoint accepting RDMA connection requests.
+pub struct Listener {
+    fabric: Arc<Fabric>,
+    address: String,
+    rx: Receiver<ConnectRequest>,
+    token: u64,
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Listener").field("address", &self.address).finish()
+    }
+}
+
+impl Listener {
+    /// Bind a listener at `address`. Rebinding an address replaces the
+    /// previous listener, like restarting a daemon on the same port.
+    pub fn bind(fabric: &Arc<Fabric>, address: &str) -> Listener {
+        let (tx, rx) = unbounded();
+        let token = Fabric::next_listener_token();
+        fabric.register_listener(address, ListenerHandle { tx, token });
+        Listener {
+            fabric: Arc::clone(fabric),
+            address: address.to_string(),
+            rx,
+            token,
+        }
+    }
+
+    /// The address this listener is bound to.
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Accept the next pending connection, blocking until one arrives.
+    ///
+    /// `endpoint` describes the accepting actor (its node, clock, protection
+    /// domain and device function); the returned queue pair is connected to
+    /// the requesting client.
+    pub fn accept(&self, endpoint: &Endpoint) -> Result<QueuePair> {
+        let request = self.rx.recv().map_err(|_| FabricError::ConnectionLost)?;
+        self.finish_accept(endpoint, request)
+    }
+
+    /// Accept with a wall-clock timeout, returning `Ok(None)` on timeout.
+    pub fn accept_timeout(&self, endpoint: &Endpoint, timeout: Duration) -> Result<Option<QueuePair>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(request) => self.finish_accept(endpoint, request).map(Some),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(FabricError::ConnectionLost)
+            }
+        }
+    }
+
+    /// Non-blocking accept: returns `Ok(None)` when no request is pending.
+    pub fn try_accept(&self, endpoint: &Endpoint) -> Result<Option<QueuePair>> {
+        match self.rx.try_recv() {
+            Ok(request) => self.finish_accept(endpoint, request).map(Some),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(FabricError::ConnectionLost),
+        }
+    }
+
+    /// Number of connection requests waiting to be accepted.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    fn finish_accept(&self, endpoint: &Endpoint, request: ConnectRequest) -> Result<QueuePair> {
+        let profile = self.fabric.profile().clone();
+        let server_qp = QueuePair::new(endpoint);
+        QueuePair::connect_pair(&request.client_qp, &server_qp)?;
+        // The server observes the request one propagation delay after the
+        // client issued it and spends half the handshake processing it.
+        endpoint.clock.advance_to_then(
+            request.client_time + profile.one_way_latency,
+            profile.connection_setup / 2,
+        );
+        // Wake the connecting client; it may have given up (dropped receiver).
+        let _ = request.reply.send(());
+        Ok(server_qp)
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        // Only unregister if the table still points at this listener (it may
+        // have been replaced by a rebind).
+        if let Some(handle) = self.fabric.listener(&self.address) {
+            if handle.token == self.token {
+                self.fabric.unregister_listener(&self.address);
+            }
+        }
+    }
+}
+
+/// Connect to a listener bound at `address`, blocking until the server
+/// accepts. The returned queue pair is connected and ready for verbs.
+pub fn connect(endpoint: &Endpoint, address: &str) -> Result<QueuePair> {
+    connect_with_timeout(endpoint, address, Duration::from_secs(30))
+}
+
+/// Connect with an explicit wall-clock timeout (bounds test execution time).
+pub fn connect_with_timeout(
+    endpoint: &Endpoint,
+    address: &str,
+    timeout: Duration,
+) -> Result<QueuePair> {
+    let handle = endpoint
+        .fabric
+        .listener(address)
+        .ok_or_else(|| FabricError::UnknownAddress(address.to_string()))?;
+    let profile = endpoint.fabric.profile().clone();
+    let client_qp = QueuePair::new(endpoint);
+    let (reply_tx, reply_rx) = bounded(1);
+    let request = ConnectRequest {
+        client_qp: client_qp.clone(),
+        client_time: endpoint.clock.now(),
+        reply: reply_tx,
+    };
+    handle
+        .tx
+        .send(request)
+        .map_err(|_| FabricError::UnknownAddress(address.to_string()))?;
+    reply_rx
+        .recv_timeout(timeout)
+        .map_err(|_| FabricError::ConnectionLost)?;
+    // The client pays the full connection-establishment latency.
+    endpoint.clock.advance(profile.connection_setup);
+    Ok(client_qp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AccessFlags;
+    use crate::verbs::{RecvRequest, SendRequest, Sge};
+    use std::thread;
+
+    #[test]
+    fn connect_and_accept_produce_linked_qps() {
+        let fabric = Fabric::with_defaults();
+        let server_node = fabric.add_node("server");
+        let client_node = fabric.add_node("client");
+        let listener = Listener::bind(&fabric, "server:9000");
+        let server_ep = Endpoint::new(&fabric, &server_node);
+
+        let fabric2 = Arc::clone(&fabric);
+        let client_thread = thread::spawn(move || {
+            let client_ep = Endpoint::new(&fabric2, &client_node);
+            connect(&client_ep, "server:9000").unwrap()
+        });
+        let server_qp = listener.accept(&server_ep).unwrap();
+        let client_qp = client_thread.join().unwrap();
+        assert!(client_qp.is_connected());
+        assert!(server_qp.is_connected());
+
+        // Data flows across the established connection.
+        let msg = client_qp
+            .pd()
+            .register_from(b"ping".to_vec(), AccessFlags::LOCAL_ONLY);
+        let buf = server_qp.pd().register(8, AccessFlags::LOCAL_ONLY);
+        server_qp
+            .post_recv(RecvRequest { wr_id: 1, local: Sge::whole(&buf) })
+            .unwrap();
+        client_qp
+            .post_send(1, SendRequest::Send { local: Sge::whole(&msg) }, false)
+            .unwrap();
+        let wc = server_qp.recv_cq().poll_one().unwrap();
+        assert_eq!(wc.byte_len, 4);
+        assert_eq!(&buf.read(0, 4).unwrap(), b"ping");
+    }
+
+    #[test]
+    fn connect_to_unknown_address_fails() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("n");
+        let ep = Endpoint::new(&fabric, &node);
+        let err = connect(&ep, "nowhere:1").unwrap_err();
+        assert!(matches!(err, FabricError::UnknownAddress(_)));
+    }
+
+    #[test]
+    fn connection_charges_setup_latency_on_client() {
+        let fabric = Fabric::with_defaults();
+        let server_node = fabric.add_node("server");
+        let client_node = fabric.add_node("client");
+        let listener = Listener::bind(&fabric, "server:1");
+        let server_ep = Endpoint::new(&fabric, &server_node);
+        let fabric2 = Arc::clone(&fabric);
+        let t = thread::spawn(move || {
+            let ep = Endpoint::new(&fabric2, &client_node);
+            let qp = connect(&ep, "server:1").unwrap();
+            qp.clock().now()
+        });
+        listener.accept(&server_ep).unwrap();
+        let client_time = t.join().unwrap();
+        let setup = fabric.profile().connection_setup;
+        assert!(client_time.as_nanos() >= setup.as_nanos());
+    }
+
+    #[test]
+    fn try_accept_returns_none_when_idle() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("server");
+        let listener = Listener::bind(&fabric, "server:2");
+        let ep = Endpoint::new(&fabric, &node);
+        assert!(listener.try_accept(&ep).unwrap().is_none());
+        assert_eq!(listener.pending(), 0);
+    }
+
+    #[test]
+    fn accept_timeout_expires() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("server");
+        let listener = Listener::bind(&fabric, "server:3");
+        let ep = Endpoint::new(&fabric, &node);
+        let got = listener
+            .accept_timeout(&ep, Duration::from_millis(20))
+            .unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn dropping_listener_unbinds_address() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("n");
+        {
+            let _listener = Listener::bind(&fabric, "temp:1");
+            assert!(fabric.listener("temp:1").is_some());
+        }
+        assert!(fabric.listener("temp:1").is_none());
+        let ep = Endpoint::new(&fabric, &node);
+        assert!(connect(&ep, "temp:1").is_err());
+    }
+
+    #[test]
+    fn rebinding_replaces_listener_without_breaking_drop() {
+        let fabric = Fabric::with_defaults();
+        let first = Listener::bind(&fabric, "svc:1");
+        let second = Listener::bind(&fabric, "svc:1");
+        drop(first);
+        // The second listener must still be registered.
+        assert!(fabric.listener("svc:1").is_some());
+        drop(second);
+        assert!(fabric.listener("svc:1").is_none());
+    }
+
+    #[test]
+    fn multiple_clients_queue_on_one_listener() {
+        let fabric = Fabric::with_defaults();
+        let server_node = fabric.add_node("server");
+        let listener = Listener::bind(&fabric, "server:4");
+        let server_ep = Endpoint::new(&fabric, &server_node);
+
+        let mut clients = Vec::new();
+        for i in 0..4 {
+            let fabric = Arc::clone(&fabric);
+            clients.push(thread::spawn(move || {
+                let node = fabric.add_node(&format!("client-{i}"));
+                let ep = Endpoint::new(&fabric, &node);
+                connect(&ep, "server:4").unwrap()
+            }));
+        }
+        let mut server_qps = Vec::new();
+        for _ in 0..4 {
+            server_qps.push(listener.accept(&server_ep).unwrap());
+        }
+        for c in clients {
+            assert!(c.join().unwrap().is_connected());
+        }
+        assert_eq!(server_qps.len(), 4);
+    }
+}

@@ -1,0 +1,361 @@
+//! Completion queues.
+//!
+//! A completion queue (CQ) collects work completions from one or more queue
+//! pairs. Consumers can either *busy poll* it — the mechanism behind rFaaS
+//! *hot* invocations — or block until a completion arrives — the mechanism
+//! behind *warm* invocations. Busy polling costs CPU but observes the
+//! completion almost immediately; blocking waits release the CPU but pay the
+//! interrupt/wake-up latency and contend on the node's shared notification
+//! channel.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use sim_core::{SimDuration, SimTime, VirtualClock};
+
+use crate::device::{DeviceFunction, NicProfile};
+use crate::fabric::FabricNode;
+use crate::verbs::WorkCompletion;
+
+/// How a consumer observes completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Spin on the CQ; lowest latency, occupies the CPU (hot invocations).
+    BusyPoll,
+    /// Sleep until the completion event fires; frees the CPU but pays the
+    /// wake-up cost (warm invocations).
+    Blocking,
+}
+
+#[derive(Debug, Default)]
+struct CqState {
+    completions: VecDeque<WorkCompletion>,
+    disconnected: bool,
+}
+
+#[derive(Debug)]
+struct CqInner {
+    state: Mutex<CqState>,
+    available: Condvar,
+    clock: Arc<VirtualClock>,
+    node: Arc<FabricNode>,
+    profile: NicProfile,
+    function: DeviceFunction,
+}
+
+/// A completion queue bound to one consumer actor (its virtual clock) and one
+/// fabric node (for notification contention accounting).
+#[derive(Debug, Clone)]
+pub struct CompletionQueue {
+    inner: Arc<CqInner>,
+}
+
+impl CompletionQueue {
+    /// Create a CQ for a consumer running on `node` with virtual clock
+    /// `clock`, attached through the given device function.
+    pub fn new(
+        clock: Arc<VirtualClock>,
+        node: Arc<FabricNode>,
+        profile: NicProfile,
+        function: DeviceFunction,
+    ) -> CompletionQueue {
+        CompletionQueue {
+            inner: Arc::new(CqInner {
+                state: Mutex::new(CqState::default()),
+                available: Condvar::new(),
+                clock,
+                node,
+                profile,
+                function,
+            }),
+        }
+    }
+
+    /// The virtual clock of the CQ's consumer.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.inner.clock
+    }
+
+    /// Deliver a completion (called by the fabric / peer queue pairs).
+    pub(crate) fn push(&self, completion: WorkCompletion) {
+        let mut state = self.inner.state.lock();
+        state.completions.push_back(completion);
+        drop(state);
+        self.inner.available.notify_all();
+    }
+
+    /// Mark the CQ as disconnected so blocked waiters wake up with `None`.
+    pub(crate) fn disconnect(&self) {
+        self.inner.state.lock().disconnected = true;
+        self.inner.available.notify_all();
+    }
+
+    /// Number of completions currently queued.
+    pub fn pending(&self) -> usize {
+        self.inner.state.lock().completions.len()
+    }
+
+    /// Non-blocking poll for up to `max` completions (busy-polling pickup).
+    ///
+    /// For each returned completion the consumer clock is synchronised to the
+    /// completion's arrival time plus the polling pickup cost. Empty polls do
+    /// not advance virtual time: an idle spinning thread does no useful
+    /// virtual work.
+    pub fn poll(&self, max: usize) -> Vec<WorkCompletion> {
+        let mut state = self.inner.state.lock();
+        let n = state.completions.len().min(max);
+        let drained: Vec<WorkCompletion> = state.completions.drain(..n).collect();
+        drop(state);
+        for wc in &drained {
+            let pickup = self.inner.profile.completion_pickup
+                + self.inner.function.message_overhead(&self.inner.profile);
+            self.inner.clock.advance_to_then(wc.timestamp, pickup);
+        }
+        drained
+    }
+
+    /// Poll a single completion without blocking.
+    pub fn poll_one(&self) -> Option<WorkCompletion> {
+        self.poll(1).into_iter().next()
+    }
+
+    /// Busy-poll until a completion arrives (hot path). Returns `None` if the
+    /// CQ is disconnected while waiting.
+    pub fn busy_wait(&self) -> Option<WorkCompletion> {
+        loop {
+            if let Some(wc) = self.poll_one() {
+                return Some(wc);
+            }
+            if self.inner.state.lock().disconnected {
+                return None;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Block until a completion arrives (warm path). Charges the blocking
+    /// wake-up latency and the per-node notification serialisation. Returns
+    /// `None` if the CQ is disconnected while waiting.
+    pub fn blocking_wait(&self) -> Option<WorkCompletion> {
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(wc) = state.completions.pop_front() {
+                drop(state);
+                return Some(self.charge_blocking_pickup(wc));
+            }
+            if state.disconnected {
+                return None;
+            }
+            self.inner.available.wait(&mut state);
+        }
+    }
+
+    /// Block until a completion arrives or the real-time timeout expires.
+    /// The timeout is wall-clock (it bounds test execution time); the virtual
+    /// cost model is identical to [`CompletionQueue::blocking_wait`].
+    pub fn blocking_wait_timeout(&self, timeout: Duration) -> Option<WorkCompletion> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(wc) = state.completions.pop_front() {
+                drop(state);
+                return Some(self.charge_blocking_pickup(wc));
+            }
+            if state.disconnected {
+                return None;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self
+                .inner
+                .available
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return state.completions.pop_front().map(|wc| {
+                    drop(state);
+                    self.charge_blocking_pickup(wc)
+                });
+            }
+        }
+    }
+
+    /// Wait with the requested mode.
+    pub fn wait(&self, mode: WaitMode) -> Option<WorkCompletion> {
+        match mode {
+            WaitMode::BusyPoll => self.busy_wait(),
+            WaitMode::Blocking => self.blocking_wait(),
+        }
+    }
+
+    fn charge_blocking_pickup(&self, wc: WorkCompletion) -> WorkCompletion {
+        // Serialise the notification through the node's shared event channel:
+        // concurrent blocking waiters on one node queue behind each other.
+        let dispatch = self.inner.profile.notification_dispatch;
+        let visible: SimTime = self.inner.node.serialize_notification(wc.timestamp, dispatch);
+        let wakeup = self.inner.profile.blocking_wakeup
+            + self.inner.function.blocking_extra(&self.inner.profile)
+            + self.inner.profile.completion_pickup;
+        self.inner.clock.advance_to_then(visible, wakeup);
+        wc
+    }
+
+    /// The blocking wake-up penalty of this CQ's device function, exposed for
+    /// cost-model introspection in benchmarks.
+    pub fn blocking_penalty(&self) -> SimDuration {
+        self.inner.profile.blocking_wakeup
+            + self.inner.function.blocking_extra(&self.inner.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use crate::verbs::{CompletionStatus, OpCode};
+    use std::thread;
+
+    fn make_cq(mode_function: DeviceFunction) -> (CompletionQueue, Arc<VirtualClock>) {
+        let fabric = Fabric::new(NicProfile::default());
+        let node = fabric.add_node("n0");
+        let clock = VirtualClock::shared();
+        let cq = CompletionQueue::new(
+            Arc::clone(&clock),
+            node,
+            NicProfile::default(),
+            mode_function,
+        );
+        (cq, clock)
+    }
+
+    fn completion_at(ts_us: u64) -> WorkCompletion {
+        WorkCompletion {
+            wr_id: 1,
+            opcode: OpCode::Recv,
+            status: CompletionStatus::Success,
+            byte_len: 16,
+            imm: Some(7),
+            timestamp: SimTime::from_micros(ts_us),
+            qp_num: 3,
+        }
+    }
+
+    #[test]
+    fn empty_poll_does_not_advance_clock() {
+        let (cq, clock) = make_cq(DeviceFunction::Physical);
+        assert!(cq.poll(4).is_empty());
+        assert_eq!(clock.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn poll_synchronises_clock_to_arrival() {
+        let (cq, clock) = make_cq(DeviceFunction::Physical);
+        cq.push(completion_at(10));
+        let wcs = cq.poll(4);
+        assert_eq!(wcs.len(), 1);
+        assert_eq!(wcs[0].imm, Some(7));
+        // 10 us arrival + 65 ns pickup.
+        assert_eq!(clock.now().as_nanos(), 10_065);
+    }
+
+    #[test]
+    fn blocking_wait_charges_wakeup_latency() {
+        let (cq, clock) = make_cq(DeviceFunction::Physical);
+        cq.push(completion_at(10));
+        let wc = cq.blocking_wait().unwrap();
+        assert!(wc.is_success());
+        // arrival 10us + dispatch 550ns + wakeup 3800ns + pickup 65ns
+        assert_eq!(clock.now().as_nanos(), 10_000 + 550 + 3_800 + 65);
+    }
+
+    #[test]
+    fn virtual_function_blocking_is_slower() {
+        let (phys, phys_clock) = make_cq(DeviceFunction::Physical);
+        let (virt, virt_clock) = make_cq(DeviceFunction::Virtual);
+        phys.push(completion_at(1));
+        virt.push(completion_at(1));
+        phys.blocking_wait().unwrap();
+        virt.blocking_wait().unwrap();
+        assert!(virt_clock.now() > phys_clock.now());
+        let delta = virt_clock.now().as_nanos() - phys_clock.now().as_nanos();
+        // 600 ns vf blocking extra + 25 ns message overhead tolerance window.
+        assert!(delta >= 600 && delta <= 700, "delta {delta}");
+    }
+
+    #[test]
+    fn blocking_wait_wakes_on_push_from_other_thread() {
+        let (cq, _clock) = make_cq(DeviceFunction::Physical);
+        let cq2 = cq.clone();
+        let handle = thread::spawn(move || cq2.blocking_wait());
+        thread::sleep(Duration::from_millis(20));
+        cq.push(completion_at(5));
+        let wc = handle.join().unwrap().unwrap();
+        assert_eq!(wc.wr_id, 1);
+    }
+
+    #[test]
+    fn busy_wait_picks_up_pushed_completion() {
+        let (cq, _clock) = make_cq(DeviceFunction::Physical);
+        let cq2 = cq.clone();
+        let handle = thread::spawn(move || cq2.busy_wait());
+        thread::sleep(Duration::from_millis(10));
+        cq.push(completion_at(2));
+        assert!(handle.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn disconnect_wakes_blocked_waiters_with_none() {
+        let (cq, _clock) = make_cq(DeviceFunction::Physical);
+        let cq2 = cq.clone();
+        let handle = thread::spawn(move || cq2.blocking_wait());
+        thread::sleep(Duration::from_millis(10));
+        cq.disconnect();
+        assert!(handle.join().unwrap().is_none());
+        // Busy wait also observes the disconnect.
+        assert!(cq.busy_wait().is_none());
+    }
+
+    #[test]
+    fn blocking_wait_timeout_returns_none_when_idle() {
+        let (cq, _clock) = make_cq(DeviceFunction::Physical);
+        assert!(cq.blocking_wait_timeout(Duration::from_millis(10)).is_none());
+        cq.push(completion_at(1));
+        assert!(cq.blocking_wait_timeout(Duration::from_millis(10)).is_some());
+    }
+
+    #[test]
+    fn notification_contention_serialises_waiters() {
+        // Two completions arriving at the same instant on the same node must
+        // be observed at staggered virtual times by blocking waiters.
+        let fabric = Fabric::new(NicProfile::default());
+        let node = fabric.add_node("n0");
+        let c1 = VirtualClock::shared();
+        let c2 = VirtualClock::shared();
+        let cq1 = CompletionQueue::new(Arc::clone(&c1), Arc::clone(&node), NicProfile::default(), DeviceFunction::Physical);
+        let cq2 = CompletionQueue::new(Arc::clone(&c2), Arc::clone(&node), NicProfile::default(), DeviceFunction::Physical);
+        cq1.push(completion_at(10));
+        cq2.push(completion_at(10));
+        cq1.blocking_wait().unwrap();
+        cq2.blocking_wait().unwrap();
+        let t1 = c1.now().as_nanos();
+        let t2 = c2.now().as_nanos();
+        assert_ne!(t1, t2, "notifications must serialise");
+        assert_eq!((t1 as i64 - t2 as i64).unsigned_abs(), 550);
+    }
+
+    #[test]
+    fn pending_counts_queued_completions() {
+        let (cq, _clock) = make_cq(DeviceFunction::Physical);
+        assert_eq!(cq.pending(), 0);
+        cq.push(completion_at(1));
+        cq.push(completion_at(2));
+        assert_eq!(cq.pending(), 2);
+        cq.poll(1);
+        assert_eq!(cq.pending(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types for the software RDMA fabric.
+
+use std::fmt;
+
+/// Errors returned by fabric operations.
+///
+/// The real ibverbs API reports most of these through work-completion status
+/// codes (`IBV_WC_*`); we surface them both as `Result` errors on the posting
+/// path (for immediately detectable misuse) and as failed completions (for
+/// asynchronous failures such as remote access violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The queue pair is not in a state that allows the requested operation.
+    InvalidQpState {
+        /// The operation that was attempted.
+        operation: &'static str,
+        /// The state the queue pair was in.
+        state: &'static str,
+    },
+    /// A local scatter/gather entry referenced memory outside its region.
+    LocalAccessOutOfBounds {
+        /// Requested offset within the region.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Actual region length.
+        region_len: usize,
+    },
+    /// The remote key did not resolve to a registered memory region.
+    InvalidRemoteKey(u64),
+    /// The remote access violated the region's permissions.
+    RemoteAccessDenied {
+        /// Human-readable description of the required permission.
+        required: &'static str,
+    },
+    /// The remote address range is outside the registered region.
+    RemoteAccessOutOfBounds {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Region length.
+        region_len: usize,
+    },
+    /// A receive was required (SEND or WRITE_WITH_IMM) but the remote receive
+    /// queue was empty — `IBV_WC_RNR_RETRY_EXC_ERR` in ibverbs terms.
+    ReceiverNotReady,
+    /// The posted receive buffer is too small for the incoming message.
+    ReceiveBufferTooSmall {
+        /// Incoming message length.
+        message_len: usize,
+        /// Posted buffer length.
+        buffer_len: usize,
+    },
+    /// The queue pair is not connected to a peer.
+    NotConnected,
+    /// The peer endpoint has been destroyed or the connection was torn down.
+    ConnectionLost,
+    /// No listener is bound at the requested fabric address.
+    UnknownAddress(String),
+    /// The listener's backlog of pending connections is empty.
+    NoPendingConnection,
+    /// An atomic operation was attempted on a misaligned or undersized target.
+    InvalidAtomicTarget {
+        /// Offset of the attempted atomic access.
+        offset: usize,
+    },
+    /// The work-request opcode is not supported on this queue-pair type.
+    UnsupportedOperation(&'static str),
+    /// Exceeded a device limit (queue depth, number of QPs, inline size, ...).
+    DeviceLimitExceeded {
+        /// Which limit was exceeded.
+        limit: &'static str,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::InvalidQpState { operation, state } => {
+                write!(f, "cannot {operation} while queue pair is in state {state}")
+            }
+            FabricError::LocalAccessOutOfBounds { offset, len, region_len } => write!(
+                f,
+                "local access [{offset}, {}) exceeds region of {region_len} bytes",
+                offset + len
+            ),
+            FabricError::InvalidRemoteKey(rkey) => write!(f, "unknown remote key {rkey:#x}"),
+            FabricError::RemoteAccessDenied { required } => {
+                write!(f, "remote access denied: region lacks {required} permission")
+            }
+            FabricError::RemoteAccessOutOfBounds { offset, len, region_len } => write!(
+                f,
+                "remote access [{offset}, {}) exceeds region of {region_len} bytes",
+                offset + len
+            ),
+            FabricError::ReceiverNotReady => write!(f, "receiver not ready: no posted receive"),
+            FabricError::ReceiveBufferTooSmall { message_len, buffer_len } => write!(
+                f,
+                "posted receive buffer ({buffer_len} B) smaller than incoming message ({message_len} B)"
+            ),
+            FabricError::NotConnected => write!(f, "queue pair is not connected"),
+            FabricError::ConnectionLost => write!(f, "connection to peer was lost"),
+            FabricError::UnknownAddress(addr) => write!(f, "no listener bound at '{addr}'"),
+            FabricError::NoPendingConnection => write!(f, "no pending connection to accept"),
+            FabricError::InvalidAtomicTarget { offset } => {
+                write!(f, "atomic target at offset {offset} is not an aligned 8-byte word")
+            }
+            FabricError::UnsupportedOperation(op) => write!(f, "unsupported operation: {op}"),
+            FabricError::DeviceLimitExceeded { limit } => write!(f, "device limit exceeded: {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Convenience alias used throughout the fabric crate.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FabricError::LocalAccessOutOfBounds { offset: 8, len: 16, region_len: 12 };
+        assert!(e.to_string().contains("exceeds region"));
+        let e = FabricError::InvalidRemoteKey(0xdead);
+        assert!(e.to_string().contains("dead"));
+        let e = FabricError::ReceiverNotReady;
+        assert!(e.to_string().contains("no posted receive"));
+        let e = FabricError::UnknownAddress("manager:0".into());
+        assert!(e.to_string().contains("manager:0"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FabricError::NotConnected, FabricError::NotConnected);
+        assert_ne!(
+            FabricError::NotConnected,
+            FabricError::ConnectionLost
+        );
+    }
+}

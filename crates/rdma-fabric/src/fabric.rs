@@ -1,0 +1,345 @@
+//! The fabric: nodes, links and transfer timing.
+//!
+//! A [`Fabric`] models one RDMA network: a set of nodes (machines with one
+//! NIC port each) connected through a non-blocking switch. Each node tracks
+//! when its egress and ingress directions become free, which is what produces
+//! bandwidth saturation when many parallel invocations move large payloads
+//! (Fig. 10), and a shared notification channel that serialises blocking
+//! completion events (the warm-invocation contention in the same figure).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim_core::{SimDuration, SimTime};
+
+use crate::device::NicProfile;
+
+/// Timing of one data transfer computed by the link model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferTiming {
+    /// When the initiator NIC finished serialising the message (send side).
+    pub depart: SimTime,
+    /// When the last byte arrived at the destination (receive side).
+    pub arrive: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct PortState {
+    egress_busy_until: SimTime,
+    ingress_busy_until: SimTime,
+    notification_busy_until: SimTime,
+}
+
+/// One machine attached to the fabric.
+#[derive(Debug)]
+pub struct FabricNode {
+    name: String,
+    state: Mutex<PortState>,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    messages_sent: AtomicU64,
+}
+
+impl FabricNode {
+    fn new(name: String) -> FabricNode {
+        FabricNode {
+            name,
+            state: Mutex::new(PortState::default()),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            messages_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Node name (host name in the cluster).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total bytes sent by this node (traffic accounting).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes received by this node.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent by this node.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Reserve the egress direction for `duration` starting no earlier than
+    /// `ready`. Returns the instant the reservation ends.
+    fn reserve_egress(&self, ready: SimTime, duration: SimDuration) -> SimTime {
+        let mut state = self.state.lock();
+        let start = ready.max(state.egress_busy_until);
+        let end = start + duration;
+        state.egress_busy_until = end;
+        end
+    }
+
+    /// Reserve the ingress direction so that a message whose last byte would
+    /// arrive at `uncontended_arrival` (taking `duration` to stream in) is
+    /// delayed behind any earlier arrivals. Returns the contended arrival.
+    fn reserve_ingress(&self, uncontended_arrival: SimTime, duration: SimDuration) -> SimTime {
+        let mut state = self.state.lock();
+        let arrival = uncontended_arrival.max(state.ingress_busy_until + duration);
+        state.ingress_busy_until = arrival;
+        arrival
+    }
+
+    /// Serialise one blocking-notification event through the node's shared
+    /// event channel: the event becomes visible `dispatch` after the channel
+    /// frees up. Returns the visibility instant.
+    pub(crate) fn serialize_notification(&self, event: SimTime, dispatch: SimDuration) -> SimTime {
+        let mut state = self.state.lock();
+        let start = event.max(state.notification_busy_until);
+        let visible = start + dispatch;
+        state.notification_busy_until = visible;
+        visible
+    }
+
+    /// Reset contention state (used between benchmark repetitions).
+    pub fn reset_contention(&self) {
+        let mut state = self.state.lock();
+        *state = PortState::default();
+    }
+}
+
+static NEXT_LISTENER_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// An RDMA network connecting a set of nodes through a non-blocking switch.
+#[derive(Debug)]
+pub struct Fabric {
+    profile: NicProfile,
+    nodes: Mutex<HashMap<String, Arc<FabricNode>>>,
+    listeners: Mutex<HashMap<String, crate::cm::ListenerHandle>>,
+}
+
+impl Fabric {
+    /// Create a fabric whose links follow `profile`.
+    pub fn new(profile: NicProfile) -> Arc<Fabric> {
+        Arc::new(Fabric {
+            profile,
+            nodes: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Create a fabric with the default (paper-calibrated) profile.
+    pub fn with_defaults() -> Arc<Fabric> {
+        Fabric::new(NicProfile::default())
+    }
+
+    /// The NIC/link profile of this fabric.
+    pub fn profile(&self) -> &NicProfile {
+        &self.profile
+    }
+
+    /// Add (or look up) a node by name.
+    pub fn add_node(&self, name: &str) -> Arc<FabricNode> {
+        let mut nodes = self.nodes.lock();
+        Arc::clone(
+            nodes
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(FabricNode::new(name.to_string()))),
+        )
+    }
+
+    /// Look up an existing node.
+    pub fn node(&self, name: &str) -> Option<Arc<FabricNode>> {
+        self.nodes.lock().get(name).cloned()
+    }
+
+    /// Number of nodes attached to the fabric.
+    pub fn node_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// Compute the timing of a transfer of `bytes` from `src` to `dst`,
+    /// issued when the initiator was ready at `ready`, and account the
+    /// occupancy on both ports. Loopback transfers (same node) skip the wire.
+    pub fn transfer(
+        &self,
+        src: &FabricNode,
+        dst: &FabricNode,
+        bytes: usize,
+        ready: SimTime,
+    ) -> TransferTiming {
+        src.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        src.messages_sent.fetch_add(1, Ordering::Relaxed);
+        dst.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+
+        if std::ptr::eq(src, dst) {
+            // Intra-node transfer: loopback through the NIC, no wire latency,
+            // but still bounded by PCIe/NIC bandwidth.
+            let duration = self.profile.serialization(bytes);
+            let depart = src.reserve_egress(ready, duration);
+            return TransferTiming {
+                depart,
+                arrive: depart,
+            };
+        }
+
+        let duration = self.profile.serialization(bytes);
+        // Cut-through switching: the last byte leaves the source at `depart`
+        // and arrives one propagation delay later, unless the destination
+        // ingress is still draining earlier flows.
+        let depart = src.reserve_egress(ready, duration);
+        let uncontended_arrival = depart + self.profile.one_way_latency;
+        let arrive = dst.reserve_ingress(uncontended_arrival, duration);
+        TransferTiming { depart, arrive }
+    }
+
+    /// Timing for a zero-payload control message from `src` to `dst`.
+    pub fn control_message(&self, src: &FabricNode, dst: &FabricNode, ready: SimTime) -> SimTime {
+        self.transfer(src, dst, 0, ready).arrive
+    }
+
+    pub(crate) fn register_listener(&self, address: &str, handle: crate::cm::ListenerHandle) {
+        self.listeners.lock().insert(address.to_string(), handle);
+    }
+
+    pub(crate) fn unregister_listener(&self, address: &str) {
+        self.listeners.lock().remove(address);
+    }
+
+    pub(crate) fn listener(&self, address: &str) -> Option<crate::cm::ListenerHandle> {
+        self.listeners.lock().get(address).cloned()
+    }
+
+    pub(crate) fn next_listener_token() -> u64 {
+        NEXT_LISTENER_TOKEN.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_deduplicated_by_name() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("node-1");
+        let b = fabric.add_node("node-1");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(fabric.node_count(), 1);
+        assert!(fabric.node("node-1").is_some());
+        assert!(fabric.node("missing").is_none());
+    }
+
+    #[test]
+    fn single_transfer_is_latency_plus_serialization() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let bytes = 1024 * 1024;
+        let t = fabric.transfer(&a, &b, bytes, SimTime::ZERO);
+        let expected_ser = fabric.profile().serialization(bytes);
+        assert_eq!(t.depart, SimTime::ZERO + expected_ser);
+        assert_eq!(t.arrive, t.depart + fabric.profile().one_way_latency);
+    }
+
+    #[test]
+    fn egress_contention_serialises_outgoing_flows() {
+        // One sender pushing two 1 MiB messages back to back: the second
+        // departs only after the first finished serialising.
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let c = fabric.add_node("c");
+        let bytes = 1024 * 1024;
+        let t1 = fabric.transfer(&a, &b, bytes, SimTime::ZERO);
+        let t2 = fabric.transfer(&a, &c, bytes, SimTime::ZERO);
+        assert!(t2.depart >= t1.depart + fabric.profile().serialization(bytes));
+    }
+
+    #[test]
+    fn ingress_contention_serialises_incoming_flows() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let dst = fabric.add_node("dst");
+        let bytes = 1024 * 1024;
+        let t1 = fabric.transfer(&a, &dst, bytes, SimTime::ZERO);
+        let t2 = fabric.transfer(&b, &dst, bytes, SimTime::ZERO);
+        // Both senders are free, but the destination can only drain one at a
+        // time: the second arrival is one serialization later.
+        assert!(t2.arrive >= t1.arrive + fabric.profile().serialization(bytes));
+    }
+
+    #[test]
+    fn small_messages_barely_contend() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let t1 = fabric.transfer(&a, &b, 64, SimTime::ZERO);
+        let t2 = fabric.transfer(&a, &b, 64, SimTime::ZERO);
+        let gap = t2.arrive.saturating_since(t1.arrive);
+        assert!(gap.as_nanos() < 50, "64-byte messages should not queue: {gap}");
+    }
+
+    #[test]
+    fn loopback_skips_wire_latency() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let t = fabric.transfer(&a, &a, 4096, SimTime::ZERO);
+        assert_eq!(t.depart, t.arrive);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        fabric.transfer(&a, &b, 100, SimTime::ZERO);
+        fabric.transfer(&a, &b, 200, SimTime::ZERO);
+        assert_eq!(a.bytes_sent(), 300);
+        assert_eq!(a.messages_sent(), 2);
+        assert_eq!(b.bytes_received(), 300);
+        assert_eq!(b.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn reset_contention_clears_busy_state() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let bytes = 8 * 1024 * 1024;
+        fabric.transfer(&a, &b, bytes, SimTime::ZERO);
+        a.reset_contention();
+        b.reset_contention();
+        let t = fabric.transfer(&a, &b, 64, SimTime::ZERO);
+        assert!(t.arrive.as_micros_f64() < 10.0);
+    }
+
+    #[test]
+    fn control_message_is_one_way_latency() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let arrive = fabric.control_message(&a, &b, SimTime::from_micros(5));
+        assert_eq!(
+            arrive,
+            SimTime::from_micros(5) + fabric.profile().one_way_latency
+        );
+    }
+
+    #[test]
+    fn notification_serialisation_orders_events() {
+        let fabric = Fabric::with_defaults();
+        let n = fabric.add_node("n");
+        let d = SimDuration::from_nanos(500);
+        let v1 = n.serialize_notification(SimTime::from_micros(1), d);
+        let v2 = n.serialize_notification(SimTime::from_micros(1), d);
+        let v3 = n.serialize_notification(SimTime::from_micros(1), d);
+        assert_eq!(v1.as_nanos(), 1_500);
+        assert_eq!(v2.as_nanos(), 2_000);
+        assert_eq!(v3.as_nanos(), 2_500);
+    }
+}

@@ -1,0 +1,762 @@
+//! The rFaaS client library: invoker, RDMA buffers and invocation futures.
+//!
+//! This is the Rust equivalent of the paper's C++ programming model
+//! (Sec. IV-B, Fig. 7, Listing 2): an [`Invoker`] acquires leases, connects
+//! directly to the executor workers, and submits function invocations by
+//! writing the header and payload straight into the workers' registered
+//! memory. Results are represented by [`InvocationFuture`]s and land directly
+//! in client-side [`Buffer`]s written remotely by the executor.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rdma_fabric::{
+    connect_with_timeout, AccessFlags, Endpoint, Fabric, MemoryRegion, ProtectionDomain,
+    QueuePair, RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
+};
+use sandbox::CodePackage;
+use sim_core::{SimDuration, VirtualClock};
+
+use crate::config::{PollingMode, RFaasConfig};
+use crate::error::{RFaasError, Result};
+use crate::executor::SpotExecutor;
+use crate::manager::ResourceManager;
+use crate::protocol::{
+    ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
+};
+
+/// A registered, page-aligned client buffer.
+///
+/// Input buffers reserve space for the invocation header in front of the
+/// payload, exactly like the paper's allocator ("automatically expanded with
+/// the function's header"); output buffers are registered with remote-write
+/// access so the executor can deposit results without client involvement.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    region: MemoryRegion,
+    header_space: usize,
+}
+
+impl Buffer {
+    /// Bytes of payload the buffer can hold.
+    pub fn capacity(&self) -> usize {
+        self.region.len() - self.header_space
+    }
+
+    /// The underlying registered region (header space included).
+    pub fn region(&self) -> &MemoryRegion {
+        &self.region
+    }
+
+    /// Offset of the payload within the region.
+    pub fn payload_offset(&self) -> usize {
+        self.header_space
+    }
+
+    /// Copy `data` into the payload area. Returns the payload length.
+    pub fn write_payload(&self, data: &[u8]) -> Result<usize> {
+        if data.len() > self.capacity() {
+            return Err(RFaasError::PayloadTooLarge {
+                payload: data.len(),
+                capacity: self.capacity(),
+            });
+        }
+        self.region
+            .write(self.header_space, data)
+            .map_err(RFaasError::from)?;
+        Ok(data.len())
+    }
+
+    /// Copy `len` payload bytes out of the buffer.
+    pub fn read_payload(&self, len: usize) -> Result<Vec<u8>> {
+        self.region
+            .read(self.header_space, len.min(self.capacity()))
+            .map_err(RFaasError::from)
+    }
+
+    /// Fill the payload with an `f64` slice (the element type of every HPC
+    /// workload in the paper's evaluation).
+    pub fn write_f64(&self, values: &[f64]) -> Result<usize> {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_payload(&bytes)
+    }
+
+    /// Interpret `len_bytes` of payload as an `f64` slice.
+    pub fn read_f64(&self, len_bytes: usize) -> Result<Vec<f64>> {
+        let bytes = self.read_payload(len_bytes)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// Remote handle covering the payload area (what the executor writes to).
+    pub fn remote_handle(&self) -> RemoteMemoryHandle {
+        self.region
+            .remote_handle_range(self.header_space, self.capacity())
+            .expect("payload range within region")
+    }
+}
+
+/// Allocates RDMA-registered buffers from the invoker's protection domain
+/// (the `rfaas::allocator` of Listing 2).
+#[derive(Debug, Clone)]
+pub struct BufferAllocator {
+    pd: ProtectionDomain,
+}
+
+impl BufferAllocator {
+    /// Allocate an input buffer for payloads of up to `capacity` bytes; the
+    /// header slot is added in front automatically.
+    pub fn input(&self, capacity: usize) -> Buffer {
+        Buffer {
+            region: self
+                .pd
+                .register(INVOCATION_HEADER_BYTES + capacity, AccessFlags::LOCAL_ONLY),
+            header_space: INVOCATION_HEADER_BYTES,
+        }
+    }
+
+    /// Allocate an output buffer of `capacity` bytes the executor may write
+    /// into remotely.
+    pub fn output(&self, capacity: usize) -> Buffer {
+        Buffer {
+            region: self.pd.register(capacity, AccessFlags::REMOTE_WRITE),
+            header_space: 0,
+        }
+    }
+}
+
+/// Breakdown of a cold start as observed by the client (Fig. 9's stacked
+/// bars: connect to manager, submit allocation, spawn worker, submit code,
+/// plus the direct worker connections).
+#[derive(Debug, Clone, Default)]
+pub struct ColdStartBreakdown {
+    /// Establishing the connection to the resource manager.
+    pub connect_to_manager: SimDuration,
+    /// Submitting the allocation request and the manager's placement work.
+    pub submit_allocation: SimDuration,
+    /// Sandbox creation and worker-thread spawn on the executor node.
+    pub spawn_workers: SimDuration,
+    /// Transferring and loading the code package.
+    pub submit_code: SimDuration,
+    /// Establishing the direct RDMA connections to every worker.
+    pub connect_to_workers: SimDuration,
+}
+
+impl ColdStartBreakdown {
+    /// Total cold-start latency.
+    pub fn total(&self) -> SimDuration {
+        self.connect_to_manager
+            + self.submit_allocation
+            + self.spawn_workers
+            + self.submit_code
+            + self.connect_to_workers
+    }
+}
+
+struct WorkerConnection {
+    qp: QueuePair,
+    remote_input: RemoteMemoryHandle,
+    recv_scratch: MemoryRegion,
+    outstanding: AtomicUsize,
+    completed: Mutex<HashMap<u32, (usize, ResultStatus)>>,
+    wait_lock: Mutex<()>,
+    index: usize,
+}
+
+impl WorkerConnection {
+    /// Wait until the result for `invocation_id` is available, using busy
+    /// polling on the connection's completion queue.
+    fn wait_for(&self, invocation_id: u32) -> Result<(usize, ResultStatus)> {
+        loop {
+            if let Some(result) = self.completed.lock().remove(&invocation_id) {
+                self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                return Ok(result);
+            }
+            let _guard = self.wait_lock.lock();
+            // Re-check: another waiter may have stashed our completion.
+            if let Some(result) = self.completed.lock().remove(&invocation_id) {
+                self.outstanding.fetch_sub(1, Ordering::Relaxed);
+                return Ok(result);
+            }
+            match self.qp.recv_cq().busy_wait() {
+                Some(wc) => {
+                    let (id, status) = ImmValue::parse_response(wc.imm.unwrap_or(0));
+                    self.completed.lock().insert(id, (wc.byte_len, status));
+                }
+                None => return Err(RFaasError::ExecutorLost(format!("worker {}", self.index))),
+            }
+        }
+    }
+}
+
+/// The client-side invoker: manages leases, executor connections and
+/// invocation submission (the `rfaas::invoker` of Listing 2).
+pub struct Invoker {
+    fabric: Arc<Fabric>,
+    clock: Arc<VirtualClock>,
+    pd: ProtectionDomain,
+    node_name: String,
+    config: RFaasConfig,
+    manager: Arc<ResourceManager>,
+    lease: Option<Lease>,
+    executor: Option<Arc<SpotExecutor>>,
+    process_id: Option<u64>,
+    package: Option<CodePackage>,
+    connections: Vec<Arc<WorkerConnection>>,
+    next_invocation: AtomicU32,
+    round_robin: AtomicUsize,
+    cold_start: Option<ColdStartBreakdown>,
+}
+
+impl std::fmt::Debug for Invoker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Invoker")
+            .field("node", &self.node_name)
+            .field("workers", &self.connections.len())
+            .finish()
+    }
+}
+
+impl Invoker {
+    /// Create an invoker for a client application running on `client_node`.
+    pub fn new(
+        fabric: &Arc<Fabric>,
+        client_node: &str,
+        manager: &Arc<ResourceManager>,
+        config: RFaasConfig,
+    ) -> Invoker {
+        Invoker {
+            fabric: Arc::clone(fabric),
+            clock: VirtualClock::shared(),
+            pd: ProtectionDomain::new(),
+            node_name: client_node.to_string(),
+            config,
+            manager: Arc::clone(manager),
+            lease: None,
+            executor: None,
+            process_id: None,
+            package: None,
+            connections: Vec::new(),
+            next_invocation: AtomicU32::new(1),
+            round_robin: AtomicUsize::new(0),
+            cold_start: None,
+        }
+    }
+
+    /// The client's virtual clock (latency measurements are deltas of this).
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Buffer allocator bound to the invoker's protection domain.
+    pub fn allocator(&self) -> BufferAllocator {
+        BufferAllocator { pd: self.pd.clone() }
+    }
+
+    /// Number of connected executor workers.
+    pub fn worker_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Cold-start breakdown of the last allocation, if any.
+    pub fn cold_start(&self) -> Option<&ColdStartBreakdown> {
+        self.cold_start.as_ref()
+    }
+
+    /// The active lease, if any.
+    pub fn lease(&self) -> Option<&Lease> {
+        self.lease.as_ref()
+    }
+
+    /// Acquire a lease and spin up executor workers (the cold invocation path
+    /// of Fig. 5/6). `mode` selects hot busy-polling or warm blocking waits
+    /// on the executor side.
+    pub fn allocate(&mut self, request: LeaseRequest, mode: PollingMode) -> Result<&ColdStartBreakdown> {
+        if self.lease.is_some() {
+            self.deallocate()?;
+        }
+        let mut breakdown = ColdStartBreakdown::default();
+
+        // Step 1: connect to the resource manager.
+        let t0 = self.clock.now();
+        self.clock.advance(self.config.manager_connect_cost);
+        breakdown.connect_to_manager = self.clock.now().saturating_since(t0);
+
+        // Step 2: submit the allocation request, wait for the lease.
+        let t1 = self.clock.now();
+        self.clock.advance(self.config.allocation_submit_cost);
+        let (lease, executor) = self.manager.request_lease(&request, &self.clock)?;
+        breakdown.submit_allocation = self.clock.now().saturating_since(t1);
+
+        // Step 3 + 4: the allocator spawns the sandboxed executor process and
+        // loads the code package; the client waits for the whole thing.
+        let t2 = self.clock.now();
+        let allocation = executor
+            .allocator()
+            .allocate_with_workers(&lease, request.cores as usize, mode)?;
+        self.clock.advance(allocation.breakdown.spawn.total());
+        breakdown.spawn_workers = self.clock.now().saturating_since(t2);
+        let t3 = self.clock.now();
+        self.clock.advance(allocation.breakdown.code_submission);
+        breakdown.submit_code = self.clock.now().saturating_since(t3);
+
+        // Step 5: establish a direct RDMA connection to every worker thread
+        // and learn where its input buffer lives.
+        let t4 = self.clock.now();
+        let client_node = self.fabric.add_node(&self.node_name);
+        let mut connections = Vec::with_capacity(allocation.workers.len());
+        for (index, worker) in allocation.workers.iter().enumerate() {
+            let endpoint = Endpoint {
+                fabric: Arc::clone(&self.fabric),
+                node: Arc::clone(&client_node),
+                clock: Arc::clone(&self.clock),
+                pd: self.pd.clone(),
+                function: rdma_fabric::DeviceFunction::Physical,
+            };
+            let qp = connect_with_timeout(&endpoint, &worker.address, Duration::from_secs(10))?;
+            // Receive the worker's "hello" advertising its input buffer.
+            let hello = self.pd.register(INVOCATION_HEADER_BYTES, AccessFlags::LOCAL_ONLY);
+            qp.post_recv(RecvRequest { wr_id: u64::MAX, local: Sge::whole(&hello) })?;
+            let wc = qp
+                .recv_cq()
+                .blocking_wait_timeout(Duration::from_secs(10))
+                .ok_or_else(|| RFaasError::ExecutorLost(worker.address.clone()))?;
+            if !wc.is_success() {
+                return Err(RFaasError::ExecutorLost(worker.address.clone()));
+            }
+            let advertised = InvocationHeader::decode(&hello.read_all())?;
+            let remote_input = RemoteMemoryHandle {
+                rkey: advertised.result_rkey,
+                offset: advertised.result_offset as usize,
+                len: advertised.result_capacity as usize,
+            };
+            let recv_scratch = self.pd.register(8, AccessFlags::LOCAL_ONLY);
+            connections.push(Arc::new(WorkerConnection {
+                qp,
+                remote_input,
+                recv_scratch,
+                outstanding: AtomicUsize::new(0),
+                completed: Mutex::new(HashMap::new()),
+                wait_lock: Mutex::new(()),
+                index,
+            }));
+        }
+        breakdown.connect_to_workers = self.clock.now().saturating_since(t4);
+
+        self.package = Some(allocation.package.clone());
+        self.process_id = Some(allocation.process_id);
+        self.lease = Some(lease);
+        self.executor = Some(executor);
+        self.connections = connections;
+        self.cold_start = Some(breakdown);
+        Ok(self.cold_start.as_ref().expect("just set"))
+    }
+
+    /// Submit an invocation of `function` with `payload_len` bytes from
+    /// `input`; the result will be written into `output`.
+    pub fn submit(
+        &self,
+        function: &str,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+    ) -> Result<InvocationFuture<'_>> {
+        self.submit_on(None, function, input, payload_len, output)
+    }
+
+    /// Submit to a specific worker (used for explicit work partitioning and
+    /// by the redirection path).
+    pub fn submit_to_worker(
+        &self,
+        worker: usize,
+        function: &str,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+    ) -> Result<InvocationFuture<'_>> {
+        self.submit_on(Some(worker), function, input, payload_len, output)
+    }
+
+    fn submit_on(
+        &self,
+        worker: Option<usize>,
+        function: &str,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+    ) -> Result<InvocationFuture<'_>> {
+        if self.connections.is_empty() {
+            return Err(RFaasError::NotAllocated);
+        }
+        let package = self.package.as_ref().ok_or(RFaasError::NotAllocated)?;
+        let (function_index, _) = package
+            .function_by_name(function)
+            .ok_or_else(|| RFaasError::UnknownFunction(function.to_string()))?;
+        if function_index > u8::MAX as usize {
+            return Err(RFaasError::Internal("function index exceeds 255".into()));
+        }
+        let connection = match worker {
+            Some(idx) => self
+                .connections
+                .get(idx)
+                .cloned()
+                .ok_or(RFaasError::NotAllocated)?,
+            None => self.pick_connection(),
+        };
+        let wire_len = INVOCATION_HEADER_BYTES + payload_len;
+        if wire_len > connection.remote_input.len {
+            return Err(RFaasError::PayloadTooLarge {
+                payload: wire_len,
+                capacity: connection.remote_input.len,
+            });
+        }
+
+        let invocation_id = self.next_invocation.fetch_add(1, Ordering::Relaxed) & 0x00FF_FFFF;
+
+        // Fill the header in front of the payload: where the executor should
+        // write the result.
+        self.clock.advance(self.config.header_write_cost);
+        let header = InvocationHeader::for_result_buffer(&output.remote_handle());
+        input
+            .region()
+            .write(0, &header.encode())
+            .map_err(RFaasError::from)?;
+
+        // Post the receive that the executor's result write will consume,
+        // then write header + payload into the worker's input buffer.
+        connection.qp.post_recv(RecvRequest {
+            wr_id: invocation_id as u64,
+            local: Sge::whole(&connection.recv_scratch),
+        })?;
+        connection.qp.post_send(
+            invocation_id as u64,
+            SendRequest::WriteWithImm {
+                local: Sge::range(input.region(), 0, wire_len),
+                remote: connection.remote_input.slice(0, wire_len),
+                imm: ImmValue::request(invocation_id, function_index as u8),
+            },
+            false,
+        )?;
+        connection.outstanding.fetch_add(1, Ordering::Relaxed);
+
+        Ok(InvocationFuture {
+            invoker: self,
+            connection,
+            invocation_id,
+            function: function.to_string(),
+            input: input.clone(),
+            payload_len,
+            output: output.clone(),
+            redirections: 0,
+        })
+    }
+
+    fn pick_connection(&self) -> Arc<WorkerConnection> {
+        // Prefer an idle worker; otherwise round-robin over all of them.
+        let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
+        let n = self.connections.len();
+        for i in 0..n {
+            let conn = &self.connections[(start + i) % n];
+            if conn.outstanding.load(Ordering::Relaxed) == 0 {
+                return Arc::clone(conn);
+            }
+        }
+        Arc::clone(&self.connections[start % n])
+    }
+
+    /// Convenience wrapper: submit one invocation and wait for its result,
+    /// returning the output length and the client-observed round-trip time.
+    pub fn invoke_sync(
+        &self,
+        function: &str,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+    ) -> Result<(usize, SimDuration)> {
+        let start = self.clock.now();
+        let future = self.submit(function, input, payload_len, output)?;
+        let len = future.wait()?;
+        Ok((len, self.clock.now().saturating_since(start)))
+    }
+
+    /// Release all executor resources and the lease (Listing 2's
+    /// `invoker.deallocate()`).
+    pub fn deallocate(&mut self) -> Result<()> {
+        for conn in self.connections.drain(..) {
+            conn.qp.disconnect();
+        }
+        if let (Some(executor), Some(process_id)) = (self.executor.take(), self.process_id.take()) {
+            let _ = executor.allocator().deallocate(process_id);
+        }
+        if let Some(lease) = self.lease.take() {
+            let _ = self.manager.release_lease(lease.id);
+        }
+        self.package = None;
+        Ok(())
+    }
+}
+
+impl Drop for Invoker {
+    fn drop(&mut self) {
+        let _ = self.deallocate();
+    }
+}
+
+/// The in-flight result of a submitted invocation (`std::future`-style,
+/// Sec. IV-B). Waiting busy-polls the client-side completion queue, which is
+/// what the paper's invoker does to minimise latency.
+pub struct InvocationFuture<'a> {
+    invoker: &'a Invoker,
+    connection: Arc<WorkerConnection>,
+    invocation_id: u32,
+    function: String,
+    input: Buffer,
+    payload_len: usize,
+    output: Buffer,
+    redirections: u32,
+}
+
+impl std::fmt::Debug for InvocationFuture<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InvocationFuture")
+            .field("id", &self.invocation_id)
+            .field("function", &self.function)
+            .finish()
+    }
+}
+
+impl InvocationFuture<'_> {
+    /// The invocation identifier carried in the immediate value.
+    pub fn id(&self) -> u32 {
+        self.invocation_id
+    }
+
+    /// Number of times the invocation was redirected after a rejection.
+    pub fn redirections(&self) -> u32 {
+        self.redirections
+    }
+
+    /// Block (busy-polling) until the result is available; returns the number
+    /// of output bytes written into the output buffer.
+    ///
+    /// Rejected invocations (oversubscribed warm executors) are transparently
+    /// redirected to another worker, as in Fig. 6.
+    pub fn wait(mut self) -> Result<usize> {
+        loop {
+            let (byte_len, status) = self.connection.wait_for(self.invocation_id)?;
+            match status {
+                ResultStatus::Success => return Ok(byte_len),
+                ResultStatus::FunctionFailed => {
+                    return Err(RFaasError::Function(sandbox::FunctionError::ExecutionFailed(
+                        format!("function '{}' failed on the executor", self.function),
+                    )))
+                }
+                ResultStatus::Rejected => {
+                    // Redirect to a different worker; give up once every
+                    // worker rejected the request.
+                    self.redirections += 1;
+                    if self.redirections as usize > self.invoker.worker_count() {
+                        return Err(RFaasError::AllWorkersBusy);
+                    }
+                    let next_worker =
+                        (self.connection.index + 1) % self.invoker.worker_count();
+                    let retry = self.invoker.submit_to_worker(
+                        next_worker,
+                        &self.function,
+                        &self.input,
+                        self.payload_len,
+                        &self.output,
+                    )?;
+                    self.connection = Arc::clone(&retry.connection);
+                    self.invocation_id = retry.invocation_id;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::NodeResources;
+    use sandbox::{echo_function, failing_function, CodePackage, FunctionRegistry};
+
+    fn platform(workers: u32) -> (Arc<Fabric>, Arc<ResourceManager>, Invoker) {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(
+            CodePackage::minimal("pkg")
+                .with_function(echo_function())
+                .with_function(failing_function("intentional")),
+        );
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let executor = SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources { cores: 36, memory_mib: 128 * 1024 },
+            registry,
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&executor);
+        let mut invoker = Invoker::new(&fabric, "client-0", &manager, RFaasConfig::default());
+        invoker
+            .allocate(
+                LeaseRequest::single_worker("pkg").with_cores(workers),
+                PollingMode::Hot,
+            )
+            .unwrap();
+        (fabric, manager, invoker)
+    }
+
+    #[test]
+    fn buffers_round_trip_payloads() {
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let invoker = Invoker::new(&fabric, "c", &manager, RFaasConfig::default());
+        let alloc = invoker.allocator();
+        let input = alloc.input(64);
+        assert_eq!(input.capacity(), 64);
+        assert_eq!(input.payload_offset(), INVOCATION_HEADER_BYTES);
+        assert_eq!(input.write_payload(&[1, 2, 3]).unwrap(), 3);
+        assert_eq!(input.read_payload(3).unwrap(), vec![1, 2, 3]);
+        assert!(input.write_payload(&[0u8; 65]).is_err());
+
+        let output = alloc.output(32);
+        assert_eq!(output.payload_offset(), 0);
+        let values = [1.5f64, -2.25, 3.0];
+        output.write_f64(&values).unwrap();
+        assert_eq!(output.read_f64(24).unwrap(), values);
+    }
+
+    #[test]
+    fn allocate_invoke_deallocate_round_trip() {
+        let (_fabric, manager, mut invoker) = platform(1);
+        assert_eq!(invoker.worker_count(), 1);
+        assert!(invoker.lease().is_some());
+        let cold = invoker.cold_start().unwrap();
+        assert!(cold.total().as_millis_f64() > 10.0);
+
+        let alloc = invoker.allocator();
+        let input = alloc.input(1024);
+        let output = alloc.output(1024);
+        let payload: Vec<u8> = (0..100u8).collect();
+        input.write_payload(&payload).unwrap();
+        let (len, rtt) = invoker.invoke_sync("echo", &input, payload.len(), &output).unwrap();
+        assert_eq!(len, 100);
+        assert_eq!(output.read_payload(100).unwrap(), payload);
+        assert!(rtt.as_micros_f64() > 1.0 && rtt.as_micros_f64() < 100.0, "rtt {rtt}");
+
+        invoker.deallocate().unwrap();
+        assert_eq!(invoker.worker_count(), 0);
+        assert_eq!(manager.lease_count(), 0);
+    }
+
+    #[test]
+    fn hot_invocation_latency_matches_paper_range() {
+        let (_fabric, _manager, invoker) = platform(1);
+        let alloc = invoker.allocator();
+        let input = alloc.input(64);
+        let output = alloc.output(64);
+        input.write_payload(&[7u8; 8]).unwrap();
+        // Warm up the executor, then measure.
+        invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+        let mut samples = Vec::new();
+        for _ in 0..50 {
+            let (_, rtt) = invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+            samples.push(rtt.as_micros_f64());
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        // Paper: ~3.96 us hot latency for small payloads.
+        assert!((3.0..6.0).contains(&median), "hot median {median} us");
+    }
+
+    #[test]
+    fn failing_function_propagates_error() {
+        let (_fabric, _manager, invoker) = platform(1);
+        let alloc = invoker.allocator();
+        let input = alloc.input(16);
+        let output = alloc.output(16);
+        input.write_payload(&[1]).unwrap();
+        let err = invoker
+            .invoke_sync("always-fails", &input, 1, &output)
+            .unwrap_err();
+        assert!(matches!(err, RFaasError::Function(_)));
+    }
+
+    #[test]
+    fn unknown_function_is_rejected_client_side() {
+        let (_fabric, _manager, invoker) = platform(1);
+        let alloc = invoker.allocator();
+        let input = alloc.input(16);
+        let output = alloc.output(16);
+        let err = invoker.submit("nope", &input, 0, &output).unwrap_err();
+        assert!(matches!(err, RFaasError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn submit_without_allocation_fails() {
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let invoker = Invoker::new(&fabric, "c", &manager, RFaasConfig::default());
+        let alloc = invoker.allocator();
+        let input = alloc.input(16);
+        let output = alloc.output(16);
+        assert!(matches!(
+            invoker.submit("echo", &input, 0, &output),
+            Err(RFaasError::NotAllocated)
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_before_transmission() {
+        let (_fabric, _manager, invoker) = platform(1);
+        let alloc = invoker.allocator();
+        let huge = RFaasConfig::default().max_payload_bytes + 1024;
+        let input = alloc.input(huge);
+        let output = alloc.output(64);
+        let err = invoker.submit("echo", &input, huge, &output).unwrap_err();
+        assert!(matches!(err, RFaasError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn parallel_invocations_on_multiple_workers() {
+        let (_fabric, _manager, invoker) = platform(4);
+        assert_eq!(invoker.worker_count(), 4);
+        let alloc = invoker.allocator();
+        let inputs: Vec<Buffer> = (0..4).map(|_| alloc.input(1024)).collect();
+        let outputs: Vec<Buffer> = (0..4).map(|_| alloc.output(1024)).collect();
+        let mut futures = Vec::new();
+        for (i, (input, output)) in inputs.iter().zip(outputs.iter()).enumerate() {
+            let payload = vec![i as u8; 256];
+            input.write_payload(&payload).unwrap();
+            futures.push(invoker.submit("echo", input, 256, output).unwrap());
+        }
+        for (i, future) in futures.into_iter().enumerate() {
+            let len = future.wait().unwrap();
+            assert_eq!(len, 256);
+            assert_eq!(outputs[i].read_payload(4).unwrap(), vec![i as u8; 4]);
+        }
+    }
+
+    #[test]
+    fn results_land_directly_in_output_buffer() {
+        let (_fabric, _manager, invoker) = platform(1);
+        let alloc = invoker.allocator();
+        let input = alloc.input(4096);
+        let output = alloc.output(4096);
+        let data: Vec<f64> = (0..256).map(|i| i as f64 * 0.5).collect();
+        let len = input.write_f64(&data).unwrap();
+        let (out_len, _) = invoker.invoke_sync("echo", &input, len, &output).unwrap();
+        assert_eq!(out_len, len);
+        assert_eq!(output.read_f64(out_len).unwrap(), data);
+    }
+}

@@ -1,0 +1,981 @@
+//! Spot executors: lightweight allocator, executor processes and workers.
+//!
+//! A *spot executor* offers the idle cores and memory of one node to rFaaS
+//! (Sec. III-A). Its *lightweight allocator* accepts allocation requests tied
+//! to a lease, spawns an isolated *executor process* (sandbox) with one
+//! worker thread per requested core, and accounts resource consumption. Each
+//! *worker thread* owns its RDMA queue pair and completion queue, serves one
+//! client connection, and switches between hot (busy-polling) and warm
+//! (blocking) invocation handling.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cluster_sim::NodeResources;
+use parking_lot::Mutex;
+use rdma_fabric::{
+    AccessFlags, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, RecvRequest, SendRequest,
+    Sge,
+};
+#[cfg(test)]
+use sandbox::SandboxType;
+use sandbox::{CodePackage, FunctionRegistry, ImageRegistry, Sandbox, SpawnBreakdown};
+use sim_core::{SimDuration, SimTime, VirtualClock};
+
+use crate::billing::BillingClient;
+use crate::config::{PollingMode, RFaasConfig};
+use crate::error::{RFaasError, Result};
+use crate::protocol::{ImmValue, InvocationHeader, Lease, ResultStatus, INVOCATION_HEADER_BYTES};
+
+static NEXT_PROCESS_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A CPU core shared between workers; warm invocations must acquire it
+/// exclusively, hot workers hold it for their whole lifetime (Fig. 6).
+#[derive(Debug, Default)]
+pub struct CoreSlot {
+    busy: AtomicBool,
+}
+
+impl CoreSlot {
+    /// Try to take exclusive ownership of the core.
+    pub fn try_acquire(&self) -> bool {
+        !self.busy.swap(true, Ordering::AcqRel)
+    }
+
+    /// Release the core.
+    pub fn release(&self) {
+        self.busy.store(false, Ordering::Release);
+    }
+
+    /// Whether the core is currently held.
+    pub fn is_busy(&self) -> bool {
+        self.busy.load(Ordering::Acquire)
+    }
+}
+
+/// Statistics kept by one worker thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Successfully executed invocations.
+    pub invocations: u64,
+    /// Invocations rejected because the core was busy.
+    pub rejected: u64,
+    /// Invocations whose function body failed.
+    pub failed: u64,
+    /// Virtual time spent executing function bodies.
+    pub busy_time: SimDuration,
+    /// Virtual time spent hot-polling between invocations.
+    pub hot_poll_time: SimDuration,
+}
+
+#[derive(Debug)]
+struct WorkerShared {
+    shutdown: AtomicBool,
+    mode: Mutex<PollingMode>,
+    stats: Mutex<WorkerStats>,
+    clock: Arc<VirtualClock>,
+}
+
+/// Connection details a client needs to reach one worker thread.
+#[derive(Debug, Clone)]
+pub struct WorkerEndpointInfo {
+    /// Fabric address the worker's listener is bound to.
+    pub address: String,
+    /// Maximum payload bytes the worker's input buffer accepts.
+    pub max_payload: usize,
+}
+
+/// Handle owned by the executor process for one worker thread.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    info: WorkerEndpointInfo,
+    shared: Arc<WorkerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Connection info for clients.
+    pub fn info(&self) -> &WorkerEndpointInfo {
+        &self.info
+    }
+
+    /// Snapshot of the worker's statistics.
+    pub fn stats(&self) -> WorkerStats {
+        *self.shared.stats.lock()
+    }
+
+    /// The worker's virtual clock (its latest observed virtual time).
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.shared.clock
+    }
+
+    /// Change the polling mode (hot ↔ warm switch, Sec. III-C).
+    pub fn set_mode(&self, mode: PollingMode) {
+        *self.shared.mode.lock() = mode;
+    }
+
+    /// Current polling mode.
+    pub fn mode(&self) -> PollingMode {
+        *self.shared.mode.lock()
+    }
+
+    fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    fn join(&mut self) {
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+/// Everything a worker thread needs to run.
+struct WorkerContext {
+    listener: Listener,
+    endpoint: Endpoint,
+    package: CodePackage,
+    config: RFaasConfig,
+    shared: Arc<WorkerShared>,
+    billing: Option<Arc<BillingClient>>,
+    core: Arc<CoreSlot>,
+    max_payload: usize,
+}
+
+/// The worker thread body: accept one client connection, advertise the input
+/// buffer, then serve invocations until shutdown or disconnect.
+fn worker_main(ctx: WorkerContext) {
+    let WorkerContext {
+        listener,
+        endpoint,
+        package,
+        config,
+        shared,
+        billing,
+        core,
+        max_payload,
+    } = ctx;
+
+    // Wait for the lease-holding client to connect.
+    let qp = loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept_timeout(&endpoint, Duration::from_millis(50)) {
+            Ok(Some(qp)) => break qp,
+            Ok(None) => continue,
+            Err(_) => return,
+        }
+    };
+
+    // Registered buffers: clients write [header | payload] into `input`; the
+    // function produces its result in `output` before it is written back.
+    let input = endpoint
+        .pd
+        .register(INVOCATION_HEADER_BYTES + max_payload, AccessFlags::REMOTE_WRITE);
+    let output = endpoint.pd.register(max_payload, AccessFlags::LOCAL_ONLY);
+    let recv_scratch = endpoint.pd.register(8, AccessFlags::LOCAL_ONLY);
+
+    // Pre-post receives so clients can fire invocations immediately.
+    for i in 0..config.recv_queue_depth {
+        let _ = qp.post_recv(RecvRequest {
+            wr_id: i as u64,
+            local: Sge::whole(&recv_scratch),
+        });
+    }
+
+    // Advertise the input buffer to the client ("hello" message). The client
+    // posts its receive right after connecting; retry briefly to cover the
+    // race between accept() returning on both sides.
+    let hello = InvocationHeader {
+        result_rkey: input.rkey(),
+        result_offset: 0,
+        result_capacity: input.len() as u64,
+    };
+    let hello_region = endpoint
+        .pd
+        .register_from(hello.encode().to_vec(), AccessFlags::LOCAL_ONLY);
+    for _ in 0..200 {
+        match qp.post_send(0, SendRequest::Send { local: Sge::whole(&hello_region) }, false) {
+            Ok(()) => break,
+            Err(rdma_fabric::FabricError::ReceiverNotReady) => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+
+    // Hot workers own their core for their entire lifetime.
+    let mut holds_core = false;
+    let mut last_ready: Option<SimTime> = None;
+
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let mode = *shared.mode.lock();
+
+        if matches!(mode, PollingMode::Hot) && !holds_core {
+            holds_core = core.try_acquire();
+        }
+        if !matches!(mode, PollingMode::Hot) && holds_core {
+            core.release();
+            holds_core = false;
+        }
+
+        // Wait for the next invocation according to the polling mode.
+        let completion = match mode {
+            PollingMode::Hot => {
+                let mut wc = None;
+                while !shared.shutdown.load(Ordering::Acquire) {
+                    if let Some(c) = qp.recv_cq().poll_one() {
+                        wc = Some(c);
+                        break;
+                    }
+                    if !qp.is_connected() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                wc
+            }
+            PollingMode::Warm => qp.recv_cq().blocking_wait_timeout(Duration::from_millis(50)),
+            PollingMode::Adaptive => {
+                // Busy-poll until the fallback deadline, then block.
+                let deadline = std::time::Instant::now() + config.hot_poll_fallback;
+                let mut wc = None;
+                while std::time::Instant::now() < deadline {
+                    if let Some(c) = qp.recv_cq().poll_one() {
+                        wc = Some(c);
+                        break;
+                    }
+                    if shared.shutdown.load(Ordering::Acquire) || !qp.is_connected() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                if wc.is_none() && !shared.shutdown.load(Ordering::Acquire) {
+                    qp.recv_cq().blocking_wait_timeout(Duration::from_millis(50))
+                } else {
+                    wc
+                }
+            }
+        };
+        let Some(wc) = completion else {
+            if !qp.is_connected() {
+                break;
+            }
+            continue;
+        };
+        if !wc.is_success() {
+            continue;
+        }
+
+        // Hot-polling time: the gap between becoming idle and the arrival of
+        // this request is CPU time burnt spinning (billed like compute).
+        if matches!(mode, PollingMode::Hot | PollingMode::Adaptive) {
+            if let Some(idle_since) = last_ready {
+                let spin = wc.timestamp.saturating_since(idle_since);
+                if !spin.is_zero() {
+                    shared.stats.lock().hot_poll_time += spin;
+                    if let Some(b) = &billing {
+                        b.record_hot_poll(spin);
+                    }
+                }
+            }
+        }
+
+        let imm = wc.imm.unwrap_or(0);
+        let (invocation_id, function_index) = ImmValue::parse_request(imm);
+        let total_len = wc.byte_len;
+        let header_bytes = match input.read(0, INVOCATION_HEADER_BYTES) {
+            Ok(bytes) => bytes,
+            Err(_) => continue,
+        };
+        let Ok(header) = InvocationHeader::decode(&header_bytes) else {
+            continue;
+        };
+        let result_handle = header.result_handle();
+        let payload_len = total_len.saturating_sub(INVOCATION_HEADER_BYTES);
+
+        // Oversubscribed warm executions must grab the core; if a
+        // compute-intensive task holds it, reject immediately so the client
+        // redirects to another executor (Sec. III-D, Fig. 6).
+        let acquired_for_this = if !holds_core {
+            if core.try_acquire() {
+                true
+            } else {
+                shared.stats.lock().rejected += 1;
+                let _ = qp.post_send(
+                    invocation_id as u64,
+                    SendRequest::WriteWithImm {
+                        local: Sge::range(&output, 0, 0),
+                        remote: result_handle.slice(0, 0),
+                        imm: ImmValue::response(invocation_id, ResultStatus::Rejected),
+                    },
+                    false,
+                );
+                let _ = qp.post_recv(RecvRequest {
+                    wr_id: wc.wr_id,
+                    local: Sge::whole(&recv_scratch),
+                });
+                continue;
+            }
+        } else {
+            false
+        };
+
+        // Dispatch: header parse, function lookup, argument setup.
+        shared.clock.advance(config.dispatch_cost);
+
+        let function = package.function_by_index(function_index as usize).cloned();
+        let response = match function {
+            None => (0usize, ResultStatus::FunctionFailed),
+            Some(function) => {
+                let input_bytes = input
+                    .read(INVOCATION_HEADER_BYTES, payload_len)
+                    .unwrap_or_default();
+                let started = shared.clock.now();
+                let outcome = output.with_bytes_mut(|buf| function.invoke(&input_bytes, buf));
+                shared.clock.advance(function.compute_cost(payload_len));
+                let busy = shared.clock.now().saturating_since(started);
+                {
+                    let mut stats = shared.stats.lock();
+                    stats.busy_time += busy;
+                }
+                if let Some(b) = &billing {
+                    b.record_compute(busy);
+                }
+                match outcome {
+                    Ok(n) if n <= result_handle.len => (n, ResultStatus::Success),
+                    Ok(_) | Err(_) => (0, ResultStatus::FunctionFailed),
+                }
+            }
+        };
+
+        // Write the result directly into the client's memory and notify it
+        // through the immediate value.
+        let (out_len, status) = response;
+        let _ = qp.post_send(
+            invocation_id as u64,
+            SendRequest::WriteWithImm {
+                local: Sge::range(&output, 0, out_len),
+                remote: result_handle.slice(0, out_len),
+                imm: ImmValue::response(invocation_id, status),
+            },
+            false,
+        );
+        {
+            let mut stats = shared.stats.lock();
+            match status {
+                ResultStatus::Success => stats.invocations += 1,
+                ResultStatus::FunctionFailed => stats.failed += 1,
+                ResultStatus::Rejected => {}
+            }
+        }
+        if acquired_for_this {
+            core.release();
+        }
+
+        // Replenish the consumed receive and mark the idle point for the
+        // hot-poll accounting of the next request.
+        let _ = qp.post_recv(RecvRequest {
+            wr_id: wc.wr_id,
+            local: Sge::whole(&recv_scratch),
+        });
+        last_ready = Some(shared.clock.now());
+        if let Some(b) = &billing {
+            let _ = b.flush();
+        }
+    }
+
+    if holds_core {
+        core.release();
+    }
+    qp.disconnect();
+}
+
+/// Per-lease cold-start cost breakdown produced by the allocator, matching
+/// the stacked bars of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct AllocationBreakdown {
+    /// Sandbox + executor-process + worker spawn costs.
+    pub spawn: SpawnBreakdown,
+    /// Cost of transferring and loading the code package.
+    pub code_submission: SimDuration,
+}
+
+impl AllocationBreakdown {
+    /// Total allocator-side cold-start cost.
+    pub fn total(&self) -> SimDuration {
+        self.spawn.total() + self.code_submission
+    }
+}
+
+/// Result of a successful allocation: where to connect, and what it cost.
+#[derive(Debug)]
+pub struct AllocationResult {
+    /// Executor-process identifier.
+    pub process_id: u64,
+    /// One entry per spawned worker thread.
+    pub workers: Vec<WorkerEndpointInfo>,
+    /// Cold-start cost breakdown.
+    pub breakdown: AllocationBreakdown,
+    /// The code package loaded into the executor; the client uses it to map
+    /// function names to the indices carried in invocation immediates.
+    pub package: CodePackage,
+}
+
+/// An executor process: one sandbox hosting a set of worker threads that all
+/// serve the same code package on behalf of one lease.
+#[derive(Debug)]
+pub struct ExecutorProcess {
+    id: u64,
+    lease_id: u64,
+    sandbox: Mutex<Sandbox>,
+    workers: Vec<WorkerHandle>,
+    memory_mib: u64,
+    created_at: SimTime,
+    last_used: Mutex<SimTime>,
+}
+
+impl ExecutorProcess {
+    /// Process identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The lease this process belongs to.
+    pub fn lease_id(&self) -> u64 {
+        self.lease_id
+    }
+
+    /// Worker handles (read-only).
+    pub fn workers(&self) -> &[WorkerHandle] {
+        &self.workers
+    }
+
+    /// Aggregate statistics over all workers.
+    pub fn stats(&self) -> WorkerStats {
+        let mut total = WorkerStats::default();
+        for w in &self.workers {
+            let s = w.stats();
+            total.invocations += s.invocations;
+            total.rejected += s.rejected;
+            total.failed += s.failed;
+            total.busy_time += s.busy_time;
+            total.hot_poll_time += s.hot_poll_time;
+        }
+        total
+    }
+
+    /// Latest virtual time observed by any worker of this process.
+    pub fn latest_worker_time(&self) -> SimTime {
+        self.workers
+            .iter()
+            .map(|w| w.clock().now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn shutdown(&mut self) -> SimDuration {
+        for w in &self.workers {
+            w.request_shutdown();
+        }
+        for w in &mut self.workers {
+            w.join();
+        }
+        self.sandbox.lock().terminate()
+    }
+}
+
+struct AllocatorState {
+    available: NodeResources,
+    processes: HashMap<u64, Arc<Mutex<ExecutorProcess>>>,
+}
+
+/// The lightweight allocator of one spot executor (A2 in Fig. 4): connects
+/// new clients, manages executor processes, removes idle processes and
+/// accounts resource consumption.
+pub struct LightweightAllocator {
+    node_name: String,
+    fabric: Arc<Fabric>,
+    node: Arc<FabricNode>,
+    config: RFaasConfig,
+    registry: FunctionRegistry,
+    images: ImageRegistry,
+    state: Mutex<AllocatorState>,
+    clock: Arc<VirtualClock>,
+    billing: Mutex<Option<Arc<BillingClient>>>,
+}
+
+impl std::fmt::Debug for LightweightAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LightweightAllocator")
+            .field("node", &self.node_name)
+            .finish()
+    }
+}
+
+impl LightweightAllocator {
+    fn new(
+        fabric: Arc<Fabric>,
+        node: Arc<FabricNode>,
+        node_name: String,
+        resources: NodeResources,
+        registry: FunctionRegistry,
+        images: ImageRegistry,
+        config: RFaasConfig,
+    ) -> LightweightAllocator {
+        LightweightAllocator {
+            node_name,
+            fabric,
+            node,
+            config,
+            registry,
+            images,
+            state: Mutex::new(AllocatorState {
+                available: resources,
+                processes: HashMap::new(),
+            }),
+            clock: VirtualClock::shared(),
+            billing: Mutex::new(None),
+        }
+    }
+
+    /// Attach the billing client created by the resource manager.
+    pub fn attach_billing(&self, billing: Arc<BillingClient>) {
+        *self.billing.lock() = Some(billing);
+    }
+
+    /// Resources currently available for new allocations.
+    pub fn available(&self) -> NodeResources {
+        self.state.lock().available
+    }
+
+    /// Number of live executor processes.
+    pub fn process_count(&self) -> usize {
+        self.state.lock().processes.len()
+    }
+
+    /// The allocator's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Allocate an executor process for `lease` with one worker per leased
+    /// core, each pinned to its own core slot.
+    pub fn allocate(&self, lease: &Lease) -> Result<AllocationResult> {
+        self.allocate_with_workers(lease, lease.cores as usize, PollingMode::Hot)
+    }
+
+    /// Allocate with an explicit worker count and polling mode. Requesting
+    /// more workers than leased cores oversubscribes the cores, which makes
+    /// warm invocations subject to rejection (Sec. III-D).
+    pub fn allocate_with_workers(
+        &self,
+        lease: &Lease,
+        workers: usize,
+        mode: PollingMode,
+    ) -> Result<AllocationResult> {
+        if workers == 0 {
+            return Err(RFaasError::Internal("cannot allocate zero workers".into()));
+        }
+        let package = self
+            .registry
+            .fetch(&lease.package)
+            .ok_or_else(|| RFaasError::UnknownPackage(lease.package.clone()))?;
+        let request = NodeResources {
+            cores: lease.cores,
+            memory_mib: lease.memory_mib,
+        };
+        {
+            let mut state = self.state.lock();
+            if !state.available.can_fit(&request) {
+                return Err(RFaasError::InsufficientResources {
+                    requested_cores: request.cores,
+                    requested_memory_mib: request.memory_mib,
+                });
+            }
+            state.available = state.available.saturating_sub(&request);
+        }
+
+        // Spawn the sandbox and charge its cost on the allocator clock.
+        let (mut sandbox, spawn) = Sandbox::spawn(
+            lease.sandbox,
+            workers,
+            lease.memory_mib * 1024 * 1024,
+            &self.images,
+            package.image(),
+        );
+        let code_submission = self
+            .registry
+            .code_submission_cost(&lease.package)
+            .unwrap_or(SimDuration::ZERO)
+            + sandbox.load_package(package.clone());
+        self.clock.advance(spawn.total() + code_submission);
+        let start_time = self.clock.now();
+
+        // One core slot per leased core; workers round-robin over them.
+        let cores: Vec<Arc<CoreSlot>> = (0..lease.cores.max(1))
+            .map(|_| Arc::new(CoreSlot::default()))
+            .collect();
+        let device_function = if lease.sandbox.uses_virtual_function() {
+            DeviceFunction::Virtual
+        } else {
+            DeviceFunction::Physical
+        };
+
+        let process_id = NEXT_PROCESS_ID.fetch_add(1, Ordering::Relaxed);
+        let billing = self.billing.lock().clone();
+        let mut handles = Vec::with_capacity(workers);
+        for worker_idx in 0..workers {
+            let worker_id = NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed);
+            let address = format!("rfaas://{}/{}/{}", self.node_name, process_id, worker_id);
+            let listener = Listener::bind(&self.fabric, &address);
+            let worker_clock = Arc::new(VirtualClock::starting_at(start_time));
+            let shared = Arc::new(WorkerShared {
+                shutdown: AtomicBool::new(false),
+                mode: Mutex::new(mode),
+                stats: Mutex::new(WorkerStats::default()),
+                clock: Arc::clone(&worker_clock),
+            });
+            let endpoint = Endpoint {
+                fabric: Arc::clone(&self.fabric),
+                node: Arc::clone(&self.node),
+                clock: worker_clock,
+                pd: rdma_fabric::ProtectionDomain::new(),
+                function: device_function,
+            };
+            let context = WorkerContext {
+                listener,
+                endpoint,
+                package: package.clone(),
+                config: self.config.clone(),
+                shared: Arc::clone(&shared),
+                billing: billing.clone(),
+                core: Arc::clone(&cores[worker_idx % cores.len()]),
+                max_payload: self.config.max_payload_bytes,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("rfaas-worker-{worker_id}"))
+                .spawn(move || worker_main(context))
+                .map_err(|e| RFaasError::Internal(format!("failed to spawn worker: {e}")))?;
+            handles.push(WorkerHandle {
+                info: WorkerEndpointInfo {
+                    address,
+                    max_payload: self.config.max_payload_bytes,
+                },
+                shared,
+                thread: Some(thread),
+            });
+        }
+
+        let infos: Vec<WorkerEndpointInfo> = handles.iter().map(|h| h.info().clone()).collect();
+        let process = ExecutorProcess {
+            id: process_id,
+            lease_id: lease.id,
+            sandbox: Mutex::new(sandbox),
+            workers: handles,
+            memory_mib: lease.memory_mib,
+            created_at: start_time,
+            last_used: Mutex::new(start_time),
+        };
+        self.state
+            .lock()
+            .processes
+            .insert(process_id, Arc::new(Mutex::new(process)));
+
+        Ok(AllocationResult {
+            process_id,
+            workers: infos,
+            breakdown: AllocationBreakdown {
+                spawn,
+                code_submission,
+            },
+            package,
+        })
+    }
+
+    /// Look up an executor process.
+    pub fn process(&self, process_id: u64) -> Option<Arc<Mutex<ExecutorProcess>>> {
+        self.state.lock().processes.get(&process_id).cloned()
+    }
+
+    /// Deallocate an executor process, returning its resources to the pool
+    /// and flushing the allocation-time billing record.
+    pub fn deallocate(&self, process_id: u64) -> Result<WorkerStats> {
+        let process = self
+            .state
+            .lock()
+            .processes
+            .remove(&process_id)
+            .ok_or(RFaasError::UnknownLease(process_id))?;
+        let mut process = process.lock();
+        let stats = process.stats();
+        let allocation_time = process
+            .latest_worker_time()
+            .saturating_since(process.created_at);
+        let memory_mib = process.memory_mib;
+        let cores = process.workers.len() as u32;
+        let teardown = process.shutdown();
+        self.clock.advance(teardown);
+        if let Some(billing) = self.billing.lock().as_ref() {
+            billing.record_allocation(allocation_time, memory_mib);
+            let _ = billing.flush();
+        }
+        let mut state = self.state.lock();
+        state.available = state.available.add(&NodeResources {
+            cores,
+            memory_mib,
+        });
+        Ok(stats)
+    }
+
+    /// Remove processes that have been idle longer than the configured idle
+    /// timeout (virtual time). Returns the number of processes reclaimed.
+    pub fn cleanup_idle(&self, now: SimTime) -> usize {
+        let idle_ids: Vec<u64> = {
+            let state = self.state.lock();
+            state
+                .processes
+                .iter()
+                .filter(|(_, p)| {
+                    let p = p.lock();
+                    let last = (*p.last_used.lock()).max(p.latest_worker_time());
+                    now.saturating_since(last) > self.config.executor_idle_timeout
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        let count = idle_ids.len();
+        for id in idle_ids {
+            let _ = self.deallocate(id);
+        }
+        count
+    }
+}
+
+/// A spot executor: one node's worth of harvested resources offered to rFaaS.
+pub struct SpotExecutor {
+    name: String,
+    node: Arc<FabricNode>,
+    resources: NodeResources,
+    allocator: LightweightAllocator,
+}
+
+impl std::fmt::Debug for SpotExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpotExecutor")
+            .field("name", &self.name)
+            .field("resources", &self.resources)
+            .finish()
+    }
+}
+
+impl SpotExecutor {
+    /// Offer `resources` of node `name` to the platform.
+    pub fn new(
+        fabric: &Arc<Fabric>,
+        name: &str,
+        resources: NodeResources,
+        registry: FunctionRegistry,
+        config: RFaasConfig,
+    ) -> Arc<SpotExecutor> {
+        let node = fabric.add_node(name);
+        Arc::new(SpotExecutor {
+            name: name.to_string(),
+            node: Arc::clone(&node),
+            resources,
+            allocator: LightweightAllocator::new(
+                Arc::clone(fabric),
+                node,
+                name.to_string(),
+                resources,
+                registry,
+                ImageRegistry::new(),
+                config,
+            ),
+        })
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fabric node the executor runs on.
+    pub fn node(&self) -> &Arc<FabricNode> {
+        &self.node
+    }
+
+    /// Total resources offered.
+    pub fn resources(&self) -> NodeResources {
+        self.resources
+    }
+
+    /// The node's lightweight allocator.
+    pub fn allocator(&self) -> &LightweightAllocator {
+        &self.allocator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sandbox::echo_function;
+
+    fn test_lease(cores: u32, package: &str) -> Lease {
+        Lease {
+            id: 1,
+            executor_node: "exec-0".into(),
+            cores,
+            memory_mib: 1024,
+            expires_at: SimTime::from_secs(3600),
+            sandbox: SandboxType::BareMetal,
+            package: package.into(),
+            billing_slot: 0,
+        }
+    }
+
+    fn registry_with_echo() -> FunctionRegistry {
+        let registry = FunctionRegistry::new();
+        registry.deploy(CodePackage::minimal("echo-pkg").with_function(echo_function()));
+        registry
+    }
+
+    fn executor() -> Arc<SpotExecutor> {
+        let fabric = Fabric::with_defaults();
+        SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources { cores: 8, memory_mib: 32 * 1024 },
+            registry_with_echo(),
+            RFaasConfig::default(),
+        )
+    }
+
+    #[test]
+    fn core_slot_is_exclusive() {
+        let slot = CoreSlot::default();
+        assert!(slot.try_acquire());
+        assert!(!slot.try_acquire());
+        assert!(slot.is_busy());
+        slot.release();
+        assert!(!slot.is_busy());
+        assert!(slot.try_acquire());
+    }
+
+    #[test]
+    fn allocation_reserves_and_deallocation_restores_resources() {
+        let exec = executor();
+        let lease = test_lease(4, "echo-pkg");
+        let result = exec.allocator().allocate(&lease).unwrap();
+        assert_eq!(result.workers.len(), 4);
+        assert_eq!(exec.allocator().available().cores, 4);
+        assert_eq!(exec.allocator().process_count(), 1);
+        let stats = exec.allocator().deallocate(result.process_id).unwrap();
+        assert_eq!(stats.invocations, 0);
+        assert_eq!(exec.allocator().available().cores, 8);
+        assert_eq!(exec.allocator().process_count(), 0);
+    }
+
+    #[test]
+    fn allocation_fails_for_unknown_package() {
+        let exec = executor();
+        let lease = test_lease(1, "missing-pkg");
+        let err = exec.allocator().allocate(&lease).unwrap_err();
+        assert!(matches!(err, RFaasError::UnknownPackage(_)));
+        // Resources must not leak on the failure path.
+        assert_eq!(exec.allocator().available().cores, 8);
+    }
+
+    #[test]
+    fn allocation_fails_when_resources_exhausted() {
+        let exec = executor();
+        let lease = test_lease(6, "echo-pkg");
+        let first = exec.allocator().allocate(&lease).unwrap();
+        let err = exec.allocator().allocate(&test_lease(6, "echo-pkg")).unwrap_err();
+        assert!(matches!(err, RFaasError::InsufficientResources { .. }));
+        exec.allocator().deallocate(first.process_id).unwrap();
+    }
+
+    #[test]
+    fn cold_start_breakdown_matches_sandbox_scale() {
+        let exec = executor();
+        let result = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        let total = result.breakdown.total().as_millis_f64();
+        assert!((10.0..80.0).contains(&total), "bare-metal cold start {total} ms");
+        assert!(result.breakdown.code_submission.as_millis_f64() < 10.0);
+        exec.allocator().deallocate(result.process_id).unwrap();
+    }
+
+    #[test]
+    fn docker_allocation_is_slower_and_uses_virtual_function() {
+        let exec = executor();
+        let mut lease = test_lease(1, "echo-pkg");
+        lease.sandbox = SandboxType::Docker;
+        let result = exec.allocator().allocate(&lease).unwrap();
+        assert!(result.breakdown.total().as_secs_f64() > 2.0);
+        exec.allocator().deallocate(result.process_id).unwrap();
+    }
+
+    #[test]
+    fn deallocate_unknown_process_errors() {
+        let exec = executor();
+        assert!(matches!(
+            exec.allocator().deallocate(999),
+            Err(RFaasError::UnknownLease(999))
+        ));
+    }
+
+    #[test]
+    fn zero_worker_allocation_is_rejected() {
+        let exec = executor();
+        let err = exec
+            .allocator()
+            .allocate_with_workers(&test_lease(1, "echo-pkg"), 0, PollingMode::Hot)
+            .unwrap_err();
+        assert!(matches!(err, RFaasError::Internal(_)));
+    }
+
+    #[test]
+    fn worker_mode_can_be_switched() {
+        let exec = executor();
+        let result = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        let process = exec.allocator().process(result.process_id).unwrap();
+        {
+            let process = process.lock();
+            let worker = &process.workers()[0];
+            assert_eq!(worker.mode(), PollingMode::Hot);
+            worker.set_mode(PollingMode::Warm);
+            assert_eq!(worker.mode(), PollingMode::Warm);
+        }
+        exec.allocator().deallocate(result.process_id).unwrap();
+    }
+
+    #[test]
+    fn cleanup_idle_reclaims_stale_processes() {
+        let exec = executor();
+        let result = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        assert_eq!(exec.allocator().process_count(), 1);
+        // Nothing is idle yet relative to the allocator clock.
+        assert_eq!(exec.allocator().cleanup_idle(exec.allocator().clock().now()), 0);
+        // Far in the virtual future everything is idle.
+        let far = exec.allocator().clock().now() + SimDuration::from_secs(3600);
+        assert_eq!(exec.allocator().cleanup_idle(far), 1);
+        assert_eq!(exec.allocator().process_count(), 0);
+        assert!(exec.allocator().process(result.process_id).is_none());
+    }
+}

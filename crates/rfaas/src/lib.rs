@@ -1,0 +1,72 @@
+//! rFaaS: an RDMA-accelerated Function-as-a-Service platform with allocation
+//! leases and microsecond invocations.
+//!
+//! This crate is the Rust reproduction of the system described in
+//! *"rFaaS: Enabling High Performance Serverless with RDMA and Leases"*
+//! (Copik et al., IPDPS 2023). It implements the three architectural ideas of
+//! the paper on top of the software RDMA fabric of [`rdma_fabric`]:
+//!
+//! 1. **Allocation leases** ([`manager`]) — clients contact the resource
+//!    manager once to lease spot executors; warm and hot invocations bypass
+//!    the control plane entirely.
+//! 2. **Direct, decentralised invocations** ([`executor`], [`client`]) — the
+//!    client holds an RDMA connection to every executor worker thread and
+//!    invokes functions by writing header + payload straight into the
+//!    worker's registered memory; results are written straight back.
+//! 3. **Hot, warm and cold invocation types** — busy-polling workers serve
+//!    hot invocations with ~300 ns of platform overhead, blocking workers
+//!    serve warm invocations a few microseconds slower but release the CPU,
+//!    and cold invocations pay sandbox initialisation (Fig. 5).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rdma_fabric::Fabric;
+//! use cluster_sim::NodeResources;
+//! use sandbox::{CodePackage, FunctionRegistry, echo_function};
+//! use rfaas::{Invoker, LeaseRequest, PollingMode, ResourceManager, RFaasConfig, SpotExecutor};
+//!
+//! // Deploy a code package and offer one spot executor.
+//! let fabric = Fabric::with_defaults();
+//! let registry = FunctionRegistry::new();
+//! registry.deploy(CodePackage::minimal("demo").with_function(echo_function()));
+//! let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+//! let executor = SpotExecutor::new(
+//!     &fabric, "node-1",
+//!     NodeResources { cores: 4, memory_mib: 8192 },
+//!     registry, RFaasConfig::default(),
+//! );
+//! manager.register_executor(&executor);
+//!
+//! // Lease one worker and invoke the echo function over RDMA.
+//! let mut invoker = Invoker::new(&fabric, "client", &manager, RFaasConfig::default());
+//! invoker.allocate(LeaseRequest::single_worker("demo"), PollingMode::Hot).unwrap();
+//! let alloc = invoker.allocator();
+//! let input = alloc.input(64);
+//! let output = alloc.output(64);
+//! input.write_payload(b"hello rfaas").unwrap();
+//! let (len, rtt) = invoker.invoke_sync("echo", &input, 11, &output).unwrap();
+//! assert_eq!(output.read_payload(len).unwrap(), b"hello rfaas");
+//! assert!(rtt.as_micros_f64() < 50.0);
+//! invoker.deallocate().unwrap();
+//! ```
+
+pub mod billing;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod executor;
+pub mod manager;
+pub mod protocol;
+
+pub use billing::{BillingClient, BillingDatabase, UsageRecord, BILLING_SLOTS};
+pub use client::{Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, Invoker};
+pub use config::{PollingMode, RFaasConfig};
+pub use error::{RFaasError, Result};
+pub use executor::{
+    AllocationBreakdown, AllocationResult, CoreSlot, ExecutorProcess, LightweightAllocator,
+    SpotExecutor, WorkerEndpointInfo, WorkerStats,
+};
+pub use manager::{ManagerGroup, ResourceManager};
+pub use protocol::{
+    ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
+};

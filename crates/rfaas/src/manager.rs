@@ -1,0 +1,491 @@
+//! The resource manager: leases, executor registry, heartbeats and billing.
+//!
+//! rFaaS splits allocation from invocation (Sec. III-A/B): clients involve
+//! the resource manager exactly once per lease, and every subsequent warm or
+//! hot invocation goes straight to the executor over RDMA. The manager keeps
+//! the inventory of spot executors advertised by cluster operators, grants
+//! leases round-robin over executors that can fit the request, tracks
+//! executor heartbeats for failure detection, and owns the billing database
+//! that allocators update with RDMA atomics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cluster_sim::NodeResources;
+use parking_lot::Mutex;
+use rdma_fabric::{Endpoint, Fabric, FabricNode, QueuePair};
+use sim_core::{SimDuration, SimTime, VirtualClock};
+
+use crate::billing::{BillingClient, BillingDatabase, UsageRecord};
+use crate::config::RFaasConfig;
+use crate::error::{RFaasError, Result};
+use crate::executor::SpotExecutor;
+use crate::protocol::{Lease, LeaseRequest};
+
+struct RegisteredExecutor {
+    executor: Arc<SpotExecutor>,
+    available: NodeResources,
+    last_heartbeat: SimTime,
+    billing_slot: usize,
+}
+
+/// The rFaaS resource manager (one instance of the replicated service).
+pub struct ResourceManager {
+    config: RFaasConfig,
+    fabric: Arc<Fabric>,
+    node: Arc<FabricNode>,
+    endpoint: Endpoint,
+    clock: Arc<VirtualClock>,
+    executors: Mutex<HashMap<String, RegisteredExecutor>>,
+    leases: Mutex<HashMap<u64, Lease>>,
+    billing: BillingDatabase,
+    // Manager-side halves of the billing connections; kept alive so executors
+    // can keep issuing one-sided atomics without any manager CPU involvement.
+    billing_qps: Mutex<Vec<QueuePair>>,
+    next_lease_id: AtomicU64,
+    round_robin: AtomicUsize,
+}
+
+impl std::fmt::Debug for ResourceManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceManager")
+            .field("executors", &self.executor_count())
+            .field("leases", &self.lease_count())
+            .finish()
+    }
+}
+
+impl ResourceManager {
+    /// Create a manager attached to `fabric` on its own node.
+    pub fn new(fabric: &Arc<Fabric>, config: RFaasConfig) -> Arc<ResourceManager> {
+        Self::with_name(fabric, config, "resource-manager")
+    }
+
+    /// Create a manager on an explicitly named node (used when running a
+    /// replicated manager group).
+    pub fn with_name(
+        fabric: &Arc<Fabric>,
+        config: RFaasConfig,
+        node_name: &str,
+    ) -> Arc<ResourceManager> {
+        let node = fabric.add_node(node_name);
+        let endpoint = Endpoint::new(fabric, &node);
+        let billing = BillingDatabase::new(&endpoint);
+        Arc::new(ResourceManager {
+            config,
+            fabric: Arc::clone(fabric),
+            node,
+            clock: Arc::clone(&endpoint.clock),
+            endpoint,
+            executors: Mutex::new(HashMap::new()),
+            leases: Mutex::new(HashMap::new()),
+            billing,
+            billing_qps: Mutex::new(Vec::new()),
+            next_lease_id: AtomicU64::new(1),
+            round_robin: AtomicUsize::new(0),
+        })
+    }
+
+    /// The manager's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The fabric node the manager runs on.
+    pub fn node(&self) -> &Arc<FabricNode> {
+        &self.node
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &RFaasConfig {
+        &self.config
+    }
+
+    /// Register a spot executor (a cluster operator adding idle resources,
+    /// C2 in Fig. 4). Also wires the executor's allocator to the billing
+    /// database through a dedicated queue pair.
+    pub fn register_executor(&self, executor: &Arc<SpotExecutor>) {
+        let slot = self.billing.reserve_slot();
+        // Create the RDMA connection the allocator will use for billing
+        // atomics: one manager-side QP (parked) and one executor-side QP.
+        let manager_qp = QueuePair::new(&self.endpoint);
+        let executor_endpoint = Endpoint::new(&self.fabric, executor.node())
+            .with_clock(Arc::clone(executor.allocator().clock()));
+        let executor_qp = QueuePair::new(&executor_endpoint);
+        if QueuePair::connect_pair(&manager_qp, &executor_qp).is_ok() {
+            executor
+                .allocator()
+                .attach_billing(Arc::new(BillingClient::new(
+                    executor_qp,
+                    self.billing.slot_handle(slot),
+                )));
+            self.billing_qps.lock().push(manager_qp);
+        }
+        self.executors.lock().insert(
+            executor.name().to_string(),
+            RegisteredExecutor {
+                available: executor.resources(),
+                executor: Arc::clone(executor),
+                last_heartbeat: self.clock.now(),
+                billing_slot: slot,
+            },
+        );
+    }
+
+    /// Remove an executor from the pool (node reclaimed by the batch system).
+    /// Existing leases on the node keep running until they expire; new leases
+    /// will not be placed there.
+    pub fn deregister_executor(&self, name: &str) -> bool {
+        self.executors.lock().remove(name).is_some()
+    }
+
+    /// Number of registered executors.
+    pub fn executor_count(&self) -> usize {
+        self.executors.lock().len()
+    }
+
+    /// Number of active leases.
+    pub fn lease_count(&self) -> usize {
+        self.leases.lock().len()
+    }
+
+    /// Look up a registered executor by node name.
+    pub fn executor(&self, name: &str) -> Option<Arc<SpotExecutor>> {
+        self.executors.lock().get(name).map(|r| Arc::clone(&r.executor))
+    }
+
+    /// Look up an active lease.
+    pub fn lease(&self, id: u64) -> Option<Lease> {
+        self.leases.lock().get(&id).cloned()
+    }
+
+    /// Grant a lease for `request`, charging the manager-side processing cost
+    /// on `client_clock` (the client is blocked while the manager decides).
+    ///
+    /// Placement is round-robin over executors with enough free resources,
+    /// which spreads leases the same way the replicated managers of
+    /// Sec. III-D would.
+    pub fn request_lease(
+        &self,
+        request: &LeaseRequest,
+        client_clock: &VirtualClock,
+    ) -> Result<(Lease, Arc<SpotExecutor>)> {
+        // The manager spends its processing budget; the client observes it as
+        // added latency on the (cold) allocation path.
+        self.clock.advance(self.config.allocation_processing_cost);
+        client_clock.advance(self.config.allocation_processing_cost);
+
+        let mut executors = self.executors.lock();
+        if executors.is_empty() {
+            return Err(RFaasError::InsufficientResources {
+                requested_cores: request.cores,
+                requested_memory_mib: request.memory_mib,
+            });
+        }
+        let needed = NodeResources {
+            cores: request.cores,
+            memory_mib: request.memory_mib,
+        };
+        let names: Vec<String> = executors.keys().cloned().collect();
+        let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
+        let chosen = (0..names.len())
+            .map(|i| &names[(start + i) % names.len()])
+            .find(|name| executors[*name].available.can_fit(&needed))
+            .cloned()
+            .ok_or(RFaasError::InsufficientResources {
+                requested_cores: request.cores,
+                requested_memory_mib: request.memory_mib,
+            })?;
+
+        let entry = executors.get_mut(&chosen).expect("chosen executor exists");
+        entry.available = entry.available.saturating_sub(&needed);
+        let lease = Lease {
+            id: self.next_lease_id.fetch_add(1, Ordering::Relaxed),
+            executor_node: chosen.clone(),
+            cores: request.cores,
+            memory_mib: request.memory_mib,
+            expires_at: self.clock.now() + request.timeout,
+            sandbox: request.sandbox,
+            package: request.package.clone(),
+            billing_slot: entry.billing_slot,
+        };
+        let executor = Arc::clone(&entry.executor);
+        drop(executors);
+        self.leases.lock().insert(lease.id, lease.clone());
+        Ok((lease, executor))
+    }
+
+    /// Release a lease before it expires; the executor notifies the manager
+    /// so the resources re-enter future allocations (Sec. III-B).
+    pub fn release_lease(&self, lease_id: u64) -> Result<()> {
+        let lease = self
+            .leases
+            .lock()
+            .remove(&lease_id)
+            .ok_or(RFaasError::UnknownLease(lease_id))?;
+        let mut executors = self.executors.lock();
+        if let Some(entry) = executors.get_mut(&lease.executor_node) {
+            entry.available = entry.available.add(&NodeResources {
+                cores: lease.cores,
+                memory_mib: lease.memory_mib,
+            });
+        }
+        Ok(())
+    }
+
+    /// Record a heartbeat from an executor's allocator.
+    pub fn heartbeat(&self, executor_name: &str, now: SimTime) -> bool {
+        let mut executors = self.executors.lock();
+        match executors.get_mut(executor_name) {
+            Some(entry) => {
+                entry.last_heartbeat = entry.last_heartbeat.max(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executors whose last heartbeat is older than `timeout` at `now`; the
+    /// manager announces their leases as terminated so clients can reallocate.
+    pub fn failed_executors(&self, now: SimTime, timeout: SimDuration) -> Vec<String> {
+        self.executors
+            .lock()
+            .iter()
+            .filter(|(_, e)| now.saturating_since(e.last_heartbeat) > timeout)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Leases that have expired at `now`. The caller (or a manager background
+    /// task) releases them to reclaim resources.
+    pub fn expired_leases(&self, now: SimTime) -> Vec<u64> {
+        self.leases
+            .lock()
+            .values()
+            .filter(|l| !l.is_valid_at(now))
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Aggregate resources still available across all registered executors.
+    pub fn available_resources(&self) -> NodeResources {
+        self.executors
+            .lock()
+            .values()
+            .fold(NodeResources::ZERO, |acc, e| acc.add(&e.available))
+    }
+
+    /// The billing database (for reports and tests).
+    pub fn billing(&self) -> &BillingDatabase {
+        &self.billing
+    }
+
+    /// Usage accumulated for the executor hosting `lease`.
+    pub fn lease_usage(&self, lease: &Lease) -> UsageRecord {
+        self.billing.read_slot(lease.billing_slot)
+    }
+
+    /// Total monetary cost accumulated by the platform so far.
+    pub fn total_cost(&self) -> f64 {
+        self.billing.total_cost(&self.config)
+    }
+}
+
+/// A replicated group of resource managers with round-robin request routing
+/// (the horizontal-scaling story of Sec. III-D).
+#[derive(Debug)]
+pub struct ManagerGroup {
+    managers: Vec<Arc<ResourceManager>>,
+    next: AtomicUsize,
+}
+
+impl ManagerGroup {
+    /// Create `replicas` managers on the same fabric.
+    pub fn new(fabric: &Arc<Fabric>, config: RFaasConfig, replicas: usize) -> ManagerGroup {
+        let managers = (0..replicas.max(1))
+            .map(|i| ResourceManager::with_name(fabric, config.clone(), &format!("manager-{i}")))
+            .collect();
+        ManagerGroup {
+            managers,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// All manager replicas.
+    pub fn managers(&self) -> &[Arc<ResourceManager>] {
+        &self.managers
+    }
+
+    /// The replica the next client request should go to (round robin).
+    pub fn pick(&self) -> Arc<ResourceManager> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.managers.len();
+        Arc::clone(&self.managers[i])
+    }
+
+    /// Register an executor with one replica (resources are split between
+    /// manager instances, as the paper describes).
+    pub fn register_executor(&self, executor: &Arc<SpotExecutor>) {
+        self.pick().register_executor(executor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RFaasConfig;
+    use sandbox::{echo_function, CodePackage, FunctionRegistry};
+
+    fn registry() -> FunctionRegistry {
+        let r = FunctionRegistry::new();
+        r.deploy(CodePackage::minimal("echo-pkg").with_function(echo_function()));
+        r
+    }
+
+    fn setup(executors: usize) -> (Arc<Fabric>, Arc<ResourceManager>, Vec<Arc<SpotExecutor>>) {
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let mut execs = Vec::new();
+        for i in 0..executors {
+            let exec = SpotExecutor::new(
+                &fabric,
+                &format!("exec-{i}"),
+                NodeResources { cores: 16, memory_mib: 64 * 1024 },
+                registry(),
+                RFaasConfig::default(),
+            );
+            manager.register_executor(&exec);
+            execs.push(exec);
+        }
+        (fabric, manager, execs)
+    }
+
+    fn request() -> LeaseRequest {
+        LeaseRequest::single_worker("echo-pkg").with_cores(4).with_memory_mib(4096)
+    }
+
+    #[test]
+    fn lease_grant_reserves_resources() {
+        let (_fabric, manager, _execs) = setup(1);
+        assert_eq!(manager.executor_count(), 1);
+        let client_clock = VirtualClock::new();
+        let (lease, executor) = manager.request_lease(&request(), &client_clock).unwrap();
+        assert_eq!(lease.cores, 4);
+        assert_eq!(executor.name(), "exec-0");
+        assert_eq!(manager.lease_count(), 1);
+        assert_eq!(manager.available_resources().cores, 12);
+        // The client pays the manager processing latency.
+        assert!(client_clock.now().as_micros_f64() >= 500.0);
+        assert!(manager.lease(lease.id).is_some());
+    }
+
+    #[test]
+    fn release_returns_resources() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        let (lease, _) = manager.request_lease(&request(), &clock).unwrap();
+        manager.release_lease(lease.id).unwrap();
+        assert_eq!(manager.lease_count(), 0);
+        assert_eq!(manager.available_resources().cores, 16);
+        assert!(matches!(
+            manager.release_lease(lease.id),
+            Err(RFaasError::UnknownLease(_))
+        ));
+    }
+
+    #[test]
+    fn round_robin_spreads_leases_across_executors() {
+        let (_fabric, manager, _execs) = setup(4);
+        let clock = VirtualClock::new();
+        let mut nodes = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let (lease, _) = manager.request_lease(&request(), &clock).unwrap();
+            nodes.insert(lease.executor_node);
+        }
+        assert!(nodes.len() >= 3, "round-robin should spread over executors, got {nodes:?}");
+    }
+
+    #[test]
+    fn exhausted_pool_rejects_requests() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        // 16 cores / 4 per lease = 4 leases fit.
+        for _ in 0..4 {
+            manager.request_lease(&request(), &clock).unwrap();
+        }
+        let err = manager.request_lease(&request(), &clock).unwrap_err();
+        assert!(matches!(err, RFaasError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn no_executors_means_no_lease() {
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let err = manager
+            .request_lease(&request(), &VirtualClock::new())
+            .unwrap_err();
+        assert!(matches!(err, RFaasError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn deregistered_executor_is_skipped() {
+        let (_fabric, manager, _execs) = setup(2);
+        assert!(manager.deregister_executor("exec-0"));
+        assert!(!manager.deregister_executor("exec-0"));
+        let clock = VirtualClock::new();
+        for _ in 0..3 {
+            let (lease, _) = manager.request_lease(&request(), &clock).unwrap();
+            assert_eq!(lease.executor_node, "exec-1");
+        }
+        assert!(manager.executor("exec-0").is_none());
+        assert!(manager.executor("exec-1").is_some());
+    }
+
+    #[test]
+    fn heartbeats_detect_failed_executors() {
+        let (_fabric, manager, _execs) = setup(2);
+        let t0 = manager.clock().now();
+        assert!(manager.heartbeat("exec-0", t0 + SimDuration::from_secs(30)));
+        assert!(!manager.heartbeat("unknown", t0));
+        let failed = manager.failed_executors(
+            t0 + SimDuration::from_secs(40),
+            SimDuration::from_secs(15),
+        );
+        assert_eq!(failed, vec!["exec-1".to_string()]);
+    }
+
+    #[test]
+    fn expired_leases_are_reported() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        let mut req = request();
+        req.timeout = SimDuration::from_secs(10);
+        let (lease, _) = manager.request_lease(&req, &clock).unwrap();
+        assert!(manager.expired_leases(manager.clock().now()).is_empty());
+        let later = manager.clock().now() + SimDuration::from_secs(11);
+        assert_eq!(manager.expired_leases(later), vec![lease.id]);
+    }
+
+    #[test]
+    fn manager_group_round_robins_replicas() {
+        let fabric = Fabric::with_defaults();
+        let group = ManagerGroup::new(&fabric, RFaasConfig::default(), 3);
+        assert_eq!(group.managers().len(), 3);
+        let a = group.pick();
+        let b = group.pick();
+        let c = group.pick();
+        let d = group.pick();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&b, &c));
+        assert!(Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn billing_database_starts_empty() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        let (lease, _) = manager.request_lease(&request(), &clock).unwrap();
+        assert!(manager.lease_usage(&lease).is_empty());
+        assert_eq!(manager.total_cost(), 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The rFaaS function ABI.
+//!
+//! The paper's function interface (Listing 1) is
+//! `uint32_t f(void* in, uint32_t size, void* out)`: the input payload is
+//! written by the client into the executor's registered buffer, the function
+//! writes its result into the registered output buffer, and the return value
+//! is the number of output bytes the executor writes back into the client's
+//! memory. The Rust equivalent is the [`RemoteFunction`] trait; closures are
+//! adapted through [`SharedFunction::from_fn`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use sim_core::SimDuration;
+
+/// Error raised by a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionError {
+    /// The output produced by the function does not fit in the registered
+    /// output buffer the client allocated.
+    OutputTooLarge {
+        /// Bytes the function wanted to produce.
+        required: usize,
+        /// Capacity of the output buffer.
+        capacity: usize,
+    },
+    /// The input payload failed validation (wrong size, bad magic, ...).
+    InvalidInput(String),
+    /// The function body failed for a domain-specific reason.
+    ExecutionFailed(String),
+}
+
+impl fmt::Display for FunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionError::OutputTooLarge { required, capacity } => write!(
+                f,
+                "function output of {required} bytes exceeds the {capacity}-byte output buffer"
+            ),
+            FunctionError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            FunctionError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FunctionError {}
+
+/// Result of one function execution: the number of bytes written to the
+/// output buffer.
+pub type FunctionOutcome = Result<usize, FunctionError>;
+
+/// A serverless function body.
+///
+/// Implementations must be thread-safe: rFaaS executors run one function
+/// instance per worker thread and the same registered code may execute
+/// concurrently on all of them.
+pub trait RemoteFunction: Send + Sync {
+    /// Execute the function over `input`, writing the result into `output`
+    /// and returning the number of valid output bytes.
+    fn invoke(&self, input: &[u8], output: &mut [u8]) -> FunctionOutcome;
+
+    /// Short, human-readable name (used in logs and billing records).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// A reference-counted function, the unit stored in code packages.
+#[derive(Clone)]
+pub struct SharedFunction {
+    name: Arc<str>,
+    body: Arc<dyn RemoteFunction>,
+    /// Optional virtual-time cost model: maps input size to the compute time
+    /// charged on the executing worker's clock. Functions without a model
+    /// charge nothing beyond the platform dispatch overhead (appropriate for
+    /// the paper's no-op echo benchmarks).
+    cost: Option<Arc<dyn Fn(usize) -> SimDuration + Send + Sync>>,
+}
+
+impl fmt::Debug for SharedFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedFunction").field("name", &self.name).finish()
+    }
+}
+
+impl SharedFunction {
+    /// Wrap an existing [`RemoteFunction`] implementation.
+    pub fn new(name: &str, body: Arc<dyn RemoteFunction>) -> SharedFunction {
+        SharedFunction {
+            name: Arc::from(name),
+            body,
+            cost: None,
+        }
+    }
+
+    /// Adapt a closure with the paper's `f(in, size, out) -> out_size` shape.
+    pub fn from_fn<F>(name: &str, f: F) -> SharedFunction
+    where
+        F: Fn(&[u8], &mut [u8]) -> FunctionOutcome + Send + Sync + 'static,
+    {
+        struct ClosureFunction<F> {
+            name: String,
+            f: F,
+        }
+        impl<F> RemoteFunction for ClosureFunction<F>
+        where
+            F: Fn(&[u8], &mut [u8]) -> FunctionOutcome + Send + Sync,
+        {
+            fn invoke(&self, input: &[u8], output: &mut [u8]) -> FunctionOutcome {
+                (self.f)(input, output)
+            }
+            fn name(&self) -> &str {
+                &self.name
+            }
+        }
+        SharedFunction {
+            name: Arc::from(name),
+            body: Arc::new(ClosureFunction {
+                name: name.to_string(),
+                f,
+            }),
+            cost: None,
+        }
+    }
+
+    /// Attach a virtual-time cost model mapping input size (bytes) to compute
+    /// time. Used by the evaluation workloads so that offloaded kernels charge
+    /// realistic execution time on the worker's clock.
+    pub fn with_cost_model(
+        mut self,
+        cost: impl Fn(usize) -> SimDuration + Send + Sync + 'static,
+    ) -> SharedFunction {
+        self.cost = Some(Arc::new(cost));
+        self
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execute the function.
+    pub fn invoke(&self, input: &[u8], output: &mut [u8]) -> FunctionOutcome {
+        self.body.invoke(input, output)
+    }
+
+    /// Virtual compute time charged for an invocation with `input_len` bytes
+    /// of payload (zero when no cost model is attached).
+    pub fn compute_cost(&self, input_len: usize) -> SimDuration {
+        self.cost
+            .as_ref()
+            .map(|c| c(input_len))
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// The no-op "echo" function used throughout the paper's microbenchmarks:
+/// it returns the input payload unchanged (Sec. V-A, V-C, V-D).
+pub fn echo_function() -> SharedFunction {
+    SharedFunction::from_fn("echo", |input, output| {
+        if output.len() < input.len() {
+            return Err(FunctionError::OutputTooLarge {
+                required: input.len(),
+                capacity: output.len(),
+            });
+        }
+        output[..input.len()].copy_from_slice(input);
+        Ok(input.len())
+    })
+}
+
+/// A function that returns a fixed-size all-zero payload regardless of input,
+/// used by tests that need asymmetric input/output sizes.
+pub fn zeros_function(output_len: usize) -> SharedFunction {
+    SharedFunction::from_fn("zeros", move |_input, output| {
+        if output.len() < output_len {
+            return Err(FunctionError::OutputTooLarge {
+                required: output_len,
+                capacity: output.len(),
+            });
+        }
+        output[..output_len].fill(0);
+        Ok(output_len)
+    })
+}
+
+/// A function that always fails, used by fault-injection tests.
+pub fn failing_function(message: &str) -> SharedFunction {
+    let message = message.to_string();
+    SharedFunction::from_fn("always-fails", move |_input, _output| {
+        Err(FunctionError::ExecutionFailed(message.clone()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_copies_input_to_output() {
+        let f = echo_function();
+        let input = vec![1u8, 2, 3, 4];
+        let mut output = vec![0u8; 16];
+        let n = f.invoke(&input, &mut output).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(&output[..4], &[1, 2, 3, 4]);
+        assert_eq!(f.name(), "echo");
+    }
+
+    #[test]
+    fn echo_rejects_undersized_output() {
+        let f = echo_function();
+        let input = vec![0u8; 32];
+        let mut output = vec![0u8; 8];
+        let err = f.invoke(&input, &mut output).unwrap_err();
+        assert!(matches!(err, FunctionError::OutputTooLarge { required: 32, capacity: 8 }));
+    }
+
+    #[test]
+    fn zeros_ignores_input() {
+        let f = zeros_function(10);
+        let mut output = vec![0xFFu8; 16];
+        let n = f.invoke(&[1, 2, 3], &mut output).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(&output[..10], &[0u8; 10]);
+        assert_eq!(output[10], 0xFF);
+    }
+
+    #[test]
+    fn failing_function_reports_error() {
+        let f = failing_function("boom");
+        let mut output = vec![0u8; 8];
+        let err = f.invoke(&[], &mut output).unwrap_err();
+        assert_eq!(err, FunctionError::ExecutionFailed("boom".into()));
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn closure_adapter_preserves_name_and_behaviour() {
+        let double = SharedFunction::from_fn("double", |input, output| {
+            let n = input.len();
+            if output.len() < 2 * n {
+                return Err(FunctionError::OutputTooLarge { required: 2 * n, capacity: output.len() });
+            }
+            output[..n].copy_from_slice(input);
+            output[n..2 * n].copy_from_slice(input);
+            Ok(2 * n)
+        });
+        assert_eq!(double.name(), "double");
+        let mut out = vec![0u8; 8];
+        assert_eq!(double.invoke(&[7, 8], &mut out).unwrap(), 4);
+        assert_eq!(&out[..4], &[7, 8, 7, 8]);
+    }
+
+    #[test]
+    fn shared_function_is_cloneable_and_thread_safe() {
+        let f = echo_function();
+        let g = f.clone();
+        let handle = std::thread::spawn(move || {
+            let mut out = vec![0u8; 4];
+            g.invoke(&[9; 4], &mut out).unwrap()
+        });
+        assert_eq!(handle.join().unwrap(), 4);
+        let mut out = vec![0u8; 4];
+        assert_eq!(f.invoke(&[1; 4], &mut out).unwrap(), 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Execution sandboxes and function code packages.
+//!
+//! rFaaS executes user functions inside isolated sandboxes — bare-metal
+//! processes for trusted single-tenant deployments, Docker containers with
+//! SR-IOV passthrough for multi-tenant clusters, and (by the paper's
+//! modularity argument, Sec. III-F) Singularity or microVMs. The paper's cold
+//! start measurements (Fig. 9) are dominated by sandbox initialisation, so
+//! this crate models the lifecycle costs, while the functions themselves are
+//! *real Rust code* registered behind the paper's `f(in, size, out)` ABI.
+//!
+//! * [`function`] — the function ABI, code packages and built-in functions,
+//! * [`registry`] — function/code registries and the Docker image registry,
+//! * [`sandbox`] — sandbox types, lifecycle state machine and cost model.
+
+pub mod function;
+pub mod registry;
+pub mod sandbox;
+
+pub use function::{
+    echo_function, failing_function, zeros_function, FunctionError, FunctionOutcome,
+    RemoteFunction, SharedFunction,
+};
+pub use registry::{CodePackage, FunctionRegistry, ImageInfo, ImageRegistry};
+pub use sandbox::{Sandbox, SandboxProfile, SandboxState, SandboxType, SpawnBreakdown};

@@ -1,0 +1,25 @@
+//! Core simulation utilities shared by every crate in the rFaaS reproduction.
+//!
+//! The reproduction measures performance in *virtual time*: data movement and
+//! computation really happen, but their duration is charged from calibrated
+//! cost models onto per-actor [`VirtualClock`]s. This module provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual timestamps,
+//! * [`VirtualClock`] — a monotonically advancing clock owned by one actor
+//!   (client, executor worker, manager, MPI rank, ...),
+//! * [`stats`] — medians, percentiles and the non-parametric confidence
+//!   intervals the paper reports,
+//! * [`rng`] — small deterministic PRNG helpers so experiments are repeatable,
+//! * [`histogram`] — fixed-bucket latency histograms for harness output.
+
+pub mod clock;
+pub mod histogram;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use clock::VirtualClock;
+pub use histogram::LatencyHistogram;
+pub use rng::DeterministicRng;
+pub use stats::{median, percentile, ConfidenceInterval, Summary};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,34 @@
+//! Evaluation workloads of the rFaaS paper.
+//!
+//! Every kernel is implemented for real (the numbers that come back from an
+//! offloaded invocation are the correct numbers), and each exposes a
+//! `*_function()` constructor returning a [`sandbox::SharedFunction`] whose
+//! attached cost model charges realistic execution time on the executing
+//! worker's virtual clock.
+//!
+//! * [`blackscholes`] — the PARSEC Black-Scholes option-pricing kernel used
+//!   for the parallel-offloading study (Fig. 12),
+//! * [`matmul`] — per-rank matrix-matrix multiplication for the MPI + rFaaS
+//!   experiment (Fig. 13a),
+//! * [`jacobi`] — the Jacobi linear solver with executor-side caching of the
+//!   system matrix (Fig. 13b),
+//! * [`thumbnailer`] — SeBS-style thumbnail generation over synthetic RGB
+//!   images (Fig. 11a),
+//! * [`inference`] — a ResNet-50-scale CNN inference kernel (Fig. 11b),
+//! * [`payload`] — payload generators and the input sizes used in Sec. V.
+
+pub mod blackscholes;
+pub mod inference;
+pub mod jacobi;
+pub mod matmul;
+pub mod payload;
+pub mod thumbnailer;
+
+pub use blackscholes::{
+    blackscholes_function, generate_options, price_batch, price_option, OptionContract,
+};
+pub use inference::{image_recognition_function, InferenceModel};
+pub use jacobi::{jacobi_function, jacobi_solve, JacobiSystem};
+pub use matmul::{matmul_function, multiply, multiply_rows};
+pub use payload::{generate_payload, InputSizes};
+pub use thumbnailer::{thumbnailer_function, Image};

@@ -1,0 +1,90 @@
+//! Payload generators and the evaluation input sizes.
+
+use sim_core::DeterministicRng;
+
+/// Input sizes used throughout Sec. V of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputSizes;
+
+impl InputSizes {
+    /// Small thumbnailer image (97 kB).
+    pub const THUMBNAIL_SMALL: usize = 97 * 1024;
+    /// Large thumbnailer image (3.6 MB).
+    pub const THUMBNAIL_LARGE: usize = 3_600 * 1024;
+    /// Small image-recognition input (53 kB).
+    pub const INFERENCE_SMALL: usize = 53 * 1024;
+    /// Large image-recognition input (230 kB).
+    pub const INFERENCE_LARGE: usize = 230 * 1024;
+    /// Black-Scholes batch input (~229 MB).
+    pub const BLACKSCHOLES_INPUT: usize = 229 * 1024 * 1024;
+    /// Black-Scholes batch output (~38 MB).
+    pub const BLACKSCHOLES_OUTPUT: usize = 38 * 1024 * 1024;
+}
+
+/// Generate `size` bytes of deterministic pseudo-random payload.
+pub fn generate_payload(size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = DeterministicRng::new(seed);
+    let mut data = Vec::with_capacity(size);
+    while data.len() + 8 <= size {
+        data.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    while data.len() < size {
+        data.push(rng.next_u64() as u8);
+    }
+    data
+}
+
+/// Encode a `f64` slice into little-endian bytes.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decode little-endian bytes into a `f64` vector.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_has_exact_size_and_is_deterministic() {
+        for size in [0, 1, 7, 8, 1024, 4097] {
+            let a = generate_payload(size, 42);
+            let b = generate_payload(size, 42);
+            assert_eq!(a.len(), size);
+            assert_eq!(a, b);
+        }
+        assert_ne!(generate_payload(64, 1), generate_payload(64, 2));
+    }
+
+    #[test]
+    fn input_sizes_match_paper() {
+        assert_eq!(InputSizes::THUMBNAIL_SMALL, 99_328);
+        assert_eq!(InputSizes::THUMBNAIL_LARGE, 3_686_400);
+        assert!(InputSizes::BLACKSCHOLES_INPUT > 200 * 1024 * 1024);
+        assert!(InputSizes::BLACKSCHOLES_OUTPUT > 30 * 1024 * 1024);
+    }
+
+    #[test]
+    fn f64_bytes_round_trip() {
+        let values = vec![0.0, -1.5, f64::MAX, 1e-300];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&values)), values);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_f64_round_trip(values: Vec<f64>) {
+            let filtered: Vec<f64> = values.into_iter().filter(|v| !v.is_nan()).collect();
+            proptest::prop_assert_eq!(bytes_to_f64s(&f64s_to_bytes(&filtered)), filtered);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallel offloading of a Black-Scholes batch to multiple rFaaS workers
+//! (the Sec. V-F scenario): the client splits a large option batch across
+//! several leased workers, invokes them concurrently and combines the prices.
+//!
+//! ```text
+//! cargo run --release --example parallel_offload
+//! ```
+
+use cluster_sim::NodeResources;
+use rdma_fabric::Fabric;
+use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use sandbox::{CodePackage, FunctionRegistry};
+use workloads::blackscholes::{options_to_bytes, price_batch};
+use workloads::{blackscholes_function, generate_options};
+
+const OPTIONS: usize = 100_000;
+const WORKERS: usize = 8;
+
+fn main() {
+    // Platform setup with the Black-Scholes function deployed.
+    let fabric = Fabric::with_defaults();
+    let registry = FunctionRegistry::new();
+    registry.deploy(CodePackage::minimal("pricing").with_function(blackscholes_function()));
+    let mut config = RFaasConfig::paper_calibration();
+    config.max_payload_bytes = 16 * 1024 * 1024;
+    let manager = ResourceManager::new(&fabric, config.clone());
+    let executor = SpotExecutor::new(
+        &fabric,
+        "spot-node-0",
+        NodeResources::xeon_gold_6154_dual(),
+        registry,
+        config.clone(),
+    );
+    manager.register_executor(&executor);
+
+    // Lease WORKERS hot workers.
+    let mut invoker = Invoker::new(&fabric, "pricing-client", &manager, config);
+    invoker
+        .allocate(
+            LeaseRequest::single_worker("pricing").with_cores(WORKERS as u32),
+            PollingMode::Hot,
+        )
+        .expect("allocation succeeds");
+
+    // Generate the batch and split it across the workers.
+    let options = generate_options(OPTIONS, 7);
+    let alloc = invoker.allocator();
+    let per_worker = OPTIONS.div_ceil(WORKERS);
+    let start = invoker.clock().now();
+    let mut futures = Vec::new();
+    let mut buffers = Vec::new();
+    for (worker, chunk) in options.chunks(per_worker).enumerate() {
+        let payload = options_to_bytes(chunk);
+        let input = alloc.input(payload.len());
+        let output = alloc.output(chunk.len() * 8);
+        input.write_payload(&payload).expect("payload fits");
+        buffers.push((input, output, chunk.len()));
+        let (input, output, _) = buffers.last().unwrap();
+        futures.push(
+            invoker
+                .submit_to_worker(worker, "blackscholes", input, payload.len(), output)
+                .expect("submission succeeds"),
+        );
+    }
+
+    // Collect remote prices and verify them against a local computation.
+    let mut remote_prices = Vec::with_capacity(OPTIONS);
+    for (future, (_, output, count)) in futures.into_iter().zip(buffers.iter()) {
+        let len = future.wait().expect("offloaded pricing succeeds");
+        assert_eq!(len, count * 8);
+        remote_prices.extend(output.read_f64(len).expect("prices readable"));
+    }
+    let elapsed = invoker.clock().now().saturating_since(start);
+
+    let local_prices = price_batch(&options);
+    let max_error = remote_prices
+        .iter()
+        .zip(local_prices.iter())
+        .map(|(r, l)| (r - l).abs())
+        .fold(0.0f64, f64::max);
+
+    println!("priced {OPTIONS} options on {WORKERS} remote workers");
+    println!("batch completion time (virtual): {elapsed}");
+    println!("max |remote - local| price difference: {max_error:e}");
+    assert!(max_error < 1e-12, "offloaded results must match local pricing");
+
+    invoker.deallocate().expect("deallocation succeeds");
+}

@@ -1,0 +1,146 @@
+//! Integration tests pinning the reproduction's headline performance claims
+//! to the numbers reported in the paper (Sec. V-A, V-C, V-D).
+
+use faas_baselines::{aws_lambda, nightcore, openwhisk};
+use rfaas::PollingMode;
+use rfaas_bench::Testbed;
+use sandbox::SandboxType;
+use sim_core::{median, SimDuration};
+
+fn measure_median_us(
+    sandbox: SandboxType,
+    mode: PollingMode,
+    payload: usize,
+    repetitions: usize,
+) -> f64 {
+    let testbed = Testbed::new(1);
+    let invoker = testbed.allocated_invoker("latency-client", 1, sandbox, mode);
+    let alloc = invoker.allocator();
+    let input = alloc.input(payload.max(8));
+    let output = alloc.output(payload.max(8));
+    input
+        .write_payload(&workloads::generate_payload(payload, 3))
+        .unwrap();
+    invoker.invoke_sync("echo", &input, payload, &output).unwrap();
+    let samples: Vec<f64> = (0..repetitions)
+        .map(|_| {
+            invoker
+                .invoke_sync("echo", &input, payload, &output)
+                .unwrap()
+                .1
+                .as_micros_f64()
+        })
+        .collect();
+    median(&samples)
+}
+
+#[test]
+fn hot_invocation_latency_matches_paper() {
+    // Paper: 3.96 us hot latency, ~326 ns overhead over the 3.69 us RDMA RTT.
+    let hot = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, 8, 100);
+    assert!((3.5..4.6).contains(&hot), "hot median {hot} us");
+    let rdma = rdma_fabric::NicProfile::mellanox_cx5_100g()
+        .write_pingpong_rtt(8)
+        .as_micros_f64();
+    let overhead_ns = (hot - rdma) * 1_000.0;
+    assert!((150.0..650.0).contains(&overhead_ns), "hot overhead {overhead_ns} ns");
+}
+
+#[test]
+fn warm_invocation_latency_matches_paper() {
+    // Paper: 8.2 us warm latency (~4.67 us overhead over raw RDMA).
+    let warm = measure_median_us(SandboxType::BareMetal, PollingMode::Warm, 8, 100);
+    assert!((6.5..10.5).contains(&warm), "warm median {warm} us");
+    let hot = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, 8, 50);
+    assert!(warm > hot + 2.0, "warm ({warm}) must be several us above hot ({hot})");
+}
+
+#[test]
+fn docker_adds_nanoseconds_not_microseconds() {
+    // Paper: ~50 ns extra for hot, ~650 ns for warm invocations in Docker.
+    let bare_hot = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, 8, 80);
+    let docker_hot = measure_median_us(SandboxType::Docker, PollingMode::Hot, 8, 80);
+    let hot_delta_ns = (docker_hot - bare_hot) * 1_000.0;
+    assert!((10.0..300.0).contains(&hot_delta_ns), "Docker hot delta {hot_delta_ns} ns");
+
+    let bare_warm = measure_median_us(SandboxType::BareMetal, PollingMode::Warm, 8, 80);
+    let docker_warm = measure_median_us(SandboxType::Docker, PollingMode::Warm, 8, 80);
+    let warm_delta_ns = (docker_warm - bare_warm) * 1_000.0;
+    assert!(
+        (300.0..1_300.0).contains(&warm_delta_ns),
+        "Docker warm delta {warm_delta_ns} ns"
+    );
+}
+
+#[test]
+fn bandwidth_scales_to_the_link_limit() {
+    // A 1 MiB echo moves 2 MiB over the wire; at ~11.6 GiB/s that is ~170 us,
+    // so the payload-dependent part must dominate and goodput must approach
+    // the link bandwidth (paper: "achieves the available link bandwidth").
+    let mib = 1024 * 1024;
+    let rtt_us = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, mib, 10);
+    let goodput_gib_s = 2.0 * (mib as f64) / (rtt_us * 1e-6) / (1024.0 * 1024.0 * 1024.0);
+    assert!(goodput_gib_s > 8.0, "goodput {goodput_gib_s} GiB/s");
+    assert!(goodput_gib_s < 12.0, "goodput cannot exceed the link: {goodput_gib_s} GiB/s");
+}
+
+#[test]
+fn speedups_over_baselines_match_paper_orders_of_magnitude() {
+    let kb = 1024;
+    let rfaas_us = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, kb, 50);
+    let aws_us = aws_lambda().invoke_rtt(kb, kb, SimDuration::ZERO).as_micros_f64();
+    let ow_us = openwhisk().invoke_rtt(kb, kb, SimDuration::ZERO).as_micros_f64();
+    let nc_us = nightcore().invoke_rtt(kb, kb, SimDuration::ZERO).as_micros_f64();
+    // Paper: 695x-3692x vs AWS, 5904x-22406x vs OpenWhisk, 23x-39x vs Nightcore.
+    assert!((500.0..6_000.0).contains(&(aws_us / rfaas_us)), "AWS ratio {}", aws_us / rfaas_us);
+    assert!((4_000.0..40_000.0).contains(&(ow_us / rfaas_us)), "OpenWhisk ratio {}", ow_us / rfaas_us);
+    assert!((15.0..80.0).contains(&(nc_us / rfaas_us)), "nightcore ratio {}", nc_us / rfaas_us);
+}
+
+#[test]
+fn parallel_hot_invocations_scale_until_bandwidth_saturates() {
+    // Small payloads: batch RTT stays within a few microseconds of a single
+    // invocation. Large payloads: batch RTT grows roughly linearly with the
+    // number of workers because the client link saturates (Fig. 10).
+    let testbed = Testbed::new(1);
+    let workers = 8usize;
+    let invoker = testbed.allocated_invoker(
+        "parallel-client",
+        workers as u32,
+        SandboxType::BareMetal,
+        PollingMode::Hot,
+    );
+    let alloc = invoker.allocator();
+
+    let batch = |payload: usize| -> f64 {
+        let inputs: Vec<_> = (0..workers).map(|_| alloc.input(payload)).collect();
+        let outputs: Vec<_> = (0..workers).map(|_| alloc.output(payload)).collect();
+        let data = workloads::generate_payload(payload, 1);
+        for input in &inputs {
+            input.write_payload(&data).unwrap();
+        }
+        let start = invoker.clock().now();
+        let futures: Vec<_> = inputs
+            .iter()
+            .zip(outputs.iter())
+            .enumerate()
+            .map(|(w, (i, o))| invoker.submit_to_worker(w, "echo", i, payload, o).unwrap())
+            .collect();
+        for f in futures {
+            f.wait().unwrap();
+        }
+        invoker.clock().now().saturating_since(start).as_micros_f64()
+    };
+
+    let small = batch(1024);
+    assert!(small < 30.0, "8-worker 1 kB batch took {small} us");
+
+    let large = batch(1024 * 1024);
+    let one_mib_serialization = rdma_fabric::NicProfile::mellanox_cx5_100g()
+        .serialization(1024 * 1024)
+        .as_micros_f64();
+    assert!(
+        large > (workers as f64 - 1.0) * one_mib_serialization,
+        "8-worker 1 MiB batch ({large} us) must be bounded by the client link"
+    );
+}
