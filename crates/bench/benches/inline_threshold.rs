@@ -10,7 +10,10 @@ use sim_core::median;
 
 fn inline_threshold(c: &mut Criterion) {
     let profile = rdma_fabric::NicProfile::mellanox_cx5_100g();
-    println!("[inline] threshold = {} bytes, non-inline DMA fetch = {}", profile.max_inline_data, profile.non_inline_dma_fetch);
+    println!(
+        "[inline] threshold = {} bytes, non-inline DMA fetch = {}",
+        profile.max_inline_data, profile.non_inline_dma_fetch
+    );
     for payload in [64usize, 96, 128, 160, 256] {
         println!(
             "[inline] raw RDMA write ping-pong {payload} B: {:.3} us",
@@ -28,9 +31,17 @@ fn inline_threshold(c: &mut Criterion) {
         let input = alloc.input(payload);
         let output = alloc.output(payload);
         input.write_payload(&vec![1u8; payload]).unwrap();
-        invoker.invoke_sync("echo", &input, payload, &output).unwrap();
+        invoker
+            .invoke_sync("echo", &input, payload, &output)
+            .unwrap();
         let virtual_us: Vec<f64> = (0..40)
-            .map(|_| invoker.invoke_sync("echo", &input, payload, &output).unwrap().1.as_micros_f64())
+            .map(|_| {
+                invoker
+                    .invoke_sync("echo", &input, payload, &output)
+                    .unwrap()
+                    .1
+                    .as_micros_f64()
+            })
             .collect();
         println!(
             "[inline] rFaaS hot {payload} B: median {:.3} us (header pushes the wire message past the inline limit earlier than raw RDMA)",

@@ -22,14 +22,16 @@ fn invocation_latency(c: &mut Criterion) {
             input
                 .write_payload(&workloads::generate_payload(payload, 1))
                 .unwrap();
-            invoker.invoke_sync("echo", &input, payload, &output).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(label, payload),
-                &payload,
-                |b, &payload| {
-                    b.iter(|| invoker.invoke_sync("echo", &input, payload, &output).unwrap())
-                },
-            );
+            invoker
+                .invoke_sync("echo", &input, payload, &output)
+                .unwrap();
+            group.bench_with_input(BenchmarkId::new(label, payload), &payload, |b, &payload| {
+                b.iter(|| {
+                    invoker
+                        .invoke_sync("echo", &input, payload, &output)
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();

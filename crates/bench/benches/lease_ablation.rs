@@ -38,7 +38,9 @@ fn lease_reuse_vs_reallocation(c: &mut Criterion) {
                 let mut invoker = testbed.invoker("no-lease-client");
                 invoker
                     .allocate(
-                        LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(512),
+                        LeaseRequest::single_worker(PACKAGE)
+                            .with_cores(1)
+                            .with_memory_mib(512),
                         PollingMode::Hot,
                     )
                     .unwrap();
@@ -54,7 +56,9 @@ fn lease_reuse_vs_reallocation(c: &mut Criterion) {
         let mut invoker = testbed.invoker("no-lease-report");
         invoker
             .allocate(
-                LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(512),
+                LeaseRequest::single_worker(PACKAGE)
+                    .with_cores(1)
+                    .with_memory_mib(512),
                 PollingMode::Hot,
             )
             .unwrap();

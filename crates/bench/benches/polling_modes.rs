@@ -34,7 +34,10 @@ fn polling_mode_ablation(c: &mut Criterion) {
                     .as_micros_f64()
             })
             .collect();
-        println!("[ablation] {label}: median virtual RTT {:.2} us", median(&virtual_us));
+        println!(
+            "[ablation] {label}: median virtual RTT {:.2} us",
+            median(&virtual_us)
+        );
 
         group.bench_function(label, |b| {
             b.iter(|| invoker.invoke_sync("echo", &input, 128, &output).unwrap())

@@ -14,10 +14,17 @@ fn worker_counts() -> Vec<u32> {
     vec![1, 2, 4, 8, 16, 32]
 }
 
-fn measure(mode: PollingMode, label_prefix: &str, payload: usize, repetitions: usize, rows: &mut Vec<ResultRow>) {
+fn measure(
+    mode: PollingMode,
+    label_prefix: &str,
+    payload: usize,
+    repetitions: usize,
+    rows: &mut Vec<ResultRow>,
+) {
     for &workers in &worker_counts() {
         let testbed = Testbed::new(1);
-        let invoker = testbed.allocated_invoker("fig10-client", workers, SandboxType::BareMetal, mode);
+        let invoker =
+            testbed.allocated_invoker("fig10-client", workers, SandboxType::BareMetal, mode);
         let alloc = invoker.allocator();
         let inputs: Vec<_> = (0..workers).map(|_| alloc.input(payload)).collect();
         let outputs: Vec<_> = (0..workers).map(|_| alloc.output(payload)).collect();
@@ -29,12 +36,21 @@ fn measure(mode: PollingMode, label_prefix: &str, payload: usize, repetitions: u
         run_round(&invoker, &inputs, &outputs, payload);
         let mut samples = Vec::with_capacity(repetitions);
         for _ in 0..repetitions {
-            testbed.fabric.node("spot-00").map(|n| n.reset_contention());
+            if let Some(n) = testbed.fabric.node("spot-00") {
+                n.reset_contention()
+            }
             samples.push(run_round(&invoker, &inputs, &outputs, payload));
         }
         let summary = summarize_us(&samples);
         rows.push(ResultRow {
-            series: format!("{label_prefix} {}", if payload >= 1024 * 1024 { "1 MB" } else { "1 kB" }),
+            series: format!(
+                "{label_prefix} {}",
+                if payload >= 1024 * 1024 {
+                    "1 MB"
+                } else {
+                    "1 kB"
+                }
+            ),
             x: workers as f64,
             median: summary.median,
             p99: summary.p99,
@@ -70,8 +86,20 @@ fn main() {
     let repetitions = if quick_mode() { 5 } else { 30 };
     let mut rows = Vec::new();
     for payload in [1024usize, 1024 * 1024] {
-        measure(PollingMode::Hot, "rFaaS hot", payload, repetitions, &mut rows);
-        measure(PollingMode::Warm, "rFaaS warm", payload, repetitions, &mut rows);
+        measure(
+            PollingMode::Hot,
+            "rFaaS hot",
+            payload,
+            repetitions,
+            &mut rows,
+        );
+        measure(
+            PollingMode::Warm,
+            "rFaaS warm",
+            payload,
+            repetitions,
+            &mut rows,
+        );
         // Aggregate-bandwidth bound of the 100 Gb/s link: all payloads must
         // stream out of the client NIC and the results must stream back in.
         let profile = rdma_fabric::NicProfile::mellanox_cx5_100g();
@@ -83,7 +111,11 @@ fn main() {
             rows.push(ResultRow {
                 series: format!(
                     "RDMA bandwidth bound {}",
-                    if payload >= 1024 * 1024 { "1 MB" } else { "1 kB" }
+                    if payload >= 1024 * 1024 {
+                        "1 MB"
+                    } else {
+                        "1 kB"
+                    }
                 ),
                 x: workers as f64,
                 median: bound.as_micros_f64(),

@@ -19,23 +19,51 @@ struct Case {
 
 fn thumbnailer_cases() -> Vec<Case> {
     vec![
-        Case { function: "thumbnailer", input_label: "small (97 kB)", input_bytes: InputSizes::THUMBNAIL_SMALL, output_capacity: 300 * 1024 },
-        Case { function: "thumbnailer", input_label: "large (3.6 MB)", input_bytes: InputSizes::THUMBNAIL_LARGE, output_capacity: 300 * 1024 },
+        Case {
+            function: "thumbnailer",
+            input_label: "small (97 kB)",
+            input_bytes: InputSizes::THUMBNAIL_SMALL,
+            output_capacity: 300 * 1024,
+        },
+        Case {
+            function: "thumbnailer",
+            input_label: "large (3.6 MB)",
+            input_bytes: InputSizes::THUMBNAIL_LARGE,
+            output_capacity: 300 * 1024,
+        },
     ]
 }
 
 fn inference_cases() -> Vec<Case> {
     vec![
-        Case { function: "image-recognition", input_label: "small (53 kB)", input_bytes: InputSizes::INFERENCE_SMALL, output_capacity: 16 * 1024 },
-        Case { function: "image-recognition", input_label: "large (230 kB)", input_bytes: InputSizes::INFERENCE_LARGE, output_capacity: 16 * 1024 },
+        Case {
+            function: "image-recognition",
+            input_label: "small (53 kB)",
+            input_bytes: InputSizes::INFERENCE_SMALL,
+            output_capacity: 16 * 1024,
+        },
+        Case {
+            function: "image-recognition",
+            input_label: "large (230 kB)",
+            input_bytes: InputSizes::INFERENCE_LARGE,
+            output_capacity: 16 * 1024,
+        },
     ]
 }
 
 fn run(cases: &[Case], title: &str, repetitions: usize) {
     let mut rows = Vec::new();
     let configurations = [
-        ("rFaaS bare-metal hot", SandboxType::BareMetal, PollingMode::Hot),
-        ("rFaaS bare-metal warm", SandboxType::BareMetal, PollingMode::Warm),
+        (
+            "rFaaS bare-metal hot",
+            SandboxType::BareMetal,
+            PollingMode::Hot,
+        ),
+        (
+            "rFaaS bare-metal warm",
+            SandboxType::BareMetal,
+            PollingMode::Warm,
+        ),
         ("rFaaS Docker hot", SandboxType::Docker, PollingMode::Hot),
         ("rFaaS Docker warm", SandboxType::Docker, PollingMode::Warm),
     ];
@@ -79,7 +107,14 @@ fn run(cases: &[Case], title: &str, repetitions: usize) {
         };
         let mut rng = DeterministicRng::new(99);
         let samples: Vec<_> = (0..200)
-            .map(|_| aws.sample_rtt(payload.len(), case.output_capacity.min(256 * 1024), work, &mut rng))
+            .map(|_| {
+                aws.sample_rtt(
+                    payload.len(),
+                    case.output_capacity.min(256 * 1024),
+                    work,
+                    &mut rng,
+                )
+            })
             .collect();
         let summary = Summary::of_durations_ms(&samples);
         rows.push(ResultRow {

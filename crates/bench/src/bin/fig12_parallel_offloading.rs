@@ -136,7 +136,10 @@ fn main() {
         });
         invoker.deallocate().expect("deallocate");
     }
-    print_table("Figure 12 (left): Black-Scholes completion time vs parallelism", &rows);
+    print_table(
+        "Figure 12 (left): Black-Scholes completion time vs parallelism",
+        &rows,
+    );
 
     // Speedup over the serial execution (right panel of Fig. 12).
     let mut speedups = Vec::new();
@@ -149,7 +152,10 @@ fn main() {
             unit: "x".into(),
         });
     }
-    print_table("Figure 12 (right): speedup over serial execution", &speedups);
+    print_table(
+        "Figure 12 (right): speedup over serial execution",
+        &speedups,
+    );
     println!(
         "\n# network transmission time of the full batch: {:.1} ms (paper: ~20 ms for 229 MB)",
         rdma_fabric::NicProfile::mellanox_cx5_100g()
@@ -158,5 +164,8 @@ fn main() {
     );
     println!("# expected shape: rFaaS tracks OpenMP until per-worker compute approaches the transmission time;");
     println!("# OpenMP + rFaaS roughly doubles the OpenMP speedup (paper: ~2x boost through FaaS offloading).");
-    println!("# per-option compute cost model: {} ns", COST_PER_OPTION.as_nanos());
+    println!(
+        "# per-option compute cost model: {} ns",
+        COST_PER_OPTION.as_nanos()
+    );
 }

@@ -43,7 +43,11 @@ fn rank_invoker(testbed: &Testbed, config: &RFaasConfig, rank: usize) -> rfaas::
 }
 
 fn matmul_experiment() {
-    let sizes: Vec<usize> = if quick_mode() { vec![400, 800] } else { vec![400, 500, 600, 700, 800] };
+    let sizes: Vec<usize> = if quick_mode() {
+        vec![400, 800]
+    } else {
+        vec![400, 500, 600, 700, 800]
+    };
     let mut rows = Vec::new();
     for &ranks in &rank_counts() {
         for &n in &sizes {
@@ -116,7 +120,11 @@ fn matmul_experiment() {
 }
 
 fn jacobi_experiment() {
-    let sizes: Vec<usize> = if quick_mode() { vec![500, 1500] } else { vec![500, 1000, 1500, 2000, 2500] };
+    let sizes: Vec<usize> = if quick_mode() {
+        vec![500, 1500]
+    } else {
+        vec![500, 1000, 1500, 2000, 2500]
+    };
     let iterations = if quick_mode() { 30 } else { 100 };
     let mut rows = Vec::new();
     for &ranks in &rank_counts() {

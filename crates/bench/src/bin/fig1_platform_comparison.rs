@@ -28,10 +28,14 @@ fn measure_rfaas(mode: PollingMode, label: &str, repetitions: usize, rows: &mut 
             .write_payload(&workloads::generate_payload(size, 1))
             .expect("payload fits");
         // Warm-up invocation, then measure.
-        invoker.invoke_sync("echo", &input, size, &output).expect("invocation");
+        invoker
+            .invoke_sync("echo", &input, size, &output)
+            .expect("invocation");
         let mut samples = Vec::with_capacity(repetitions);
         for _ in 0..repetitions {
-            let (_, rtt) = invoker.invoke_sync("echo", &input, size, &output).expect("invocation");
+            let (_, rtt) = invoker
+                .invoke_sync("echo", &input, size, &output)
+                .expect("invocation");
             samples.push(rtt);
         }
         let summary = summarize_us(&samples);
@@ -45,7 +49,11 @@ fn measure_rfaas(mode: PollingMode, label: &str, repetitions: usize, rows: &mut 
     }
 }
 
-fn measure_baseline(platform: &BaselinePlatform, rows: &mut Vec<ResultRow>, samples_per_size: usize) {
+fn measure_baseline(
+    platform: &BaselinePlatform,
+    rows: &mut Vec<ResultRow>,
+    samples_per_size: usize,
+) {
     let mut rng = DeterministicRng::new(2021);
     for &size in &payload_sizes() {
         if !platform.accepts_payload(size) {
@@ -87,7 +95,16 @@ fn main() {
     };
     let rfaas_1k = median_of("rFaaS hot", 1.0);
     println!("\n# speedups at 1 kB (paper: 695x-3692x vs AWS, 23x-39x vs Nightcore)");
-    println!("vs AWS Lambda: {:.0}x", median_of("AWS Lambda", 1.0) / rfaas_1k);
-    println!("vs OpenWhisk:  {:.0}x", median_of("OpenWhisk", 1.0) / rfaas_1k);
-    println!("vs nightcore:  {:.0}x", median_of("nightcore", 1.0) / rfaas_1k);
+    println!(
+        "vs AWS Lambda: {:.0}x",
+        median_of("AWS Lambda", 1.0) / rfaas_1k
+    );
+    println!(
+        "vs OpenWhisk:  {:.0}x",
+        median_of("OpenWhisk", 1.0) / rfaas_1k
+    );
+    println!(
+        "vs nightcore:  {:.0}x",
+        median_of("nightcore", 1.0) / rfaas_1k
+    );
 }

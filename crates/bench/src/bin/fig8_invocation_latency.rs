@@ -44,10 +44,26 @@ fn main() {
     }
 
     let series = [
-        SeriesSpec { label: "rFaaS hot (bare-metal)", sandbox: SandboxType::BareMetal, mode: PollingMode::Hot },
-        SeriesSpec { label: "rFaaS warm (bare-metal)", sandbox: SandboxType::BareMetal, mode: PollingMode::Warm },
-        SeriesSpec { label: "rFaaS hot (Docker)", sandbox: SandboxType::Docker, mode: PollingMode::Hot },
-        SeriesSpec { label: "rFaaS warm (Docker)", sandbox: SandboxType::Docker, mode: PollingMode::Warm },
+        SeriesSpec {
+            label: "rFaaS hot (bare-metal)",
+            sandbox: SandboxType::BareMetal,
+            mode: PollingMode::Hot,
+        },
+        SeriesSpec {
+            label: "rFaaS warm (bare-metal)",
+            sandbox: SandboxType::BareMetal,
+            mode: PollingMode::Warm,
+        },
+        SeriesSpec {
+            label: "rFaaS hot (Docker)",
+            sandbox: SandboxType::Docker,
+            mode: PollingMode::Hot,
+        },
+        SeriesSpec {
+            label: "rFaaS warm (Docker)",
+            sandbox: SandboxType::Docker,
+            mode: PollingMode::Warm,
+        },
     ];
     for spec in &series {
         let testbed = Testbed::new(1);
@@ -59,9 +75,16 @@ fn main() {
             input
                 .write_payload(&workloads::generate_payload(size, 7))
                 .expect("payload fits");
-            invoker.invoke_sync("echo", &input, size, &output).expect("warm-up");
+            invoker
+                .invoke_sync("echo", &input, size, &output)
+                .expect("warm-up");
             let samples: Vec<_> = (0..repetitions)
-                .map(|_| invoker.invoke_sync("echo", &input, size, &output).expect("invoke").1)
+                .map(|_| {
+                    invoker
+                        .invoke_sync("echo", &input, size, &output)
+                        .expect("invoke")
+                        .1
+                })
                 .collect();
             let summary = summarize_us(&samples);
             rows.push(ResultRow {

@@ -9,7 +9,7 @@ use rfaas_bench::{quick_mode, Testbed};
 use sandbox::SandboxType;
 
 fn run_case(sandbox: SandboxType, payload: usize, workers: u32, repetitions: usize) {
-    let mut components = vec![0.0f64; 6];
+    let mut components = [0.0f64; 6];
     for rep in 0..repetitions {
         let testbed = Testbed::new(1);
         let mut invoker = testbed.invoker(&format!("fig9-client-{rep}"));

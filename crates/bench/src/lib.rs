@@ -70,7 +70,12 @@ impl Testbed {
 
     /// Create a client invoker on its own node.
     pub fn invoker(&self, client_name: &str) -> Invoker {
-        Invoker::new(&self.fabric, client_name, &self.manager, self.config.clone())
+        Invoker::new(
+            &self.fabric,
+            client_name,
+            &self.manager,
+            self.config.clone(),
+        )
     }
 
     /// Create an invoker and lease `workers` workers with the given sandbox
@@ -126,7 +131,10 @@ pub struct ResultRow {
 /// (machine-readable for plotting scripts).
 pub fn print_table(title: &str, rows: &[ResultRow]) {
     println!("\n# {title}");
-    println!("{:<28} {:>14} {:>14} {:>14}  unit", "series", "x", "median", "p99");
+    println!(
+        "{:<28} {:>14} {:>14} {:>14}  unit",
+        "series", "x", "median", "p99"
+    );
     for row in rows {
         println!(
             "{:<28} {:>14.3} {:>14.3} {:>14.3}  {}",
@@ -158,9 +166,7 @@ pub fn quick_mode() -> bool {
 /// First non-flag command-line argument, if any (used by binaries that select
 /// a sub-experiment, e.g. `thumbnailer` vs `inference`).
 pub fn sub_experiment() -> Option<String> {
-    std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
+    std::env::args().skip(1).find(|a| !a.starts_with("--"))
 }
 
 #[cfg(test)]

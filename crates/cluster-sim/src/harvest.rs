@@ -36,7 +36,10 @@ impl Default for HarvestPolicy {
         HarvestPolicy {
             reserved_cores: 2,
             reserved_memory_mib: 8 * 1024,
-            min_offer: NodeResources { cores: 1, memory_mib: 1024 },
+            min_offer: NodeResources {
+                cores: 1,
+                memory_mib: 1024,
+            },
         }
     }
 }
@@ -68,7 +71,9 @@ impl ResourceHarvester {
                 let idle = node.idle();
                 let available = NodeResources {
                     cores: idle.cores.saturating_sub(self.policy.reserved_cores),
-                    memory_mib: idle.memory_mib.saturating_sub(self.policy.reserved_memory_mib),
+                    memory_mib: idle
+                        .memory_mib
+                        .saturating_sub(self.policy.reserved_memory_mib),
                 };
                 if available.can_fit(&self.policy.min_offer) {
                     Some(HarvestedResources {
@@ -99,13 +104,12 @@ impl ResourceHarvester {
     }
 
     /// Return previously claimed resources on the named node.
-    pub fn release(
-        &self,
-        scheduler: &mut BatchScheduler,
-        node_name: &str,
-        request: NodeResources,
-    ) {
-        if let Some(node) = scheduler.nodes_mut().iter_mut().find(|n| n.name == node_name) {
+    pub fn release(&self, scheduler: &mut BatchScheduler, node_name: &str, request: NodeResources) {
+        if let Some(node) = scheduler
+            .nodes_mut()
+            .iter_mut()
+            .find(|n| n.name == node_name)
+        {
             node.release_harvest(request);
         }
     }
@@ -126,7 +130,10 @@ impl ResourceHarvester {
 
     /// Total harvestable cores across all offers.
     pub fn total_offered_cores(&self, scheduler: &BatchScheduler) -> u32 {
-        self.offers(scheduler).iter().map(|o| o.available.cores).sum()
+        self.offers(scheduler)
+            .iter()
+            .map(|o| o.available.cores)
+            .sum()
     }
 }
 
@@ -156,7 +163,10 @@ mod tests {
     fn busy_nodes_offer_nothing() {
         let mut sched = idle_cluster(2);
         for node in sched.nodes_mut() {
-            assert!(node.allocate_batch(NodeResources { cores: 36, memory_mib: 1024 }));
+            assert!(node.allocate_batch(NodeResources {
+                cores: 36,
+                memory_mib: 1024
+            }));
         }
         let harvester = ResourceHarvester::default();
         assert!(harvester.offers(&sched).is_empty());
@@ -166,7 +176,10 @@ mod tests {
     fn claim_and_release_round_trip() {
         let mut sched = idle_cluster(1);
         let harvester = ResourceHarvester::default();
-        let request = NodeResources { cores: 8, memory_mib: 16 * 1024 };
+        let request = NodeResources {
+            cores: 8,
+            memory_mib: 16 * 1024,
+        };
         assert!(harvester.claim(&mut sched, "nid00000", request));
         let offers = harvester.offers(&sched);
         assert_eq!(offers[0].available.cores, 36 - 2 - 8);
@@ -184,10 +197,16 @@ mod tests {
         assert!(harvester.claim(
             &mut sched,
             "nid00000",
-            NodeResources { cores: 30, memory_mib: 1024 }
+            NodeResources {
+                cores: 30,
+                memory_mib: 1024
+            }
         ));
         // Batch allocation bypasses the harvest (arrives through SLURM).
-        sched.nodes_mut()[0].batch_allocated = NodeResources { cores: 36, memory_mib: 2048 };
+        sched.nodes_mut()[0].batch_allocated = NodeResources {
+            cores: 36,
+            memory_mib: 2048,
+        };
         let candidates = harvester.reclamation_candidates(&sched);
         assert_eq!(candidates, vec!["nid00000".to_string()]);
     }
@@ -198,7 +217,10 @@ mod tests {
         let harvester = ResourceHarvester::new(HarvestPolicy {
             reserved_cores: 10,
             reserved_memory_mib: 100 * 1024,
-            min_offer: NodeResources { cores: 1, memory_mib: 1024 },
+            min_offer: NodeResources {
+                cores: 1,
+                memory_mib: 1024,
+            },
         });
         let offers = harvester.offers(&sched);
         assert_eq!(offers[0].available.cores, 26);

@@ -61,7 +61,7 @@ impl JobGenerator {
             let gap = SimDuration::from_secs_f64(
                 self.rng.exponential(self.mean_interarrival.as_secs_f64()),
             );
-            t = t + gap;
+            t += gap;
             if t.saturating_since(SimTime::ZERO) > horizon {
                 break;
             }
@@ -76,8 +76,14 @@ impl JobGenerator {
         // Node counts follow a heavy-ish tail: mostly small jobs, a few wide.
         let nodes = match self.rng.range_u64(0, 100) {
             0..=59 => self.rng.range_u64(1, 3) as usize,
-            60..=84 => self.rng.range_u64(2, (self.cluster_nodes as u64 / 4).max(3)) as usize,
-            85..=95 => self.rng.range_u64(2, (self.cluster_nodes as u64 / 2).max(3)) as usize,
+            60..=84 => {
+                self.rng
+                    .range_u64(2, (self.cluster_nodes as u64 / 4).max(3)) as usize
+            }
+            85..=95 => {
+                self.rng
+                    .range_u64(2, (self.cluster_nodes as u64 / 2).max(3)) as usize
+            }
             _ => self.rng.range_u64(
                 (self.cluster_nodes as u64 / 2).max(2),
                 self.cluster_nodes as u64 + 1,
@@ -166,7 +172,11 @@ impl BatchScheduler {
             match self.try_place(&job) {
                 Some(node_indices) => {
                     let end_time = now + job.duration;
-                    self.running.push(RunningJob { job, node_indices, end_time });
+                    self.running.push(RunningJob {
+                        job,
+                        node_indices,
+                        end_time,
+                    });
                 }
                 None => remaining.push_back(job),
             }
@@ -288,7 +298,10 @@ mod tests {
             id: 1,
             submit_time: SimTime::ZERO,
             nodes: 2,
-            per_node: NodeResources { cores: 36, memory_mib: 1024 },
+            per_node: NodeResources {
+                cores: 36,
+                memory_mib: 1024,
+            },
             duration: SimDuration::from_secs(100),
         });
         sched.advance_to(SimTime::from_secs(1));
@@ -308,7 +321,10 @@ mod tests {
             id: 1,
             submit_time: SimTime::ZERO,
             nodes: 3,
-            per_node: NodeResources { cores: 36, memory_mib: 1024 },
+            per_node: NodeResources {
+                cores: 36,
+                memory_mib: 1024,
+            },
             duration: SimDuration::from_secs(10),
         };
         sched.submit(big);

@@ -43,7 +43,10 @@ impl NodeResources {
     }
 
     /// An empty resource bundle.
-    pub const ZERO: NodeResources = NodeResources { cores: 0, memory_mib: 0 };
+    pub const ZERO: NodeResources = NodeResources {
+        cores: 0,
+        memory_mib: 0,
+    };
 }
 
 /// One node of the simulated cluster.
@@ -139,36 +142,95 @@ mod tests {
 
     #[test]
     fn resource_arithmetic() {
-        let a = NodeResources { cores: 10, memory_mib: 100 };
-        let b = NodeResources { cores: 4, memory_mib: 60 };
+        let a = NodeResources {
+            cores: 10,
+            memory_mib: 100,
+        };
+        let b = NodeResources {
+            cores: 4,
+            memory_mib: 60,
+        };
         assert!(a.can_fit(&b));
         assert!(!b.can_fit(&a));
-        assert_eq!(a.saturating_sub(&b), NodeResources { cores: 6, memory_mib: 40 });
+        assert_eq!(
+            a.saturating_sub(&b),
+            NodeResources {
+                cores: 6,
+                memory_mib: 40
+            }
+        );
         assert_eq!(b.saturating_sub(&a), NodeResources::ZERO);
-        assert_eq!(a.add(&b), NodeResources { cores: 14, memory_mib: 160 });
+        assert_eq!(
+            a.add(&b),
+            NodeResources {
+                cores: 14,
+                memory_mib: 160
+            }
+        );
     }
 
     #[test]
     fn batch_allocation_and_idle_tracking() {
-        let mut node = ClusterNode::new("nid00001", NodeResources { cores: 36, memory_mib: 1000 });
-        assert!(node.allocate_batch(NodeResources { cores: 30, memory_mib: 200 }));
+        let mut node = ClusterNode::new(
+            "nid00001",
+            NodeResources {
+                cores: 36,
+                memory_mib: 1000,
+            },
+        );
+        assert!(node.allocate_batch(NodeResources {
+            cores: 30,
+            memory_mib: 200
+        }));
         assert_eq!(node.idle().cores, 6);
         assert!((node.idle_core_fraction() - 6.0 / 36.0).abs() < 1e-9);
         assert!((node.free_memory_fraction() - 0.8).abs() < 1e-9);
         // Over-allocation is rejected.
-        assert!(!node.allocate_batch(NodeResources { cores: 10, memory_mib: 10 }));
-        node.release_batch(NodeResources { cores: 30, memory_mib: 200 });
+        assert!(!node.allocate_batch(NodeResources {
+            cores: 10,
+            memory_mib: 10
+        }));
+        node.release_batch(NodeResources {
+            cores: 30,
+            memory_mib: 200,
+        });
         assert_eq!(node.idle().cores, 36);
     }
 
     #[test]
     fn harvesting_respects_batch_allocations() {
-        let mut node = ClusterNode::new("nid00002", NodeResources { cores: 36, memory_mib: 1000 });
-        node.allocate_batch(NodeResources { cores: 20, memory_mib: 100 });
-        assert!(node.harvest(NodeResources { cores: 16, memory_mib: 800 }));
-        assert!(!node.harvest(NodeResources { cores: 1, memory_mib: 1 }) || node.idle().cores > 0);
-        assert_eq!(node.idle(), NodeResources { cores: 0, memory_mib: 100 });
-        node.release_harvest(NodeResources { cores: 16, memory_mib: 800 });
+        let mut node = ClusterNode::new(
+            "nid00002",
+            NodeResources {
+                cores: 36,
+                memory_mib: 1000,
+            },
+        );
+        node.allocate_batch(NodeResources {
+            cores: 20,
+            memory_mib: 100,
+        });
+        assert!(node.harvest(NodeResources {
+            cores: 16,
+            memory_mib: 800
+        }));
+        assert!(
+            !node.harvest(NodeResources {
+                cores: 1,
+                memory_mib: 1
+            }) || node.idle().cores > 0
+        );
+        assert_eq!(
+            node.idle(),
+            NodeResources {
+                cores: 0,
+                memory_mib: 100
+            }
+        );
+        node.release_harvest(NodeResources {
+            cores: 16,
+            memory_mib: 800,
+        });
         assert_eq!(node.idle().cores, 16);
     }
 

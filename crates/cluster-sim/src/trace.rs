@@ -59,7 +59,7 @@ impl UtilizationTrace {
                     free_memory_pct: 100.0 * scheduler.free_memory_fraction(),
                 });
             }
-            t = t + interval;
+            t += interval;
         }
         UtilizationTrace { points, interval }
     }
@@ -139,7 +139,10 @@ mod tests {
         let mean_idle = trace.mean_idle_cpu();
         // Paper: node utilisation 80-94%, i.e. 6-20% idle on average; allow a
         // wider band for the synthetic workload.
-        assert!((2.0..30.0).contains(&mean_idle), "mean idle CPU {mean_idle}%");
+        assert!(
+            (2.0..30.0).contains(&mean_idle),
+            "mean idle CPU {mean_idle}%"
+        );
     }
 
     #[test]
@@ -154,7 +157,10 @@ mod tests {
     fn idle_windows_are_bursty() {
         let trace = day_trace();
         let (lo, hi) = trace.idle_cpu_range();
-        assert!(hi - lo > 5.0, "idle CPU should fluctuate, range was {lo}..{hi}");
+        assert!(
+            hi - lo > 5.0,
+            "idle CPU should fluctuate, range was {lo}..{hi}"
+        );
     }
 
     #[test]

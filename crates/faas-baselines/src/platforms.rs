@@ -81,10 +81,22 @@ pub fn aws_lambda() -> BaselinePlatform {
             components: vec![
                 PathComponent::both("vpc-network", SimDuration::from_micros(600), 4.0),
                 PathComponent::both("api-gateway", SimDuration::from_micros(2_200), 12.0),
-                PathComponent::request_only("auth-and-signature", SimDuration::from_micros(800), 0.5),
-                PathComponent::request_only("invoke-service-placement", SimDuration::from_micros(9_500), 1.0),
+                PathComponent::request_only(
+                    "auth-and-signature",
+                    SimDuration::from_micros(800),
+                    0.5,
+                ),
+                PathComponent::request_only(
+                    "invoke-service-placement",
+                    SimDuration::from_micros(9_500),
+                    1.0,
+                ),
                 PathComponent::request_only("worker-manager", SimDuration::from_micros(1_200), 0.5),
-                PathComponent::both("runtime-interface(base64+json)", SimDuration::from_micros(1_200), 24.0),
+                PathComponent::both(
+                    "runtime-interface(base64+json)",
+                    SimDuration::from_micros(1_200),
+                    24.0,
+                ),
             ],
             payload_expansion: 4.0 / 3.0,
             jitter: 0.35,
@@ -105,8 +117,16 @@ pub fn openwhisk() -> BaselinePlatform {
         path: InvocationPath {
             components: vec![
                 PathComponent::both("nginx-api-gateway", SimDuration::from_millis(6), 30.0),
-                PathComponent::request_only("controller-loadbalancer", SimDuration::from_millis(35), 50.0),
-                PathComponent::request_only("kafka-message-bus", SimDuration::from_millis(28), 80.0),
+                PathComponent::request_only(
+                    "controller-loadbalancer",
+                    SimDuration::from_millis(35),
+                    50.0,
+                ),
+                PathComponent::request_only(
+                    "kafka-message-bus",
+                    SimDuration::from_millis(28),
+                    80.0,
+                ),
                 PathComponent::request_only("invoker", SimDuration::from_millis(18), 40.0),
                 PathComponent::both("docker-action-runtime", SimDuration::from_millis(12), 60.0),
             ],
@@ -157,12 +177,17 @@ mod tests {
     #[test]
     fn aws_large_payload_rtt_matches_paper() {
         let aws = aws_lambda();
-        let rtt = aws.invoke_rtt(5 * MB, 5 * MB, SimDuration::ZERO).as_millis_f64();
+        let rtt = aws
+            .invoke_rtt(5 * MB, 5 * MB, SimDuration::ZERO)
+            .as_millis_f64();
         // Paper: RTT grows to over 600 ms at 5 MB.
         assert!((500.0..800.0).contains(&rtt), "AWS 5 MB RTT {rtt} ms");
         let goodput = aws.goodput_bytes_per_sec(5 * MB) / 1e6;
         // Paper: 17.21 MB/s effective goodput.
-        assert!((13.0..22.0).contains(&goodput), "AWS goodput {goodput} MB/s");
+        assert!(
+            (13.0..22.0).contains(&goodput),
+            "AWS goodput {goodput} MB/s"
+        );
     }
 
     #[test]
@@ -173,7 +198,10 @@ mod tests {
         assert!((105.0..135.0).contains(&rtt), "OpenWhisk 1 kB RTT {rtt} ms");
         let goodput = ow.goodput_bytes_per_sec(100 * KB) / 1e6;
         // Paper: 1.79 MB/s.
-        assert!((1.2..2.6).contains(&goodput), "OpenWhisk goodput {goodput} MB/s");
+        assert!(
+            (1.2..2.6).contains(&goodput),
+            "OpenWhisk goodput {goodput} MB/s"
+        );
         // OpenWhisk cannot accept larger inputs than ~125 kB.
         assert!(ow.accepts_payload(100 * KB));
         assert!(!ow.accepts_payload(MB));
@@ -187,7 +215,10 @@ mod tests {
         assert!((180.0..240.0).contains(&rtt), "nightcore 1 kB RTT {rtt} us");
         let goodput = nc.goodput_bytes_per_sec(5 * MB) / 1e6;
         // Paper: 453.72 MB/s.
-        assert!((350.0..550.0).contains(&goodput), "nightcore goodput {goodput} MB/s");
+        assert!(
+            (350.0..550.0).contains(&goodput),
+            "nightcore goodput {goodput} MB/s"
+        );
     }
 
     #[test]
@@ -207,18 +238,32 @@ mod tests {
         // The RDMA fabric's small-message RTT is ~3.7 us, rFaaS hot ~4 us;
         // the paper reports 695x-3692x over AWS and 23x-39x over Nightcore.
         let rfaas_hot_us = 4.0;
-        let aws_ratio = aws_lambda().invoke_rtt(KB, KB, SimDuration::ZERO).as_micros_f64() / rfaas_hot_us;
-        let nc_ratio = nightcore().invoke_rtt(KB, KB, SimDuration::ZERO).as_micros_f64() / rfaas_hot_us;
-        let ow_ratio = openwhisk().invoke_rtt(KB, KB, SimDuration::ZERO).as_micros_f64() / rfaas_hot_us;
+        let aws_ratio = aws_lambda()
+            .invoke_rtt(KB, KB, SimDuration::ZERO)
+            .as_micros_f64()
+            / rfaas_hot_us;
+        let nc_ratio = nightcore()
+            .invoke_rtt(KB, KB, SimDuration::ZERO)
+            .as_micros_f64()
+            / rfaas_hot_us;
+        let ow_ratio = openwhisk()
+            .invoke_rtt(KB, KB, SimDuration::ZERO)
+            .as_micros_f64()
+            / rfaas_hot_us;
         assert!(aws_ratio > 600.0, "AWS ratio {aws_ratio}");
-        assert!((20.0..70.0).contains(&nc_ratio), "nightcore ratio {nc_ratio}");
+        assert!(
+            (20.0..70.0).contains(&nc_ratio),
+            "nightcore ratio {nc_ratio}"
+        );
         assert!(ow_ratio > 5_000.0, "OpenWhisk ratio {ow_ratio}");
     }
 
     #[test]
     fn cold_starts_dominate_first_invocations() {
         for p in [aws_lambda(), openwhisk(), nightcore()] {
-            assert!(p.cold_rtt(KB, KB, SimDuration::ZERO) > p.invoke_rtt(KB, KB, SimDuration::ZERO));
+            assert!(
+                p.cold_rtt(KB, KB, SimDuration::ZERO) > p.invoke_rtt(KB, KB, SimDuration::ZERO)
+            );
         }
     }
 

@@ -59,9 +59,9 @@ impl Rank {
         if self.rank() == root {
             let mut all: Vec<Vec<f64>> = vec![Vec::new(); self.size()];
             all[root] = data.to_vec();
-            for source in 0..self.size() {
+            for (source, slot) in all.iter_mut().enumerate() {
                 if source != root {
-                    all[source] = self.recv_f64(source, TAG_GATHER);
+                    *slot = self.recv_f64(source, TAG_GATHER);
                 }
             }
             Some(all)
@@ -139,7 +139,11 @@ mod tests {
     fn broadcast_delivers_root_data() {
         let world = MpiWorld::new();
         let results = world.run(5, |rank| {
-            let data = if rank.rank() == 2 { vec![3.25, 1.0] } else { vec![] };
+            let data = if rank.rank() == 2 {
+                vec![3.25, 1.0]
+            } else {
+                vec![]
+            };
             rank.broadcast_f64(2, &data)
         });
         for r in results {

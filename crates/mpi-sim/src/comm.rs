@@ -107,7 +107,9 @@ impl Rank {
             data: data.to_vec(),
             arrival,
         };
-        self.senders[dest].send(message).expect("rank channel closed");
+        self.senders[dest]
+            .send(message)
+            .expect("rank channel closed");
     }
 
     /// Send a slice of `f64`s.
@@ -319,7 +321,10 @@ mod tests {
         });
         let transfer = results[1].value.as_millis_f64();
         // 16 MiB at ~12 GB/s ≈ 1.3 ms.
-        assert!((1.0..2.5).contains(&transfer), "16 MiB transfer {transfer} ms");
+        assert!(
+            (1.0..2.5).contains(&transfer),
+            "16 MiB transfer {transfer} ms"
+        );
     }
 
     #[test]

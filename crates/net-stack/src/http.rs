@@ -114,7 +114,8 @@ impl<'a> HttpExchange<'a> {
         };
         encode
             + p.client_http_overhead
-            + p.tls_per_byte.saturating_mul(self.profile.wire_bytes(raw_bytes) as u64)
+            + p.tls_per_byte
+                .saturating_mul(self.profile.wire_bytes(raw_bytes) as u64)
     }
 
     /// Server-side cost of parsing a request carrying `raw_bytes` of payload.

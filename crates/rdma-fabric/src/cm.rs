@@ -32,7 +32,9 @@ pub(crate) struct ListenerHandle {
 
 impl std::fmt::Debug for ListenerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ListenerHandle").field("token", &self.token).finish()
+        f.debug_struct("ListenerHandle")
+            .field("token", &self.token)
+            .finish()
     }
 }
 
@@ -46,7 +48,9 @@ pub struct Listener {
 
 impl std::fmt::Debug for Listener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Listener").field("address", &self.address).finish()
+        f.debug_struct("Listener")
+            .field("address", &self.address)
+            .finish()
     }
 }
 
@@ -81,7 +85,11 @@ impl Listener {
     }
 
     /// Accept with a wall-clock timeout, returning `Ok(None)` on timeout.
-    pub fn accept_timeout(&self, endpoint: &Endpoint, timeout: Duration) -> Result<Option<QueuePair>> {
+    pub fn accept_timeout(
+        &self,
+        endpoint: &Endpoint,
+        timeout: Duration,
+    ) -> Result<Option<QueuePair>> {
         match self.rx.recv_timeout(timeout) {
             Ok(request) => self.finish_accept(endpoint, request).map(Some),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
@@ -200,10 +208,19 @@ mod tests {
             .register_from(b"ping".to_vec(), AccessFlags::LOCAL_ONLY);
         let buf = server_qp.pd().register(8, AccessFlags::LOCAL_ONLY);
         server_qp
-            .post_recv(RecvRequest { wr_id: 1, local: Sge::whole(&buf) })
+            .post_recv(RecvRequest {
+                wr_id: 1,
+                local: Sge::whole(&buf),
+            })
             .unwrap();
         client_qp
-            .post_send(1, SendRequest::Send { local: Sge::whole(&msg) }, false)
+            .post_send(
+                1,
+                SendRequest::Send {
+                    local: Sge::whole(&msg),
+                },
+                false,
+            )
             .unwrap();
         let wc = server_qp.recv_cq().poll_one().unwrap();
         assert_eq!(wc.byte_len, 4);

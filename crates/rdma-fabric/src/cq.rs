@@ -197,7 +197,10 @@ impl CompletionQueue {
         // Serialise the notification through the node's shared event channel:
         // concurrent blocking waiters on one node queue behind each other.
         let dispatch = self.inner.profile.notification_dispatch;
-        let visible: SimTime = self.inner.node.serialize_notification(wc.timestamp, dispatch);
+        let visible: SimTime = self
+            .inner
+            .node
+            .serialize_notification(wc.timestamp, dispatch);
         let wakeup = self.inner.profile.blocking_wakeup
             + self.inner.function.blocking_extra(&self.inner.profile)
             + self.inner.profile.completion_pickup;
@@ -208,8 +211,7 @@ impl CompletionQueue {
     /// The blocking wake-up penalty of this CQ's device function, exposed for
     /// cost-model introspection in benchmarks.
     pub fn blocking_penalty(&self) -> SimDuration {
-        self.inner.profile.blocking_wakeup
-            + self.inner.function.blocking_extra(&self.inner.profile)
+        self.inner.profile.blocking_wakeup + self.inner.function.blocking_extra(&self.inner.profile)
     }
 }
 
@@ -284,7 +286,7 @@ mod tests {
         assert!(virt_clock.now() > phys_clock.now());
         let delta = virt_clock.now().as_nanos() - phys_clock.now().as_nanos();
         // 600 ns vf blocking extra + 25 ns message overhead tolerance window.
-        assert!(delta >= 600 && delta <= 700, "delta {delta}");
+        assert!((600..=700).contains(&delta), "delta {delta}");
     }
 
     #[test]
@@ -323,9 +325,13 @@ mod tests {
     #[test]
     fn blocking_wait_timeout_returns_none_when_idle() {
         let (cq, _clock) = make_cq(DeviceFunction::Physical);
-        assert!(cq.blocking_wait_timeout(Duration::from_millis(10)).is_none());
+        assert!(cq
+            .blocking_wait_timeout(Duration::from_millis(10))
+            .is_none());
         cq.push(completion_at(1));
-        assert!(cq.blocking_wait_timeout(Duration::from_millis(10)).is_some());
+        assert!(cq
+            .blocking_wait_timeout(Duration::from_millis(10))
+            .is_some());
     }
 
     #[test]
@@ -336,8 +342,18 @@ mod tests {
         let node = fabric.add_node("n0");
         let c1 = VirtualClock::shared();
         let c2 = VirtualClock::shared();
-        let cq1 = CompletionQueue::new(Arc::clone(&c1), Arc::clone(&node), NicProfile::default(), DeviceFunction::Physical);
-        let cq2 = CompletionQueue::new(Arc::clone(&c2), Arc::clone(&node), NicProfile::default(), DeviceFunction::Physical);
+        let cq1 = CompletionQueue::new(
+            Arc::clone(&c1),
+            Arc::clone(&node),
+            NicProfile::default(),
+            DeviceFunction::Physical,
+        );
+        let cq2 = CompletionQueue::new(
+            Arc::clone(&c2),
+            Arc::clone(&node),
+            NicProfile::default(),
+            DeviceFunction::Physical,
+        );
         cq1.push(completion_at(10));
         cq2.push(completion_at(10));
         cq1.blocking_wait().unwrap();

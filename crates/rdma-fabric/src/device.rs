@@ -216,7 +216,10 @@ mod tests {
         let p = NicProfile::default();
         assert!(DeviceFunction::Physical.message_overhead(&p).is_zero());
         assert!(!DeviceFunction::Virtual.message_overhead(&p).is_zero());
-        assert!(DeviceFunction::Virtual.blocking_extra(&p) > DeviceFunction::Physical.blocking_extra(&p));
+        assert!(
+            DeviceFunction::Virtual.blocking_extra(&p)
+                > DeviceFunction::Physical.blocking_extra(&p)
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = FabricError::LocalAccessOutOfBounds { offset: 8, len: 16, region_len: 12 };
+        let e = FabricError::LocalAccessOutOfBounds {
+            offset: 8,
+            len: 16,
+            region_len: 12,
+        };
         assert!(e.to_string().contains("exceeds region"));
         let e = FabricError::InvalidRemoteKey(0xdead);
         assert!(e.to_string().contains("dead"));
@@ -136,9 +140,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(FabricError::NotConnected, FabricError::NotConnected);
-        assert_ne!(
-            FabricError::NotConnected,
-            FabricError::ConnectionLost
-        );
+        assert_ne!(FabricError::NotConnected, FabricError::ConnectionLost);
     }
 }

@@ -173,7 +173,8 @@ impl Fabric {
     ) -> TransferTiming {
         src.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
         src.messages_sent.fetch_add(1, Ordering::Relaxed);
-        dst.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        dst.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
 
         if std::ptr::eq(src, dst) {
             // Intra-node transfer: loopback through the NIC, no wire latency,
@@ -281,7 +282,10 @@ mod tests {
         let t1 = fabric.transfer(&a, &b, 64, SimTime::ZERO);
         let t2 = fabric.transfer(&a, &b, 64, SimTime::ZERO);
         let gap = t2.arrive.saturating_since(t1.arrive);
-        assert!(gap.as_nanos() < 50, "64-byte messages should not queue: {gap}");
+        assert!(
+            gap.as_nanos() < 50,
+            "64-byte messages should not queue: {gap}"
+        );
     }
 
     #[test]

@@ -172,7 +172,9 @@ impl MemoryRegion {
     /// Read an 8-byte little-endian word (used by atomics and headers).
     pub fn read_u64(&self, offset: usize) -> Result<u64> {
         let bytes = self.read(offset, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("read returned 8 bytes")))
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("read returned 8 bytes"),
+        ))
     }
 
     /// Write an 8-byte little-endian word.
@@ -206,7 +208,11 @@ impl MemoryRegion {
 }
 
 fn check_bounds(offset: usize, len: usize, region_len: usize) -> Result<()> {
-    if offset.checked_add(len).map(|end| end <= region_len).unwrap_or(false) {
+    if offset
+        .checked_add(len)
+        .map(|end| end <= region_len)
+        .unwrap_or(false)
+    {
         Ok(())
     } else {
         Err(FabricError::LocalAccessOutOfBounds {
@@ -319,8 +325,8 @@ mod tests {
 
     #[test]
     fn access_flag_presets() {
-        assert!(AccessFlags::REMOTE_ALL.remote_atomic);
-        assert!(!AccessFlags::REMOTE_WRITE.remote_read);
-        assert!(!AccessFlags::LOCAL_ONLY.remote_write);
+        const { assert!(AccessFlags::REMOTE_ALL.remote_atomic) }
+        const { assert!(!AccessFlags::REMOTE_WRITE.remote_read) }
+        const { assert!(!AccessFlags::LOCAL_ONLY.remote_write) }
     }
 }

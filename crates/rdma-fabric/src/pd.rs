@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn unknown_rkey_is_rejected() {
         let pd = ProtectionDomain::new();
-        assert!(matches!(pd.lookup(12345), Err(FabricError::InvalidRemoteKey(12345))));
+        assert!(matches!(
+            pd.lookup(12345),
+            Err(FabricError::InvalidRemoteKey(12345))
+        ));
     }
 
     #[test]

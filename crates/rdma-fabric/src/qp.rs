@@ -316,10 +316,20 @@ impl QueuePair {
             SendRequest::Read { local, remote } => {
                 self.execute_read(wr_id, local, remote, &peer, signaled)
             }
-            SendRequest::AtomicFetchAdd { local, remote, add } => {
-                self.execute_atomic(wr_id, local, remote, AtomicOp::FetchAdd(*add), &peer, signaled)
-            }
-            SendRequest::AtomicCompareSwap { local, remote, compare, swap } => self.execute_atomic(
+            SendRequest::AtomicFetchAdd { local, remote, add } => self.execute_atomic(
+                wr_id,
+                local,
+                remote,
+                AtomicOp::FetchAdd(*add),
+                &peer,
+                signaled,
+            ),
+            SendRequest::AtomicCompareSwap {
+                local,
+                remote,
+                compare,
+                swap,
+            } => self.execute_atomic(
                 wr_id,
                 local,
                 remote,
@@ -453,7 +463,11 @@ impl QueuePair {
         if signaled {
             self.inner.send_cq.push(WorkCompletion {
                 wr_id,
-                opcode: if imm.is_some() { OpCode::WriteWithImm } else { OpCode::Write },
+                opcode: if imm.is_some() {
+                    OpCode::WriteWithImm
+                } else {
+                    OpCode::Write
+                },
                 status: CompletionStatus::Success,
                 byte_len: local.len,
                 imm: None,
@@ -526,7 +540,7 @@ impl QueuePair {
                 required: "REMOTE_ATOMIC",
             });
         }
-        if remote.offset % 8 != 0 || remote.offset + 8 > target.len() {
+        if !remote.offset.is_multiple_of(8) || remote.offset + 8 > target.len() {
             return Err(FabricError::InvalidAtomicTarget {
                 offset: remote.offset,
             });
@@ -556,15 +570,11 @@ impl QueuePair {
             slot.copy_from_slice(&new.to_le_bytes());
             old
         });
-        local
-            .region
-            .write(local.offset, &original.to_le_bytes())?;
+        local.region.write(local.offset, &original.to_le_bytes())?;
 
         let ready = self.issue(8);
-        let completion_time = ready
-            + profile.one_way_latency
-            + profile.atomic_execution
-            + profile.one_way_latency;
+        let completion_time =
+            ready + profile.one_way_latency + profile.atomic_execution + profile.one_way_latency;
         if signaled {
             self.inner.send_cq.push(WorkCompletion {
                 wr_id,
@@ -634,7 +644,9 @@ mod tests {
     #[test]
     fn write_moves_bytes_into_remote_region() {
         let (client, server, _f) = connected_pair();
-        let src = client.pd().register_from(vec![5u8; 64], AccessFlags::LOCAL_ONLY);
+        let src = client
+            .pd()
+            .register_from(vec![5u8; 64], AccessFlags::LOCAL_ONLY);
         let dst = server.pd().register(64, AccessFlags::REMOTE_WRITE);
         client
             .post_send(
@@ -656,11 +668,16 @@ mod tests {
     #[test]
     fn write_with_imm_delivers_immediate_and_consumes_recv() {
         let (client, server, _f) = connected_pair();
-        let src = client.pd().register_from(vec![9u8; 32], AccessFlags::LOCAL_ONLY);
+        let src = client
+            .pd()
+            .register_from(vec![9u8; 32], AccessFlags::LOCAL_ONLY);
         let dst = server.pd().register(32, AccessFlags::REMOTE_WRITE);
         let scratch = server.pd().register(8, AccessFlags::LOCAL_ONLY);
         server
-            .post_recv(RecvRequest { wr_id: 77, local: Sge::whole(&scratch) })
+            .post_recv(RecvRequest {
+                wr_id: 77,
+                local: Sge::whole(&scratch),
+            })
             .unwrap();
         client
             .post_send(
@@ -705,13 +722,24 @@ mod tests {
     #[test]
     fn send_recv_round_trip() {
         let (client, server, _f) = connected_pair();
-        let src = client.pd().register_from(b"hello".to_vec(), AccessFlags::LOCAL_ONLY);
+        let src = client
+            .pd()
+            .register_from(b"hello".to_vec(), AccessFlags::LOCAL_ONLY);
         let dst = server.pd().register(16, AccessFlags::LOCAL_ONLY);
         server
-            .post_recv(RecvRequest { wr_id: 10, local: Sge::whole(&dst) })
+            .post_recv(RecvRequest {
+                wr_id: 10,
+                local: Sge::whole(&dst),
+            })
             .unwrap();
         client
-            .post_send(4, SendRequest::Send { local: Sge::whole(&src) }, true)
+            .post_send(
+                4,
+                SendRequest::Send {
+                    local: Sge::whole(&src),
+                },
+                true,
+            )
             .unwrap();
         let wc = server.recv_cq().poll_one().unwrap();
         assert_eq!(wc.opcode, OpCode::Recv);
@@ -725,10 +753,19 @@ mod tests {
         let src = client.pd().register(64, AccessFlags::LOCAL_ONLY);
         let dst = server.pd().register(8, AccessFlags::LOCAL_ONLY);
         server
-            .post_recv(RecvRequest { wr_id: 1, local: Sge::whole(&dst) })
+            .post_recv(RecvRequest {
+                wr_id: 1,
+                local: Sge::whole(&dst),
+            })
             .unwrap();
         let err = client
-            .post_send(5, SendRequest::Send { local: Sge::whole(&src) }, true)
+            .post_send(
+                5,
+                SendRequest::Send {
+                    local: Sge::whole(&src),
+                },
+                true,
+            )
             .unwrap_err();
         assert!(matches!(err, FabricError::ReceiveBufferTooSmall { .. }));
     }
@@ -759,11 +796,20 @@ mod tests {
     fn access_permissions_are_enforced() {
         let (client, server, _f) = connected_pair();
         let local = client.pd().register(8, AccessFlags::LOCAL_ONLY);
-        let no_write = server.pd().register(8, AccessFlags { remote_write: false, ..AccessFlags::REMOTE_ALL });
+        let no_write = server.pd().register(
+            8,
+            AccessFlags {
+                remote_write: false,
+                ..AccessFlags::REMOTE_ALL
+            },
+        );
         let err = client
             .post_send(
                 7,
-                SendRequest::Write { local: Sge::whole(&local), remote: no_write.remote_handle() },
+                SendRequest::Write {
+                    local: Sge::whole(&local),
+                    remote: no_write.remote_handle(),
+                },
                 true,
             )
             .unwrap_err();
@@ -773,7 +819,10 @@ mod tests {
         let err = client
             .post_send(
                 8,
-                SendRequest::Read { local: Sge::whole(&local), remote: no_read.remote_handle() },
+                SendRequest::Read {
+                    local: Sge::whole(&local),
+                    remote: no_read.remote_handle(),
+                },
                 true,
             )
             .unwrap_err();
@@ -821,7 +870,11 @@ mod tests {
                 11,
                 SendRequest::Write {
                     local: Sge::whole(&local),
-                    remote: RemoteMemoryHandle { rkey: 0xffff_ffff, offset: 0, len: 8 },
+                    remote: RemoteMemoryHandle {
+                        rkey: 0xffff_ffff,
+                        offset: 0,
+                        len: 8,
+                    },
                 },
                 true,
             )
@@ -917,7 +970,13 @@ mod tests {
         let qp = QueuePair::new(&Endpoint::new(&fabric, &node));
         let mr = qp.pd().register(8, AccessFlags::LOCAL_ONLY);
         let err = qp
-            .post_send(1, SendRequest::Send { local: Sge::whole(&mr) }, true)
+            .post_send(
+                1,
+                SendRequest::Send {
+                    local: Sge::whole(&mr),
+                },
+                true,
+            )
             .unwrap_err();
         assert!(matches!(err, FabricError::InvalidQpState { .. }));
     }
@@ -931,7 +990,13 @@ mod tests {
         assert!(!server.is_connected());
         let mr = server.pd().register(8, AccessFlags::LOCAL_ONLY);
         assert!(server
-            .post_send(1, SendRequest::Send { local: Sge::whole(&mr) }, true)
+            .post_send(
+                1,
+                SendRequest::Send {
+                    local: Sge::whole(&mr)
+                },
+                true
+            )
             .is_err());
     }
 
@@ -946,7 +1011,10 @@ mod tests {
         client
             .post_send(
                 1,
-                SendRequest::Write { local: Sge::whole(&src), remote: dst.remote_handle() },
+                SendRequest::Write {
+                    local: Sge::whole(&src),
+                    remote: dst.remote_handle(),
+                },
                 false,
             )
             .unwrap();
@@ -961,11 +1029,17 @@ mod tests {
         let depth = Fabric::with_defaults().profile().max_recv_queue_depth;
         for i in 0..depth {
             server
-                .post_recv(RecvRequest { wr_id: i as u64, local: Sge::whole(&mr) })
+                .post_recv(RecvRequest {
+                    wr_id: i as u64,
+                    local: Sge::whole(&mr),
+                })
                 .unwrap();
         }
         let err = server
-            .post_recv(RecvRequest { wr_id: 0, local: Sge::whole(&mr) })
+            .post_recv(RecvRequest {
+                wr_id: 0,
+                local: Sge::whole(&mr),
+            })
             .unwrap_err();
         assert!(matches!(err, FabricError::DeviceLimitExceeded { .. }));
     }

@@ -43,7 +43,10 @@ impl OpCode {
     /// Whether the operation must wait for a round trip before the initiator
     /// sees its completion (reads and atomics return data).
     pub fn is_round_trip(self) -> bool {
-        matches!(self, OpCode::Read | OpCode::AtomicFetchAdd | OpCode::AtomicCompareSwap)
+        matches!(
+            self,
+            OpCode::Read | OpCode::AtomicFetchAdd | OpCode::AtomicCompareSwap
+        )
     }
 }
 

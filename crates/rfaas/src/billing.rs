@@ -233,18 +233,39 @@ mod tests {
 
     #[test]
     fn usage_record_arithmetic_and_cost() {
-        let mut a = UsageRecord { allocation_gib_us: 10, compute_us: 20, hot_poll_us: 30 };
-        let b = UsageRecord { allocation_gib_us: 1, compute_us: 2, hot_poll_us: 3 };
+        let mut a = UsageRecord {
+            allocation_gib_us: 10,
+            compute_us: 20,
+            hot_poll_us: 30,
+        };
+        let b = UsageRecord {
+            allocation_gib_us: 1,
+            compute_us: 2,
+            hot_poll_us: 3,
+        };
         a.accumulate(&b);
-        assert_eq!(a, UsageRecord { allocation_gib_us: 11, compute_us: 22, hot_poll_us: 33 });
+        assert_eq!(
+            a,
+            UsageRecord {
+                allocation_gib_us: 11,
+                compute_us: 22,
+                hot_poll_us: 33
+            }
+        );
         assert!(!a.is_empty());
         assert!(UsageRecord::default().is_empty());
         let config = RFaasConfig::default();
         let cost = a.cost(&config);
         assert!(cost > 0.0);
         // Compute and hot-poll seconds are priced equally.
-        let compute_only = UsageRecord { compute_us: 1_000_000, ..Default::default() };
-        let hot_only = UsageRecord { hot_poll_us: 1_000_000, ..Default::default() };
+        let compute_only = UsageRecord {
+            compute_us: 1_000_000,
+            ..Default::default()
+        };
+        let hot_only = UsageRecord {
+            hot_poll_us: 1_000_000,
+            ..Default::default()
+        };
         assert!((compute_only.cost(&config) - hot_only.cost(&config)).abs() < 1e-12);
     }
 

@@ -14,8 +14,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use rdma_fabric::{
-    connect_with_timeout, AccessFlags, Endpoint, Fabric, MemoryRegion, ProtectionDomain,
-    QueuePair, RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
+    connect_with_timeout, AccessFlags, Endpoint, Fabric, MemoryRegion, ProtectionDomain, QueuePair,
+    RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
 };
 use sandbox::CodePackage;
 use sim_core::{SimDuration, VirtualClock};
@@ -258,7 +258,9 @@ impl Invoker {
 
     /// Buffer allocator bound to the invoker's protection domain.
     pub fn allocator(&self) -> BufferAllocator {
-        BufferAllocator { pd: self.pd.clone() }
+        BufferAllocator {
+            pd: self.pd.clone(),
+        }
     }
 
     /// Number of connected executor workers.
@@ -279,7 +281,11 @@ impl Invoker {
     /// Acquire a lease and spin up executor workers (the cold invocation path
     /// of Fig. 5/6). `mode` selects hot busy-polling or warm blocking waits
     /// on the executor side.
-    pub fn allocate(&mut self, request: LeaseRequest, mode: PollingMode) -> Result<&ColdStartBreakdown> {
+    pub fn allocate(
+        &mut self,
+        request: LeaseRequest,
+        mode: PollingMode,
+    ) -> Result<&ColdStartBreakdown> {
         if self.lease.is_some() {
             self.deallocate()?;
         }
@@ -299,9 +305,10 @@ impl Invoker {
         // Step 3 + 4: the allocator spawns the sandboxed executor process and
         // loads the code package; the client waits for the whole thing.
         let t2 = self.clock.now();
-        let allocation = executor
-            .allocator()
-            .allocate_with_workers(&lease, request.cores as usize, mode)?;
+        let allocation =
+            executor
+                .allocator()
+                .allocate_with_workers(&lease, request.cores as usize, mode)?;
         self.clock.advance(allocation.breakdown.spawn.total());
         breakdown.spawn_workers = self.clock.now().saturating_since(t2);
         let t3 = self.clock.now();
@@ -323,8 +330,13 @@ impl Invoker {
             };
             let qp = connect_with_timeout(&endpoint, &worker.address, Duration::from_secs(10))?;
             // Receive the worker's "hello" advertising its input buffer.
-            let hello = self.pd.register(INVOCATION_HEADER_BYTES, AccessFlags::LOCAL_ONLY);
-            qp.post_recv(RecvRequest { wr_id: u64::MAX, local: Sge::whole(&hello) })?;
+            let hello = self
+                .pd
+                .register(INVOCATION_HEADER_BYTES, AccessFlags::LOCAL_ONLY);
+            qp.post_recv(RecvRequest {
+                wr_id: u64::MAX,
+                local: Sge::whole(&hello),
+            })?;
             let wc = qp
                 .recv_cq()
                 .blocking_wait_timeout(Duration::from_secs(10))
@@ -555,9 +567,12 @@ impl InvocationFuture<'_> {
             match status {
                 ResultStatus::Success => return Ok(byte_len),
                 ResultStatus::FunctionFailed => {
-                    return Err(RFaasError::Function(sandbox::FunctionError::ExecutionFailed(
-                        format!("function '{}' failed on the executor", self.function),
-                    )))
+                    return Err(RFaasError::Function(
+                        sandbox::FunctionError::ExecutionFailed(format!(
+                            "function '{}' failed on the executor",
+                            self.function
+                        )),
+                    ))
                 }
                 ResultStatus::Rejected => {
                     // Redirect to a different worker; give up once every
@@ -566,8 +581,7 @@ impl InvocationFuture<'_> {
                     if self.redirections as usize > self.invoker.worker_count() {
                         return Err(RFaasError::AllWorkersBusy);
                     }
-                    let next_worker =
-                        (self.connection.index + 1) % self.invoker.worker_count();
+                    let next_worker = (self.connection.index + 1) % self.invoker.worker_count();
                     let retry = self.invoker.submit_to_worker(
                         next_worker,
                         &self.function,
@@ -601,7 +615,10 @@ mod tests {
         let executor = SpotExecutor::new(
             &fabric,
             "exec-0",
-            NodeResources { cores: 36, memory_mib: 128 * 1024 },
+            NodeResources {
+                cores: 36,
+                memory_mib: 128 * 1024,
+            },
             registry,
             RFaasConfig::default(),
         );
@@ -649,10 +666,15 @@ mod tests {
         let output = alloc.output(1024);
         let payload: Vec<u8> = (0..100u8).collect();
         input.write_payload(&payload).unwrap();
-        let (len, rtt) = invoker.invoke_sync("echo", &input, payload.len(), &output).unwrap();
+        let (len, rtt) = invoker
+            .invoke_sync("echo", &input, payload.len(), &output)
+            .unwrap();
         assert_eq!(len, 100);
         assert_eq!(output.read_payload(100).unwrap(), payload);
-        assert!(rtt.as_micros_f64() > 1.0 && rtt.as_micros_f64() < 100.0, "rtt {rtt}");
+        assert!(
+            rtt.as_micros_f64() > 1.0 && rtt.as_micros_f64() < 100.0,
+            "rtt {rtt}"
+        );
 
         invoker.deallocate().unwrap();
         assert_eq!(invoker.worker_count(), 0);

@@ -102,10 +102,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RFaasError::PayloadTooLarge { payload: 100, capacity: 10 };
+        let e = RFaasError::PayloadTooLarge {
+            payload: 100,
+            capacity: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
-        assert!(RFaasError::UnknownPackage("img".into()).to_string().contains("img"));
+        assert!(RFaasError::UnknownPackage("img".into())
+            .to_string()
+            .contains("img"));
         assert!(RFaasError::NotAllocated.to_string().contains("allocate"));
     }
 }

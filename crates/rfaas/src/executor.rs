@@ -181,9 +181,10 @@ fn worker_main(ctx: WorkerContext) {
 
     // Registered buffers: clients write [header | payload] into `input`; the
     // function produces its result in `output` before it is written back.
-    let input = endpoint
-        .pd
-        .register(INVOCATION_HEADER_BYTES + max_payload, AccessFlags::REMOTE_WRITE);
+    let input = endpoint.pd.register(
+        INVOCATION_HEADER_BYTES + max_payload,
+        AccessFlags::REMOTE_WRITE,
+    );
     let output = endpoint.pd.register(max_payload, AccessFlags::LOCAL_ONLY);
     let recv_scratch = endpoint.pd.register(8, AccessFlags::LOCAL_ONLY);
 
@@ -207,7 +208,13 @@ fn worker_main(ctx: WorkerContext) {
         .pd
         .register_from(hello.encode().to_vec(), AccessFlags::LOCAL_ONLY);
     for _ in 0..200 {
-        match qp.post_send(0, SendRequest::Send { local: Sge::whole(&hello_region) }, false) {
+        match qp.post_send(
+            0,
+            SendRequest::Send {
+                local: Sge::whole(&hello_region),
+            },
+            false,
+        ) {
             Ok(()) => break,
             Err(rdma_fabric::FabricError::ReceiverNotReady) => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -250,7 +257,9 @@ fn worker_main(ctx: WorkerContext) {
                 }
                 wc
             }
-            PollingMode::Warm => qp.recv_cq().blocking_wait_timeout(Duration::from_millis(50)),
+            PollingMode::Warm => qp
+                .recv_cq()
+                .blocking_wait_timeout(Duration::from_millis(50)),
             PollingMode::Adaptive => {
                 // Busy-poll until the fallback deadline, then block.
                 let deadline = std::time::Instant::now() + config.hot_poll_fallback;
@@ -266,7 +275,8 @@ fn worker_main(ctx: WorkerContext) {
                     std::thread::yield_now();
                 }
                 if wc.is_none() && !shared.shutdown.load(Ordering::Acquire) {
-                    qp.recv_cq().blocking_wait_timeout(Duration::from_millis(50))
+                    qp.recv_cq()
+                        .blocking_wait_timeout(Duration::from_millis(50))
                 } else {
                     wc
                 }
@@ -736,10 +746,7 @@ impl LightweightAllocator {
             let _ = billing.flush();
         }
         let mut state = self.state.lock();
-        state.available = state.available.add(&NodeResources {
-            cores,
-            memory_mib,
-        });
+        state.available = state.available.add(&NodeResources { cores, memory_mib });
         Ok(stats)
     }
 
@@ -860,7 +867,10 @@ mod tests {
         SpotExecutor::new(
             &fabric,
             "exec-0",
-            NodeResources { cores: 8, memory_mib: 32 * 1024 },
+            NodeResources {
+                cores: 8,
+                memory_mib: 32 * 1024,
+            },
             registry_with_echo(),
             RFaasConfig::default(),
         )
@@ -906,7 +916,10 @@ mod tests {
         let exec = executor();
         let lease = test_lease(6, "echo-pkg");
         let first = exec.allocator().allocate(&lease).unwrap();
-        let err = exec.allocator().allocate(&test_lease(6, "echo-pkg")).unwrap_err();
+        let err = exec
+            .allocator()
+            .allocate(&test_lease(6, "echo-pkg"))
+            .unwrap_err();
         assert!(matches!(err, RFaasError::InsufficientResources { .. }));
         exec.allocator().deallocate(first.process_id).unwrap();
     }
@@ -914,9 +927,15 @@ mod tests {
     #[test]
     fn cold_start_breakdown_matches_sandbox_scale() {
         let exec = executor();
-        let result = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        let result = exec
+            .allocator()
+            .allocate(&test_lease(1, "echo-pkg"))
+            .unwrap();
         let total = result.breakdown.total().as_millis_f64();
-        assert!((10.0..80.0).contains(&total), "bare-metal cold start {total} ms");
+        assert!(
+            (10.0..80.0).contains(&total),
+            "bare-metal cold start {total} ms"
+        );
         assert!(result.breakdown.code_submission.as_millis_f64() < 10.0);
         exec.allocator().deallocate(result.process_id).unwrap();
     }
@@ -953,7 +972,10 @@ mod tests {
     #[test]
     fn worker_mode_can_be_switched() {
         let exec = executor();
-        let result = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        let result = exec
+            .allocator()
+            .allocate(&test_lease(1, "echo-pkg"))
+            .unwrap();
         let process = exec.allocator().process(result.process_id).unwrap();
         {
             let process = process.lock();
@@ -968,10 +990,17 @@ mod tests {
     #[test]
     fn cleanup_idle_reclaims_stale_processes() {
         let exec = executor();
-        let result = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        let result = exec
+            .allocator()
+            .allocate(&test_lease(1, "echo-pkg"))
+            .unwrap();
         assert_eq!(exec.allocator().process_count(), 1);
         // Nothing is idle yet relative to the allocator clock.
-        assert_eq!(exec.allocator().cleanup_idle(exec.allocator().clock().now()), 0);
+        assert_eq!(
+            exec.allocator()
+                .cleanup_idle(exec.allocator().clock().now()),
+            0
+        );
         // Far in the virtual future everything is idle.
         let far = exec.allocator().clock().now() + SimDuration::from_secs(3600);
         assert_eq!(exec.allocator().cleanup_idle(far), 1);

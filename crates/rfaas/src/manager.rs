@@ -152,7 +152,10 @@ impl ResourceManager {
 
     /// Look up a registered executor by node name.
     pub fn executor(&self, name: &str) -> Option<Arc<SpotExecutor>> {
-        self.executors.lock().get(name).map(|r| Arc::clone(&r.executor))
+        self.executors
+            .lock()
+            .get(name)
+            .map(|r| Arc::clone(&r.executor))
     }
 
     /// Look up an active lease.
@@ -350,7 +353,10 @@ mod tests {
             let exec = SpotExecutor::new(
                 &fabric,
                 &format!("exec-{i}"),
-                NodeResources { cores: 16, memory_mib: 64 * 1024 },
+                NodeResources {
+                    cores: 16,
+                    memory_mib: 64 * 1024,
+                },
                 registry(),
                 RFaasConfig::default(),
             );
@@ -361,7 +367,9 @@ mod tests {
     }
 
     fn request() -> LeaseRequest {
-        LeaseRequest::single_worker("echo-pkg").with_cores(4).with_memory_mib(4096)
+        LeaseRequest::single_worker("echo-pkg")
+            .with_cores(4)
+            .with_memory_mib(4096)
     }
 
     #[test]
@@ -402,7 +410,10 @@ mod tests {
             let (lease, _) = manager.request_lease(&request(), &clock).unwrap();
             nodes.insert(lease.executor_node);
         }
-        assert!(nodes.len() >= 3, "round-robin should spread over executors, got {nodes:?}");
+        assert!(
+            nodes.len() >= 3,
+            "round-robin should spread over executors, got {nodes:?}"
+        );
     }
 
     #[test]
@@ -447,10 +458,8 @@ mod tests {
         let t0 = manager.clock().now();
         assert!(manager.heartbeat("exec-0", t0 + SimDuration::from_secs(30)));
         assert!(!manager.heartbeat("unknown", t0));
-        let failed = manager.failed_executors(
-            t0 + SimDuration::from_secs(40),
-            SimDuration::from_secs(15),
-        );
+        let failed =
+            manager.failed_executors(t0 + SimDuration::from_secs(40), SimDuration::from_secs(15));
         assert_eq!(failed, vec!["exec-1".to_string()]);
     }
 

@@ -233,7 +233,11 @@ mod tests {
 
     #[test]
     fn header_from_remote_handle() {
-        let handle = RemoteMemoryHandle { rkey: 7, offset: 128, len: 512 };
+        let handle = RemoteMemoryHandle {
+            rkey: 7,
+            offset: 128,
+            len: 512,
+        };
         let h = InvocationHeader::for_result_buffer(&handle);
         assert_eq!(h.result_rkey, 7);
         assert_eq!(h.result_offset, 128);
@@ -254,7 +258,11 @@ mod tests {
 
     #[test]
     fn imm_response_round_trip() {
-        for status in [ResultStatus::Success, ResultStatus::Rejected, ResultStatus::FunctionFailed] {
+        for status in [
+            ResultStatus::Success,
+            ResultStatus::Rejected,
+            ResultStatus::FunctionFailed,
+        ] {
             let imm = ImmValue::response(12345, status);
             let (id, got) = ImmValue::parse_response(imm);
             assert_eq!(id, 12345);

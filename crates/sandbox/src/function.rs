@@ -79,7 +79,9 @@ pub struct SharedFunction {
 
 impl fmt::Debug for SharedFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SharedFunction").field("name", &self.name).finish()
+        f.debug_struct("SharedFunction")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -213,7 +215,13 @@ mod tests {
         let input = vec![0u8; 32];
         let mut output = vec![0u8; 8];
         let err = f.invoke(&input, &mut output).unwrap_err();
-        assert!(matches!(err, FunctionError::OutputTooLarge { required: 32, capacity: 8 }));
+        assert!(matches!(
+            err,
+            FunctionError::OutputTooLarge {
+                required: 32,
+                capacity: 8
+            }
+        ));
     }
 
     #[test]
@@ -240,7 +248,10 @@ mod tests {
         let double = SharedFunction::from_fn("double", |input, output| {
             let n = input.len();
             if output.len() < 2 * n {
-                return Err(FunctionError::OutputTooLarge { required: 2 * n, capacity: output.len() });
+                return Err(FunctionError::OutputTooLarge {
+                    required: 2 * n,
+                    capacity: output.len(),
+                });
             }
             output[..n].copy_from_slice(input);
             output[n..2 * n].copy_from_slice(input);

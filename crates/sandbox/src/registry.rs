@@ -272,7 +272,10 @@ mod tests {
     #[test]
     fn uncached_image_pull_pays_transfer_and_then_caches() {
         let reg = ImageRegistry::new();
-        reg.push(ImageInfo { name: "pytorch:1.9".into(), size_bytes: 500 * 1024 * 1024 });
+        reg.push(ImageInfo {
+            name: "pytorch:1.9".into(),
+            size_bytes: 500 * 1024 * 1024,
+        });
         assert!(!reg.is_cached("pytorch:1.9"));
         let first = reg.pull_cost("pytorch:1.9");
         assert!(first.as_secs_f64() > 1.0);

@@ -307,7 +307,8 @@ mod tests {
     #[test]
     fn lifecycle_transitions() {
         let images = ImageRegistry::new();
-        let (mut sb, _) = Sandbox::spawn(SandboxType::BareMetal, 2, 1 << 20, &images, "ubuntu:20.04");
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 2, 1 << 20, &images, "ubuntu:20.04");
         assert_eq!(sb.state(), SandboxState::Running);
         assert_eq!(sb.workers(), 2);
         assert!(sb.pause());
@@ -323,7 +324,8 @@ mod tests {
     #[test]
     fn load_package_cost_is_small_and_stores_package() {
         let images = ImageRegistry::new();
-        let (mut sb, _) = Sandbox::spawn(SandboxType::BareMetal, 1, 1 << 20, &images, "ubuntu:20.04");
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 1, 1 << 20, &images, "ubuntu:20.04");
         assert!(sb.package().is_none());
         let cost = sb.load_package(CodePackage::minimal("noop"));
         assert!(cost.as_millis_f64() < 1.0);
@@ -337,8 +339,13 @@ mod tests {
             name: "pytorch-big:latest".into(),
             size_bytes: 1_000 * 1024 * 1024,
         });
-        let (_sb, breakdown) =
-            Sandbox::spawn(SandboxType::Docker, 1, 1 << 30, &images, "pytorch-big:latest");
+        let (_sb, breakdown) = Sandbox::spawn(
+            SandboxType::Docker,
+            1,
+            1 << 30,
+            &images,
+            "pytorch-big:latest",
+        );
         assert!(breakdown.image_pull.as_secs_f64() > 2.0);
     }
 }

@@ -180,7 +180,7 @@ mod tests {
         assert_eq!(h.max().as_nanos(), 5_000);
         // Percentile resolution is ~3%, so allow slack.
         let med = h.median().as_nanos();
-        assert!(med >= 5_000 && med <= 5_400, "median {med}");
+        assert!((5_000..=5_400).contains(&med), "median {med}");
     }
 
     #[test]

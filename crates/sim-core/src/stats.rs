@@ -56,7 +56,10 @@ pub struct Summary {
 impl Summary {
     /// Compute a summary of `samples`. Panics if `samples` is empty.
     pub fn of(samples: &[f64]) -> Summary {
-        assert!(!samples.is_empty(), "Summary::of requires at least one sample");
+        assert!(
+            !samples.is_empty(),
+            "Summary::of requires at least one sample"
+        );
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         let count = sorted.len();
@@ -98,7 +101,10 @@ pub fn median(samples: &[f64]) -> f64 {
 
 /// Linear-interpolation percentile (`q` in [0, 100]). Panics on empty input.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    assert!(!samples.is_empty(), "percentile requires at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "percentile requires at least one sample"
+    );
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
     percentile_sorted(&sorted, q)

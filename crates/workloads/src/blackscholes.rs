@@ -49,7 +49,14 @@ fn normal_cdf(x: f64) -> f64 {
 
 /// Price a single option with the Black-Scholes closed form.
 pub fn price_option(option: &OptionContract) -> f64 {
-    let OptionContract { spot, strike, rate, volatility, time, is_put } = *option;
+    let OptionContract {
+        spot,
+        strike,
+        rate,
+        volatility,
+        time,
+        is_put,
+    } = *option;
     let sqrt_t = time.sqrt();
     let d1 = ((spot / strike).ln() + (rate + 0.5 * volatility * volatility) * time)
         / (volatility * sqrt_t);
@@ -181,11 +188,18 @@ mod tests {
             time: 1.0,
             is_put: true,
         };
-        let call = OptionContract { is_put: false, ..put };
+        let call = OptionContract {
+            is_put: false,
+            ..put
+        };
         // Put-call parity: C - P = S - K e^{-rT}.
         let parity = price_option(&call) - price_option(&put);
         let expected = 100.0 - 100.0 * (-0.05f64).exp();
-        assert!((parity - expected).abs() < 0.05, "parity gap {}", parity - expected);
+        assert!(
+            (parity - expected).abs() < 0.05,
+            "parity gap {}",
+            parity - expected
+        );
     }
 
     #[test]

@@ -29,9 +29,9 @@ const POOLED_SIDE: usize = 16;
 /// A small convolutional classifier with deterministic weights.
 #[derive(Debug, Clone)]
 pub struct InferenceModel {
-    conv_kernels: Vec<f64>,   // FILTERS × 3 × 3 × 3
-    dense_weights: Vec<f64>,  // NUM_CLASSES × (FILTERS × POOLED_SIDE²)
-    dense_bias: Vec<f64>,     // NUM_CLASSES
+    conv_kernels: Vec<f64>,  // FILTERS × 3 × 3 × 3
+    dense_weights: Vec<f64>, // NUM_CLASSES × (FILTERS × POOLED_SIDE²)
+    dense_bias: Vec<f64>,    // NUM_CLASSES
 }
 
 impl InferenceModel {
@@ -41,7 +41,9 @@ impl InferenceModel {
         let mut rng = DeterministicRng::new(seed);
         let features = FILTERS * POOLED_SIDE * POOLED_SIDE;
         InferenceModel {
-            conv_kernels: (0..FILTERS * 3 * 3 * 3).map(|_| rng.range_f64(-0.5, 0.5)).collect(),
+            conv_kernels: (0..FILTERS * 3 * 3 * 3)
+                .map(|_| rng.range_f64(-0.5, 0.5))
+                .collect(),
             dense_weights: (0..NUM_CLASSES * features)
                 .map(|_| rng.range_f64(-0.05, 0.05))
                 .collect(),
@@ -84,7 +86,8 @@ impl InferenceModel {
                     let mut acc = 0.0;
                     for y in 0..stride {
                         for x in 0..stride {
-                            acc += maps[f * side * side + (py * stride + y) * side + px * stride + x];
+                            acc +=
+                                maps[f * side * side + (py * stride + y) * side + px * stride + x];
                         }
                     }
                     pooled[f * POOLED_SIDE * POOLED_SIDE + py * POOLED_SIDE + px] =
@@ -98,7 +101,11 @@ impl InferenceModel {
         let mut logits = self.dense_bias.clone();
         for (class, logit) in logits.iter_mut().enumerate() {
             let weights = &self.dense_weights[class * features..(class + 1) * features];
-            *logit += weights.iter().zip(pooled.iter()).map(|(w, v)| w * v).sum::<f64>();
+            *logit += weights
+                .iter()
+                .zip(pooled.iter())
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
         }
         logits
     }
@@ -201,8 +208,14 @@ mod tests {
         let f = image_recognition_function();
         let small = f.compute_cost(InputSizes::INFERENCE_SMALL).as_millis_f64();
         let large = f.compute_cost(InputSizes::INFERENCE_LARGE).as_millis_f64();
-        assert!((105.0..125.0).contains(&small), "small input cost {small} ms");
-        assert!((105.0..125.0).contains(&large), "large input cost {large} ms");
+        assert!(
+            (105.0..125.0).contains(&small),
+            "small input cost {small} ms"
+        );
+        assert!(
+            (105.0..125.0).contains(&large),
+            "large input cost {large} ms"
+        );
         assert!(large > small);
     }
 }

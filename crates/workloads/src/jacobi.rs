@@ -51,11 +51,12 @@ impl JacobiSystem {
     /// Residual norm `‖A x − b‖₂`.
     pub fn residual(&self, x: &[f64]) -> f64 {
         let n = self.n;
+        assert_eq!(x.len(), n, "solution vector must have {n} entries");
         let mut norm = 0.0;
         for i in 0..n {
             let mut acc = -self.b[i];
-            for j in 0..n {
-                acc += self.a[i * n + j] * x[j];
+            for (aij, xj) in self.a[i * n..(i + 1) * n].iter().zip(x) {
+                acc += aij * xj;
             }
             norm += acc * acc;
         }
@@ -73,12 +74,13 @@ pub fn jacobi_sweep_rows(
 ) -> Vec<f64> {
     let n = system.n;
     assert!(row_begin <= row_end && row_end <= n);
+    assert_eq!(x.len(), n, "solution vector must have {n} entries");
     let mut out = Vec::with_capacity(row_end - row_begin);
     for i in row_begin..row_end {
         let mut sigma = 0.0;
-        for j in 0..n {
+        for (j, (aij, xj)) in system.a[i * n..(i + 1) * n].iter().zip(x).enumerate() {
             if j != i {
-                sigma += system.a[i * n + j] * x[j];
+                sigma += aij * xj;
             }
         }
         out.push((system.b[i] - sigma) / system.a[i * n + i]);
@@ -106,7 +108,12 @@ const MSG_ITERATE: f64 = 1.0;
 
 /// Encode the first invocation: install the system and run one half-sweep
 /// with the provided solution vector.
-pub fn encode_install(system: &JacobiSystem, x: &[f64], row_begin: usize, row_end: usize) -> Vec<u8> {
+pub fn encode_install(
+    system: &JacobiSystem,
+    x: &[f64],
+    row_begin: usize,
+    row_end: usize,
+) -> Vec<u8> {
     let mut values = vec![
         MSG_INSTALL_SYSTEM,
         system.n as f64,
@@ -121,7 +128,12 @@ pub fn encode_install(system: &JacobiSystem, x: &[f64], row_begin: usize, row_en
 
 /// Encode a subsequent iteration: only the updated solution vector travels.
 pub fn encode_iterate(x: &[f64], row_begin: usize, row_end: usize) -> Vec<u8> {
-    let mut values = vec![MSG_ITERATE, x.len() as f64, row_begin as f64, row_end as f64];
+    let mut values = vec![
+        MSG_ITERATE,
+        x.len() as f64,
+        row_begin as f64,
+        row_end as f64,
+    ];
     values.extend_from_slice(x);
     f64s_to_bytes(&values)
 }
@@ -142,7 +154,9 @@ pub fn jacobi_function() -> SharedFunction {
         let row_end = values[3] as usize;
         let (system_storage, x): (Option<JacobiSystem>, Vec<f64>) = if kind == MSG_INSTALL_SYSTEM {
             if values.len() < 4 + n * n + 2 * n {
-                return Err(FunctionError::InvalidInput("truncated jacobi system".into()));
+                return Err(FunctionError::InvalidInput(
+                    "truncated jacobi system".into(),
+                ));
             }
             let a = values[4..4 + n * n].to_vec();
             let b = values[4 + n * n..4 + n * n + n].to_vec();
@@ -150,7 +164,9 @@ pub fn jacobi_function() -> SharedFunction {
             (Some(JacobiSystem { n, a, b }), x)
         } else {
             if values.len() < 4 + n {
-                return Err(FunctionError::InvalidInput("truncated solution vector".into()));
+                return Err(FunctionError::InvalidInput(
+                    "truncated solution vector".into(),
+                ));
             }
             (None, values[4..4 + n].to_vec())
         };
@@ -158,9 +174,9 @@ pub fn jacobi_function() -> SharedFunction {
             *cached.lock() = Some(system);
         }
         let guard = cached.lock();
-        let system = guard
-            .as_ref()
-            .ok_or_else(|| FunctionError::InvalidInput("no cached system; send install first".into()))?;
+        let system = guard.as_ref().ok_or_else(|| {
+            FunctionError::InvalidInput("no cached system; send install first".into())
+        })?;
         if system.n != n || row_end > n || row_begin > row_end {
             return Err(FunctionError::InvalidInput("row range mismatch".into()));
         }
@@ -242,14 +258,19 @@ mod tests {
         let iterate = encode_iterate(&x, 0, 20);
         assert!(iterate.len() < install.len() / 10);
         let len = f.invoke(&iterate, &mut output).unwrap();
-        assert_eq!(bytes_to_f64s(&output[..len]), jacobi_sweep_rows(&system, &x, 0, 20));
+        assert_eq!(
+            bytes_to_f64s(&output[..len]),
+            jacobi_sweep_rows(&system, &x, 0, 20)
+        );
     }
 
     #[test]
     fn iterate_without_install_fails() {
         let f = jacobi_function();
         let mut output = vec![0u8; 64];
-        let err = f.invoke(&encode_iterate(&[1.0, 2.0], 0, 1), &mut output).unwrap_err();
+        let err = f
+            .invoke(&encode_iterate(&[1.0, 2.0], 0, 1), &mut output)
+            .unwrap_err();
         assert!(matches!(err, FunctionError::InvalidInput(_)));
     }
 
@@ -263,7 +284,11 @@ mod tests {
 
     #[test]
     fn solver_handles_trivial_system() {
-        let system = JacobiSystem { n: 1, a: vec![2.0], b: vec![4.0] };
+        let system = JacobiSystem {
+            n: 1,
+            a: vec![2.0],
+            b: vec![4.0],
+        };
         let x = jacobi_solve(&system, 10);
         assert!((x[0] - 2.0).abs() < 1e-12);
     }

@@ -26,8 +26,14 @@ pub fn multiply(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
 /// Multiply rows `[row_begin, row_end)` of `a` by `b`, producing
 /// `(row_end - row_begin) × n` output rows.
 pub fn multiply_rows(a: &[f64], b: &[f64], n: usize, row_begin: usize, row_end: usize) -> Vec<f64> {
-    assert!(a.len() >= n * n && b.len() >= n * n, "matrix buffers too small");
-    assert!(row_begin <= row_end && row_end <= n, "row range out of bounds");
+    assert!(
+        a.len() >= n * n && b.len() >= n * n,
+        "matrix buffers too small"
+    );
+    assert!(
+        row_begin <= row_end && row_end <= n,
+        "row range out of bounds"
+    );
     let rows = row_end - row_begin;
     let mut c = vec![0.0f64; rows * n];
     for ii in (row_begin..row_end).step_by(BLOCK) {
@@ -65,7 +71,13 @@ pub fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
 
 /// Payload layout of the offloaded half-multiply: `[n, row_begin, row_end]`
 /// as `f64` words followed by `A` (n²) and `B` (n²).
-pub fn encode_matmul_request(a: &[f64], b: &[f64], n: usize, row_begin: usize, row_end: usize) -> Vec<u8> {
+pub fn encode_matmul_request(
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    row_begin: usize,
+    row_end: usize,
+) -> Vec<u8> {
     let mut values = Vec::with_capacity(3 + 2 * n * n);
     values.push(n as f64);
     values.push(row_begin as f64);

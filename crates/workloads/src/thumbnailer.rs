@@ -163,7 +163,12 @@ mod tests {
             let image = Image::synthetic(target, 1);
             let encoded = image.encode();
             let error = (encoded.len() as f64 - target as f64).abs() / target as f64;
-            assert!(error < 0.05, "encoded {} vs target {}", encoded.len(), target);
+            assert!(
+                error < 0.05,
+                "encoded {} vs target {}",
+                encoded.len(),
+                target
+            );
         }
     }
 
@@ -220,6 +225,9 @@ mod tests {
         let small = f.compute_cost(InputSizes::THUMBNAIL_SMALL).as_millis_f64();
         let large = f.compute_cost(InputSizes::THUMBNAIL_LARGE).as_millis_f64();
         assert!((2.5..6.5).contains(&small), "small image cost {small} ms");
-        assert!((90.0..140.0).contains(&large), "large image cost {large} ms");
+        assert!(
+            (90.0..140.0).contains(&large),
+            "large image cost {large} ms"
+        );
     }
 }

@@ -82,7 +82,10 @@ fn main() {
     println!("priced {OPTIONS} options on {WORKERS} remote workers");
     println!("batch completion time (virtual): {elapsed}");
     println!("max |remote - local| price difference: {max_error:e}");
-    assert!(max_error < 1e-12, "offloaded results must match local pricing");
+    assert!(
+        max_error < 1e-12,
+        "offloaded results must match local pricing"
+    );
 
     invoker.deallocate().expect("deallocation succeeds");
 }

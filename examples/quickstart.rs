@@ -24,7 +24,10 @@ fn main() {
     let executor = SpotExecutor::new(
         &fabric,
         "spot-node-0",
-        NodeResources { cores: 8, memory_mib: 32 * 1024 },
+        NodeResources {
+            cores: 8,
+            memory_mib: 32 * 1024,
+        },
         registry,
         config.clone(),
     );
@@ -36,7 +39,12 @@ fn main() {
         .allocate(LeaseRequest::single_worker("quickstart"), PollingMode::Hot)
         .expect("allocation succeeds");
     let cold = invoker.cold_start().expect("cold start recorded");
-    println!("cold start: {} (spawn {}, code {})", cold.total(), cold.spawn_workers, cold.submit_code);
+    println!(
+        "cold start: {} (spawn {}, code {})",
+        cold.total(),
+        cold.spawn_workers,
+        cold.submit_code
+    );
 
     // 3. ... allocate RDMA buffers and invoke the function.
     let alloc = invoker.allocator();
@@ -56,5 +64,8 @@ fn main() {
 
     // 4. Release the lease; the executor's resources return to the pool.
     invoker.deallocate().expect("deallocation succeeds");
-    println!("lease released; total platform cost: {:.6} USD", manager.total_cost());
+    println!(
+        "lease released; total platform cost: {:.6} USD",
+        manager.total_cost()
+    );
 }

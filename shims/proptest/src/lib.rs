@@ -1,0 +1,304 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build container has no crates.io access, so this crate provides a
+//! deterministic random-input test harness behind the same macro surface:
+//! `proptest! { #[test] fn f(x: Vec<u8>, y in 0u32..100) { ... } }` plus
+//! `prop_assert!` / `prop_assert_eq!`. Each property runs [`CASES`] cases
+//! with inputs drawn from a fixed-seed SplitMix64 stream, so failures are
+//! reproducible. There is no shrinking — a failing case asserts directly
+//! with the generated inputs visible in the panic message via `assert_eq!`.
+
+/// Number of cases each property runs (proptest's default is 256).
+pub const CASES: usize = 256;
+
+/// Deterministic generator backing input generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Seed derived from the property name so each test has its own stream but
+/// reruns are identical.
+pub fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Types that can generate an arbitrary instance (type-annotated parameters:
+/// `fn prop(x: Vec<u8>)`).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        // Mix plain uniform values with boundary-heavy ones so edge cases
+        // (0, MAX, small counts) appear often, as proptest's strategies do.
+        match rng.below(8) {
+            0 => 0,
+            1 => u64::MAX,
+            2 => rng.below(16),
+            _ => rng.next_u64(),
+        }
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        u64::arbitrary(rng) as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        (rng.next_u64() >> 32) as u32 as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns: exercises subnormals, infinities and NaN too,
+        // mixed with well-behaved uniform values.
+        if rng.below(2) == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(65) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(33) as usize;
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII with occasional multi-byte scalars.
+                if rng.below(8) == 0 {
+                    char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('\u{00A1}')
+                } else {
+                    (0x20 + rng.below(0x5F)) as u8 as char
+                }
+            })
+            .collect()
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn arbitrary(rng: &mut TestRng) -> (A, B) {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}
+
+/// Explicit sampling strategies (`x in 0u32..100` parameters).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one sample.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The property-test entry macro. Mirrors `proptest::proptest!` for
+/// parameter lists mixing `name: Type` (→ [`Arbitrary`]) and
+/// `name in strategy` (→ [`Strategy`]) forms.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] fn $name:ident ( $($params:tt)* ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut prop_rng =
+                    $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+                for _prop_case in 0..$crate::CASES {
+                    $crate::__proptest_bind!(prop_rng, $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: expand a parameter list into `let` bindings. Tail-recursive
+/// token muncher so the two parameter forms can be freely mixed.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Property assertion; without shrinking this is a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; without shrinking this is `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::proptest! {
+        #[test]
+        fn typed_and_strategy_params_mix(a in 10u32..20, b: u8, xs: Vec<u8>) {
+            crate::prop_assert!((10..20).contains(&a));
+            crate::prop_assert!(u32::from(b) <= 255);
+            crate::prop_assert!(xs.len() <= 64);
+        }
+
+        #[test]
+        fn inclusive_ranges_hit_bounds(x in 3u8..=7) {
+            crate::prop_assert!((3..=7).contains(&x));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::new(seed_from_name("p"));
+        let mut b = TestRng::new(seed_from_name("p"));
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn u64_arbitrary_emits_boundaries() {
+        let mut rng = TestRng::new(1);
+        let values: Vec<u64> = (0..256).map(|_| u64::arbitrary(&mut rng)).collect();
+        assert!(values.contains(&0));
+        assert!(values.contains(&u64::MAX));
+    }
+}

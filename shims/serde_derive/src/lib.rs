@@ -1,0 +1,288 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The container building this workspace cannot reach crates.io, so these
+//! derives are written against the raw [`proc_macro`] API — no `syn`, no
+//! `quote`. They understand exactly the shapes this workspace derives on:
+//! structs with named fields, tuple structs (newtypes and larger), unit
+//! structs, and enums whose variants are all unit variants. Anything else
+//! (generics, data-carrying variants, `#[serde(...)]` attributes) produces a
+//! `compile_error!` pointing here, so a future upgrade to real serde is a
+//! conscious step instead of a silent behaviour change.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the type a derive was applied to.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — number of fields.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { V1, V2 }` — variant names in order (unit variants only).
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Consume leading `#[...]` attributes (including doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracket group of the attribute.
+                tokens.next();
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume a leading `pub` / `pub(...)` visibility qualifier.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parse the fields of a `{ ... }` struct body into their names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => return Ok(names),
+            Some(TokenTree::Ident(field)) => {
+                names.push(field.to_string());
+                // Expect `:`, then swallow the type up to the next top-level `,`.
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+                let mut depth = 0usize;
+                for tt in tokens.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            depth = depth.saturating_sub(1)
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    }
+}
+
+/// Count the fields of a `( ... )` tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0usize;
+    let mut in_field = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    count += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Parse the variants of an `enum { ... }` body; unit variants only.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(v)) => {
+                variants.push(v.to_string());
+                match tokens.next() {
+                    None => return Ok(variants),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "variant `{}` carries data; the offline serde_derive shim \
+                             only supports unit variants",
+                            variants.last().unwrap()
+                        ));
+                    }
+                    Some(other) => {
+                        return Err(format!("unexpected token after variant: {other:?}"))
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "`{name}` is generic; the offline serde_derive shim does not support generics"
+        ));
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Derive `serde::Serialize` (the offline shim's JSON-value trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?}"))
+                .collect();
+            format!(
+                "::serde::Value::String(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` (the offline shim's JSON-value trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field({f:?})?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(value.index({i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value.as_variant()? {{ {}, other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(other)) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

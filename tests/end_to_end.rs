@@ -49,14 +49,18 @@ fn leases_are_spread_round_robin_and_exhaustion_is_reported() {
     let mut first = testbed.invoker("c1");
     first
         .allocate(
-            LeaseRequest::single_worker(PACKAGE).with_cores(20).with_memory_mib(1024),
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(20)
+                .with_memory_mib(1024),
             PollingMode::Hot,
         )
         .unwrap();
     let mut second = testbed.invoker("c2");
     second
         .allocate(
-            LeaseRequest::single_worker(PACKAGE).with_cores(20).with_memory_mib(1024),
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(20)
+                .with_memory_mib(1024),
             PollingMode::Hot,
         )
         .unwrap();
@@ -67,7 +71,9 @@ fn leases_are_spread_round_robin_and_exhaustion_is_reported() {
     let mut third = testbed.invoker("c3");
     let err = third
         .allocate(
-            LeaseRequest::single_worker(PACKAGE).with_cores(20).with_memory_mib(1024),
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(20)
+                .with_memory_mib(1024),
             PollingMode::Hot,
         )
         .unwrap_err();
@@ -77,8 +83,12 @@ fn leases_are_spread_round_robin_and_exhaustion_is_reported() {
 #[test]
 fn billing_accumulates_through_rdma_atomics() {
     let testbed = Testbed::new(1);
-    let mut invoker =
-        testbed.allocated_invoker("billing-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let mut invoker = testbed.allocated_invoker(
+        "billing-client",
+        1,
+        SandboxType::BareMetal,
+        PollingMode::Hot,
+    );
     let lease = invoker.lease().unwrap().clone();
     let alloc = invoker.allocator();
     let input = alloc.input(1024 * 1024);
@@ -87,7 +97,9 @@ fn billing_accumulates_through_rdma_atomics() {
         .write_payload(&workloads::generate_payload(1024 * 1024, 5))
         .unwrap();
     for _ in 0..5 {
-        invoker.invoke_sync("echo", &input, 1024 * 1024, &output).unwrap();
+        invoker
+            .invoke_sync("echo", &input, 1024 * 1024, &output)
+            .unwrap();
     }
     invoker.deallocate().unwrap();
     let usage = testbed.manager.lease_usage(&lease);
@@ -103,12 +115,17 @@ fn warm_oversubscription_rejects_and_client_redirects() {
     let mut invoker = testbed.invoker("oversub-client");
     invoker
         .allocate(
-            LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(1024),
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(1)
+                .with_memory_mib(1024),
             PollingMode::Warm,
         )
         .unwrap();
     // Oversubscribe: 4 workers share the single leased core.
-    let executor = testbed.manager.executor(&invoker.lease().unwrap().executor_node).unwrap();
+    let executor = testbed
+        .manager
+        .executor(&invoker.lease().unwrap().executor_node)
+        .unwrap();
     let lease = invoker.lease().unwrap().clone();
     let oversubscribed = executor
         .allocator()
@@ -136,7 +153,9 @@ fn heartbeats_and_lease_expiry_reclaim_resources() {
     assert!(!failed.contains(&"spot-00".to_string()) || failed.len() == 2);
 
     let mut invoker = testbed.invoker("expiry-client");
-    let mut request = LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(512);
+    let mut request = LeaseRequest::single_worker(PACKAGE)
+        .with_cores(1)
+        .with_memory_mib(512);
     request.timeout = SimDuration::from_secs(5);
     invoker.allocate(request, PollingMode::Hot).unwrap();
     let expired = testbed

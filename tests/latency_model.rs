@@ -21,7 +21,9 @@ fn measure_median_us(
     input
         .write_payload(&workloads::generate_payload(payload, 3))
         .unwrap();
-    invoker.invoke_sync("echo", &input, payload, &output).unwrap();
+    invoker
+        .invoke_sync("echo", &input, payload, &output)
+        .unwrap();
     let samples: Vec<f64> = (0..repetitions)
         .map(|_| {
             invoker
@@ -43,7 +45,10 @@ fn hot_invocation_latency_matches_paper() {
         .write_pingpong_rtt(8)
         .as_micros_f64();
     let overhead_ns = (hot - rdma) * 1_000.0;
-    assert!((150.0..650.0).contains(&overhead_ns), "hot overhead {overhead_ns} ns");
+    assert!(
+        (150.0..650.0).contains(&overhead_ns),
+        "hot overhead {overhead_ns} ns"
+    );
 }
 
 #[test]
@@ -52,7 +57,10 @@ fn warm_invocation_latency_matches_paper() {
     let warm = measure_median_us(SandboxType::BareMetal, PollingMode::Warm, 8, 100);
     assert!((6.5..10.5).contains(&warm), "warm median {warm} us");
     let hot = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, 8, 50);
-    assert!(warm > hot + 2.0, "warm ({warm}) must be several us above hot ({hot})");
+    assert!(
+        warm > hot + 2.0,
+        "warm ({warm}) must be several us above hot ({hot})"
+    );
 }
 
 #[test]
@@ -61,7 +69,10 @@ fn docker_adds_nanoseconds_not_microseconds() {
     let bare_hot = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, 8, 80);
     let docker_hot = measure_median_us(SandboxType::Docker, PollingMode::Hot, 8, 80);
     let hot_delta_ns = (docker_hot - bare_hot) * 1_000.0;
-    assert!((10.0..300.0).contains(&hot_delta_ns), "Docker hot delta {hot_delta_ns} ns");
+    assert!(
+        (10.0..300.0).contains(&hot_delta_ns),
+        "Docker hot delta {hot_delta_ns} ns"
+    );
 
     let bare_warm = measure_median_us(SandboxType::BareMetal, PollingMode::Warm, 8, 80);
     let docker_warm = measure_median_us(SandboxType::Docker, PollingMode::Warm, 8, 80);
@@ -81,20 +92,41 @@ fn bandwidth_scales_to_the_link_limit() {
     let rtt_us = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, mib, 10);
     let goodput_gib_s = 2.0 * (mib as f64) / (rtt_us * 1e-6) / (1024.0 * 1024.0 * 1024.0);
     assert!(goodput_gib_s > 8.0, "goodput {goodput_gib_s} GiB/s");
-    assert!(goodput_gib_s < 12.0, "goodput cannot exceed the link: {goodput_gib_s} GiB/s");
+    assert!(
+        goodput_gib_s < 12.0,
+        "goodput cannot exceed the link: {goodput_gib_s} GiB/s"
+    );
 }
 
 #[test]
 fn speedups_over_baselines_match_paper_orders_of_magnitude() {
     let kb = 1024;
     let rfaas_us = measure_median_us(SandboxType::BareMetal, PollingMode::Hot, kb, 50);
-    let aws_us = aws_lambda().invoke_rtt(kb, kb, SimDuration::ZERO).as_micros_f64();
-    let ow_us = openwhisk().invoke_rtt(kb, kb, SimDuration::ZERO).as_micros_f64();
-    let nc_us = nightcore().invoke_rtt(kb, kb, SimDuration::ZERO).as_micros_f64();
+    let aws_us = aws_lambda()
+        .invoke_rtt(kb, kb, SimDuration::ZERO)
+        .as_micros_f64();
+    let ow_us = openwhisk()
+        .invoke_rtt(kb, kb, SimDuration::ZERO)
+        .as_micros_f64();
+    let nc_us = nightcore()
+        .invoke_rtt(kb, kb, SimDuration::ZERO)
+        .as_micros_f64();
     // Paper: 695x-3692x vs AWS, 5904x-22406x vs OpenWhisk, 23x-39x vs Nightcore.
-    assert!((500.0..6_000.0).contains(&(aws_us / rfaas_us)), "AWS ratio {}", aws_us / rfaas_us);
-    assert!((4_000.0..40_000.0).contains(&(ow_us / rfaas_us)), "OpenWhisk ratio {}", ow_us / rfaas_us);
-    assert!((15.0..80.0).contains(&(nc_us / rfaas_us)), "nightcore ratio {}", nc_us / rfaas_us);
+    assert!(
+        (500.0..6_000.0).contains(&(aws_us / rfaas_us)),
+        "AWS ratio {}",
+        aws_us / rfaas_us
+    );
+    assert!(
+        (4_000.0..40_000.0).contains(&(ow_us / rfaas_us)),
+        "OpenWhisk ratio {}",
+        ow_us / rfaas_us
+    );
+    assert!(
+        (15.0..80.0).contains(&(nc_us / rfaas_us)),
+        "nightcore ratio {}",
+        nc_us / rfaas_us
+    );
 }
 
 #[test]
@@ -129,7 +161,11 @@ fn parallel_hot_invocations_scale_until_bandwidth_saturates() {
         for f in futures {
             f.wait().unwrap();
         }
-        invoker.clock().now().saturating_since(start).as_micros_f64()
+        invoker
+            .clock()
+            .now()
+            .saturating_since(start)
+            .as_micros_f64()
     };
 
     let small = batch(1024);

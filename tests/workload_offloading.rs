@@ -2,8 +2,8 @@
 //! rFaaS stack and checking the results against local execution.
 
 use rfaas::PollingMode;
-use rfaas_bench::{Testbed, PACKAGE};
 use rfaas::{LeaseRequest, RFaasConfig};
+use rfaas_bench::{Testbed, PACKAGE};
 use sandbox::SandboxType;
 use workloads::blackscholes::{options_to_bytes, price_batch};
 use workloads::jacobi::{encode_install, encode_iterate, jacobi_sweep_rows};
@@ -14,7 +14,8 @@ use workloads::{generate_options, Image, InferenceModel, InputSizes, JacobiSyste
 #[test]
 fn offloaded_blackscholes_matches_local_pricing() {
     let testbed = Testbed::new(1);
-    let invoker = testbed.allocated_invoker("bs-client", 2, SandboxType::BareMetal, PollingMode::Hot);
+    let invoker =
+        testbed.allocated_invoker("bs-client", 2, SandboxType::BareMetal, PollingMode::Hot);
     let options = generate_options(10_000, 17);
     let payload = options_to_bytes(&options);
     let alloc = invoker.allocator();
@@ -28,7 +29,10 @@ fn offloaded_blackscholes_matches_local_pricing() {
     assert_eq!(output.read_f64(len).unwrap(), price_batch(&options));
     // 10 000 options at 80 ns each plus ~40 us of data movement.
     let rtt_us = rtt.as_micros_f64();
-    assert!((500.0..2_000.0).contains(&rtt_us), "pricing RTT {rtt_us} us");
+    assert!(
+        (500.0..2_000.0).contains(&rtt_us),
+        "pricing RTT {rtt_us} us"
+    );
 }
 
 #[test]
@@ -50,7 +54,10 @@ fn offloaded_thumbnailer_produces_a_valid_thumbnail() {
     assert_eq!(thumbnail.height, 256);
     // End-to-end latency is dominated by the ~115 ms resize cost model.
     let rtt_ms = rtt.as_millis_f64();
-    assert!((80.0..200.0).contains(&rtt_ms), "thumbnailer RTT {rtt_ms} ms");
+    assert!(
+        (80.0..200.0).contains(&rtt_ms),
+        "thumbnailer RTT {rtt_ms} ms"
+    );
 }
 
 #[test]
@@ -84,7 +91,9 @@ fn offloaded_matmul_half_matches_local_kernel() {
     let mut invoker = testbed.invoker("mm-client");
     invoker
         .allocate(
-            LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(2048),
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(1)
+                .with_memory_mib(2048),
             PollingMode::Hot,
         )
         .unwrap();
@@ -95,7 +104,9 @@ fn offloaded_matmul_half_matches_local_kernel() {
     let input = alloc.input(request.len());
     let output = alloc.output((n / 2) * n * 8);
     input.write_payload(&request).unwrap();
-    let (len, _) = invoker.invoke_sync("matmul", &input, request.len(), &output).unwrap();
+    let (len, _) = invoker
+        .invoke_sync("matmul", &input, request.len(), &output)
+        .unwrap();
     let remote = bytes_to_f64s(&output.read_payload(len).unwrap());
     let local = multiply_rows(&a, &b, n, n / 2, n);
     assert_eq!(remote.len(), local.len());
@@ -114,7 +125,9 @@ fn distributed_jacobi_converges_with_cached_system() {
     let mut invoker = testbed.invoker("jacobi-client");
     invoker
         .allocate(
-            LeaseRequest::single_worker(PACKAGE).with_cores(1).with_memory_mib(2048),
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(1)
+                .with_memory_mib(2048),
             PollingMode::Hot,
         )
         .unwrap();
@@ -136,14 +149,19 @@ fn distributed_jacobi_converges_with_cached_system() {
             m
         };
         input.write_payload(&message).unwrap();
-        let (len, _) = invoker.invoke_sync("jacobi", &input, message.len(), &output).unwrap();
+        let (len, _) = invoker
+            .invoke_sync("jacobi", &input, message.len(), &output)
+            .unwrap();
         let remote = output.read_f64(len).unwrap();
         let local = jacobi_sweep_rows(&system, &x, 0, n / 2);
         x[..n / 2].copy_from_slice(&local);
         x[n / 2..].copy_from_slice(&remote);
     }
     // The warm-executor caching pays off: iterate messages are tiny.
-    assert!(iterate_bytes * 20 < install_bytes, "{iterate_bytes} vs {install_bytes}");
+    assert!(
+        iterate_bytes * 20 < install_bytes,
+        "{iterate_bytes} vs {install_bytes}"
+    );
     // And the distributed solve converges like the local one.
     let local_solution = workloads::jacobi_solve(&system, iterations);
     assert!(system.residual(&x) < 1e-4);

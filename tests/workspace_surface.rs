@@ -1,0 +1,83 @@
+//! Smoke tests for the workspace surface: the umbrella crate must re-export
+//! every layer, and the `rfaas` crate-level doc example (lease → hot invoke →
+//! deallocate) must keep working both as a doctest (`cargo test --doc -p
+//! rfaas`, run by tier-1 and CI) and as this compiled mirror of it — so a
+//! regression in the documented entry-point flow fails the suite even if
+//! doctests are filtered out.
+
+use rfaas_repro::cluster_sim::NodeResources;
+use rfaas_repro::rdma_fabric::Fabric;
+use rfaas_repro::rfaas::{
+    Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor,
+};
+use rfaas_repro::sandbox::{echo_function, CodePackage, FunctionRegistry};
+
+/// Mirror of the `rfaas` crate-level doc example, invoked through the
+/// umbrella crate's re-exports.
+#[test]
+fn rfaas_doc_example_flow_runs() {
+    let fabric = Fabric::with_defaults();
+    let registry = FunctionRegistry::new();
+    registry.deploy(CodePackage::minimal("demo").with_function(echo_function()));
+    let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+    let executor = SpotExecutor::new(
+        &fabric,
+        "node-1",
+        NodeResources {
+            cores: 4,
+            memory_mib: 8192,
+        },
+        registry,
+        RFaasConfig::default(),
+    );
+    manager.register_executor(&executor);
+
+    let mut invoker = Invoker::new(&fabric, "client", &manager, RFaasConfig::default());
+    invoker
+        .allocate(LeaseRequest::single_worker("demo"), PollingMode::Hot)
+        .unwrap();
+    let alloc = invoker.allocator();
+    let input = alloc.input(64);
+    let output = alloc.output(64);
+    input.write_payload(b"hello rfaas").unwrap();
+    let (len, rtt) = invoker.invoke_sync("echo", &input, 11, &output).unwrap();
+    assert_eq!(output.read_payload(len).unwrap(), b"hello rfaas");
+    assert!(rtt.as_micros_f64() < 50.0);
+    invoker.deallocate().unwrap();
+}
+
+/// Every workspace layer is reachable through the umbrella crate, in DAG
+/// order from `sim_core` at the bottom upward.
+#[test]
+fn umbrella_reexports_every_layer() {
+    // sim-core: virtual time.
+    let t = rfaas_repro::sim_core::SimDuration::from_micros(3);
+    assert_eq!(t.as_nanos(), 3_000);
+
+    // rdma-fabric: NIC cost profile.
+    let profile = rfaas_repro::rdma_fabric::NicProfile::default();
+    assert!(profile.one_way_latency.as_nanos() > 0);
+
+    // net-stack: base64 codec used by the REST baselines.
+    assert_eq!(rfaas_repro::net_stack::base64_encode(b"foo"), "Zm9v");
+
+    // cluster-sim: the paper's evaluation node shape.
+    let node = rfaas_repro::cluster_sim::NodeResources::xeon_gold_6154_dual();
+    assert_eq!(node.cores, 36);
+
+    // sandbox: the echo function ships in every registry.
+    assert_eq!(rfaas_repro::sandbox::echo_function().name(), "echo");
+
+    // workloads: deterministic payload generation.
+    let payload = rfaas_repro::workloads::generate_payload(128, 7);
+    assert_eq!(payload.len(), 128);
+    assert_eq!(payload, rfaas_repro::workloads::generate_payload(128, 7));
+
+    // faas-baselines: REST-based platforms exist for comparison.
+    let lambda = rfaas_repro::faas_baselines::aws_lambda();
+    assert!(lambda.accepts_payload(1024));
+
+    // mpi-sim: cost model of the message-passing layer.
+    let mpi = rfaas_repro::mpi_sim::MpiCostModel::cluster_100g();
+    assert!(mpi.latency.as_nanos() > 0);
+}
