@@ -114,6 +114,24 @@ impl ResourceHarvester {
         }
     }
 
+    /// Take the node back for the batch system: return the node's entire
+    /// harvested bundle to the idle pool and report what was reclaimed. The
+    /// rFaaS manager translates this into deregistering the node's spot
+    /// executor and terminating its leases (Sec. III-A reclamation).
+    pub fn reclaim_node(
+        &self,
+        scheduler: &mut BatchScheduler,
+        node_name: &str,
+    ) -> Option<NodeResources> {
+        let node = scheduler
+            .nodes_mut()
+            .iter_mut()
+            .find(|n| n.name == node_name)?;
+        let reclaimed = node.harvested;
+        node.release_harvest(reclaimed);
+        Some(reclaimed)
+    }
+
     /// Nodes whose harvested resources collide with batch demand: the idle
     /// pool went negative, so the manager must reclaim leases there.
     pub fn reclamation_candidates(&self, scheduler: &BatchScheduler) -> Vec<String> {
@@ -209,6 +227,27 @@ mod tests {
         };
         let candidates = harvester.reclamation_candidates(&sched);
         assert_eq!(candidates, vec!["nid00000".to_string()]);
+    }
+
+    #[test]
+    fn reclaim_node_returns_the_whole_harvested_bundle() {
+        let mut sched = idle_cluster(2);
+        let harvester = ResourceHarvester::default();
+        let request = NodeResources {
+            cores: 12,
+            memory_mib: 32 * 1024,
+        };
+        assert!(harvester.claim(&mut sched, "nid00000", request));
+        let reclaimed = harvester.reclaim_node(&mut sched, "nid00000").unwrap();
+        assert_eq!(reclaimed, request);
+        assert_eq!(sched.nodes()[0].harvested, NodeResources::ZERO);
+        assert_eq!(sched.nodes()[0].idle().cores, 36);
+        // Unharvested and unknown nodes reclaim nothing.
+        assert_eq!(
+            harvester.reclaim_node(&mut sched, "nid00001"),
+            Some(NodeResources::ZERO)
+        );
+        assert_eq!(harvester.reclaim_node(&mut sched, "missing"), None);
     }
 
     #[test]

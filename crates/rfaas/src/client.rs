@@ -8,7 +8,7 @@
 //! in client-side [`Buffer`]s written remotely by the executor.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,7 +18,7 @@ use rdma_fabric::{
     RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
 };
 use sandbox::CodePackage;
-use sim_core::{SimDuration, VirtualClock};
+use sim_core::{SimDuration, SimTime, VirtualClock};
 
 use crate::config::{PollingMode, RFaasConfig};
 use crate::error::{RFaasError, Result};
@@ -197,6 +197,22 @@ impl WorkerConnection {
     }
 }
 
+/// Everything the invoker holds while a lease is active. Kept behind one lock
+/// so the recovery path can atomically swap the whole allocation (lease,
+/// executor, connections) from `&self` while invocation futures are waiting.
+struct ActiveAllocation {
+    /// Monotonic counter distinguishing successive allocations: a future
+    /// observing its allocation die only triggers a re-allocation if the
+    /// active epoch still matches what it used — otherwise another future
+    /// already recovered and it just resubmits on the fresh connections.
+    epoch: u64,
+    lease: Lease,
+    executor: Arc<SpotExecutor>,
+    process_id: u64,
+    package: CodePackage,
+    connections: Vec<Arc<WorkerConnection>>,
+}
+
 /// The client-side invoker: manages leases, executor connections and
 /// invocation submission (the `rfaas::invoker` of Listing 2).
 pub struct Invoker {
@@ -206,21 +222,27 @@ pub struct Invoker {
     node_name: String,
     config: RFaasConfig,
     manager: Arc<ResourceManager>,
-    lease: Option<Lease>,
-    executor: Option<Arc<SpotExecutor>>,
-    process_id: Option<u64>,
-    package: Option<CodePackage>,
-    connections: Vec<Arc<WorkerConnection>>,
+    active: Mutex<Option<ActiveAllocation>>,
+    // The request that produced the current lease, replayed by the
+    // transparent recovery path (Sec. III-B: clients re-allocate when an
+    // executor disappears or a lease expires).
+    last_request: Mutex<Option<(LeaseRequest, PollingMode)>>,
+    // Serialises recovery: two futures discovering the same dead allocation
+    // must produce one re-allocation, not two (the loser would overwrite —
+    // and leak — the winner's allocation).
+    recovery_lock: Mutex<()>,
+    allocation_epoch: AtomicU64,
     next_invocation: AtomicU32,
     round_robin: AtomicUsize,
-    cold_start: Option<ColdStartBreakdown>,
+    cold_start: Mutex<Option<ColdStartBreakdown>>,
+    recoveries: AtomicU32,
 }
 
 impl std::fmt::Debug for Invoker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Invoker")
             .field("node", &self.node_name)
-            .field("workers", &self.connections.len())
+            .field("workers", &self.worker_count())
             .finish()
     }
 }
@@ -240,14 +262,14 @@ impl Invoker {
             node_name: client_node.to_string(),
             config,
             manager: Arc::clone(manager),
-            lease: None,
-            executor: None,
-            process_id: None,
-            package: None,
-            connections: Vec::new(),
+            active: Mutex::new(None),
+            last_request: Mutex::new(None),
+            recovery_lock: Mutex::new(()),
+            allocation_epoch: AtomicU64::new(0),
             next_invocation: AtomicU32::new(1),
             round_robin: AtomicUsize::new(0),
-            cold_start: None,
+            cold_start: Mutex::new(None),
+            recoveries: AtomicU32::new(0),
         }
     }
 
@@ -265,17 +287,27 @@ impl Invoker {
 
     /// Number of connected executor workers.
     pub fn worker_count(&self) -> usize {
-        self.connections.len()
+        self.active
+            .lock()
+            .as_ref()
+            .map_or(0, |a| a.connections.len())
     }
 
     /// Cold-start breakdown of the last allocation, if any.
-    pub fn cold_start(&self) -> Option<&ColdStartBreakdown> {
-        self.cold_start.as_ref()
+    pub fn cold_start(&self) -> Option<ColdStartBreakdown> {
+        self.cold_start.lock().clone()
     }
 
     /// The active lease, if any.
-    pub fn lease(&self) -> Option<&Lease> {
-        self.lease.as_ref()
+    pub fn lease(&self) -> Option<Lease> {
+        self.active.lock().as_ref().map(|a| a.lease.clone())
+    }
+
+    /// How many times the invoker transparently re-allocated after a lease
+    /// expired or an executor was lost (the recovery analogue of
+    /// [`InvocationFuture::redirections`]).
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries.load(Ordering::Relaxed)
     }
 
     /// Acquire a lease and spin up executor workers (the cold invocation path
@@ -285,9 +317,18 @@ impl Invoker {
         &mut self,
         request: LeaseRequest,
         mode: PollingMode,
-    ) -> Result<&ColdStartBreakdown> {
-        if self.lease.is_some() {
-            self.deallocate()?;
+    ) -> Result<ColdStartBreakdown> {
+        *self.last_request.lock() = Some((request.clone(), mode));
+        self.allocate_internal(&request, mode)
+    }
+
+    fn allocate_internal(
+        &self,
+        request: &LeaseRequest,
+        mode: PollingMode,
+    ) -> Result<ColdStartBreakdown> {
+        if self.active.lock().is_some() {
+            self.deallocate_internal();
         }
         let mut breakdown = ColdStartBreakdown::default();
 
@@ -299,16 +340,25 @@ impl Invoker {
         // Step 2: submit the allocation request, wait for the lease.
         let t1 = self.clock.now();
         self.clock.advance(self.config.allocation_submit_cost);
-        let (lease, executor) = self.manager.request_lease(&request, &self.clock)?;
+        let (lease, executor) = self.manager.request_lease(request, &self.clock)?;
         breakdown.submit_allocation = self.clock.now().saturating_since(t1);
 
         // Step 3 + 4: the allocator spawns the sandboxed executor process and
-        // loads the code package; the client waits for the whole thing.
+        // loads the code package; the client waits for the whole thing. From
+        // here on every error path must release the lease just granted, or
+        // the manager's reservation leaks until the lease expires.
         let t2 = self.clock.now();
         let allocation =
-            executor
+            match executor
                 .allocator()
-                .allocate_with_workers(&lease, request.cores as usize, mode)?;
+                .allocate_with_workers(&lease, request.cores as usize, mode)
+            {
+                Ok(allocation) => allocation,
+                Err(e) => {
+                    let _ = self.manager.release_lease(lease.id);
+                    return Err(e);
+                }
+            };
         self.clock.advance(allocation.breakdown.spawn.total());
         breakdown.spawn_workers = self.clock.now().saturating_since(t2);
         let t3 = self.clock.now();
@@ -318,9 +368,45 @@ impl Invoker {
         // Step 5: establish a direct RDMA connection to every worker thread
         // and learn where its input buffer lives.
         let t4 = self.clock.now();
+        let connections = match self.connect_workers(&allocation.workers) {
+            Ok(connections) => connections,
+            Err(e) => {
+                let _ = executor.allocator().deallocate(allocation.process_id);
+                let _ = self.manager.release_lease(lease.id);
+                return Err(e);
+            }
+        };
+        breakdown.connect_to_workers = self.clock.now().saturating_since(t4);
+
+        let fresh = ActiveAllocation {
+            epoch: self.allocation_epoch.fetch_add(1, Ordering::Relaxed) + 1,
+            lease,
+            executor,
+            process_id: allocation.process_id,
+            package: allocation.package.clone(),
+            connections,
+        };
+        // Defensive: if another allocation raced in since the teardown above,
+        // swap it out and release it instead of silently leaking its lease.
+        if let Some(displaced) = self.active.lock().replace(fresh) {
+            self.teardown(displaced);
+        }
+        *self.cold_start.lock() = Some(breakdown.clone());
+        Ok(breakdown)
+    }
+
+    /// Epoch of the current allocation (0 when none is active).
+    fn current_epoch(&self) -> u64 {
+        self.active.lock().as_ref().map_or(0, |a| a.epoch)
+    }
+
+    fn connect_workers(
+        &self,
+        workers: &[crate::executor::WorkerEndpointInfo],
+    ) -> Result<Vec<Arc<WorkerConnection>>> {
         let client_node = self.fabric.add_node(&self.node_name);
-        let mut connections = Vec::with_capacity(allocation.workers.len());
-        for (index, worker) in allocation.workers.iter().enumerate() {
+        let mut connections = Vec::with_capacity(workers.len());
+        for (index, worker) in workers.iter().enumerate() {
             let endpoint = Endpoint {
                 fabric: Arc::clone(&self.fabric),
                 node: Arc::clone(&client_node),
@@ -361,15 +447,69 @@ impl Invoker {
                 index,
             }));
         }
-        breakdown.connect_to_workers = self.clock.now().saturating_since(t4);
+        Ok(connections)
+    }
 
-        self.package = Some(allocation.package.clone());
-        self.process_id = Some(allocation.process_id);
-        self.lease = Some(lease);
-        self.executor = Some(executor);
-        self.connections = connections;
-        self.cold_start = Some(breakdown);
-        Ok(self.cold_start.as_ref().expect("just set"))
+    /// Renew the active lease: a manager round trip pushing the expiry to
+    /// `now + extension` (charged at the lease-renewal processing cost), then
+    /// the executor-side deadline update, so long-running clients keep their
+    /// hot workers. Returns the new expiry instant.
+    pub fn extend_lease(&self, extension: SimDuration) -> Result<SimTime> {
+        let (lease_id, executor) = {
+            let active = self.active.lock();
+            let active = active.as_ref().ok_or(RFaasError::NotAllocated)?;
+            (active.lease.id, Arc::clone(&active.executor))
+        };
+        // Submitting the renewal request costs the same as submitting an
+        // allocation; the manager then charges its processing cost.
+        self.clock.advance(self.config.allocation_submit_cost);
+        let renewed = self.manager.renew_lease(lease_id, extension, &self.clock)?;
+        if executor
+            .allocator()
+            .extend_lease(lease_id, renewed.expires_at)
+            == 0
+        {
+            // The executor process is already gone (idle-reaped or expired
+            // under us): the manager-side renewal succeeded but there is no
+            // worker left to keep hot. Surface it so the caller re-allocates
+            // instead of invoking into a dead connection.
+            return Err(RFaasError::ExecutorLost(renewed.executor_node));
+        }
+        if let Some(active) = self.active.lock().as_mut() {
+            if active.lease.id == lease_id {
+                active.lease = renewed.clone();
+            }
+        }
+        Ok(renewed.expires_at)
+    }
+
+    /// Tear down the current allocation and replay the last lease request:
+    /// fresh lease, fresh executor process, fresh connections. Called by the
+    /// transparent recovery path after `LeaseExpired` / `ExecutorLost`.
+    ///
+    /// `observed_epoch` is the epoch of the allocation the caller saw fail.
+    /// If the active allocation has already moved past it (another future
+    /// recovered first), this is a no-op — the caller just resubmits on the
+    /// fresh connections instead of destroying them.
+    fn recover(&self, observed_epoch: u64) -> Result<()> {
+        let _serialised = self.recovery_lock.lock();
+        if self
+            .active
+            .lock()
+            .as_ref()
+            .is_some_and(|a| a.epoch != observed_epoch)
+        {
+            return Ok(());
+        }
+        let (request, mode) = self
+            .last_request
+            .lock()
+            .clone()
+            .ok_or(RFaasError::NotAllocated)?;
+        self.deallocate_internal();
+        self.allocate_internal(&request, mode)?;
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Submit an invocation of `function` with `payload_len` bytes from
@@ -405,24 +545,101 @@ impl Invoker {
         payload_len: usize,
         output: &Buffer,
     ) -> Result<InvocationFuture<'_>> {
-        if self.connections.is_empty() {
-            return Err(RFaasError::NotAllocated);
+        let observed_epoch = self.current_epoch();
+        match self.try_submit_on(worker, function, input, payload_len, output) {
+            // A dead connection at submission time (the executor node was
+            // reclaimed under us) is recovered exactly like a mid-wait loss:
+            // re-allocate and submit on the fresh connections, with the same
+            // retry budget.
+            Err(e) if connection_is_lost(&e) && self.last_request.lock().is_some() => {
+                let (mut future, used) = self.recover_and_resubmit(
+                    worker,
+                    function,
+                    input,
+                    payload_len,
+                    output,
+                    observed_epoch,
+                    InvocationFuture::MAX_RECOVERIES,
+                    e,
+                )?;
+                future.recoveries = used;
+                Ok(future)
+            }
+            result => result,
         }
-        let package = self.package.as_ref().ok_or(RFaasError::NotAllocated)?;
-        let (function_index, _) = package
-            .function_by_name(function)
-            .ok_or_else(|| RFaasError::UnknownFunction(function.to_string()))?;
+    }
+
+    /// Recover from an allocation observed dead at `observed_epoch`, then
+    /// resubmit the invocation; fresh connection losses are retried (the
+    /// manager's round robin moves to a different executor each attempt)
+    /// until `budget` attempts are spent, after which `cause` surfaces.
+    /// Returns the replacement future and the attempts consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_and_resubmit(
+        &self,
+        worker: Option<usize>,
+        function: &str,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+        mut observed_epoch: u64,
+        budget: u32,
+        cause: RFaasError,
+    ) -> Result<(InvocationFuture<'_>, u32)> {
+        let mut used = 0;
+        loop {
+            used += 1;
+            if used > budget {
+                return Err(cause);
+            }
+            if self.recover(observed_epoch).is_err() {
+                continue;
+            }
+            // Whatever allocation is live now (ours or another future's) is
+            // the one the next attempt must observe failing.
+            observed_epoch = self.current_epoch();
+            match self.try_submit_on(worker, function, input, payload_len, output) {
+                Ok(future) => return Ok((future, used)),
+                Err(e) if connection_is_lost(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_submit_on(
+        &self,
+        worker: Option<usize>,
+        function: &str,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+    ) -> Result<InvocationFuture<'_>> {
+        let (function_index, connection, epoch) = {
+            let active = self.active.lock();
+            let active = active.as_ref().ok_or(RFaasError::NotAllocated)?;
+            if active.connections.is_empty() {
+                return Err(RFaasError::NotAllocated);
+            }
+            // Resolve the function while the lock is held — cloning the code
+            // package per submission would put two heap allocations on the
+            // microsecond-scale hot path.
+            let (function_index, _) = active
+                .package
+                .function_by_name(function)
+                .ok_or_else(|| RFaasError::UnknownFunction(function.to_string()))?;
+            let connection = match worker {
+                Some(idx) => active
+                    .connections
+                    .get(idx)
+                    .cloned()
+                    .ok_or(RFaasError::NotAllocated)?,
+                None => self.pick_connection(&active.connections),
+            };
+            (function_index, connection, active.epoch)
+        };
         if function_index > u8::MAX as usize {
             return Err(RFaasError::Internal("function index exceeds 255".into()));
         }
-        let connection = match worker {
-            Some(idx) => self
-                .connections
-                .get(idx)
-                .cloned()
-                .ok_or(RFaasError::NotAllocated)?,
-            None => self.pick_connection(),
-        };
         let wire_len = INVOCATION_HEADER_BYTES + payload_len;
         if wire_len > connection.remote_input.len {
             return Err(RFaasError::PayloadTooLarge {
@@ -468,20 +685,22 @@ impl Invoker {
             payload_len,
             output: output.clone(),
             redirections: 0,
+            recoveries: 0,
+            epoch,
         })
     }
 
-    fn pick_connection(&self) -> Arc<WorkerConnection> {
+    fn pick_connection(&self, connections: &[Arc<WorkerConnection>]) -> Arc<WorkerConnection> {
         // Prefer an idle worker; otherwise round-robin over all of them.
         let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
-        let n = self.connections.len();
+        let n = connections.len();
         for i in 0..n {
-            let conn = &self.connections[(start + i) % n];
+            let conn = &connections[(start + i) % n];
             if conn.outstanding.load(Ordering::Relaxed) == 0 {
                 return Arc::clone(conn);
             }
         }
-        Arc::clone(&self.connections[start % n])
+        Arc::clone(&connections[start % n])
     }
 
     /// Convenience wrapper: submit one invocation and wait for its result,
@@ -502,17 +721,42 @@ impl Invoker {
     /// Release all executor resources and the lease (Listing 2's
     /// `invoker.deallocate()`).
     pub fn deallocate(&mut self) -> Result<()> {
-        for conn in self.connections.drain(..) {
+        *self.last_request.lock() = None;
+        self.deallocate_internal();
+        Ok(())
+    }
+
+    fn deallocate_internal(&self) {
+        if let Some(active) = self.active.lock().take() {
+            self.teardown(active);
+        }
+    }
+
+    fn teardown(&self, active: ActiveAllocation) {
+        for conn in &active.connections {
             conn.qp.disconnect();
         }
-        if let (Some(executor), Some(process_id)) = (self.executor.take(), self.process_id.take()) {
-            let _ = executor.allocator().deallocate(process_id);
-        }
-        if let Some(lease) = self.lease.take() {
-            let _ = self.manager.release_lease(lease.id);
-        }
-        self.package = None;
-        Ok(())
+        // Both calls tolerate the other side being gone already: a failed
+        // executor has no process left to deallocate, and the lifecycle
+        // driver may have released or terminated the lease before us.
+        let _ = active.executor.allocator().deallocate(active.process_id);
+        let _ = self.manager.release_lease(active.lease.id);
+    }
+}
+
+/// Whether an error means the executor connection is gone (as opposed to a
+/// protocol or application failure), making transparent re-allocation the
+/// right response.
+fn connection_is_lost(error: &RFaasError) -> bool {
+    match error {
+        RFaasError::ExecutorLost(_) => true,
+        RFaasError::Fabric(e) => matches!(
+            e,
+            rdma_fabric::FabricError::ConnectionLost
+                | rdma_fabric::FabricError::NotConnected
+                | rdma_fabric::FabricError::InvalidQpState { .. }
+        ),
+        _ => false,
     }
 }
 
@@ -534,6 +778,10 @@ pub struct InvocationFuture<'a> {
     payload_len: usize,
     output: Buffer,
     redirections: u32,
+    recoveries: u32,
+    // Allocation epoch the current connection belongs to; recovery uses it to
+    // detect that another future already replaced a dead allocation.
+    epoch: u64,
 }
 
 impl std::fmt::Debug for InvocationFuture<'_> {
@@ -556,14 +804,57 @@ impl InvocationFuture<'_> {
         self.redirections
     }
 
+    /// Number of times the invocation was replayed onto a fresh lease after
+    /// an expiry or executor loss.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// Maximum lease re-allocations one invocation will attempt before
+    /// surfacing the failure (guards against a platform that keeps handing
+    /// out instantly-dying leases).
+    const MAX_RECOVERIES: u32 = 3;
+
+    /// Re-allocate through the manager and replay this invocation on the
+    /// fresh connections, drawing on the future's remaining recovery budget
+    /// (shared with the submission-time recovery path).
+    fn recover_and_resubmit(&mut self, cause: RFaasError) -> Result<()> {
+        let budget = Self::MAX_RECOVERIES.saturating_sub(self.recoveries);
+        let (retry, used) = self.invoker.recover_and_resubmit(
+            None,
+            &self.function,
+            &self.input,
+            self.payload_len,
+            &self.output,
+            self.epoch,
+            budget,
+            cause,
+        )?;
+        self.recoveries += used;
+        self.connection = Arc::clone(&retry.connection);
+        self.invocation_id = retry.invocation_id;
+        self.epoch = retry.epoch;
+        Ok(())
+    }
+
     /// Block (busy-polling) until the result is available; returns the number
     /// of output bytes written into the output buffer.
     ///
     /// Rejected invocations (oversubscribed warm executors) are transparently
-    /// redirected to another worker, as in Fig. 6.
+    /// redirected to another worker, as in Fig. 6. Invocations refused
+    /// because the lease expired — or stranded because the executor node
+    /// disappeared — are transparently replayed onto a fresh lease obtained
+    /// from the resource manager (Sec. III-B failure handling).
     pub fn wait(mut self) -> Result<usize> {
         loop {
-            let (byte_len, status) = self.connection.wait_for(self.invocation_id)?;
+            let (byte_len, status) = match self.connection.wait_for(self.invocation_id) {
+                Ok(result) => result,
+                Err(e) if connection_is_lost(&e) => {
+                    self.recover_and_resubmit(e)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             match status {
                 ResultStatus::Success => return Ok(byte_len),
                 ResultStatus::FunctionFailed => {
@@ -573,6 +864,10 @@ impl InvocationFuture<'_> {
                             self.function
                         )),
                     ))
+                }
+                ResultStatus::LeaseExpired => {
+                    let lease_id = self.invoker.lease().map(|l| l.id).unwrap_or_default();
+                    self.recover_and_resubmit(RFaasError::LeaseExpired(lease_id))?;
                 }
                 ResultStatus::Rejected => {
                     // Redirect to a different worker; give up once every
@@ -591,6 +886,7 @@ impl InvocationFuture<'_> {
                     )?;
                     self.connection = Arc::clone(&retry.connection);
                     self.invocation_id = retry.invocation_id;
+                    self.epoch = retry.epoch;
                 }
             }
         }
@@ -699,6 +995,77 @@ mod tests {
         let median = samples[samples.len() / 2];
         // Paper: ~3.96 us hot latency for small payloads.
         assert!((3.0..6.0).contains(&median), "hot median {median} us");
+    }
+
+    #[test]
+    fn failed_allocation_releases_the_manager_lease() {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(CodePackage::minimal("pkg").with_function(echo_function()));
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let executor = SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources {
+                cores: 8,
+                memory_mib: 32 * 1024,
+            },
+            registry,
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&executor);
+        let mut invoker = Invoker::new(&fabric, "client", &manager, RFaasConfig::default());
+
+        // The manager grants the lease (it does not validate packages), then
+        // the allocator rejects the unknown package. Regression: the granted
+        // lease and its reserved resources must be released, not leaked.
+        let err = invoker
+            .allocate(
+                LeaseRequest::single_worker("missing-pkg").with_cores(2),
+                PollingMode::Hot,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RFaasError::UnknownPackage(_)));
+        assert_eq!(manager.lease_count(), 0);
+        assert_eq!(manager.available_resources().cores, 8);
+
+        // Same contract when the executor-side worker spawn fails.
+        executor.allocator().inject_spawn_failure(0);
+        let err = invoker
+            .allocate(
+                LeaseRequest::single_worker("pkg").with_cores(2),
+                PollingMode::Hot,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RFaasError::Internal(_)));
+        assert_eq!(manager.lease_count(), 0);
+        assert_eq!(manager.available_resources().cores, 8);
+        assert_eq!(executor.allocator().available().cores, 8);
+    }
+
+    #[test]
+    fn extend_lease_requires_an_allocation() {
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let invoker = Invoker::new(&fabric, "c", &manager, RFaasConfig::default());
+        assert!(matches!(
+            invoker.extend_lease(SimDuration::from_secs(60)),
+            Err(RFaasError::NotAllocated)
+        ));
+    }
+
+    #[test]
+    fn extend_lease_pushes_expiry_and_updates_executor_deadline() {
+        let (_fabric, manager, invoker) = platform(1);
+        let before = invoker.lease().unwrap();
+        let new_expiry = invoker.extend_lease(SimDuration::from_secs(3600)).unwrap();
+        assert!(new_expiry > before.expires_at);
+        let after = invoker.lease().unwrap();
+        assert_eq!(after.expires_at, new_expiry);
+        assert_eq!(manager.lease(after.id).unwrap().expires_at, new_expiry);
+        // The executor-side process deadline moved with the lease.
+        let executor = manager.executor(&after.executor_node).unwrap();
+        assert_eq!(executor.allocator().reap_expired(before.expires_at), 0);
     }
 
     #[test]

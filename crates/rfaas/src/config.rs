@@ -50,8 +50,19 @@ pub struct RFaasConfig {
     pub default_sandbox: SandboxType,
     /// Default lease lifetime.
     pub default_lease_timeout: SimDuration,
-    /// Heartbeat interval between allocators and the resource manager.
+    /// Manager-side processing of one lease-renewal request. Renewal touches
+    /// only the lease record (no placement decision), so the paper's
+    /// allocation-processing budget is the upper bound; clients pay this cost
+    /// on every `extend_lease` round trip.
+    pub lease_renewal_cost: SimDuration,
+    /// Heartbeat interval between allocators and the resource manager: each
+    /// live spot executor emits one heartbeat per interval and the lifecycle
+    /// driver records it (Sec. III-B failure detection).
     pub heartbeat_interval: SimDuration,
+    /// Silence after which the manager declares an executor failed,
+    /// deregisters it and marks its leases terminated. Must be a small
+    /// multiple of `heartbeat_interval` to tolerate jittered heartbeats.
+    pub heartbeat_timeout: SimDuration,
     /// Idle time after which an executor process is reclaimed.
     pub executor_idle_timeout: SimDuration,
     /// Billing rate per (GiB × second) of leased memory.
@@ -76,7 +87,9 @@ impl RFaasConfig {
             recv_queue_depth: 16,
             default_sandbox: SandboxType::BareMetal,
             default_lease_timeout: SimDuration::from_secs(600),
+            lease_renewal_cost: SimDuration::from_micros(700),
             heartbeat_interval: SimDuration::from_secs(5),
+            heartbeat_timeout: SimDuration::from_secs(15),
             executor_idle_timeout: SimDuration::from_secs(60),
             // Prices follow the provisioned-function model of Sec. IV-C: hot
             // polling is billed like active compute, memory allocation is an
@@ -110,6 +123,16 @@ mod tests {
         assert!(c.max_payload_bytes >= 5 * 1024 * 1024);
         assert!(c.recv_queue_depth >= 1);
         assert_eq!(c.default_sandbox, SandboxType::BareMetal);
+    }
+
+    #[test]
+    fn lease_lifecycle_knobs_are_consistent() {
+        let c = RFaasConfig::paper_calibration();
+        // Renewal is a control-plane round trip bounded by the allocation
+        // processing budget.
+        assert!(c.lease_renewal_cost <= c.allocation_processing_cost);
+        // The failure detector must tolerate at least two missed heartbeats.
+        assert!(c.heartbeat_timeout >= c.heartbeat_interval * 2);
     }
 
     #[test]

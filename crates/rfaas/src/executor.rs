@@ -9,7 +9,7 @@
 //! (blocking) invocation handling.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -32,6 +32,43 @@ use crate::protocol::{ImmValue, InvocationHeader, Lease, ResultStatus, INVOCATIO
 
 static NEXT_PROCESS_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The (renewable) expiry instant of one lease, shared between the allocator,
+/// the executor process and every worker thread serving the lease.
+///
+/// Workers consult it on each invocation (Sec. III-B: the executor enforces
+/// the lease, not the client); `extend` pushes it forward when the client
+/// renews through the manager. The deadline never moves backwards.
+#[derive(Debug)]
+pub struct LeaseDeadline {
+    expires_at_ns: AtomicU64,
+}
+
+impl LeaseDeadline {
+    /// A deadline at `expires_at`.
+    pub fn new(expires_at: SimTime) -> LeaseDeadline {
+        LeaseDeadline {
+            expires_at_ns: AtomicU64::new(expires_at.as_nanos()),
+        }
+    }
+
+    /// The current expiry instant.
+    pub fn expires_at(&self) -> SimTime {
+        SimTime::from_nanos(self.expires_at_ns.load(Ordering::Acquire))
+    }
+
+    /// Push the expiry forward to `expires_at` (monotonic: an earlier instant
+    /// is ignored).
+    pub fn extend(&self, expires_at: SimTime) {
+        self.expires_at_ns
+            .fetch_max(expires_at.as_nanos(), Ordering::AcqRel);
+    }
+
+    /// Whether the lease has expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.expires_at()
+    }
+}
 
 /// A CPU core shared between workers; warm invocations must acquire it
 /// exclusively, hot workers hold it for their whole lifetime (Fig. 6).
@@ -66,6 +103,8 @@ pub struct WorkerStats {
     pub rejected: u64,
     /// Invocations whose function body failed.
     pub failed: u64,
+    /// Invocations refused because the lease had expired on arrival.
+    pub expired: u64,
     /// Virtual time spent executing function bodies.
     pub busy_time: SimDuration,
     /// Virtual time spent hot-polling between invocations.
@@ -78,6 +117,7 @@ struct WorkerShared {
     mode: Mutex<PollingMode>,
     stats: Mutex<WorkerStats>,
     clock: Arc<VirtualClock>,
+    deadline: Arc<LeaseDeadline>,
 }
 
 /// Connection details a client needs to reach one worker thread.
@@ -319,6 +359,32 @@ fn worker_main(ctx: WorkerContext) {
         let result_handle = header.result_handle();
         let payload_len = total_len.saturating_sub(INVOCATION_HEADER_BYTES);
 
+        // Lease enforcement (Sec. III-B): polling the completion synchronised
+        // this worker's clock to the invocation's arrival time, so comparing
+        // against the shared deadline catches leases that expired while the
+        // client kept the connection open. Refuse the invocation so the client
+        // re-allocates through the resource manager.
+        if shared.deadline.is_expired(shared.clock.now()) {
+            shared.stats.lock().expired += 1;
+            let _ = qp.post_send(
+                invocation_id as u64,
+                SendRequest::WriteWithImm {
+                    local: Sge::range(&output, 0, 0),
+                    remote: result_handle.slice(0, 0),
+                    imm: ImmValue::response(invocation_id, ResultStatus::LeaseExpired),
+                },
+                false,
+            );
+            let _ = qp.post_recv(RecvRequest {
+                wr_id: wc.wr_id,
+                local: Sge::whole(&recv_scratch),
+            });
+            // The spin up to this arrival was already accounted above; mark
+            // the new idle point or the next request re-bills that interval.
+            last_ready = Some(shared.clock.now());
+            continue;
+        }
+
         // Oversubscribed warm executions must grab the core; if a
         // compute-intensive task holds it, reject immediately so the client
         // redirects to another executor (Sec. III-D, Fig. 6).
@@ -340,6 +406,7 @@ fn worker_main(ctx: WorkerContext) {
                     wr_id: wc.wr_id,
                     local: Sge::whole(&recv_scratch),
                 });
+                last_ready = Some(shared.clock.now());
                 continue;
             }
         } else {
@@ -391,7 +458,7 @@ fn worker_main(ctx: WorkerContext) {
             match status {
                 ResultStatus::Success => stats.invocations += 1,
                 ResultStatus::FunctionFailed => stats.failed += 1,
-                ResultStatus::Rejected => {}
+                ResultStatus::Rejected | ResultStatus::LeaseExpired => {}
             }
         }
         if acquired_for_this {
@@ -455,7 +522,12 @@ pub struct ExecutorProcess {
     lease_id: u64,
     sandbox: Mutex<Sandbox>,
     workers: Vec<WorkerHandle>,
+    /// Cores reserved from the node pool at allocation time (`lease.cores`,
+    /// not the worker count — oversubscribed allocations spawn more workers
+    /// than they reserve cores).
+    leased_cores: u32,
     memory_mib: u64,
+    deadline: Arc<LeaseDeadline>,
     created_at: SimTime,
     last_used: Mutex<SimTime>,
 }
@@ -476,6 +548,16 @@ impl ExecutorProcess {
         &self.workers
     }
 
+    /// Cores reserved from the node pool for this process.
+    pub fn leased_cores(&self) -> u32 {
+        self.leased_cores
+    }
+
+    /// The (renewable) lease deadline shared with this process's workers.
+    pub fn deadline(&self) -> &Arc<LeaseDeadline> {
+        &self.deadline
+    }
+
     /// Aggregate statistics over all workers.
     pub fn stats(&self) -> WorkerStats {
         let mut total = WorkerStats::default();
@@ -484,6 +566,7 @@ impl ExecutorProcess {
             total.invocations += s.invocations;
             total.rejected += s.rejected;
             total.failed += s.failed;
+            total.expired += s.expired;
             total.busy_time += s.busy_time;
             total.hot_poll_time += s.hot_poll_time;
         }
@@ -528,6 +611,13 @@ pub struct LightweightAllocator {
     state: Mutex<AllocatorState>,
     clock: Arc<VirtualClock>,
     billing: Mutex<Option<Arc<BillingClient>>>,
+    // Cleared when the node dies or is reclaimed: a dead allocator refuses
+    // new allocations instead of spawning processes on a gone machine.
+    alive: AtomicBool,
+    // Testing hook: index of the first worker-thread spawn forced to fail
+    // (usize::MAX disables it). Lets tests exercise the mid-allocation
+    // rollback path, which real `thread::spawn` failures make untestable.
+    spawn_fail_at: AtomicUsize,
 }
 
 impl std::fmt::Debug for LightweightAllocator {
@@ -561,7 +651,16 @@ impl LightweightAllocator {
             }),
             clock: VirtualClock::shared(),
             billing: Mutex::new(None),
+            alive: AtomicBool::new(true),
+            spawn_fail_at: AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// Force the `index`-th worker-thread spawn of the next allocation to
+    /// fail (testing hook for the rollback path).
+    #[doc(hidden)]
+    pub fn inject_spawn_failure(&self, index: usize) {
+        self.spawn_fail_at.store(index, Ordering::Release);
     }
 
     /// Attach the billing client created by the resource manager.
@@ -601,6 +700,9 @@ impl LightweightAllocator {
     ) -> Result<AllocationResult> {
         if workers == 0 {
             return Err(RFaasError::Internal("cannot allocate zero workers".into()));
+        }
+        if !self.alive.load(Ordering::Acquire) {
+            return Err(RFaasError::ExecutorLost(self.node_name.clone()));
         }
         let package = self
             .registry
@@ -649,8 +751,17 @@ impl LightweightAllocator {
 
         let process_id = NEXT_PROCESS_ID.fetch_add(1, Ordering::Relaxed);
         let billing = self.billing.lock().clone();
+        let deadline = Arc::new(LeaseDeadline::new(lease.expires_at));
         let mut handles = Vec::with_capacity(workers);
+        let mut spawn_error = None;
         for worker_idx in 0..workers {
+            if worker_idx == self.spawn_fail_at.load(Ordering::Acquire) {
+                self.spawn_fail_at.store(usize::MAX, Ordering::Release);
+                spawn_error = Some(RFaasError::Internal(format!(
+                    "failed to spawn worker: injected failure at index {worker_idx}"
+                )));
+                break;
+            }
             let worker_id = NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed);
             let address = format!("rfaas://{}/{}/{}", self.node_name, process_id, worker_id);
             let listener = Listener::bind(&self.fabric, &address);
@@ -660,6 +771,7 @@ impl LightweightAllocator {
                 mode: Mutex::new(mode),
                 stats: Mutex::new(WorkerStats::default()),
                 clock: Arc::clone(&worker_clock),
+                deadline: Arc::clone(&deadline),
             });
             let endpoint = Endpoint {
                 fabric: Arc::clone(&self.fabric),
@@ -678,18 +790,35 @@ impl LightweightAllocator {
                 core: Arc::clone(&cores[worker_idx % cores.len()]),
                 max_payload: self.config.max_payload_bytes,
             };
-            let thread = std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name(format!("rfaas-worker-{worker_id}"))
                 .spawn(move || worker_main(context))
-                .map_err(|e| RFaasError::Internal(format!("failed to spawn worker: {e}")))?;
-            handles.push(WorkerHandle {
-                info: WorkerEndpointInfo {
-                    address,
-                    max_payload: self.config.max_payload_bytes,
-                },
-                shared,
-                thread: Some(thread),
-            });
+            {
+                Ok(thread) => handles.push(WorkerHandle {
+                    info: WorkerEndpointInfo {
+                        address,
+                        max_payload: self.config.max_payload_bytes,
+                    },
+                    shared,
+                    thread: Some(thread),
+                }),
+                Err(e) => {
+                    spawn_error =
+                        Some(RFaasError::Internal(format!("failed to spawn worker: {e}")));
+                    break;
+                }
+            }
+        }
+        if let Some(error) = spawn_error {
+            // Roll back the partial allocation: stop and join the workers
+            // already spawned (WorkerHandle::drop does both), terminate the
+            // sandbox and return the reservation to the node pool.
+            drop(handles);
+            let teardown = sandbox.terminate();
+            self.clock.advance(teardown);
+            let mut state = self.state.lock();
+            state.available = state.available.add(&request);
+            return Err(error);
         }
 
         let infos: Vec<WorkerEndpointInfo> = handles.iter().map(|h| h.info().clone()).collect();
@@ -698,7 +827,9 @@ impl LightweightAllocator {
             lease_id: lease.id,
             sandbox: Mutex::new(sandbox),
             workers: handles,
+            leased_cores: lease.cores,
             memory_mib: lease.memory_mib,
+            deadline,
             created_at: start_time,
             last_used: Mutex::new(start_time),
         };
@@ -738,7 +869,10 @@ impl LightweightAllocator {
             .latest_worker_time()
             .saturating_since(process.created_at);
         let memory_mib = process.memory_mib;
-        let cores = process.workers.len() as u32;
+        // Restore the reservation actually taken at allocation time — the
+        // leased cores, not the worker count, which oversubscribed
+        // allocations inflate past the reservation.
+        let cores = process.leased_cores;
         let teardown = process.shutdown();
         self.clock.advance(teardown);
         if let Some(billing) = self.billing.lock().as_ref() {
@@ -748,6 +882,70 @@ impl LightweightAllocator {
         let mut state = self.state.lock();
         state.available = state.available.add(&NodeResources { cores, memory_mib });
         Ok(stats)
+    }
+
+    /// Push the lease deadline of every process serving `lease_id` forward to
+    /// `expires_at` (lease renewal reaching the executor). Returns the number
+    /// of processes whose deadline was extended.
+    pub fn extend_lease(&self, lease_id: u64, expires_at: SimTime) -> usize {
+        let processes: Vec<Arc<Mutex<ExecutorProcess>>> =
+            self.state.lock().processes.values().cloned().collect();
+        let mut extended = 0;
+        for process in processes {
+            let process = process.lock();
+            if process.lease_id == lease_id {
+                process.deadline.extend(expires_at);
+                extended += 1;
+            }
+        }
+        extended
+    }
+
+    /// Deallocate processes whose lease deadline has passed at `now`,
+    /// returning their reservations to the node pool. Returns the number of
+    /// processes reaped.
+    pub fn reap_expired(&self, now: SimTime) -> usize {
+        let expired_ids: Vec<u64> = {
+            let state = self.state.lock();
+            state
+                .processes
+                .iter()
+                .filter(|(_, p)| p.lock().deadline.is_expired(now))
+                .map(|(id, _)| *id)
+                .collect()
+        };
+        let mut count = 0;
+        for id in expired_ids {
+            // Re-check right before tearing down: a renewal may have pushed
+            // the deadline forward between the snapshot and this point, and
+            // reaping a freshly renewed lease would strand its client.
+            let still_expired = self
+                .state
+                .lock()
+                .processes
+                .get(&id)
+                .is_some_and(|p| p.lock().deadline.is_expired(now));
+            if still_expired && self.deallocate(id).is_ok() {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Tear down every executor process without returning resources to the
+    /// pool (the node itself was reclaimed or failed) and refuse future
+    /// allocations. Returns the number of processes terminated.
+    pub fn terminate_all(&self) -> usize {
+        self.alive.store(false, Ordering::Release);
+        let processes: Vec<Arc<Mutex<ExecutorProcess>>> = {
+            let mut state = self.state.lock();
+            state.processes.drain().map(|(_, p)| p).collect()
+        };
+        let count = processes.len();
+        for process in processes {
+            process.lock().shutdown();
+        }
+        count
     }
 
     /// Remove processes that have been idle longer than the configured idle
@@ -780,6 +978,8 @@ pub struct SpotExecutor {
     node: Arc<FabricNode>,
     resources: NodeResources,
     allocator: LightweightAllocator,
+    alive: AtomicBool,
+    last_heartbeat_sent: Mutex<Option<SimTime>>,
 }
 
 impl std::fmt::Debug for SpotExecutor {
@@ -814,6 +1014,8 @@ impl SpotExecutor {
                 ImageRegistry::new(),
                 config,
             ),
+            alive: AtomicBool::new(true),
+            last_heartbeat_sent: Mutex::new(None),
         })
     }
 
@@ -835,6 +1037,41 @@ impl SpotExecutor {
     /// The node's lightweight allocator.
     pub fn allocator(&self) -> &LightweightAllocator {
         &self.allocator
+    }
+
+    /// Whether the node is still up and heartbeating.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Simulate the node being reclaimed by the batch system (or crashing):
+    /// heartbeats stop and every executor process is torn down, which
+    /// disconnects the clients holding leases here. Returns the number of
+    /// processes terminated.
+    pub fn fail(&self) -> usize {
+        self.alive.store(false, Ordering::Release);
+        self.allocator.terminate_all()
+    }
+
+    /// Emit a heartbeat if one is due at `now` (the allocator pings the
+    /// manager every `interval`, Sec. III-B). Dead executors emit nothing —
+    /// that silence is what the manager's failure detector keys on. Returns
+    /// the heartbeat timestamp when one was emitted.
+    pub fn emit_heartbeat_if_due(&self, now: SimTime, interval: SimDuration) -> Option<SimTime> {
+        if !self.is_alive() {
+            return None;
+        }
+        let mut last = self.last_heartbeat_sent.lock();
+        let due = match *last {
+            None => true,
+            Some(previous) => now.saturating_since(previous) >= interval,
+        };
+        if due {
+            *last = Some(now);
+            Some(now)
+        } else {
+            None
+        }
     }
 }
 
@@ -985,6 +1222,141 @@ mod tests {
             assert_eq!(worker.mode(), PollingMode::Warm);
         }
         exec.allocator().deallocate(result.process_id).unwrap();
+    }
+
+    #[test]
+    fn oversubscribed_deallocate_restores_exactly_the_leased_cores() {
+        let exec = executor();
+        let lease = test_lease(2, "echo-pkg");
+        // 4 workers over 2 leased cores: only 2 cores are reserved.
+        let result = exec
+            .allocator()
+            .allocate_with_workers(&lease, 2 * lease.cores as usize, PollingMode::Warm)
+            .unwrap();
+        assert_eq!(result.workers.len(), 4);
+        assert_eq!(exec.allocator().available().cores, 6);
+        exec.allocator().deallocate(result.process_id).unwrap();
+        // Regression: restoring workers.len() cores would inflate the pool
+        // to 10 here (and leak cores for undersubscribed allocations).
+        assert_eq!(exec.allocator().available().cores, 8);
+        assert_eq!(
+            exec.allocator().available().memory_mib,
+            exec.resources().memory_mib
+        );
+    }
+
+    #[test]
+    fn spawn_failure_rolls_back_reservation_and_partial_state() {
+        let exec = executor();
+        exec.allocator().inject_spawn_failure(2);
+        let err = exec
+            .allocator()
+            .allocate_with_workers(&test_lease(4, "echo-pkg"), 4, PollingMode::Hot)
+            .unwrap_err();
+        assert!(matches!(err, RFaasError::Internal(_)));
+        // Regression: the reservation debited before spawning must be
+        // restored, no half-built process may linger, and the two workers
+        // spawned before the failure must be shut down (drop joins them).
+        assert_eq!(exec.allocator().available().cores, 8);
+        assert_eq!(
+            exec.allocator().available().memory_mib,
+            exec.resources().memory_mib
+        );
+        assert_eq!(exec.allocator().process_count(), 0);
+        // The hook disarms itself: the next allocation succeeds.
+        let result = exec
+            .allocator()
+            .allocate(&test_lease(4, "echo-pkg"))
+            .unwrap();
+        exec.allocator().deallocate(result.process_id).unwrap();
+    }
+
+    #[test]
+    fn reap_expired_reclaims_processes_after_the_deadline() {
+        let exec = executor();
+        let mut lease = test_lease(2, "echo-pkg");
+        lease.expires_at = SimTime::from_secs(10);
+        let result = exec.allocator().allocate(&lease).unwrap();
+        assert_eq!(exec.allocator().reap_expired(SimTime::from_secs(9)), 0);
+        assert_eq!(exec.allocator().process_count(), 1);
+        assert_eq!(exec.allocator().reap_expired(SimTime::from_secs(10)), 1);
+        assert_eq!(exec.allocator().process_count(), 0);
+        assert_eq!(exec.allocator().available().cores, 8);
+        assert!(exec.allocator().process(result.process_id).is_none());
+    }
+
+    #[test]
+    fn extend_lease_pushes_the_process_deadline_forward() {
+        let exec = executor();
+        let mut lease = test_lease(1, "echo-pkg");
+        lease.expires_at = SimTime::from_secs(10);
+        let result = exec.allocator().allocate(&lease).unwrap();
+        assert_eq!(
+            exec.allocator()
+                .extend_lease(lease.id, SimTime::from_secs(50)),
+            1
+        );
+        // Extending an unknown lease touches nothing.
+        assert_eq!(
+            exec.allocator().extend_lease(999, SimTime::from_secs(99)),
+            0
+        );
+        assert_eq!(exec.allocator().reap_expired(SimTime::from_secs(20)), 0);
+        let process = exec.allocator().process(result.process_id).unwrap();
+        assert_eq!(
+            process.lock().deadline().expires_at(),
+            SimTime::from_secs(50)
+        );
+        // The deadline is monotonic: an earlier extension is ignored.
+        process.lock().deadline().extend(SimTime::from_secs(30));
+        assert_eq!(
+            process.lock().deadline().expires_at(),
+            SimTime::from_secs(50)
+        );
+        exec.allocator().deallocate(result.process_id).unwrap();
+    }
+
+    #[test]
+    fn failed_executor_terminates_processes_and_stops_heartbeating() {
+        let exec = executor();
+        exec.allocator()
+            .allocate(&test_lease(2, "echo-pkg"))
+            .unwrap();
+        assert!(exec.is_alive());
+        let interval = SimDuration::from_secs(5);
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::from_secs(1), interval)
+            .is_some());
+        // Not due again until a full interval elapsed.
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::from_secs(3), interval)
+            .is_none());
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::from_secs(6), interval)
+            .is_some());
+        assert_eq!(exec.fail(), 1);
+        assert!(!exec.is_alive());
+        assert_eq!(exec.allocator().process_count(), 0);
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::from_secs(11), interval)
+            .is_none());
+    }
+
+    #[test]
+    fn heartbeat_at_time_zero_still_rate_limits() {
+        let exec = executor();
+        let interval = SimDuration::from_secs(5);
+        // Regression: a ZERO sentinel made an emission at t=0 invisible, so
+        // every later call emitted regardless of the interval.
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::ZERO, interval)
+            .is_some());
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::from_secs(1), interval)
+            .is_none());
+        assert!(exec
+            .emit_heartbeat_if_due(SimTime::from_secs(5), interval)
+            .is_some());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod client;
 pub mod config;
 pub mod error;
 pub mod executor;
+pub mod lifecycle;
 pub mod manager;
 pub mod protocol;
 
@@ -63,9 +64,10 @@ pub use client::{Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, 
 pub use config::{PollingMode, RFaasConfig};
 pub use error::{RFaasError, Result};
 pub use executor::{
-    AllocationBreakdown, AllocationResult, CoreSlot, ExecutorProcess, LightweightAllocator,
-    SpotExecutor, WorkerEndpointInfo, WorkerStats,
+    AllocationBreakdown, AllocationResult, CoreSlot, ExecutorProcess, LeaseDeadline,
+    LightweightAllocator, SpotExecutor, WorkerEndpointInfo, WorkerStats,
 };
+pub use lifecycle::{LifecycleDriver, LifecycleStats};
 pub use manager::{ManagerGroup, ResourceManager};
 pub use protocol::{
     ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,

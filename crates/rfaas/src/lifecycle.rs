@@ -1,0 +1,235 @@
+//! The manager-side lease-lifecycle driver.
+//!
+//! Granting a lease is only half of the contract the paper describes
+//! (Sec. III-B/D): the platform must also *enforce* it — reclaim resources
+//! when leases expire, detect executors that stopped heartbeating, and mark
+//! their leases terminated so clients re-allocate. [`LifecycleDriver`] is the
+//! background step of the resource manager that does all three. It is driven
+//! by virtual time: callers (simulations, figure binaries, tests) invoke
+//! [`LifecycleDriver::step`] at whatever cadence their scenario advances the
+//! clock, which keeps the control loop deterministic.
+//!
+//! One step performs, in order:
+//!
+//! 1. **Heartbeat collection** — every live registered executor emits a
+//!    heartbeat once per `heartbeat_interval`; the driver records it with the
+//!    manager.
+//! 2. **Failure detection** — executors silent for longer than
+//!    `heartbeat_timeout` are deregistered and every lease placed on them is
+//!    marked terminated.
+//! 3. **Lease expiry** — expired leases are released, returning their
+//!    reservations to the manager's placement pool.
+//! 4. **Executor-side reaping** — each surviving allocator deallocates the
+//!    processes whose lease deadline passed, returning node cores/memory.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sim_core::SimTime;
+
+use crate::manager::ResourceManager;
+
+/// Counters describing lifecycle activity. Returned per step and accumulated
+/// over the driver's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Heartbeats collected from live executors.
+    pub heartbeats: u64,
+    /// Executors deregistered because their heartbeats stopped.
+    pub executors_failed: u64,
+    /// Leases marked terminated because their executor failed.
+    pub leases_terminated: u64,
+    /// Leases released because they expired.
+    pub leases_expired: u64,
+    /// Executor processes reaped after their lease deadline passed.
+    pub processes_reaped: u64,
+}
+
+impl LifecycleStats {
+    fn absorb(&mut self, other: &LifecycleStats) {
+        self.heartbeats += other.heartbeats;
+        self.executors_failed += other.executors_failed;
+        self.leases_terminated += other.leases_terminated;
+        self.leases_expired += other.leases_expired;
+        self.processes_reaped += other.processes_reaped;
+    }
+}
+
+/// The manager's lease-lifecycle background step (see module docs).
+pub struct LifecycleDriver {
+    manager: Arc<ResourceManager>,
+    total: Mutex<LifecycleStats>,
+}
+
+impl std::fmt::Debug for LifecycleDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LifecycleDriver")
+            .field("total", &*self.total.lock())
+            .finish()
+    }
+}
+
+impl LifecycleDriver {
+    /// A driver for `manager`, using the heartbeat interval and timeout of
+    /// the manager's configuration.
+    pub fn new(manager: &Arc<ResourceManager>) -> LifecycleDriver {
+        LifecycleDriver {
+            manager: Arc::clone(manager),
+            total: Mutex::new(LifecycleStats::default()),
+        }
+    }
+
+    /// Cumulative counters since the driver was created.
+    pub fn total(&self) -> LifecycleStats {
+        *self.total.lock()
+    }
+
+    /// Run one lifecycle step at virtual time `now`; returns what this step
+    /// did. Steps are idempotent at a fixed `now`.
+    pub fn step(&self, now: SimTime) -> LifecycleStats {
+        let config = self.manager.config().clone();
+        let mut delta = LifecycleStats::default();
+
+        // 1. Collect the heartbeats live executors emit (Sec. III-B).
+        for executor in self.manager.registered_executors() {
+            if let Some(at) = executor.emit_heartbeat_if_due(now, config.heartbeat_interval) {
+                if self.manager.heartbeat(executor.name(), at) {
+                    delta.heartbeats += 1;
+                }
+            }
+        }
+
+        // 2. Deregister executors whose heartbeats stopped and mark their
+        // leases terminated so clients stop waiting for a node that is gone.
+        for name in self.manager.failed_executors(now, config.heartbeat_timeout) {
+            if self.manager.deregister_executor(&name) {
+                delta.executors_failed += 1;
+                delta.leases_terminated += self.manager.terminate_leases_on(&name).len() as u64;
+            }
+        }
+
+        // 3. Release expired leases: their reservations re-enter placement.
+        for lease_id in self.manager.expired_leases(now) {
+            if self.manager.release_lease(lease_id).is_ok() {
+                delta.leases_expired += 1;
+            }
+        }
+
+        // 4. Executor-side enforcement: allocators reap the processes whose
+        // deadline passed, freeing the node's cores and memory.
+        for executor in self.manager.registered_executors() {
+            delta.processes_reaped += executor.allocator().reap_expired(now) as u64;
+        }
+
+        self.total.lock().absorb(&delta);
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Invoker;
+    use crate::config::{PollingMode, RFaasConfig};
+    use crate::executor::SpotExecutor;
+    use crate::protocol::LeaseRequest;
+    use cluster_sim::NodeResources;
+    use rdma_fabric::Fabric;
+    use sandbox::{echo_function, CodePackage, FunctionRegistry};
+    use sim_core::SimDuration;
+
+    fn platform(executors: usize) -> (Arc<Fabric>, Arc<ResourceManager>, Vec<Arc<SpotExecutor>>) {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(CodePackage::minimal("pkg").with_function(echo_function()));
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let execs: Vec<Arc<SpotExecutor>> = (0..executors)
+            .map(|i| {
+                let exec = SpotExecutor::new(
+                    &fabric,
+                    &format!("exec-{i}"),
+                    NodeResources {
+                        cores: 8,
+                        memory_mib: 32 * 1024,
+                    },
+                    registry.clone(),
+                    RFaasConfig::default(),
+                );
+                manager.register_executor(&exec);
+                exec
+            })
+            .collect();
+        (fabric, manager, execs)
+    }
+
+    #[test]
+    fn step_collects_heartbeats_per_interval() {
+        let (_fabric, manager, _execs) = platform(2);
+        let driver = LifecycleDriver::new(&manager);
+        let t = SimTime::from_secs(1);
+        assert_eq!(driver.step(t).heartbeats, 2);
+        // Same instant again: nothing new is due.
+        assert_eq!(driver.step(t).heartbeats, 0);
+        let interval = manager.config().heartbeat_interval;
+        assert_eq!(driver.step(t + interval).heartbeats, 2);
+        assert_eq!(driver.total().heartbeats, 4);
+    }
+
+    #[test]
+    fn dead_executor_is_deregistered_and_its_leases_terminated() {
+        let (_fabric, manager, execs) = platform(2);
+        let driver = LifecycleDriver::new(&manager);
+        let clock = sim_core::VirtualClock::new();
+        let (lease, _) = manager
+            .request_lease(&LeaseRequest::single_worker("pkg"), &clock)
+            .unwrap();
+        // Keep both executors alive for a while, then kill the lease's host.
+        driver.step(SimTime::from_secs(1));
+        let victim = execs
+            .iter()
+            .find(|e| e.name() == lease.executor_node)
+            .unwrap();
+        victim.fail();
+        let later = SimTime::from_secs(1) + manager.config().heartbeat_timeout * 2;
+        let delta = driver.step(later);
+        assert_eq!(delta.executors_failed, 1);
+        assert_eq!(delta.leases_terminated, 1);
+        assert_eq!(manager.executor_count(), 1);
+        assert!(manager.is_lease_terminated(lease.id));
+        assert!(manager.lease(lease.id).is_none());
+        // The survivor keeps heartbeating and is never deregistered.
+        let much_later = later + manager.config().heartbeat_interval * 10;
+        assert_eq!(driver.step(much_later).executors_failed, 0);
+        assert_eq!(manager.executor_count(), 1);
+    }
+
+    #[test]
+    fn expired_leases_are_released_and_processes_reaped() {
+        let (fabric, manager, execs) = platform(1);
+        let driver = LifecycleDriver::new(&manager);
+        let mut invoker = Invoker::new(&fabric, "client", &manager, RFaasConfig::default());
+        let mut request = LeaseRequest::single_worker("pkg");
+        request.timeout = SimDuration::from_secs(10);
+        invoker.allocate(request, PollingMode::Hot).unwrap();
+        assert_eq!(manager.lease_count(), 1);
+        assert_eq!(execs[0].allocator().process_count(), 1);
+        let cores_leased = manager.available_resources().cores;
+
+        // Before the deadline nothing is reclaimed (the step still collects
+        // the executor's first heartbeat).
+        let early = manager.clock().now();
+        let delta = driver.step(early);
+        assert_eq!(delta.leases_expired, 0);
+        assert_eq!(delta.processes_reaped, 0);
+
+        let late = early + SimDuration::from_secs(60);
+        let delta = driver.step(late);
+        assert_eq!(delta.leases_expired, 1);
+        assert_eq!(delta.processes_reaped, 1);
+        assert_eq!(manager.lease_count(), 0);
+        assert_eq!(execs[0].allocator().process_count(), 0);
+        assert!(manager.available_resources().cores > cores_leased);
+        // The expiry was enforcement, not an executor failure.
+        assert_eq!(driver.total().executors_failed, 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! executor heartbeats for failure detection, and owns the billing database
 //! that allocators update with RDMA atomics.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +22,10 @@ use crate::config::RFaasConfig;
 use crate::error::{RFaasError, Result};
 use crate::executor::SpotExecutor;
 use crate::protocol::{Lease, LeaseRequest};
+
+/// How many executor-failure lease terminations the manager remembers for
+/// [`ResourceManager::is_lease_terminated`] before pruning the oldest.
+const TERMINATED_LEASE_HISTORY: usize = 4096;
 
 struct RegisteredExecutor {
     executor: Arc<SpotExecutor>,
@@ -39,6 +43,11 @@ pub struct ResourceManager {
     clock: Arc<VirtualClock>,
     executors: Mutex<HashMap<String, RegisteredExecutor>>,
     leases: Mutex<HashMap<u64, Lease>>,
+    // Leases killed because their executor died (as opposed to expiring or
+    // being released): clients seeing ExecutorLost consult this to learn the
+    // lease will never come back. Ordered so the oldest ids can be pruned —
+    // capped at TERMINATED_LEASE_HISTORY to stay bounded under churn.
+    terminated_leases: Mutex<BTreeSet<u64>>,
     billing: BillingDatabase,
     // Manager-side halves of the billing connections; kept alive so executors
     // can keep issuing one-sided atomics without any manager CPU involvement.
@@ -80,6 +89,7 @@ impl ResourceManager {
             endpoint,
             executors: Mutex::new(HashMap::new()),
             leases: Mutex::new(HashMap::new()),
+            terminated_leases: Mutex::new(BTreeSet::new()),
             billing,
             billing_qps: Mutex::new(Vec::new()),
             next_lease_id: AtomicU64::new(1),
@@ -133,9 +143,14 @@ impl ResourceManager {
         );
     }
 
-    /// Remove an executor from the pool (node reclaimed by the batch system).
-    /// Existing leases on the node keep running until they expire; new leases
-    /// will not be placed there.
+    /// Remove an executor from the pool (node reclaimed by the batch system):
+    /// no new leases will be placed there. Pair this with
+    /// [`Self::terminate_leases_on`] — once the registry entry is gone,
+    /// leases still mapped to the node can no longer credit their resources
+    /// back on release and would linger as zombies. The [`LifecycleDriver`]
+    /// does both for executors whose heartbeats stop.
+    ///
+    /// [`LifecycleDriver`]: crate::lifecycle::LifecycleDriver
     pub fn deregister_executor(&self, name: &str) -> bool {
         self.executors.lock().remove(name).is_some()
     }
@@ -158,6 +173,17 @@ impl ResourceManager {
             .map(|r| Arc::clone(&r.executor))
     }
 
+    /// All currently registered executors, in deterministic (name) order.
+    pub fn registered_executors(&self) -> Vec<Arc<SpotExecutor>> {
+        let executors = self.executors.lock();
+        let mut names: Vec<&String> = executors.keys().collect();
+        names.sort_unstable();
+        names
+            .into_iter()
+            .map(|name| Arc::clone(&executors[name].executor))
+            .collect()
+    }
+
     /// Look up an active lease.
     pub fn lease(&self, id: u64) -> Option<Lease> {
         self.leases.lock().get(&id).cloned()
@@ -174,8 +200,11 @@ impl ResourceManager {
         request: &LeaseRequest,
         client_clock: &VirtualClock,
     ) -> Result<(Lease, Arc<SpotExecutor>)> {
-        // The manager spends its processing budget; the client observes it as
-        // added latency on the (cold) allocation path.
+        // The request carries the client's timestamp: the manager synchronises
+        // to it (conservative logical-time rule) so granted expiry instants
+        // are meaningful to the client, then spends its processing budget,
+        // which the client observes as added latency on the (cold) path.
+        self.clock.advance_to(client_clock.now());
         self.clock.advance(self.config.allocation_processing_cost);
         client_clock.advance(self.config.allocation_processing_cost);
 
@@ -190,7 +219,10 @@ impl ResourceManager {
             cores: request.cores,
             memory_mib: request.memory_mib,
         };
-        let names: Vec<String> = executors.keys().cloned().collect();
+        // Iterate a sorted view: HashMap key order varies run-to-run, which
+        // would make round-robin placement non-deterministic.
+        let mut names: Vec<String> = executors.keys().cloned().collect();
+        names.sort_unstable();
         let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
         let chosen = (0..names.len())
             .map(|i| &names[(start + i) % names.len()])
@@ -219,6 +251,31 @@ impl ResourceManager {
         Ok((lease, executor))
     }
 
+    /// Renew a lease: push its expiry to `now + extension` (never backwards),
+    /// charging the renewal processing cost on both clocks. Fails if the
+    /// lease no longer exists or its executor was deregistered — the client
+    /// must then re-allocate.
+    pub fn renew_lease(
+        &self,
+        lease_id: u64,
+        extension: SimDuration,
+        client_clock: &VirtualClock,
+    ) -> Result<Lease> {
+        self.clock.advance_to(client_clock.now());
+        self.clock.advance(self.config.lease_renewal_cost);
+        client_clock.advance(self.config.lease_renewal_cost);
+
+        let mut leases = self.leases.lock();
+        let lease = leases
+            .get_mut(&lease_id)
+            .ok_or(RFaasError::UnknownLease(lease_id))?;
+        if !self.executors.lock().contains_key(&lease.executor_node) {
+            return Err(RFaasError::ExecutorLost(lease.executor_node.clone()));
+        }
+        lease.expires_at = lease.expires_at.max(self.clock.now() + extension);
+        Ok(lease.clone())
+    }
+
     /// Release a lease before it expires; the executor notifies the manager
     /// so the resources re-enter future allocations (Sec. III-B).
     pub fn release_lease(&self, lease_id: u64) -> Result<()> {
@@ -235,6 +292,38 @@ impl ResourceManager {
             });
         }
         Ok(())
+    }
+
+    /// Mark every lease placed on `node` as terminated (the node died or was
+    /// reclaimed before the leases expired). The executor's registry entry —
+    /// and with it the node's resource accounting — must already be gone;
+    /// clients discover the termination through [`Self::is_lease_terminated`]
+    /// or an `ExecutorLost` on their connections. Returns the ids terminated.
+    pub fn terminate_leases_on(&self, node: &str) -> Vec<u64> {
+        let mut leases = self.leases.lock();
+        let ids: Vec<u64> = leases
+            .values()
+            .filter(|l| l.executor_node == node)
+            .map(|l| l.id)
+            .collect();
+        let mut terminated = self.terminated_leases.lock();
+        for id in &ids {
+            leases.remove(id);
+            terminated.insert(*id);
+        }
+        // Lease ids are monotonic, so pruning the smallest drops the oldest
+        // terminations; long-dead leases have no client left to ask about
+        // them, and an unbounded set would leak under sustained churn.
+        while terminated.len() > TERMINATED_LEASE_HISTORY {
+            terminated.pop_first();
+        }
+        ids
+    }
+
+    /// Whether `lease_id` was killed by an executor failure (as opposed to
+    /// expiring or being released normally).
+    pub fn is_lease_terminated(&self, lease_id: u64) -> bool {
+        self.terminated_leases.lock().contains(&lease_id)
     }
 
     /// Record a heartbeat from an executor's allocator.
@@ -414,6 +503,115 @@ mod tests {
             nodes.len() >= 3,
             "round-robin should spread over executors, got {nodes:?}"
         );
+    }
+
+    #[test]
+    fn placement_is_deterministic_across_managers() {
+        // Two identically configured managers must place identical request
+        // sequences identically — HashMap iteration order must not leak into
+        // placement (regression: round-robin walked raw key order).
+        let place = || -> Vec<String> {
+            let (_fabric, manager, _execs) = setup(5);
+            let clock = VirtualClock::new();
+            (0..10)
+                .map(|_| {
+                    manager
+                        .request_lease(&request(), &clock)
+                        .unwrap()
+                        .0
+                        .executor_node
+                })
+                .collect()
+        };
+        let first = place();
+        assert_eq!(first, place());
+        // The sorted rotation also visits every executor.
+        assert_eq!(
+            first.iter().collect::<std::collections::HashSet<_>>().len(),
+            5
+        );
+    }
+
+    #[test]
+    fn renew_lease_extends_expiry_and_charges_the_client() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        let mut req = request();
+        req.timeout = SimDuration::from_secs(10);
+        let (lease, _) = manager.request_lease(&req, &clock).unwrap();
+        let before_renewal = clock.now();
+        let renewed = manager
+            .renew_lease(lease.id, SimDuration::from_secs(30), &clock)
+            .unwrap();
+        assert!(renewed.expires_at >= lease.expires_at + SimDuration::from_secs(19));
+        assert_eq!(
+            manager.lease(lease.id).unwrap().expires_at,
+            renewed.expires_at
+        );
+        // The client pays the renewal processing cost.
+        assert!(clock.now() > before_renewal);
+        // Renewal never moves the expiry backwards.
+        let shrunk = manager
+            .renew_lease(lease.id, SimDuration::from_nanos(1), &clock)
+            .unwrap();
+        assert_eq!(shrunk.expires_at, renewed.expires_at);
+        assert!(matches!(
+            manager.renew_lease(999, SimDuration::from_secs(1), &clock),
+            Err(RFaasError::UnknownLease(999))
+        ));
+    }
+
+    #[test]
+    fn renew_fails_after_executor_deregistration() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        let (lease, _) = manager.request_lease(&request(), &clock).unwrap();
+        manager.deregister_executor("exec-0");
+        assert!(matches!(
+            manager.renew_lease(lease.id, SimDuration::from_secs(1), &clock),
+            Err(RFaasError::ExecutorLost(_))
+        ));
+    }
+
+    #[test]
+    fn terminated_leases_are_removed_and_flagged() {
+        let (_fabric, manager, _execs) = setup(2);
+        let clock = VirtualClock::new();
+        let (a, _) = manager.request_lease(&request(), &clock).unwrap();
+        let (b, _) = manager.request_lease(&request(), &clock).unwrap();
+        assert_ne!(a.executor_node, b.executor_node);
+        manager.deregister_executor(&a.executor_node);
+        let terminated = manager.terminate_leases_on(&a.executor_node);
+        assert_eq!(terminated, vec![a.id]);
+        assert!(manager.lease(a.id).is_none());
+        assert!(manager.is_lease_terminated(a.id));
+        assert!(!manager.is_lease_terminated(b.id));
+        assert_eq!(manager.lease_count(), 1);
+    }
+
+    #[test]
+    fn registered_executors_come_back_in_name_order() {
+        let (_fabric, manager, _execs) = setup(3);
+        let names: Vec<String> = manager
+            .registered_executors()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["exec-0", "exec-1", "exec-2"]);
+    }
+
+    #[test]
+    fn manager_clock_syncs_to_client_requests() {
+        let (_fabric, manager, _execs) = setup(1);
+        let clock = VirtualClock::new();
+        clock.advance(SimDuration::from_secs(100));
+        let mut req = request();
+        req.timeout = SimDuration::from_secs(10);
+        let (lease, _) = manager.request_lease(&req, &clock).unwrap();
+        // The lease expiry is anchored to the (later) client time, not the
+        // manager's stale local clock.
+        assert!(lease.expires_at >= SimTime::from_secs(110));
+        assert!(manager.clock().now() >= SimTime::from_secs(100));
     }
 
     #[test]

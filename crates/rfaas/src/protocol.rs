@@ -89,6 +89,9 @@ pub enum ResultStatus {
     Rejected,
     /// The function raised an error.
     FunctionFailed,
+    /// The lease backing this worker expired before the invocation arrived;
+    /// the client must re-allocate through the resource manager (Sec. III-B).
+    LeaseExpired,
 }
 
 /// Packing/unpacking of the 32-bit immediate value.
@@ -116,6 +119,7 @@ impl ImmValue {
             ResultStatus::Success => 0,
             ResultStatus::Rejected => 1,
             ResultStatus::FunctionFailed => 2,
+            ResultStatus::LeaseExpired => 3,
         };
         ((invocation_id & 0x00FF_FFFF) << 8) | code
     }
@@ -125,6 +129,7 @@ impl ImmValue {
         let status = match imm & 0xFF {
             0 => ResultStatus::Success,
             1 => ResultStatus::Rejected,
+            3 => ResultStatus::LeaseExpired,
             _ => ResultStatus::FunctionFailed,
         };
         (imm >> 8, status)
@@ -262,6 +267,7 @@ mod tests {
             ResultStatus::Success,
             ResultStatus::Rejected,
             ResultStatus::FunctionFailed,
+            ResultStatus::LeaseExpired,
         ] {
             let imm = ImmValue::response(12345, status);
             let (id, got) = ImmValue::parse_response(imm);

@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning the resource manager, spot
 //! executors, the client library and the billing database.
 
-use rfaas::{LeaseRequest, PollingMode, RFaasError};
+use rfaas::{LeaseRequest, LifecycleDriver, PollingMode, RFaasError};
 use rfaas_bench::{Testbed, PACKAGE};
 use sandbox::SandboxType;
 use sim_core::SimDuration;
@@ -164,6 +164,160 @@ fn heartbeats_and_lease_expiry_reclaim_resources() {
     assert_eq!(expired.len(), 1);
     testbed.manager.release_lease(expired[0]).unwrap();
     assert_eq!(testbed.manager.lease_count(), 0);
+}
+
+#[test]
+fn invocation_after_expiry_gets_lease_expired_and_recovers_transparently() {
+    let testbed = Testbed::new(2);
+    let mut invoker = testbed.invoker("expiry-recovery-client");
+    let mut request = LeaseRequest::single_worker(PACKAGE)
+        .with_cores(1)
+        .with_memory_mib(1024);
+    request.timeout = SimDuration::from_secs(10);
+    invoker.allocate(request, PollingMode::Hot).unwrap();
+    let first_lease = invoker.lease().unwrap();
+
+    let alloc = invoker.allocator();
+    let input = alloc.input(256);
+    let output = alloc.output(256);
+    input.write_payload(&[42u8; 32]).unwrap();
+    let (len, _) = invoker.invoke_sync("echo", &input, 32, &output).unwrap();
+    assert_eq!(len, 32);
+    assert_eq!(invoker.recoveries(), 0);
+
+    // Jump the client far past the lease expiry. The next invocation arrives
+    // at the worker with that late timestamp, the worker's clock synchronises
+    // to it, and the executor-side enforcement refuses the invocation with
+    // LeaseExpired — upon which the invoker transparently re-allocates and
+    // replays it.
+    invoker.clock().advance(SimDuration::from_secs(60));
+    let (len, _) = invoker.invoke_sync("echo", &input, 32, &output).unwrap();
+    assert_eq!(len, 32);
+    assert_eq!(output.read_payload(32).unwrap(), vec![42u8; 32]);
+    assert_eq!(invoker.recoveries(), 1);
+    let second_lease = invoker.lease().unwrap();
+    assert_ne!(second_lease.id, first_lease.id);
+    assert!(second_lease.expires_at > first_lease.expires_at);
+    // The expired lease is gone from the manager; the fresh one is live.
+    assert!(testbed.manager.lease(first_lease.id).is_none());
+    assert!(testbed.manager.lease(second_lease.id).is_some());
+}
+
+#[test]
+fn lease_renewal_keeps_the_worker_past_the_original_expiry() {
+    let testbed = Testbed::new(1);
+    let mut invoker = testbed.invoker("renewal-client");
+    let mut request = LeaseRequest::single_worker(PACKAGE)
+        .with_cores(1)
+        .with_memory_mib(1024);
+    request.timeout = SimDuration::from_secs(10);
+    invoker.allocate(request, PollingMode::Hot).unwrap();
+    let original_expiry = invoker.lease().unwrap().expires_at;
+
+    // Renew shortly before the lease would lapse.
+    invoker.clock().advance(SimDuration::from_secs(8));
+    let new_expiry = invoker.extend_lease(SimDuration::from_secs(120)).unwrap();
+    assert!(new_expiry > original_expiry);
+    let lease = invoker.lease().unwrap();
+    assert_eq!(lease.expires_at, new_expiry);
+    assert_eq!(
+        testbed.manager.lease(lease.id).unwrap().expires_at,
+        new_expiry
+    );
+
+    // Well past the original expiry the same worker still serves us — no
+    // LeaseExpired, no recovery, same lease.
+    invoker.clock().advance(SimDuration::from_secs(60));
+    let alloc = invoker.allocator();
+    let input = alloc.input(128);
+    let output = alloc.output(128);
+    input.write_payload(&[7u8; 16]).unwrap();
+    let (len, _) = invoker.invoke_sync("echo", &input, 16, &output).unwrap();
+    assert_eq!(len, 16);
+    assert_eq!(invoker.recoveries(), 0);
+    assert_eq!(invoker.lease().unwrap().id, lease.id);
+}
+
+#[test]
+fn executor_failure_is_detected_and_the_client_recovers_elsewhere() {
+    let testbed = Testbed::new(2);
+    let driver = LifecycleDriver::new(&testbed.manager);
+    let mut invoker = testbed.invoker("failover-client");
+    invoker
+        .allocate(
+            LeaseRequest::single_worker(PACKAGE)
+                .with_cores(1)
+                .with_memory_mib(1024),
+            PollingMode::Hot,
+        )
+        .unwrap();
+    let lease = invoker.lease().unwrap();
+
+    let alloc = invoker.allocator();
+    let input = alloc.input(256);
+    let output = alloc.output(256);
+    input.write_payload(&[9u8; 24]).unwrap();
+    invoker.invoke_sync("echo", &input, 24, &output).unwrap();
+
+    // Both executors heartbeat, then the lease's host dies.
+    let t0 = testbed.manager.clock().now();
+    driver.step(t0 + SimDuration::from_secs(1));
+    let victim = testbed.manager.executor(&lease.executor_node).unwrap();
+    victim.fail();
+    assert!(!victim.is_alive());
+
+    // The failure detector notices the silence, deregisters the executor and
+    // marks its leases terminated.
+    let later = t0 + SimDuration::from_secs(1) + testbed.config.heartbeat_timeout * 2;
+    let delta = driver.step(later);
+    assert_eq!(delta.executors_failed, 1);
+    assert_eq!(delta.leases_terminated, 1);
+    assert!(testbed.manager.is_lease_terminated(lease.id));
+    assert_eq!(testbed.manager.executor_count(), 1);
+
+    // The client's next invocation finds its connections dead, transparently
+    // re-allocates from the manager and lands on the surviving executor.
+    invoker.clock().advance_to(later);
+    let (len, _) = invoker.invoke_sync("echo", &input, 24, &output).unwrap();
+    assert_eq!(len, 24);
+    assert_eq!(output.read_payload(24).unwrap(), vec![9u8; 24]);
+    assert_eq!(invoker.recoveries(), 1);
+    let recovered = invoker.lease().unwrap();
+    assert_ne!(recovered.executor_node, lease.executor_node);
+}
+
+#[test]
+fn stale_futures_share_one_recovery_instead_of_cascading() {
+    let testbed = Testbed::new(2);
+    let mut invoker = testbed.invoker("stale-future-client");
+    let mut request = LeaseRequest::single_worker(PACKAGE)
+        .with_cores(1)
+        .with_memory_mib(1024);
+    request.timeout = SimDuration::from_secs(10);
+    invoker.allocate(request, PollingMode::Hot).unwrap();
+
+    let alloc = invoker.allocator();
+    let inputs: Vec<_> = (0..2).map(|_| alloc.input(128)).collect();
+    let outputs: Vec<_> = (0..2).map(|_| alloc.output(128)).collect();
+    for input in &inputs {
+        input.write_payload(&[5u8; 16]).unwrap();
+    }
+
+    // Both futures are submitted after the lease expired, so both hit the
+    // executor-side LeaseExpired enforcement. The first wait() re-allocates;
+    // the second must detect that its allocation epoch is stale and reuse the
+    // recovered allocation instead of tearing it down and re-allocating again.
+    invoker.clock().advance(SimDuration::from_secs(60));
+    let f1 = invoker.submit("echo", &inputs[0], 16, &outputs[0]).unwrap();
+    let f2 = invoker.submit("echo", &inputs[1], 16, &outputs[1]).unwrap();
+    assert_eq!(f1.wait().unwrap(), 16);
+    assert_eq!(f2.wait().unwrap(), 16);
+    assert_eq!(
+        invoker.recoveries(),
+        1,
+        "one expiry must cost one re-allocation, however many futures saw it"
+    );
+    assert_eq!(outputs[1].read_payload(16).unwrap(), vec![5u8; 16]);
 }
 
 #[test]
