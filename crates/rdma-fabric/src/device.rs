@@ -23,6 +23,10 @@ pub struct NicProfile {
     pub bandwidth_bytes_per_sec: f64,
     /// Cost of building a WQE and ringing the doorbell on `post_send`.
     pub post_send_overhead: SimDuration,
+    /// Cost of each *additional* WQE in a doorbell-batched post: the chain
+    /// shares one doorbell write, so follow-up WQEs only pay the descriptor
+    /// build, not the MMIO.
+    pub chained_wqe_overhead: SimDuration,
     /// Cost of posting a receive work request.
     pub post_recv_overhead: SimDuration,
     /// Largest payload that can be inlined into the WQE.
@@ -65,6 +69,7 @@ impl NicProfile {
             // 11 686.4 MiB/s measured by the paper.
             bandwidth_bytes_per_sec: 11_686.4 * 1024.0 * 1024.0,
             post_send_overhead: SimDuration::from_nanos(80),
+            chained_wqe_overhead: SimDuration::from_nanos(25),
             post_recv_overhead: SimDuration::from_nanos(60),
             max_inline_data: 128,
             non_inline_dma_fetch: SimDuration::from_nanos(300),
@@ -87,6 +92,7 @@ impl NicProfile {
             one_way_latency: SimDuration::from_micros(18),
             bandwidth_bytes_per_sec: 2.5e9,
             post_send_overhead: SimDuration::from_nanos(400),
+            chained_wqe_overhead: SimDuration::from_nanos(150),
             post_recv_overhead: SimDuration::from_nanos(300),
             max_inline_data: 0,
             non_inline_dma_fetch: SimDuration::from_nanos(800),
@@ -122,6 +128,17 @@ impl NicProfile {
             self.post_send_overhead
         } else {
             self.post_send_overhead + self.non_inline_dma_fetch
+        }
+    }
+
+    /// Issue cost of a WQE that rides an earlier doorbell (position > 0 in a
+    /// batched post): descriptor build plus the DMA fetch if not inlined, but
+    /// no doorbell MMIO of its own.
+    pub fn issue_cost_chained(&self, bytes: usize) -> SimDuration {
+        if self.can_inline(bytes) {
+            self.chained_wqe_overhead
+        } else {
+            self.chained_wqe_overhead + self.non_inline_dma_fetch
         }
     }
 
@@ -201,6 +218,20 @@ mod tests {
         // The non-inline penalty is the paper's ~300 ns 128-byte anomaly.
         let delta = p.issue_cost(256).saturating_sub(p.issue_cost(64));
         assert_eq!(delta, p.non_inline_dma_fetch);
+    }
+
+    #[test]
+    fn chained_wqes_are_cheaper_than_doorbells() {
+        for p in [NicProfile::mellanox_cx5_100g(), NicProfile::soft_roce()] {
+            assert!(p.issue_cost_chained(8) < p.issue_cost(8));
+        }
+        // The DMA-fetch penalty still applies to chained non-inline WQEs.
+        let p = NicProfile::mellanox_cx5_100g();
+        assert_eq!(
+            p.issue_cost_chained(1 << 20)
+                .saturating_sub(p.issue_cost_chained(8)),
+            p.non_inline_dma_fetch
+        );
     }
 
     #[test]

@@ -67,6 +67,13 @@ pub enum FabricError {
     },
     /// The work-request opcode is not supported on this queue-pair type.
     UnsupportedOperation(&'static str),
+    /// An inline post carried more bytes than the device can place in a WQE.
+    InlineTooLarge {
+        /// Requested inline payload length.
+        len: usize,
+        /// Device inline capacity (`max_inline_data`).
+        max: usize,
+    },
     /// Exceeded a device limit (queue depth, number of QPs, inline size, ...).
     DeviceLimitExceeded {
         /// Which limit was exceeded.
@@ -107,6 +114,10 @@ impl fmt::Display for FabricError {
                 write!(f, "atomic target at offset {offset} is not an aligned 8-byte word")
             }
             FabricError::UnsupportedOperation(op) => write!(f, "unsupported operation: {op}"),
+            FabricError::InlineTooLarge { len, max } => write!(
+                f,
+                "inline payload of {len} B exceeds the device inline capacity of {max} B"
+            ),
             FabricError::DeviceLimitExceeded { limit } => write!(f, "device limit exceeded: {limit}"),
         }
     }

@@ -45,6 +45,7 @@ pub mod fabric;
 pub mod memory;
 pub mod pd;
 pub mod qp;
+pub mod ring;
 pub mod verbs;
 
 pub use cm::{connect, connect_with_timeout, Listener};
@@ -55,4 +56,5 @@ pub use fabric::{Fabric, FabricNode, TransferTiming};
 pub use memory::{AccessFlags, MemoryRegion, RemoteMemoryHandle, PAGE_SIZE};
 pub use pd::ProtectionDomain;
 pub use qp::{Endpoint, QpState, QueuePair};
+pub use ring::{ReceiveRing, RingCompletion, RingState};
 pub use verbs::{CompletionStatus, OpCode, RecvRequest, SendRequest, Sge, WorkCompletion};

@@ -168,8 +168,10 @@ impl BillingClient {
         });
     }
 
-    /// Flush pending usage to the manager's database with three remote
-    /// fetch-and-add operations. A no-op when nothing is pending.
+    /// Flush pending usage to the manager's database with up to three remote
+    /// fetch-and-add operations chained behind a single doorbell (the
+    /// executor pays one MMIO per flush, not one per counter). A no-op when
+    /// nothing is pending.
     pub fn flush(&self) -> Result<()> {
         let pending = {
             let mut guard = self.pending.lock();
@@ -185,22 +187,25 @@ impl BillingClient {
             pending.compute_us,
             pending.hot_poll_us,
         ];
-        for (i, add) in words.iter().enumerate() {
-            if *add == 0 {
-                continue;
-            }
-            self.qp.post_send(
-                i as u64,
-                SendRequest::AtomicFetchAdd {
-                    local: Sge::whole(&self.scratch),
-                    remote: self.slot.slice(i * 8, 8),
-                    add: *add,
-                },
-                true,
-            )?;
-            // Consume the completion so the send queue does not fill up.
-            self.qp.send_cq().poll(4);
-        }
+        let batch: Vec<(u64, SendRequest, bool)> = words
+            .iter()
+            .enumerate()
+            .filter(|(_, add)| **add != 0)
+            .map(|(i, add)| {
+                (
+                    i as u64,
+                    SendRequest::AtomicFetchAdd {
+                        local: Sge::whole(&self.scratch),
+                        remote: self.slot.slice(i * 8, 8),
+                        add: *add,
+                    },
+                    true,
+                )
+            })
+            .collect();
+        let posted = self.qp.post_send_batch(batch)?;
+        // Consume the completions so the send queue does not fill up.
+        self.qp.send_cq().poll(posted + 1);
         *self.flushes.lock() += 1;
         Ok(())
     }

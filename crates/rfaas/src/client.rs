@@ -15,7 +15,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use rdma_fabric::{
     connect_with_timeout, AccessFlags, Endpoint, Fabric, MemoryRegion, ProtectionDomain, QueuePair,
-    RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
+    ReceiveRing, RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
 };
 use sandbox::CodePackage;
 use sim_core::{SimDuration, SimTime, VirtualClock};
@@ -70,10 +70,18 @@ impl Buffer {
         Ok(data.len())
     }
 
-    /// Copy `len` payload bytes out of the buffer.
+    /// Copy `len` payload bytes out of the buffer. A `len` beyond the
+    /// buffer's payload capacity is rejected — silently clamping used to hand
+    /// callers a short read they would misinterpret as the full result.
     pub fn read_payload(&self, len: usize) -> Result<Vec<u8>> {
+        if len > self.capacity() {
+            return Err(RFaasError::PayloadTooLarge {
+                payload: len,
+                capacity: self.capacity(),
+            });
+        }
         self.region
-            .read(self.header_space, len.min(self.capacity()))
+            .read(self.header_space, len)
             .map_err(RFaasError::from)
     }
 
@@ -164,7 +172,13 @@ impl ColdStartBreakdown {
 struct WorkerConnection {
     qp: QueuePair,
     remote_input: RemoteMemoryHandle,
-    recv_scratch: MemoryRegion,
+    /// Pre-posted result-notification slots, re-posted automatically as
+    /// results are picked up: submissions within the ring depth never pay a
+    /// `post_recv` on the critical path.
+    ring: ReceiveRing,
+    /// Scratch for overflow receives posted when more invocations are in
+    /// flight than the ring holds slots.
+    overflow_scratch: MemoryRegion,
     outstanding: AtomicUsize,
     completed: Mutex<HashMap<u32, (usize, ResultStatus)>>,
     wait_lock: Mutex<()>,
@@ -186,8 +200,9 @@ impl WorkerConnection {
                 self.outstanding.fetch_sub(1, Ordering::Relaxed);
                 return Ok(result);
             }
-            match self.qp.recv_cq().busy_wait() {
-                Some(wc) => {
+            match self.ring.busy_wait() {
+                Some(completion) => {
+                    let wc = completion.wc;
                     let (id, status) = ImmValue::parse_response(wc.imm.unwrap_or(0));
                     self.completed.lock().insert(id, (wc.byte_len, status));
                 }
@@ -436,11 +451,19 @@ impl Invoker {
                 offset: advertised.result_offset as usize,
                 len: advertised.result_capacity as usize,
             };
-            let recv_scratch = self.pd.register(8, AccessFlags::LOCAL_ONLY);
+            // Clamp to the device limit: a shallower result ring only means
+            // overflow receives kick in earlier, not a failed connection.
+            let ring_depth = self
+                .config
+                .recv_queue_depth
+                .clamp(1, self.fabric.profile().max_recv_queue_depth);
+            let ring = ReceiveRing::new(&qp, ring_depth, 8)?;
+            let overflow_scratch = self.pd.register(8, AccessFlags::LOCAL_ONLY);
             connections.push(Arc::new(WorkerConnection {
                 qp,
                 remote_input,
-                recv_scratch,
+                ring,
+                overflow_scratch,
                 outstanding: AtomicUsize::new(0),
                 completed: Mutex::new(HashMap::new()),
                 wait_lock: Mutex::new(()),
@@ -650,31 +673,24 @@ impl Invoker {
 
         let invocation_id = self.next_invocation.fetch_add(1, Ordering::Relaxed) & 0x00FF_FFFF;
 
-        // Fill the header in front of the payload: where the executor should
-        // write the result.
-        self.clock.advance(self.config.header_write_cost);
-        let header = InvocationHeader::for_result_buffer(&output.remote_handle());
-        input
-            .region()
-            .write(0, &header.encode())
-            .map_err(RFaasError::from)?;
-
-        // Post the receive that the executor's result write will consume,
-        // then write header + payload into the worker's input buffer.
-        connection.qp.post_recv(RecvRequest {
-            wr_id: invocation_id as u64,
-            local: Sge::whole(&connection.recv_scratch),
-        })?;
-        connection.qp.post_send(
-            invocation_id as u64,
-            SendRequest::WriteWithImm {
-                local: Sge::range(input.region(), 0, wire_len),
-                remote: connection.remote_input.slice(0, wire_len),
-                imm: ImmValue::request(invocation_id, function_index as u8),
-            },
-            false,
-        )?;
-        connection.outstanding.fetch_add(1, Ordering::Relaxed);
+        // Reserve the in-flight slot *before* deciding whether an extra
+        // receive is needed: the previous value tells this submission alone
+        // whether it fits the ring, so concurrent submits cannot both read a
+        // stale count and under-post receives (a lost result would hang the
+        // waiter forever). Every error below must return the reservation.
+        let reserved = connection.outstanding.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = self.post_invocation(
+            &connection,
+            reserved,
+            invocation_id,
+            function_index as u8,
+            input,
+            payload_len,
+            output,
+        ) {
+            connection.outstanding.fetch_sub(1, Ordering::Relaxed);
+            return Err(e);
+        }
 
         Ok(InvocationFuture {
             invoker: self,
@@ -688,6 +704,85 @@ impl Invoker {
             recoveries: 0,
             epoch,
         })
+    }
+
+    /// Post one invocation onto `connection`: the overflow receive when this
+    /// submission's reserved slot (`reserved`, the pre-increment in-flight
+    /// count) exceeds the ring, then header + payload, inline when the wire
+    /// fits the device's WQE inline capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn post_invocation(
+        &self,
+        connection: &Arc<WorkerConnection>,
+        reserved: usize,
+        invocation_id: u32,
+        function_index: u8,
+        input: &Buffer,
+        payload_len: usize,
+        output: &Buffer,
+    ) -> Result<()> {
+        if payload_len > input.capacity() {
+            return Err(RFaasError::PayloadTooLarge {
+                payload: payload_len,
+                capacity: input.capacity(),
+            });
+        }
+
+        // The connection's receive ring holds one pre-posted slot per
+        // in-flight result; only past the ring depth does a submission pay an
+        // extra receive on the critical path.
+        if reserved >= connection.ring.depth() {
+            connection.qp.post_recv(RecvRequest {
+                wr_id: u64::MAX,
+                local: Sge::whole(&connection.overflow_scratch),
+            })?;
+        }
+
+        let wire_len = INVOCATION_HEADER_BYTES + payload_len;
+        // Fill the header in front of the payload: where the executor should
+        // write the result.
+        self.clock.advance(self.config.header_write_cost);
+        let header = InvocationHeader::for_result_buffer(&output.remote_handle());
+        let imm = ImmValue::request(invocation_id, function_index);
+        // Stack staging area for inline wires — the hot path must not touch
+        // the heap (the default inline capacity is 128 B; a profile offering
+        // more simply falls back to the buffered path beyond this bound).
+        const INLINE_STACK: usize = 512;
+        if wire_len <= self.fabric.profile().max_inline_data && wire_len <= INLINE_STACK {
+            // Zero-copy hot path (Sec. IV-A): header and payload ride inside
+            // the WQE — no staging write into the input region, no DMA
+            // fetch, no heap allocation.
+            let mut wire = [0u8; INLINE_STACK];
+            wire[..INVOCATION_HEADER_BYTES].copy_from_slice(&header.encode());
+            input.region().with_bytes(|bytes| {
+                let payload = &bytes[input.payload_offset()..input.payload_offset() + payload_len];
+                wire[INVOCATION_HEADER_BYTES..wire_len].copy_from_slice(payload);
+            });
+            connection.qp.post_write_inline(
+                invocation_id as u64,
+                &wire[..wire_len],
+                &connection.remote_input.slice(0, wire_len),
+                Some(imm),
+                false,
+            )?;
+        } else {
+            // Buffered path: stage the header in front of the payload and
+            // gather both from the registered input region.
+            input
+                .region()
+                .write(0, &header.encode())
+                .map_err(RFaasError::from)?;
+            connection.qp.post_send(
+                invocation_id as u64,
+                SendRequest::WriteWithImm {
+                    local: Sge::range(input.region(), 0, wire_len),
+                    remote: connection.remote_input.slice(0, wire_len),
+                    imm,
+                },
+                false,
+            )?;
+        }
+        Ok(())
     }
 
     fn pick_connection(&self, connections: &[Arc<WorkerConnection>]) -> Arc<WorkerConnection> {
@@ -947,6 +1042,88 @@ mod tests {
         let values = [1.5f64, -2.25, 3.0];
         output.write_f64(&values).unwrap();
         assert_eq!(output.read_f64(24).unwrap(), values);
+    }
+
+    #[test]
+    fn read_payload_rejects_len_past_the_buffer_extent() {
+        // Regression: read_payload/read_f64 used to clamp an oversized `len`
+        // silently, handing back a short read the caller would misinterpret
+        // as the complete result.
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let invoker = Invoker::new(&fabric, "c", &manager, RFaasConfig::default());
+        let alloc = invoker.allocator();
+        let buf = alloc.output(32);
+        buf.write_payload(&[1u8; 32]).unwrap();
+        assert_eq!(buf.read_payload(32).unwrap().len(), 32);
+        assert!(matches!(
+            buf.read_payload(33),
+            Err(RFaasError::PayloadTooLarge {
+                payload: 33,
+                capacity: 32
+            })
+        ));
+        assert!(matches!(
+            buf.read_f64(40),
+            Err(RFaasError::PayloadTooLarge { .. })
+        ));
+        // Input buffers bound against the payload capacity, not the region
+        // (which is header_space bytes larger).
+        let input = alloc.input(16);
+        assert!(input.read_payload(16).is_ok());
+        assert!(input.read_payload(17).is_err());
+    }
+
+    #[test]
+    fn small_invocations_ride_the_inline_path_without_staging_the_header() {
+        let (_fabric, _manager, invoker) = platform(1);
+        let alloc = invoker.allocator();
+        let input = alloc.input(4096);
+        let output = alloc.output(4096);
+        input.write_payload(&[3u8; 8]).unwrap();
+        let (len, _) = invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+        assert_eq!(len, 8);
+        // Zero-copy check: the inline path never wrote the 24-byte header
+        // into the client's input region — it travelled inside the WQE.
+        assert_eq!(
+            input.region().read(0, INVOCATION_HEADER_BYTES).unwrap(),
+            vec![0u8; INVOCATION_HEADER_BYTES]
+        );
+        // A payload past the inline capacity takes the buffered path and
+        // stages the header.
+        input.write_payload(&[5u8; 2048]).unwrap();
+        let (len, _) = invoker.invoke_sync("echo", &input, 2048, &output).unwrap();
+        assert_eq!(len, 2048);
+        assert_ne!(
+            input.region().read(0, INVOCATION_HEADER_BYTES).unwrap(),
+            vec![0u8; INVOCATION_HEADER_BYTES]
+        );
+    }
+
+    // The demotion behaviour itself (mode switch, capped billing, warm
+    // latency, one-shot) is pinned end-to-end in tests/invocation_spectrum.rs;
+    // here only the negative case stays, close to the billing arithmetic.
+    #[test]
+    fn sub_timeout_gaps_do_not_demote() {
+        let (_fabric, manager, invoker) = platform(1);
+        let timeout = RFaasConfig::default().hot_poll_timeout;
+        let alloc = invoker.allocator();
+        let input = alloc.input(64);
+        let output = alloc.output(64);
+        input.write_payload(&[1u8; 8]).unwrap();
+        invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+        for _ in 0..3 {
+            invoker.clock().advance(timeout / 2);
+            invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+        }
+        let executor = manager.executor("exec-0").unwrap();
+        let process = executor.allocator().processes().pop().unwrap();
+        let process = process.lock();
+        assert_eq!(process.workers()[0].mode(), PollingMode::Hot);
+        let stats = process.stats();
+        assert_eq!(stats.demotions, 0);
+        // Every sub-budget spin is billed in full.
+        assert!(stats.hot_poll_time >= (timeout / 2).saturating_mul(3));
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub struct RFaasConfig {
     /// polling to a blocking wait (the "configurable time without a new
     /// invocation" of Sec. III-C). Wall-clock, bounds CPU burn in tests.
     pub hot_poll_fallback: std::time::Duration,
+    /// *Virtual-time* budget a hot worker spins without a new invocation
+    /// before demoting itself to warm (Sec. III-C: hot executors poll "for a
+    /// configurable amount of time" and then release the core). The demotion
+    /// caps the hot-polling bill at this budget and makes the next invocation
+    /// pay the warm wake-up path. `SimDuration::ZERO` disables demotion.
+    pub hot_poll_timeout: SimDuration,
     /// Maximum payload bytes a single invocation may carry (the executor
     /// registers an input buffer of this size per worker).
     pub max_payload_bytes: usize,
@@ -83,6 +89,7 @@ impl RFaasConfig {
             allocation_processing_cost: SimDuration::from_micros(700),
             allocation_submit_cost: SimDuration::from_micros(500),
             hot_poll_fallback: std::time::Duration::from_millis(50),
+            hot_poll_timeout: SimDuration::from_millis(100),
             max_payload_bytes: 8 * 1024 * 1024,
             recv_queue_depth: 16,
             default_sandbox: SandboxType::BareMetal,
@@ -133,6 +140,16 @@ mod tests {
         assert!(c.lease_renewal_cost <= c.allocation_processing_cost);
         // The failure detector must tolerate at least two missed heartbeats.
         assert!(c.heartbeat_timeout >= c.heartbeat_interval * 2);
+    }
+
+    #[test]
+    fn hot_poll_timeout_is_long_enough_for_bursts() {
+        let c = RFaasConfig::paper_calibration();
+        // The demotion budget must dwarf a single invocation (microseconds)
+        // so back-to-back bursts never demote, while staying far below the
+        // lease lifetime so an abandoned hot worker stops burning its core.
+        assert!(c.hot_poll_timeout >= SimDuration::from_millis(1));
+        assert!(c.hot_poll_timeout < c.default_lease_timeout);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Duration;
 use cluster_sim::NodeResources;
 use parking_lot::Mutex;
 use rdma_fabric::{
-    AccessFlags, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, RecvRequest, SendRequest,
+    AccessFlags, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, ReceiveRing, SendRequest,
     Sge,
 };
 #[cfg(test)]
@@ -105,6 +105,8 @@ pub struct WorkerStats {
     pub failed: u64,
     /// Invocations refused because the lease had expired on arrival.
     pub expired: u64,
+    /// Hot→warm demotions after spinning past the hot-poll timeout.
+    pub demotions: u64,
     /// Virtual time spent executing function bodies.
     pub busy_time: SimDuration,
     /// Virtual time spent hot-polling between invocations.
@@ -226,15 +228,18 @@ fn worker_main(ctx: WorkerContext) {
         AccessFlags::REMOTE_WRITE,
     );
     let output = endpoint.pd.register(max_payload, AccessFlags::LOCAL_ONLY);
-    let recv_scratch = endpoint.pd.register(8, AccessFlags::LOCAL_ONLY);
 
-    // Pre-post receives so clients can fire invocations immediately.
-    for i in 0..config.recv_queue_depth {
-        let _ = qp.post_recv(RecvRequest {
-            wr_id: i as u64,
-            local: Sge::whole(&recv_scratch),
-        });
-    }
+    // The receive ring: one pre-posted doorbell slot per in-flight
+    // invocation, re-posted automatically as completions are picked up, so
+    // clients never observe ReceiverNotReady within the ring depth. A depth
+    // beyond what the device supports is clamped rather than killing the
+    // worker: a shallower ring degrades throughput, not correctness.
+    let ring_depth = config
+        .recv_queue_depth
+        .clamp(1, endpoint.fabric.profile().max_recv_queue_depth);
+    let Ok(ring) = ReceiveRing::new(&qp, ring_depth, 8) else {
+        return;
+    };
 
     // Advertise the input buffer to the client ("hello" message). The client
     // posts its receive right after connecting; retry briefly to cover the
@@ -286,8 +291,8 @@ fn worker_main(ctx: WorkerContext) {
             PollingMode::Hot => {
                 let mut wc = None;
                 while !shared.shutdown.load(Ordering::Acquire) {
-                    if let Some(c) = qp.recv_cq().poll_one() {
-                        wc = Some(c);
+                    if let Some(c) = ring.poll_one() {
+                        wc = Some(c.wc);
                         break;
                     }
                     if !qp.is_connected() {
@@ -297,16 +302,16 @@ fn worker_main(ctx: WorkerContext) {
                 }
                 wc
             }
-            PollingMode::Warm => qp
-                .recv_cq()
-                .blocking_wait_timeout(Duration::from_millis(50)),
+            PollingMode::Warm => ring
+                .blocking_wait_timeout(Duration::from_millis(50))
+                .map(|c| c.wc),
             PollingMode::Adaptive => {
                 // Busy-poll until the fallback deadline, then block.
                 let deadline = std::time::Instant::now() + config.hot_poll_fallback;
                 let mut wc = None;
                 while std::time::Instant::now() < deadline {
-                    if let Some(c) = qp.recv_cq().poll_one() {
-                        wc = Some(c);
+                    if let Some(c) = ring.poll_one() {
+                        wc = Some(c.wc);
                         break;
                     }
                     if shared.shutdown.load(Ordering::Acquire) || !qp.is_connected() {
@@ -315,8 +320,8 @@ fn worker_main(ctx: WorkerContext) {
                     std::thread::yield_now();
                 }
                 if wc.is_none() && !shared.shutdown.load(Ordering::Acquire) {
-                    qp.recv_cq()
-                        .blocking_wait_timeout(Duration::from_millis(50))
+                    ring.blocking_wait_timeout(Duration::from_millis(50))
+                        .map(|c| c.wc)
                 } else {
                     wc
                 }
@@ -334,13 +339,55 @@ fn worker_main(ctx: WorkerContext) {
 
         // Hot-polling time: the gap between becoming idle and the arrival of
         // this request is CPU time burnt spinning (billed like compute).
+        //
+        // Demotion is evaluated *retrospectively* at the next arrival: an
+        // idle worker cannot observe virtual time passing (empty polls do
+        // not advance it), so the spin gap is only known once a completion
+        // carries its timestamp. The one fidelity cost: a hot worker past
+        // its budget keeps the core until that next arrival, so co-located
+        // warm invocations can still be rejected during the window.
         if matches!(mode, PollingMode::Hot | PollingMode::Adaptive) {
             if let Some(idle_since) = last_ready {
                 let spin = wc.timestamp.saturating_since(idle_since);
-                if !spin.is_zero() {
-                    shared.stats.lock().hot_poll_time += spin;
+                let demote = matches!(mode, PollingMode::Hot)
+                    && !config.hot_poll_timeout.is_zero()
+                    && spin > config.hot_poll_timeout;
+                if demote {
+                    // The worker stopped spinning `hot_poll_timeout` after
+                    // going idle and parked on the completion channel
+                    // (Sec. III-C): the polling bill is capped at the
+                    // budget, the worker is warm from here on, and this
+                    // request pays the blocking wake-up it actually took.
+                    {
+                        let mut stats = shared.stats.lock();
+                        stats.hot_poll_time += config.hot_poll_timeout;
+                        stats.demotions += 1;
+                    }
                     if let Some(b) = &billing {
-                        b.record_hot_poll(spin);
+                        b.record_hot_poll(config.hot_poll_timeout);
+                    }
+                    *shared.mode.lock() = PollingMode::Warm;
+                    shared.clock.advance(qp.recv_cq().blocking_penalty());
+                    if holds_core {
+                        core.release();
+                        holds_core = false;
+                    }
+                } else {
+                    // An adaptive worker parks after its fallback window, so
+                    // it too only burns CPU up to the budget — never the
+                    // whole idle gap.
+                    let billed = if matches!(mode, PollingMode::Adaptive)
+                        && !config.hot_poll_timeout.is_zero()
+                    {
+                        spin.min(config.hot_poll_timeout)
+                    } else {
+                        spin
+                    };
+                    if !billed.is_zero() {
+                        shared.stats.lock().hot_poll_time += billed;
+                        if let Some(b) = &billing {
+                            b.record_hot_poll(billed);
+                        }
                     }
                 }
             }
@@ -375,10 +422,6 @@ fn worker_main(ctx: WorkerContext) {
                 },
                 false,
             );
-            let _ = qp.post_recv(RecvRequest {
-                wr_id: wc.wr_id,
-                local: Sge::whole(&recv_scratch),
-            });
             // The spin up to this arrival was already accounted above; mark
             // the new idle point or the next request re-bills that interval.
             last_ready = Some(shared.clock.now());
@@ -402,10 +445,6 @@ fn worker_main(ctx: WorkerContext) {
                     },
                     false,
                 );
-                let _ = qp.post_recv(RecvRequest {
-                    wr_id: wc.wr_id,
-                    local: Sge::whole(&recv_scratch),
-                });
                 last_ready = Some(shared.clock.now());
                 continue;
             }
@@ -465,12 +504,8 @@ fn worker_main(ctx: WorkerContext) {
             core.release();
         }
 
-        // Replenish the consumed receive and mark the idle point for the
-        // hot-poll accounting of the next request.
-        let _ = qp.post_recv(RecvRequest {
-            wr_id: wc.wr_id,
-            local: Sge::whole(&recv_scratch),
-        });
+        // The ring already replenished the consumed receive; mark the idle
+        // point for the hot-poll accounting of the next request.
         last_ready = Some(shared.clock.now());
         if let Some(b) = &billing {
             let _ = b.flush();
@@ -567,6 +602,7 @@ impl ExecutorProcess {
             total.rejected += s.rejected;
             total.failed += s.failed;
             total.expired += s.expired;
+            total.demotions += s.demotions;
             total.busy_time += s.busy_time;
             total.hot_poll_time += s.hot_poll_time;
         }
@@ -852,6 +888,17 @@ impl LightweightAllocator {
     /// Look up an executor process.
     pub fn process(&self, process_id: u64) -> Option<Arc<Mutex<ExecutorProcess>>> {
         self.state.lock().processes.get(&process_id).cloned()
+    }
+
+    /// All live executor processes, in ascending process-id order (used by
+    /// experiments and tests to reach worker handles without the id).
+    pub fn processes(&self) -> Vec<Arc<Mutex<ExecutorProcess>>> {
+        let state = self.state.lock();
+        let mut ids: Vec<u64> = state.processes.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| Arc::clone(&state.processes[&id]))
+            .collect()
     }
 
     /// Deallocate an executor process, returning its resources to the pool

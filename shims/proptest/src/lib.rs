@@ -3,13 +3,32 @@
 //! The build container has no crates.io access, so this crate provides a
 //! deterministic random-input test harness behind the same macro surface:
 //! `proptest! { #[test] fn f(x: Vec<u8>, y in 0u32..100) { ... } }` plus
-//! `prop_assert!` / `prop_assert_eq!`. Each property runs [`CASES`] cases
-//! with inputs drawn from a fixed-seed SplitMix64 stream, so failures are
-//! reproducible. There is no shrinking — a failing case asserts directly
-//! with the generated inputs visible in the panic message via `assert_eq!`.
+//! `prop_assert!` / `prop_assert_eq!`. Each property runs [`cases()`] cases
+//! ([`CASES`] by default, overridable through the `PROPTEST_CASES`
+//! environment variable as in real proptest) with inputs drawn from a
+//! fixed-seed SplitMix64 stream, so failures are reproducible. There is no
+//! shrinking — a failing case asserts directly with the generated inputs
+//! visible in the panic message via `assert_eq!`.
 
-/// Number of cases each property runs (proptest's default is 256).
+/// Default number of cases each property runs (proptest's default is 256).
 pub const CASES: usize = 256;
+
+/// Cases each property actually runs: the `PROPTEST_CASES` environment
+/// variable overrides the default — mirroring real proptest — so a nightly
+/// CI profile can deep-fuzz (`PROPTEST_CASES=1024`) without slowing the
+/// regular test gate. Read once; invalid or zero values fall back to the
+/// default.
+pub fn cases() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| cases_from(std::env::var("PROPTEST_CASES").ok()))
+}
+
+/// Pure resolution of the case count from an (optional) override string.
+pub fn cases_from(env: Option<String>) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(CASES)
+}
 
 /// Deterministic generator backing input generation (SplitMix64).
 #[derive(Debug, Clone)]
@@ -218,7 +237,7 @@ macro_rules! proptest {
             fn $name() {
                 let mut prop_rng =
                     $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
-                for _prop_case in 0..$crate::CASES {
+                for _prop_case in 0..$crate::cases() {
                     $crate::__proptest_bind!(prop_rng, $($params)*);
                     $body
                 }
@@ -283,6 +302,18 @@ mod tests {
         fn inclusive_ranges_hit_bounds(x in 3u8..=7) {
             crate::prop_assert!((3..=7).contains(&x));
         }
+    }
+
+    #[test]
+    fn case_count_resolution() {
+        assert_eq!(cases_from(None), CASES);
+        assert_eq!(cases_from(Some("1024".into())), 1024);
+        assert_eq!(cases_from(Some(" 32 ".into())), 32);
+        // Invalid or zero overrides fall back to the default.
+        assert_eq!(cases_from(Some("0".into())), CASES);
+        assert_eq!(cases_from(Some("lots".into())), CASES);
+        // The live resolver agrees with the pure one for this process.
+        assert_eq!(cases(), cases_from(std::env::var("PROPTEST_CASES").ok()));
     }
 
     #[test]

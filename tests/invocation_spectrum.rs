@@ -1,0 +1,220 @@
+//! Integration tests for the hot/warm/cold invocation spectrum (Fig. 5/6,
+//! Sec. V-A): the paper's latency hierarchy must hold in the simulated
+//! latency model, and hot workers must demote to warm after spinning past
+//! the configurable hot-poll timeout (Sec. III-C).
+
+use rfaas::{PollingMode, RFaasConfig};
+use rfaas_bench::Testbed;
+use sandbox::SandboxType;
+use sim_core::{median, SimDuration};
+
+/// Median round-trip of `repetitions` echo invocations on a leased worker.
+fn leased_median_us(mode: PollingMode, payload: usize, repetitions: usize) -> f64 {
+    let testbed = Testbed::new(1);
+    let invoker = testbed.allocated_invoker("spectrum-client", 1, SandboxType::BareMetal, mode);
+    let alloc = invoker.allocator();
+    let input = alloc.input(payload.max(8));
+    let output = alloc.output(payload.max(8));
+    input
+        .write_payload(&workloads::generate_payload(payload, 11))
+        .unwrap();
+    invoker
+        .invoke_sync("echo", &input, payload, &output)
+        .unwrap();
+    let samples: Vec<f64> = (0..repetitions)
+        .map(|_| {
+            invoker
+                .invoke_sync("echo", &input, payload, &output)
+                .unwrap()
+                .1
+                .as_micros_f64()
+        })
+        .collect();
+    median(&samples)
+}
+
+/// Median latency of full cold invocations: lease + spawn + connect + first
+/// invocation, one fresh platform per sample.
+fn cold_median_us(payload: usize, repetitions: usize) -> f64 {
+    let samples: Vec<f64> = (0..repetitions)
+        .map(|rep| {
+            let testbed = Testbed::new(1);
+            let mut invoker = testbed.allocated_invoker(
+                &format!("spectrum-cold-{rep}"),
+                1,
+                SandboxType::BareMetal,
+                PollingMode::Hot,
+            );
+            let cold_start = invoker.cold_start().unwrap().total();
+            let alloc = invoker.allocator();
+            let input = alloc.input(payload.max(8));
+            let output = alloc.output(payload.max(8));
+            input
+                .write_payload(&workloads::generate_payload(payload, 11))
+                .unwrap();
+            let (_, rtt) = invoker
+                .invoke_sync("echo", &input, payload, &output)
+                .unwrap();
+            invoker.deallocate().unwrap();
+            (cold_start + rtt).as_micros_f64()
+        })
+        .collect();
+    median(&samples)
+}
+
+#[test]
+fn spectrum_ordering_hot_warm_cold() {
+    let hot = leased_median_us(PollingMode::Hot, 8, 60);
+    let warm = leased_median_us(PollingMode::Warm, 8, 60);
+    let cold = cold_median_us(8, 5);
+    // The hierarchy of Fig. 5: hot < warm < cold, with at least an order of
+    // magnitude between hot and cold (the paper reports nearly four).
+    assert!(hot < warm, "hot {hot} us must beat warm {warm} us");
+    assert!(warm < cold, "warm {warm} us must beat cold {cold} us");
+    assert!(
+        cold >= 10.0 * hot,
+        "cold ({cold} us) must be >= 10x hot ({hot} us)"
+    );
+    // Sanity-pin the absolute scales to the paper's ballpark.
+    assert!((3.0..6.0).contains(&hot), "hot median {hot} us");
+    assert!((6.0..12.0).contains(&warm), "warm median {warm} us");
+    assert!(cold > 10_000.0, "cold median {cold} us should be >= 10 ms");
+}
+
+#[test]
+fn spectrum_ordering_holds_across_payload_sizes() {
+    for payload in [1usize, 1024, 16 * 1024] {
+        let hot = leased_median_us(PollingMode::Hot, payload, 30);
+        let warm = leased_median_us(PollingMode::Warm, payload, 30);
+        assert!(
+            hot < warm,
+            "hot {hot} us must beat warm {warm} us at {payload} B"
+        );
+    }
+}
+
+#[test]
+fn hot_worker_demotes_to_warm_after_the_poll_timeout() {
+    let config = RFaasConfig::paper_calibration();
+    let testbed = Testbed::with_config(1, config.clone());
+    let invoker = testbed.allocated_invoker(
+        "demotion-client",
+        1,
+        SandboxType::BareMetal,
+        PollingMode::Hot,
+    );
+    let alloc = invoker.allocator();
+    let input = alloc.input(64);
+    let output = alloc.output(64);
+    input.write_payload(&[7u8; 8]).unwrap();
+
+    // Back-to-back invocations stay hot.
+    invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+    let (_, hot_rtt) = invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+
+    let process = testbed.executors[0]
+        .allocator()
+        .processes()
+        .pop()
+        .expect("live executor process");
+    assert_eq!(process.lock().workers()[0].mode(), PollingMode::Hot);
+    assert_eq!(process.lock().stats().demotions, 0);
+
+    // One idle gap past the budget: the worker demotes, the polling bill is
+    // capped at the budget, and the invocation pays the warm wake-up.
+    invoker.clock().advance(config.hot_poll_timeout * 3);
+    let (_, demoted_rtt) = invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+    {
+        let process = process.lock();
+        assert_eq!(process.workers()[0].mode(), PollingMode::Warm);
+        let stats = process.stats();
+        assert_eq!(stats.demotions, 1);
+        assert!(stats.hot_poll_time >= config.hot_poll_timeout);
+        assert!(
+            stats.hot_poll_time < config.hot_poll_timeout + SimDuration::from_millis(1),
+            "billed polling {} must be capped at the {} budget",
+            stats.hot_poll_time,
+            config.hot_poll_timeout
+        );
+    }
+    assert!(
+        demoted_rtt > hot_rtt,
+        "demoted rtt {demoted_rtt} must exceed hot rtt {hot_rtt}"
+    );
+
+    // Once warm, latencies settle at the warm level: several microseconds
+    // above hot, far below cold.
+    let warm_samples: Vec<f64> = (0..30)
+        .map(|_| {
+            invoker
+                .invoke_sync("echo", &input, 8, &output)
+                .unwrap()
+                .1
+                .as_micros_f64()
+        })
+        .collect();
+    let warm_median = median(&warm_samples);
+    assert!(
+        warm_median > hot_rtt.as_micros_f64() + 2.0,
+        "post-demotion median {warm_median} us vs hot {hot_rtt}"
+    );
+    assert!(warm_median < 20.0, "post-demotion median {warm_median} us");
+    assert_eq!(process.lock().stats().demotions, 1, "demotion is one-shot");
+}
+
+#[test]
+fn adaptive_workers_bill_at_most_the_budget_per_idle_gap() {
+    // An adaptive worker parks after its fallback window, so a long idle
+    // gap must not be billed as 30 s of phantom polling — only up to the
+    // hot-poll budget — and it never demotes (it already self-regulates).
+    let config = RFaasConfig::paper_calibration();
+    let testbed = Testbed::with_config(1, config.clone());
+    let invoker = testbed.allocated_invoker(
+        "adaptive-client",
+        1,
+        SandboxType::BareMetal,
+        PollingMode::Adaptive,
+    );
+    let alloc = invoker.allocator();
+    let input = alloc.input(64);
+    let output = alloc.output(64);
+    input.write_payload(&[7u8; 8]).unwrap();
+    invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+    invoker.clock().advance(SimDuration::from_secs(30));
+    invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+    let process = testbed.executors[0].allocator().processes().pop().unwrap();
+    let process = process.lock();
+    assert_eq!(process.workers()[0].mode(), PollingMode::Adaptive);
+    let stats = process.stats();
+    assert_eq!(stats.demotions, 0);
+    assert!(
+        stats.hot_poll_time <= config.hot_poll_timeout + SimDuration::from_millis(1),
+        "adaptive polling bill {} must be capped at the {} budget",
+        stats.hot_poll_time,
+        config.hot_poll_timeout
+    );
+}
+
+#[test]
+fn disabling_the_timeout_keeps_workers_hot_forever() {
+    let mut config = RFaasConfig::paper_calibration();
+    config.hot_poll_timeout = SimDuration::ZERO;
+    let testbed = Testbed::with_config(1, config);
+    let invoker =
+        testbed.allocated_invoker("no-demotion", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let alloc = invoker.allocator();
+    let input = alloc.input(64);
+    let output = alloc.output(64);
+    input.write_payload(&[7u8; 8]).unwrap();
+    invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+    invoker.clock().advance(SimDuration::from_secs(30));
+    invoker.invoke_sync("echo", &input, 8, &output).unwrap();
+    let process = testbed.executors[0].allocator().processes().pop().unwrap();
+    let process = process.lock();
+    assert_eq!(process.workers()[0].mode(), PollingMode::Hot);
+    let stats = process.stats();
+    assert_eq!(stats.demotions, 0);
+    // Without a cap, the worker bills the whole 30 s spin (the pricing
+    // incentive for clients to pick warm or adaptive executors).
+    assert!(stats.hot_poll_time >= SimDuration::from_secs(30));
+}
