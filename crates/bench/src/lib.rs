@@ -157,15 +157,65 @@ pub fn summarize_ms(samples: &[SimDuration]) -> Summary {
     Summary::of_durations_ms(samples)
 }
 
+/// Usage banner shared by every figure binary.
+const USAGE: &str = "\
+usage: fig binary [--quick] [SUB_EXPERIMENT]
+
+  --quick          reduced repetitions and problem sizes (the CI smoke and
+                   perf-snapshot profile)
+  SUB_EXPERIMENT   one optional positional selecting a sub-experiment where
+                   the binary offers one (see EXPERIMENTS.md)";
+
+/// Validate a raw argument list (binary name already stripped). Rejects any
+/// unrecognised `-`-prefixed flag and more than one positional, so a typoed
+/// `--qiuck` fails loudly instead of silently selecting the full-length run.
+fn check_args(args: impl Iterator<Item = String>) -> std::result::Result<(), String> {
+    let mut positionals = 0usize;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" | "--help" | "-h" => {}
+            flag if flag.starts_with('-') => {
+                return Err(format!("unrecognised flag '{flag}'"));
+            }
+            positional => {
+                positionals += 1;
+                if positionals > 1 {
+                    return Err(format!("unexpected extra argument '{positional}'"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate the process arguments, exiting with a usage message on anything
+/// unrecognised (status 2) or printing it on `--help` (status 0). Every entry
+/// point into the CLI surface calls this, so no figure binary can run with a
+/// misspelled flag.
+fn validate_cli() {
+    if let Err(msg) = check_args(std::env::args().skip(1)) {
+        eprintln!("error: {msg}\n{USAGE}");
+        std::process::exit(2);
+    }
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+}
+
 /// Whether the binary was invoked with `--quick` (fewer repetitions / smaller
-/// problem sizes, for CI and smoke testing).
+/// problem sizes, for CI and smoke testing). Exits with a usage message if
+/// the command line carries anything unrecognised.
 pub fn quick_mode() -> bool {
+    validate_cli();
     std::env::args().any(|a| a == "--quick")
 }
 
 /// First non-flag command-line argument, if any (used by binaries that select
-/// a sub-experiment, e.g. `thumbnailer` vs `inference`).
+/// a sub-experiment, e.g. `thumbnailer` vs `inference`). Exits with a usage
+/// message if the command line carries anything unrecognised.
 pub fn sub_experiment() -> Option<String> {
+    validate_cli();
     std::env::args().skip(1).find(|a| !a.starts_with("--"))
 }
 
@@ -201,6 +251,27 @@ mod tests {
         ] {
             assert!(pkg.function_by_name(name).is_some(), "missing {name}");
         }
+    }
+
+    #[test]
+    fn known_cli_shapes_pass_validation() {
+        let ok = |args: &[&str]| check_args(args.iter().map(|s| s.to_string()));
+        assert!(ok(&[]).is_ok());
+        assert!(ok(&["--quick"]).is_ok());
+        assert!(ok(&["--help"]).is_ok());
+        assert!(ok(&["-h"]).is_ok());
+        assert!(ok(&["thumbnailer"]).is_ok());
+        assert!(ok(&["--quick", "inference"]).is_ok());
+    }
+
+    #[test]
+    fn typoed_and_extra_arguments_are_rejected() {
+        let err = |args: &[&str]| check_args(args.iter().map(|s| s.to_string())).unwrap_err();
+        // The CI-masquerade scenario the validation exists for.
+        assert!(err(&["--qiuck"]).contains("--qiuck"));
+        assert!(err(&["--quick", "--verbose"]).contains("--verbose"));
+        assert!(err(&["-q"]).contains("-q"));
+        assert!(err(&["thumbnailer", "extra"]).contains("extra"));
     }
 
     #[test]

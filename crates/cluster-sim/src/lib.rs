@@ -12,14 +12,18 @@
 //! * [`node`] — node inventory and resource accounting,
 //! * [`jobs`] — batch-job generator and a simple FCFS backfilling scheduler,
 //! * [`trace`] — utilisation time series (regenerates Fig. 2),
-//! * [`harvest`] — the idle-resource feed consumed by spot executors.
+//! * [`harvest`] — the idle-resource feed consumed by spot executors,
+//! * [`tenants`] — seeded multi-tenant fleet generation (the serverless
+//!   demand side that the sharded manager plane scales against).
 
 pub mod harvest;
 pub mod jobs;
 pub mod node;
+pub mod tenants;
 pub mod trace;
 
 pub use harvest::{HarvestedResources, ResourceHarvester};
 pub use jobs::{BatchJob, BatchScheduler, JobGenerator};
 pub use node::{ClusterNode, NodeResources};
+pub use tenants::{TenantFleet, TenantProfile, TenantRequest, WorkloadKind};
 pub use trace::{TracePoint, UtilizationTrace};

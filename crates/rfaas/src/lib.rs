@@ -58,6 +58,7 @@ pub mod executor;
 pub mod lifecycle;
 pub mod manager;
 pub mod protocol;
+pub mod sharding;
 
 pub use billing::{BillingClient, BillingDatabase, UsageRecord, BILLING_SLOTS};
 pub use client::{Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, Invoker};
@@ -67,8 +68,9 @@ pub use executor::{
     AllocationBreakdown, AllocationResult, CoreSlot, ExecutorProcess, LeaseDeadline,
     LightweightAllocator, SpotExecutor, WorkerEndpointInfo, WorkerStats,
 };
-pub use lifecycle::{LifecycleDriver, LifecycleStats};
-pub use manager::{ManagerGroup, ResourceManager};
+pub use lifecycle::{GroupLifecycleDriver, LifecycleDriver, LifecycleStats};
+pub use manager::ResourceManager;
 pub use protocol::{
     ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
 };
+pub use sharding::{stable_hash, HashRing, ManagerGroup};

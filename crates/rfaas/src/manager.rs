@@ -53,6 +53,11 @@ pub struct ResourceManager {
     // can keep issuing one-sided atomics without any manager CPU involvement.
     billing_qps: Mutex<Vec<QueuePair>>,
     next_lease_id: AtomicU64,
+    // Lease ids advance by this much per grant. A standalone manager strides
+    // by 1; shard `i` of an S-shard ManagerGroup starts at `i + 1` and
+    // strides by S, so every id's residue class identifies its shard and
+    // cross-shard lookup needs no directory.
+    lease_id_stride: u64,
     round_robin: AtomicUsize,
 }
 
@@ -78,6 +83,21 @@ impl ResourceManager {
         config: RFaasConfig,
         node_name: &str,
     ) -> Arc<ResourceManager> {
+        Self::with_lease_namespace(fabric, config, node_name, 1, 1)
+    }
+
+    /// Create a manager issuing lease ids `first_lease_id, first_lease_id +
+    /// stride, ...`. The sharded [`ManagerGroup`] gives each shard a disjoint
+    /// residue class so leases stay globally unique and O(1) routable.
+    ///
+    /// [`ManagerGroup`]: crate::sharding::ManagerGroup
+    pub fn with_lease_namespace(
+        fabric: &Arc<Fabric>,
+        config: RFaasConfig,
+        node_name: &str,
+        first_lease_id: u64,
+        stride: u64,
+    ) -> Arc<ResourceManager> {
         let node = fabric.add_node(node_name);
         let endpoint = Endpoint::new(fabric, &node);
         let billing = BillingDatabase::new(&endpoint);
@@ -92,7 +112,8 @@ impl ResourceManager {
             terminated_leases: Mutex::new(BTreeSet::new()),
             billing,
             billing_qps: Mutex::new(Vec::new()),
-            next_lease_id: AtomicU64::new(1),
+            next_lease_id: AtomicU64::new(first_lease_id.max(1)),
+            lease_id_stride: stride.max(1),
             round_robin: AtomicUsize::new(0),
         })
     }
@@ -236,7 +257,9 @@ impl ResourceManager {
         let entry = executors.get_mut(&chosen).expect("chosen executor exists");
         entry.available = entry.available.saturating_sub(&needed);
         let lease = Lease {
-            id: self.next_lease_id.fetch_add(1, Ordering::Relaxed),
+            id: self
+                .next_lease_id
+                .fetch_add(self.lease_id_stride, Ordering::Relaxed),
             executor_node: chosen.clone(),
             cores: request.cores,
             memory_mib: request.memory_mib,
@@ -381,44 +404,6 @@ impl ResourceManager {
     /// Total monetary cost accumulated by the platform so far.
     pub fn total_cost(&self) -> f64 {
         self.billing.total_cost(&self.config)
-    }
-}
-
-/// A replicated group of resource managers with round-robin request routing
-/// (the horizontal-scaling story of Sec. III-D).
-#[derive(Debug)]
-pub struct ManagerGroup {
-    managers: Vec<Arc<ResourceManager>>,
-    next: AtomicUsize,
-}
-
-impl ManagerGroup {
-    /// Create `replicas` managers on the same fabric.
-    pub fn new(fabric: &Arc<Fabric>, config: RFaasConfig, replicas: usize) -> ManagerGroup {
-        let managers = (0..replicas.max(1))
-            .map(|i| ResourceManager::with_name(fabric, config.clone(), &format!("manager-{i}")))
-            .collect();
-        ManagerGroup {
-            managers,
-            next: AtomicUsize::new(0),
-        }
-    }
-
-    /// All manager replicas.
-    pub fn managers(&self) -> &[Arc<ResourceManager>] {
-        &self.managers
-    }
-
-    /// The replica the next client request should go to (round robin).
-    pub fn pick(&self) -> Arc<ResourceManager> {
-        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.managers.len();
-        Arc::clone(&self.managers[i])
-    }
-
-    /// Register an executor with one replica (resources are split between
-    /// manager instances, as the paper describes).
-    pub fn register_executor(&self, executor: &Arc<SpotExecutor>) {
-        self.pick().register_executor(executor);
     }
 }
 
@@ -674,17 +659,28 @@ mod tests {
     }
 
     #[test]
-    fn manager_group_round_robins_replicas() {
+    fn lease_namespace_strides_ids() {
+        // Shard 1 of a 4-shard plane: ids 2, 6, 10, ... — the residue class
+        // the group's cross-shard routing depends on.
         let fabric = Fabric::with_defaults();
-        let group = ManagerGroup::new(&fabric, RFaasConfig::default(), 3);
-        assert_eq!(group.managers().len(), 3);
-        let a = group.pick();
-        let b = group.pick();
-        let c = group.pick();
-        let d = group.pick();
-        assert!(!Arc::ptr_eq(&a, &b));
-        assert!(!Arc::ptr_eq(&b, &c));
-        assert!(Arc::ptr_eq(&a, &d));
+        let manager =
+            ResourceManager::with_lease_namespace(&fabric, RFaasConfig::default(), "m-1", 2, 4);
+        let exec = SpotExecutor::new(
+            &fabric,
+            "exec-ns",
+            NodeResources {
+                cores: 16,
+                memory_mib: 64 * 1024,
+            },
+            registry(),
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&exec);
+        let clock = VirtualClock::new();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| manager.request_lease(&request(), &clock).unwrap().0.id)
+            .collect();
+        assert_eq!(ids, vec![2, 6, 10]);
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod time;
 
 pub use clock::VirtualClock;
 pub use histogram::LatencyHistogram;
-pub use rng::DeterministicRng;
+pub use rng::{splitmix64_finalize, DeterministicRng};
 pub use stats::{median, percentile, ConfidenceInterval, Summary};
 pub use time::{SimDuration, SimTime};

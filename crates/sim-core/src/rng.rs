@@ -10,6 +10,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The SplitMix64 finalizer: a full-avalanche bijective mix of a 64-bit
+/// word. Besides driving [`DeterministicRng`], it is the avalanche step of
+/// deterministic placement hashing (`rfaas::sharding::stable_hash`), where
+/// raw byte-hash output clusters too much to order a consistent-hash ring.
+pub fn splitmix64_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A small, seedable, fully deterministic PRNG (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
@@ -27,10 +37,7 @@ impl DeterministicRng {
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix64_finalize(self.state)
     }
 
     /// Uniform value in `[0, 1)`.

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Perf-snapshot harness: run every figure binary in --quick mode, scrape the
+machine-readable `## json` rows into a single bench-report.json, and diff the
+gated metrics against the committed BENCH_BASELINE.json.
+
+The simulation is virtual-time deterministic, so the numbers are bit-stable
+run-to-run; the +/-15% tolerance exists to absorb intentional model
+recalibrations, not measurement noise. Anything outside it is a perf
+regression (or an improvement that should be committed as the new baseline).
+
+Usage:
+  scripts/perf_snapshot.py collect [--report bench-report.json]
+      Run every crates/bench/src/bin/fig*.rs with --quick and write the
+      scraped rows to the report file.
+  scripts/perf_snapshot.py diff [--report ...] [--baseline BENCH_BASELINE.json]
+      Compare the report against the baseline gates; non-zero exit on any
+      violation. Run `collect` first (CI uploads the report artifact between
+      the two steps).
+  scripts/perf_snapshot.py refresh [--report ...] [--baseline ...]
+      Rewrite the baseline's gate values from an existing report (after an
+      intentional performance change; commit the result).
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def fig_binaries():
+    paths = sorted(glob.glob(os.path.join(REPO, "crates/bench/src/bin/fig*.rs")))
+    if not paths:
+        sys.exit("no figure binaries found under crates/bench/src/bin")
+    return [os.path.splitext(os.path.basename(p))[0] for p in paths]
+
+
+def scrape_json_rows(stdout):
+    """All JSON rows from every `## json` section of a binary's output."""
+    rows = []
+    in_section = False
+    for line in stdout.splitlines():
+        stripped = line.strip()
+        if stripped == "## json":
+            in_section = True
+            continue
+        if not in_section:
+            continue
+        if not stripped.startswith("{"):
+            in_section = False
+            continue
+        rows.append(json.loads(stripped))
+    return rows
+
+
+def collect(report_path):
+    report = {"mode": "--quick", "binaries": {}}
+    for name in fig_binaries():
+        print(f"::group::{name}", flush=True)
+        proc = subprocess.run(
+            ["cargo", "run", "--release", "-p", "rfaas-bench", "--bin", name, "--", "--quick"],
+            cwd=REPO,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        print(proc.stdout, flush=True)
+        print("::endgroup::", flush=True)
+        if proc.returncode != 0:
+            sys.exit(f"{name} failed with exit code {proc.returncode}")
+        rows = scrape_json_rows(proc.stdout)
+        if not rows:
+            print(f"warning: {name} emitted no '## json' rows", file=sys.stderr)
+        report["binaries"][name] = rows
+    with open(report_path, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    total = sum(len(rows) for rows in report["binaries"].values())
+    print(f"wrote {report_path}: {len(report['binaries'])} binaries, {total} rows")
+
+
+def find_row(report, gate):
+    for row in report["binaries"].get(gate["bin"], []):
+        if row["series"] == gate["series"] and abs(row["x"] - gate["x"]) < 1e-9:
+            return row
+    return None
+
+
+def gate_label(gate):
+    return f"{gate['bin']} / {gate['series']} @ x={gate['x']} ({gate['metric']})"
+
+
+def diff(report_path, baseline_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    tolerance = baseline["tolerance_pct"] / 100.0
+    failures = []
+    print(f"{'gate':<78} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for gate in baseline["gates"]:
+        row = find_row(report, gate)
+        label = gate_label(gate)
+        if row is None:
+            failures.append(f"{label}: row missing from report")
+            print(f"{label:<78} {gate['value']:>12.3f} {'MISSING':>12} {'':>8}")
+            continue
+        current = row[gate["metric"]]
+        base = gate["value"]
+        if base == 0:
+            # A zero baseline would make the relative gate vacuous forever;
+            # it only happens when a refresh captured a degenerate run.
+            failures.append(f"{label}: baseline value is 0 — re-collect and refresh")
+            print(f"{label:<78} {base:>12.3f} {current:>12.3f} {'BAD BASE':>8}")
+            continue
+        delta = (current - base) / base
+        verdict = "FAIL" if abs(delta) > tolerance else "ok"
+        print(f"{label:<78} {base:>12.3f} {current:>12.3f} {delta:>+7.1%} {verdict}")
+        if abs(delta) > tolerance:
+            failures.append(
+                f"{label}: {current:.3f} vs baseline {base:.3f} ({delta:+.1%}, "
+                f"tolerance +/-{baseline['tolerance_pct']}%)"
+            )
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf the change is intentional, refresh the baseline:\n"
+            "  python3 scripts/perf_snapshot.py collect && "
+            "python3 scripts/perf_snapshot.py refresh\nand commit BENCH_BASELINE.json.",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"\nperf gate passed: {len(baseline['gates'])} gates within "
+          f"+/-{baseline['tolerance_pct']}%")
+
+
+def refresh(report_path, baseline_path):
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    missing = []
+    for gate in baseline["gates"]:
+        row = find_row(report, gate)
+        if row is None:
+            missing.append(gate_label(gate))
+            continue
+        gate["value"] = row[gate["metric"]]
+    if missing:
+        sys.exit("cannot refresh, rows missing: " + ", ".join(missing))
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"refreshed {len(baseline['gates'])} gate values in {baseline_path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["collect", "diff", "refresh"])
+    parser.add_argument("--report", default=os.path.join(REPO, "bench-report.json"))
+    parser.add_argument("--baseline", default=os.path.join(REPO, "BENCH_BASELINE.json"))
+    args = parser.parse_args()
+    if args.command == "collect":
+        collect(args.report)
+    elif args.command == "diff":
+        diff(args.report, args.baseline)
+    else:
+        refresh(args.report, args.baseline)
+
+
+if __name__ == "__main__":
+    main()

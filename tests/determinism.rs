@@ -5,9 +5,15 @@
 //! totals — any drift means wall-clock scheduling or hash-map iteration
 //! order leaked into the model.
 
-use rfaas::{LeaseRequest, PollingMode};
-use rfaas_bench::{Testbed, PACKAGE};
-use sim_core::{DeterministicRng, LatencyHistogram};
+use cluster_sim::{NodeResources, TenantFleet};
+use rdma_fabric::Fabric;
+use rfaas::{
+    GroupLifecycleDriver, Invoker, LeaseRequest, ManagerGroup, PollingMode, RFaasConfig,
+    SpotExecutor,
+};
+use rfaas_bench::{evaluation_package, Testbed, PACKAGE};
+use sandbox::FunctionRegistry;
+use sim_core::{DeterministicRng, LatencyHistogram, SimDuration};
 
 /// One end-to-end scenario: three executors, two sequential clients, a
 /// seeded mix of lease shapes, payload sizes, renewals and re-allocations.
@@ -94,4 +100,104 @@ fn different_seeds_actually_change_the_scenario() {
     let a = run_scenario(1);
     let b = run_scenario(2);
     assert_ne!(a, b, "the seed must drive payloads and lease shapes");
+}
+
+/// The sharded multi-tenant scenario: a 4-shard manager plane, a seeded
+/// tenant fleet, consistent-hash placement of executors and tenants, and the
+/// full allocate→invoke→bill→release pipeline per episode. The transcript
+/// pins shard assignments, lease placements (id + executor node) and the
+/// per-shard billing totals bit-for-bit.
+fn run_sharded_scenario(seed: u64) -> String {
+    const SHARDS: usize = 4;
+    let config = RFaasConfig::default();
+    let fabric = Fabric::with_defaults();
+    let registry = FunctionRegistry::new();
+    registry.deploy(evaluation_package());
+    let group = ManagerGroup::new(&fabric, config.clone(), SHARDS);
+    let mut transcript = String::new();
+
+    // Executor partitioning is part of the pinned behaviour.
+    for i in 0..12 {
+        let name = format!("det-exec-{i:02}");
+        let executor = SpotExecutor::new(
+            &fabric,
+            &name,
+            NodeResources::xeon_gold_6154_dual(),
+            registry.clone(),
+            config.clone(),
+        );
+        let shard = group.register_executor(&executor);
+        transcript.push_str(&format!("executor {name} -> shard {shard}\n"));
+    }
+
+    let driver = GroupLifecycleDriver::new(&group);
+    let fleet = TenantFleet::generate(seed, 24, SimDuration::from_secs(10));
+    let requests = fleet.requests(SimDuration::from_secs(20));
+    assert!(!requests.is_empty());
+    for (episode, request) in requests.iter().enumerate() {
+        driver.step(request.arrival);
+        let shard = group.shard_for_tenant(&request.tenant);
+        let mut invoker = Invoker::new(
+            &fabric,
+            &format!("{}-det{episode}", request.tenant),
+            &group.manager_for_tenant(&request.tenant),
+            config.clone(),
+        );
+        invoker.clock().advance_to(request.arrival);
+        let mut lease_request = LeaseRequest::single_worker(PACKAGE)
+            .with_cores(request.cores)
+            .with_memory_mib(request.memory_mib);
+        lease_request.timeout = request.lease_timeout.max(SimDuration::from_secs(30));
+        invoker.allocate(lease_request, PollingMode::Hot).unwrap();
+        let lease = invoker.lease().unwrap();
+        assert_eq!(group.shard_of_lease(lease.id), Some(shard));
+        transcript.push_str(&format!(
+            "episode {episode}: tenant {} -> shard {shard}, lease {} on {}\n",
+            request.tenant, lease.id, lease.executor_node
+        ));
+
+        let alloc = invoker.allocator();
+        let payload = workloads::generate_payload(request.payload_bytes.clamp(8, 4096), seed);
+        let input = alloc.input(payload.len());
+        let output = alloc.output(payload.len());
+        input.write_payload(&payload).unwrap();
+        for _ in 0..request.invocations.min(3) {
+            let (len, rtt) = invoker
+                .invoke_sync("echo", &input, payload.len(), &output)
+                .unwrap();
+            assert_eq!(len, payload.len());
+            transcript.push_str(&format!("  invoke -> {} ns\n", rtt.as_nanos()));
+        }
+        invoker.deallocate().unwrap();
+    }
+
+    // Per-shard billing totals, bit-exact.
+    for (shard, cost) in group.per_shard_costs().iter().enumerate() {
+        transcript.push_str(&format!(
+            "shard {shard} billing bits {:#018x}\n",
+            cost.to_bits()
+        ));
+    }
+    assert!(
+        group.total_cost() > 0.0,
+        "the sharded scenario must accrue billable usage"
+    );
+    transcript
+}
+
+#[test]
+fn sharded_multi_tenant_runs_are_byte_identical() {
+    let first = run_sharded_scenario(0x5AA5);
+    let second = run_sharded_scenario(0x5AA5);
+    assert_eq!(
+        first, second,
+        "shard assignment, placement or per-shard billing diverged between identical runs"
+    );
+}
+
+#[test]
+fn sharded_scenario_seeds_change_the_fleet() {
+    let a = run_sharded_scenario(3);
+    let b = run_sharded_scenario(4);
+    assert_ne!(a, b, "the seed must drive the tenant fleet");
 }
