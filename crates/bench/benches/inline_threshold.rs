@@ -22,8 +22,11 @@ fn inline_threshold(c: &mut Criterion) {
     }
 
     let testbed = Testbed::new(1);
-    let invoker =
-        testbed.allocated_invoker("inline-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+    // The inline threshold is a zero-copy measurement: drive pre-registered
+    // buffers through the raw escape hatch, not the typed codec surface.
+    let session =
+        testbed.allocated_session("inline-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     let mut group = c.benchmark_group("inline_threshold");
     group.sample_size(15);

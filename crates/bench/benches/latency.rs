@@ -14,24 +14,16 @@ fn invocation_latency(c: &mut Criterion) {
     for (label, mode) in [("hot", PollingMode::Hot), ("warm", PollingMode::Warm)] {
         for payload in [64usize, 4096, 64 * 1024] {
             let testbed = Testbed::new(1);
-            let invoker =
-                testbed.allocated_invoker("bench-client", 1, SandboxType::BareMetal, mode);
-            let alloc = invoker.allocator();
-            let input = alloc.input(payload);
-            let output = alloc.output(payload);
-            input
-                .write_payload(&workloads::generate_payload(payload, 1))
-                .unwrap();
-            invoker
-                .invoke_sync("echo", &input, payload, &output)
-                .unwrap();
-            group.bench_with_input(BenchmarkId::new(label, payload), &payload, |b, &payload| {
-                b.iter(|| {
-                    invoker
-                        .invoke_sync("echo", &input, payload, &output)
-                        .unwrap()
-                })
-            });
+            let session =
+                testbed.allocated_session("bench-client", 1, SandboxType::BareMetal, mode);
+            let echo = session.function::<[u8], [u8]>("echo").unwrap();
+            let data = workloads::generate_payload(payload, 1);
+            echo.invoke(&data[..]).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, payload),
+                &payload,
+                |b, &_payload| b.iter(|| echo.invoke(&data[..]).unwrap()),
+            );
         }
     }
     group.finish();

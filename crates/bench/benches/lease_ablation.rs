@@ -4,8 +4,8 @@
 //! invocation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rfaas::{LeaseRequest, PollingMode};
-use rfaas_bench::{Testbed, PACKAGE};
+use rfaas::PollingMode;
+use rfaas_bench::Testbed;
 use sandbox::SandboxType;
 
 fn lease_reuse_vs_reallocation(c: &mut Criterion) {
@@ -15,17 +15,14 @@ fn lease_reuse_vs_reallocation(c: &mut Criterion) {
     // With leases: the control plane is involved exactly once.
     {
         let testbed = Testbed::new(1);
-        let invoker =
-            testbed.allocated_invoker("lease-client", 1, SandboxType::BareMetal, PollingMode::Hot);
-        let alloc = invoker.allocator();
-        let input = alloc.input(1024);
-        let output = alloc.output(1024);
-        input.write_payload(&[3u8; 512]).unwrap();
-        invoker.invoke_sync("echo", &input, 512, &output).unwrap();
-        let virtual_us = invoker.invoke_sync("echo", &input, 512, &output).unwrap().1;
+        let session =
+            testbed.allocated_session("lease-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        echo.invoke(&[3u8; 512][..]).unwrap();
+        let virtual_us = echo.invoke_timed(&[3u8; 512][..]).unwrap().1;
         println!("[lease] cached lease invocation: {virtual_us} (virtual)");
         group.bench_function("cached_lease_invocation", |b| {
-            b.iter(|| invoker.invoke_sync("echo", &input, 512, &output).unwrap())
+            b.iter(|| echo.invoke(&[3u8; 512][..]).unwrap())
         });
     }
 
@@ -35,36 +32,25 @@ fn lease_reuse_vs_reallocation(c: &mut Criterion) {
         let testbed = Testbed::new(1);
         group.bench_function("reallocate_per_invocation", |b| {
             b.iter(|| {
-                let mut invoker = testbed.invoker("no-lease-client");
-                invoker
-                    .allocate(
-                        LeaseRequest::single_worker(PACKAGE)
-                            .with_cores(1)
-                            .with_memory_mib(512),
-                        PollingMode::Hot,
-                    )
+                let session = testbed
+                    .session("no-lease-client")
+                    .memory_mib(512)
+                    .connect()
                     .unwrap();
-                let alloc = invoker.allocator();
-                let input = alloc.input(1024);
-                let output = alloc.output(1024);
-                input.write_payload(&[3u8; 512]).unwrap();
-                let (_, rtt) = invoker.invoke_sync("echo", &input, 512, &output).unwrap();
-                invoker.deallocate().unwrap();
+                let echo = session.function::<[u8], [u8]>("echo").unwrap();
+                let (_, rtt) = echo.invoke_timed(&[3u8; 512][..]).unwrap();
+                session.close().unwrap();
                 rtt
             })
         });
-        let mut invoker = testbed.invoker("no-lease-report");
-        invoker
-            .allocate(
-                LeaseRequest::single_worker(PACKAGE)
-                    .with_cores(1)
-                    .with_memory_mib(512),
-                PollingMode::Hot,
-            )
+        let session = testbed
+            .session("no-lease-report")
+            .memory_mib(512)
+            .connect()
             .unwrap();
         println!(
             "[lease] cold path per invocation without leases: {} (virtual)",
-            invoker.cold_start().unwrap().total()
+            session.cold_start().unwrap().total()
         );
     }
     group.finish();

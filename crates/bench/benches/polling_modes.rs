@@ -17,18 +17,14 @@ fn polling_mode_ablation(c: &mut Criterion) {
         ("adaptive", PollingMode::Adaptive),
     ] {
         let testbed = Testbed::new(1);
-        let invoker = testbed.allocated_invoker("ablation-client", 1, SandboxType::BareMetal, mode);
-        let alloc = invoker.allocator();
-        let input = alloc.input(256);
-        let output = alloc.output(256);
-        input.write_payload(&[7u8; 128]).unwrap();
-        invoker.invoke_sync("echo", &input, 128, &output).unwrap();
+        let session = testbed.allocated_session("ablation-client", 1, SandboxType::BareMetal, mode);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        echo.invoke(&[7u8; 128][..]).unwrap();
 
         // Report the virtual-time latency (the paper's metric) once per mode.
         let virtual_us: Vec<f64> = (0..50)
             .map(|_| {
-                invoker
-                    .invoke_sync("echo", &input, 128, &output)
+                echo.invoke_timed(&[7u8; 128][..])
                     .unwrap()
                     .1
                     .as_micros_f64()
@@ -39,9 +35,7 @@ fn polling_mode_ablation(c: &mut Criterion) {
             median(&virtual_us)
         );
 
-        group.bench_function(label, |b| {
-            b.iter(|| invoker.invoke_sync("echo", &input, 128, &output).unwrap())
-        });
+        group.bench_function(label, |b| b.iter(|| echo.invoke(&[7u8; 128][..]).unwrap()));
     }
     group.finish();
 }

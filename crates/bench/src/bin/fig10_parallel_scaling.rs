@@ -5,7 +5,7 @@
 //! to every worker simultaneously and collecting all results (the client-side
 //! batch latency, as in Sec. V-D).
 
-use rfaas::PollingMode;
+use rfaas::{FunctionHandle, PollingMode};
 use rfaas_bench::{print_table, quick_mode, summarize_us, ResultRow, Testbed};
 use sandbox::SandboxType;
 use sim_core::SimDuration;
@@ -23,23 +23,19 @@ fn measure(
 ) {
     for &workers in &worker_counts() {
         let testbed = Testbed::new(1);
-        let invoker =
-            testbed.allocated_invoker("fig10-client", workers, SandboxType::BareMetal, mode);
-        let alloc = invoker.allocator();
-        let inputs: Vec<_> = (0..workers).map(|_| alloc.input(payload)).collect();
-        let outputs: Vec<_> = (0..workers).map(|_| alloc.output(payload)).collect();
+        let session =
+            testbed.allocated_session("fig10-client", workers, SandboxType::BareMetal, mode);
+        let echo = session.function::<[u8], [u8]>("echo").expect("echo");
         let data = workloads::generate_payload(payload, 11);
-        for input in &inputs {
-            input.write_payload(&data).expect("payload fits");
-        }
+        let chunks: Vec<&[u8]> = (0..workers).map(|_| data.as_slice()).collect();
         // Warm-up round.
-        run_round(&invoker, &inputs, &outputs, payload);
+        run_round(&session, &echo, &chunks);
         let mut samples = Vec::with_capacity(repetitions);
         for _ in 0..repetitions {
             if let Some(n) = testbed.fabric.node("spot-00") {
                 n.reset_contention()
             }
-            samples.push(run_round(&invoker, &inputs, &outputs, payload));
+            samples.push(run_round(&session, &echo, &chunks));
         }
         let summary = summarize_us(&samples);
         rows.push(ResultRow {
@@ -59,27 +55,17 @@ fn measure(
     }
 }
 
+/// One batch round: scatter one invocation per worker behind a shared
+/// doorbell and gather every result.
 fn run_round(
-    invoker: &rfaas::Invoker,
-    inputs: &[rfaas::Buffer],
-    outputs: &[rfaas::Buffer],
-    payload: usize,
+    session: &rfaas::Session,
+    echo: &FunctionHandle<'_, [u8], [u8]>,
+    chunks: &[&[u8]],
 ) -> SimDuration {
-    let start = invoker.clock().now();
-    let futures: Vec<_> = inputs
-        .iter()
-        .zip(outputs.iter())
-        .enumerate()
-        .map(|(worker, (input, output))| {
-            invoker
-                .submit_to_worker(worker, "echo", input, payload, output)
-                .expect("submit")
-        })
-        .collect();
-    for future in futures {
-        future.wait().expect("result");
-    }
-    invoker.clock().now().saturating_since(start)
+    let start = session.clock().now();
+    let set = echo.map_workers(chunks.iter().copied()).expect("scatter");
+    set.wait_all().expect("results");
+    session.clock().now().saturating_since(start)
 }
 
 fn main() {

@@ -10,6 +10,11 @@ use sandbox::SandboxType;
 use sim_core::{DeterministicRng, Summary};
 use workloads::{image_recognition_function, thumbnailer_function, Image, InputSizes};
 
+/// The thumbnailer returns an encoded image, the classifier returns logits;
+/// both decode from raw result bytes, so the handles are byte-typed on the
+/// output side and Image-typed on the input side.
+type ImageFn<'s> = rfaas::FunctionHandle<'s, Image, [u8]>;
+
 struct Case {
     function: &'static str,
     input_label: &'static str,
@@ -72,21 +77,14 @@ fn run(cases: &[Case], title: &str, repetitions: usize) {
         let payload = image.encode();
         for (label, sandbox, mode) in configurations {
             let testbed = Testbed::new(1);
-            let invoker = testbed.allocated_invoker("fig11-client", 1, sandbox, mode);
-            let alloc = invoker.allocator();
-            let input = alloc.input(payload.len());
-            let output = alloc.output(case.output_capacity);
-            input.write_payload(&payload).expect("payload fits");
-            invoker
-                .invoke_sync(case.function, &input, payload.len(), &output)
-                .expect("warm-up invocation");
+            let session = testbed.allocated_session("fig11-client", 1, sandbox, mode);
+            let function: ImageFn = session
+                .function(case.function)
+                .expect("function deployed")
+                .with_output_capacity(case.output_capacity);
+            function.invoke(&image).expect("warm-up invocation");
             let samples: Vec<_> = (0..repetitions)
-                .map(|_| {
-                    invoker
-                        .invoke_sync(case.function, &input, payload.len(), &output)
-                        .expect("invocation")
-                        .1
-                })
+                .map(|_| function.invoke_timed(&image).expect("invocation").1)
                 .collect();
             let summary = summarize_ms(&samples);
             rows.push(ResultRow {

@@ -2,66 +2,58 @@
 //! batch — OpenMP-style local threading, full rFaaS offloading, and the
 //! hybrid OpenMP + rFaaS configuration, for parallelism 1–32.
 //!
+//! The offloading path is the typed session API end-to-end: a
+//! `FunctionHandle<OptionBatch, [f64]>` scatters the chunks with
+//! `map_workers`, so all N submissions ride one doorbell (the chained-WQE
+//! path of `QueuePair::post_send_batch`) and the results come back through a
+//! `CompletionSet`. The final section prints the doorbell/chained-WQE cost
+//! breakdown and gates on the batching actually happening.
+//!
 //! The paper's batch is ~229 MB of option data (≈5 million contracts). The
 //! default run scales the batch down by 8× (the compute-to-communication
 //! ratio, and therefore the crossover behaviour, is unchanged because both
 //! scale linearly in the option count); pass `--full` for the paper-sized
 //! batch.
 
-use rfaas::{LeaseRequest, PollingMode, RFaasConfig};
-use rfaas_bench::{print_table, quick_mode, ResultRow, Testbed, PACKAGE};
+use rfaas::{BatchStats, FunctionHandle, RFaasConfig, Session};
+use rfaas_bench::{print_table, quick_mode, ResultRow, Testbed};
 use sim_core::SimDuration;
-use workloads::blackscholes::{local_parallel_cost, options_to_bytes, COST_PER_OPTION};
-use workloads::generate_options;
+use workloads::blackscholes::{local_parallel_cost, COST_PER_OPTION};
+use workloads::{generate_options, OptionBatch, OPTION_WIRE_BYTES};
 
 fn parallelism_sweep() -> Vec<usize> {
     vec![1, 4, 8, 12, 16, 20, 24, 28, 32]
 }
 
-/// Offload `options[range]` across the invoker's workers and return the
-/// client-observed batch completion time.
+/// Scatter the chunks across the session's workers behind one doorbell and
+/// return the client-observed batch completion time plus the submission's
+/// doorbell accounting.
 fn offload_batch(
-    invoker: &rfaas::Invoker,
-    encoded_chunks: &[Vec<u8>],
-    output_capacity: usize,
-) -> SimDuration {
-    let alloc = invoker.allocator();
-    let start = invoker.clock().now();
-    let buffers: Vec<_> = encoded_chunks
-        .iter()
-        .map(|chunk| {
-            let input = alloc.input(chunk.len());
-            let output = alloc.output(output_capacity);
-            input.write_payload(chunk).expect("chunk fits");
-            (input, output, chunk.len())
-        })
-        .collect();
-    let futures: Vec<_> = buffers
-        .iter()
-        .enumerate()
-        .map(|(worker, (input, output, len))| {
-            invoker
-                .submit_to_worker(worker, "blackscholes", input, *len, output)
-                .expect("submit")
-        })
-        .collect();
-    for future in futures {
-        future.wait().expect("result");
-    }
-    invoker.clock().now().saturating_since(start)
+    session: &Session,
+    pricer: &FunctionHandle<'_, OptionBatch, [f64]>,
+    chunks: &[OptionBatch],
+) -> (SimDuration, BatchStats) {
+    let start = session.clock().now();
+    let set = pricer.map_workers(chunks.iter()).expect("scatter");
+    let stats = set.stats();
+    let results = set.wait_all().expect("results");
+    let priced: usize = results.iter().map(|r| r.len()).sum();
+    assert_eq!(
+        priced,
+        chunks.iter().map(|c| c.len()).sum::<usize>(),
+        "every option must come back priced"
+    );
+    (session.clock().now().saturating_since(start), stats)
 }
 
-fn split_chunks(options_bytes: &[u8], parts: usize) -> Vec<Vec<u8>> {
-    const RECORD: usize = 48;
-    let records = options_bytes.len() / RECORD;
-    let per_part = records.div_ceil(parts);
-    (0..parts)
-        .map(|p| {
-            let begin = (p * per_part).min(records) * RECORD;
-            let end = ((p + 1) * per_part).min(records) * RECORD;
-            options_bytes[begin..end].to_vec()
-        })
-        .filter(|c| !c.is_empty())
+fn split_chunks(
+    options: &[workloads::blackscholes::OptionContract],
+    parts: usize,
+) -> Vec<OptionBatch> {
+    let per_part = options.len().div_ceil(parts);
+    options
+        .chunks(per_part)
+        .map(|c| OptionBatch(c.to_vec()))
         .collect()
 }
 
@@ -75,18 +67,20 @@ fn main() {
         625_000
     };
     let options = generate_options(total_options, 2021);
-    let encoded = options_to_bytes(&options);
+    let input_bytes = total_options * OPTION_WIRE_BYTES;
     let serial = local_parallel_cost(total_options, 1);
     println!(
         "# Figure 12: Black-Scholes offloading, {total_options} options ({:.1} MB input, {:.1} MB output), serial time {:.1} ms",
-        encoded.len() as f64 / 1e6,
+        input_bytes as f64 / 1e6,
         (total_options * 8) as f64 / 1e6,
         serial.as_millis_f64()
     );
 
     let mut config = RFaasConfig::paper_calibration();
-    config.max_payload_bytes = encoded.len() + (1 << 20);
+    config.max_payload_bytes = input_bytes + (1 << 20);
     let mut rows = Vec::new();
+    // Doorbell accounting of the widest scatter, for the breakdown below.
+    let mut widest_batch: Option<(usize, BatchStats, usize)> = None;
 
     for &parallelism in &parallelism_sweep() {
         // OpenMP: static partition over local threads.
@@ -99,20 +93,28 @@ fn main() {
             unit: "ms".into(),
         });
 
-        // rFaaS: the entire batch offloaded to `parallelism` remote workers.
+        // rFaaS: the entire batch offloaded to `parallelism` remote workers
+        // through the typed scatter/gather path.
         let testbed = Testbed::with_config(2, config.clone());
-        let mut invoker = testbed.invoker("fig12-client");
-        invoker
-            .allocate(
-                LeaseRequest::single_worker(PACKAGE)
-                    .with_cores(parallelism as u32)
-                    .with_memory_mib(32 * 1024),
-                PollingMode::Hot,
-            )
+        let session = testbed
+            .session("fig12-client")
+            .workers(parallelism as u32)
+            .memory_mib(32 * 1024)
+            .connect()
             .expect("allocation");
-        let chunks = split_chunks(&encoded, parallelism);
-        let output_capacity = (total_options.div_ceil(parallelism) + 64) * 8;
-        let rfaas_time = offload_batch(&invoker, &chunks, output_capacity);
+        let chunk_capacity = total_options.div_ceil(parallelism) * OPTION_WIRE_BYTES;
+        let pricer = session
+            .function::<OptionBatch, [f64]>("blackscholes")
+            .expect("blackscholes deployed")
+            .with_output_capacity((total_options.div_ceil(parallelism) + 64) * 8);
+        let chunks = split_chunks(&options, parallelism);
+        let (rfaas_time, stats) = offload_batch(&session, &pricer, &chunks);
+        if widest_batch
+            .as_ref()
+            .is_none_or(|(p, _, _)| *p < parallelism)
+        {
+            widest_batch = Some((parallelism, stats, chunk_capacity));
+        }
         rows.push(ResultRow {
             series: "rFaaS".into(),
             x: parallelism as f64,
@@ -124,8 +126,8 @@ fn main() {
         // OpenMP + rFaaS: half the batch locally, half offloaded; the
         // application finishes when the slower half finishes.
         let local_half = local_parallel_cost(total_options / 2, parallelism);
-        let half_chunks = split_chunks(&encoded[..encoded.len() / 2], parallelism);
-        let remote_half = offload_batch(&invoker, &half_chunks, output_capacity);
+        let half_chunks = split_chunks(&options[..options.len() / 2], parallelism);
+        let (remote_half, _) = offload_batch(&session, &pricer, &half_chunks);
         let hybrid = local_half.max(remote_half);
         rows.push(ResultRow {
             series: "OpenMP + rFaaS".into(),
@@ -134,7 +136,7 @@ fn main() {
             p99: hybrid.as_millis_f64(),
             unit: "ms".into(),
         });
-        invoker.deallocate().expect("deallocate");
+        session.close().expect("deallocate");
     }
     print_table(
         "Figure 12 (left): Black-Scholes completion time vs parallelism",
@@ -156,11 +158,42 @@ fn main() {
         "Figure 12 (right): speedup over serial execution",
         &speedups,
     );
+
+    // Chained-WQE billing breakdown: the widest scatter must have shared one
+    // doorbell, and the batched posting burst must beat what the same WQEs
+    // would have cost posted individually.
+    let profile = rdma_fabric::NicProfile::mellanox_cx5_100g();
+    let (parallelism, stats, chunk_capacity) =
+        widest_batch.expect("at least one offloaded configuration");
+    let wire = chunk_capacity + rfaas::INVOCATION_HEADER_BYTES;
+    let unchained_estimate = profile.issue_cost(wire) * stats.submissions as u64;
+    let chained_estimate =
+        profile.issue_cost(wire) + profile.issue_cost_chained(wire) * stats.chained_wqes as u64;
+    println!("\n# scatter/gather submission cost breakdown ({parallelism} workers, typed map_workers path)");
+    println!(
+        "submissions {}, doorbells {}, chained WQEs {} (chained_wqe_overhead {} per WQE)",
+        stats.submissions, stats.doorbells, stats.chained_wqes, profile.chained_wqe_overhead
+    );
+    println!(
+        "posting burst on the client clock: {} (chained estimate {}, unchained estimate {})",
+        stats.post_time, chained_estimate, unchained_estimate
+    );
+    assert_eq!(stats.doorbells, 1, "the scatter must share one doorbell");
+    assert_eq!(
+        stats.chained_wqes,
+        stats.submissions - 1,
+        "every WQE after the first must ride the chain"
+    );
+    assert!(
+        stats.post_time < unchained_estimate,
+        "batched posting ({}) must beat per-submission doorbells ({})",
+        stats.post_time,
+        unchained_estimate
+    );
+
     println!(
         "\n# network transmission time of the full batch: {:.1} ms (paper: ~20 ms for 229 MB)",
-        rdma_fabric::NicProfile::mellanox_cx5_100g()
-            .serialization(encoded.len())
-            .as_millis_f64()
+        profile.serialization(input_bytes).as_millis_f64()
     );
     println!("# expected shape: rFaaS tracks OpenMP until per-worker compute approaches the transmission time;");
     println!("# OpenMP + rFaaS roughly doubles the OpenMP speedup (paper: ~2x boost through FaaS offloading).");

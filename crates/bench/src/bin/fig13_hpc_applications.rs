@@ -7,8 +7,8 @@
 //! total solve time (b), for MPI-only versus MPI + rFaaS.
 
 use mpi_sim::MpiWorld;
-use rfaas::{LeaseRequest, PollingMode, RFaasConfig};
-use rfaas_bench::{print_table, quick_mode, sub_experiment, ResultRow, Testbed, PACKAGE};
+use rfaas::{RFaasConfig, Session};
+use rfaas_bench::{print_table, quick_mode, sub_experiment, ResultRow, Testbed};
 use sim_core::median;
 use workloads::jacobi::{encode_install, encode_iterate, sweep_cost, JacobiSystem};
 use workloads::matmul::{compute_cost, encode_matmul_request, random_matrix};
@@ -23,23 +23,14 @@ fn rank_counts() -> Vec<usize> {
     }
 }
 
-/// Per-rank allocation of one rFaaS worker inside an MPI rank body.
-fn rank_invoker(testbed: &Testbed, config: &RFaasConfig, rank: usize) -> rfaas::Invoker {
-    let mut invoker = rfaas::Invoker::new(
-        &testbed.fabric,
-        &format!("mpi-rank-{rank}"),
-        &testbed.manager,
-        config.clone(),
-    );
-    invoker
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(1)
-                .with_memory_mib(4 * 1024),
-            PollingMode::Hot,
-        )
-        .expect("rank allocation");
-    invoker
+/// Per-rank session with one rFaaS worker inside an MPI rank body.
+fn rank_session(testbed: &Testbed, config: &RFaasConfig, rank: usize) -> Session {
+    testbed
+        .session(&format!("mpi-rank-{rank}"))
+        .config(config.clone())
+        .memory_mib(4 * 1024)
+        .connect()
+        .expect("rank allocation")
 }
 
 fn matmul_experiment() {
@@ -76,26 +67,24 @@ fn matmul_experiment() {
             let config = &config;
             let world = MpiWorld::new();
             let results = world.run(ranks, move |rank| {
-                let invoker = rank_invoker(testbed, config, rank.rank());
+                let session = rank_session(testbed, config, rank.rank());
+                let matmul = session
+                    .function::<[u8], [f64]>("matmul")
+                    .expect("matmul deployed")
+                    .with_output_capacity((n / 2) * n * 8);
                 let a = random_matrix(n, rank.rank() as u64 + 1);
                 let b = random_matrix(n, rank.rank() as u64 + 1000);
                 let request = encode_matmul_request(&a, &b, n, n / 2, n);
-                let alloc = invoker.allocator();
-                let input = alloc.input(request.len());
-                let output = alloc.output((n / 2) * n * 8);
-                input.write_payload(&request).expect("request fits");
                 rank.barrier();
-                let start = invoker.clock().now();
+                let start = session.clock().now();
                 // Offload the lower half, compute the upper half locally.
-                let future = invoker
-                    .submit("matmul", &input, request.len(), &output)
-                    .expect("submit");
+                let future = matmul.submit(&request[..]).expect("submit");
                 rank.compute(compute_cost(n / 2, n));
                 // The client clock must reflect the local half's work before
                 // it waits for the offloaded half.
-                invoker.clock().advance(compute_cost(n / 2, n));
+                session.clock().advance(compute_cost(n / 2, n));
                 future.wait().expect("offloaded half");
-                let elapsed = invoker.clock().now().saturating_since(start);
+                let elapsed = session.clock().now().saturating_since(start);
                 rank.barrier();
                 elapsed.as_secs_f64()
             });
@@ -156,38 +145,35 @@ fn jacobi_experiment() {
             let config = &config;
             let world = MpiWorld::new();
             let results = world.run(ranks, move |rank| {
-                let invoker = rank_invoker(testbed, config, rank.rank());
+                let session = rank_session(testbed, config, rank.rank());
+                let jacobi = session
+                    .function::<[u8], [f64]>("jacobi")
+                    .expect("jacobi deployed")
+                    .with_output_capacity(n * 8);
                 // Every rank solves the same system: the registry hands every
                 // executor process the same function object, so the cached
                 // matrix is shared platform-wide (one deployed model/system
                 // per code package, as with the ResNet checkpoint in V-E).
                 let system = JacobiSystem::generate(n, 7);
-                let alloc = invoker.allocator();
-                let input = alloc.input(config.max_payload_bytes);
-                let output = alloc.output(n * 8);
                 let mut x = vec![0.0f64; n];
                 rank.barrier();
-                let start = invoker.clock().now();
+                let start = session.clock().now();
                 for iteration in 0..iterations {
                     let message = if iteration == 0 {
                         encode_install(&system, &x, n / 2, n)
                     } else {
                         encode_iterate(&x, n / 2, n)
                     };
-                    input.write_payload(&message).expect("message fits");
-                    let future = invoker
-                        .submit("jacobi", &input, message.len(), &output)
-                        .expect("submit");
+                    let future = jacobi.submit(&message[..]).expect("submit");
                     // Local upper half while the executor computes the lower half.
                     let local = workloads::jacobi::jacobi_sweep_rows(&system, &x, 0, n / 2);
                     rank.compute(sweep_cost(n / 2, n));
-                    invoker.clock().advance(sweep_cost(n / 2, n));
-                    let out_len = future.wait().expect("offloaded half");
-                    let remote = output.read_f64(out_len).expect("result readable");
+                    session.clock().advance(sweep_cost(n / 2, n));
+                    let remote = future.wait().expect("offloaded half");
                     x[..n / 2].copy_from_slice(&local);
                     x[n / 2..].copy_from_slice(&remote);
                 }
-                let elapsed = invoker.clock().now().saturating_since(start);
+                let elapsed = session.clock().now().saturating_since(start);
                 // Sanity: the distributed solve must actually converge.
                 assert!(system.residual(&x) < system.residual(&vec![0.0; n]).max(1.0));
                 rank.barrier();

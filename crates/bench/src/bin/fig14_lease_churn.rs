@@ -17,9 +17,7 @@ use std::sync::Arc;
 
 use cluster_sim::{BatchScheduler, NodeResources, ResourceHarvester};
 use rdma_fabric::Fabric;
-use rfaas::{
-    Invoker, LeaseRequest, LifecycleDriver, PollingMode, RFaasConfig, ResourceManager, SpotExecutor,
-};
+use rfaas::{LifecycleDriver, RFaasConfig, ResourceManager, Session, SpotExecutor};
 use rfaas_bench::{evaluation_package, print_table, quick_mode, ResultRow, PACKAGE};
 use sandbox::FunctionRegistry;
 use sim_core::{SimDuration, SimTime, Summary};
@@ -88,21 +86,14 @@ fn main() {
         })
         .collect();
 
-    let mut invoker = Invoker::new(&fabric, "churn-client", &manager, config.clone());
-    let mut request = LeaseRequest::single_worker(PACKAGE)
-        .with_cores(1)
-        .with_memory_mib(4096);
-    request.timeout = SimDuration::from_secs(lease_secs);
-    invoker
-        .allocate(request, PollingMode::Hot)
+    let session = Session::builder(&fabric, "churn-client", &manager, PACKAGE)
+        .config(config.clone())
+        .memory_mib(4096)
+        .lease_timeout(SimDuration::from_secs(lease_secs))
+        .connect()
         .expect("initial allocation succeeds");
-
-    let alloc = invoker.allocator();
-    let input = alloc.input(1024);
-    let output = alloc.output(1024);
-    input
-        .write_payload(&workloads::generate_payload(64, 7))
-        .expect("payload fits");
+    let echo = session.function::<[u8], [u8]>("echo").expect("echo");
+    let payload = workloads::generate_payload(64, 7);
 
     let mut normal_us: Vec<f64> = Vec::new();
     let mut recovery_ms: Vec<f64> = Vec::new();
@@ -114,7 +105,7 @@ fn main() {
 
     for tick in 1..=horizon_secs {
         let now = SimTime::from_secs(tick);
-        invoker.clock().advance_to(now);
+        session.clock().advance_to(now);
 
         // Batch churn: every churn_period, a SLURM job (which bypasses the
         // harvest) lands on the next node that still hosts an executor. The
@@ -131,7 +122,7 @@ fn main() {
                 // a blind rotation over many nodes almost never hits the one
                 // lease under test. Fall back to round-robin when the client
                 // is (transiently) somewhere we cannot see.
-                let leased_node = invoker.lease().map(|l| l.executor_node);
+                let leased_node = session.lease().map(|l| l.executor_node);
                 let victim = victims
                     .iter()
                     .copied()
@@ -191,10 +182,10 @@ fn main() {
         // up as a bumped recovery counter; its latency is dominated by the
         // re-allocation (fresh lease + cold start), not the invocation.
         attempts += 1;
-        let recoveries_before = invoker.recoveries();
-        match invoker.invoke_sync("echo", &input, 64, &output) {
+        let recoveries_before = session.recoveries();
+        match echo.invoke_timed(&payload[..]) {
             Ok((_, rtt)) => {
-                if invoker.recoveries() > recoveries_before {
+                if session.recoveries() > recoveries_before {
                     recovery_ms.push(rtt.as_millis_f64());
                 } else {
                     normal_us.push(rtt.as_micros_f64());
@@ -218,7 +209,7 @@ fn main() {
     );
     println!(
         "# client: {} recoveries over {attempts} invocations, {failures} failed",
-        invoker.recoveries()
+        session.recoveries()
     );
 
     let availability = 100.0 * (attempts - failures) as f64 / attempts.max(1) as f64;
@@ -253,7 +244,7 @@ fn main() {
     );
 
     assert!(
-        invoker.recoveries() > 0,
+        session.recoveries() > 0,
         "churn must force at least one transparent recovery"
     );
     assert!(

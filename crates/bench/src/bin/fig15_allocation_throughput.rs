@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use cluster_sim::{NodeResources, TenantFleet, TenantRequest, WorkloadKind};
 use rdma_fabric::Fabric;
-use rfaas::{GroupLifecycleDriver, Invoker, LeaseRequest, ManagerGroup, PollingMode, RFaasConfig};
+use rfaas::{GroupLifecycleDriver, LeaseRequest, ManagerGroup, RFaasConfig, Session};
 use rfaas_bench::{evaluation_package, print_table, quick_mode, ResultRow, PACKAGE};
 use sandbox::FunctionRegistry;
 use sim_core::{SimDuration, SimTime, Summary, VirtualClock};
@@ -258,39 +258,33 @@ fn run_fleet(requests: &[TenantRequest], shards: usize, executors: usize) -> Fle
         let shard = group.shard_for_tenant(&request.tenant);
         tenant_shards.push(shard);
         let manager = group.manager_for_tenant(&request.tenant);
-        let mut invoker = Invoker::new(
+        let session = Session::builder(
             &fabric,
             &format!("{}-ep{episode}", request.tenant),
             &manager,
-            config.clone(),
-        );
-        invoker.clock().advance_to(request.arrival);
-        let mut lease_request = LeaseRequest::single_worker(PACKAGE)
-            .with_cores(request.cores)
-            .with_memory_mib(request.memory_mib);
-        lease_request.timeout = request.lease_timeout.max(SimDuration::from_secs(30));
-        invoker
-            .allocate(lease_request, PollingMode::Hot)
-            .expect("fleet allocation succeeds");
+            PACKAGE,
+        )
+        .config(config.clone())
+        .workers(request.cores)
+        .memory_mib(request.memory_mib)
+        .lease_timeout(request.lease_timeout.max(SimDuration::from_secs(30)))
+        .starting_at(request.arrival)
+        .connect()
+        .expect("fleet allocation succeeds");
         let (payload, output_capacity) =
             payload_for(request.workload, request.payload_bytes, episode as u64);
-        let alloc = invoker.allocator();
-        let input = alloc.input(payload.len());
-        let output = alloc.output(output_capacity);
-        input.write_payload(&payload).expect("payload fits");
+        let function = session
+            .function::<[u8], [u8]>(request.workload.function_name())
+            .expect("workload function deployed")
+            .with_output_capacity(output_capacity);
         for _ in 0..request.invocations {
-            let (_, rtt) = invoker
-                .invoke_sync(
-                    request.workload.function_name(),
-                    &input,
-                    payload.len(),
-                    &output,
-                )
+            let (_, rtt) = function
+                .invoke_timed(&payload[..])
                 .expect("fleet invocation succeeds");
             latencies_us.push(rtt.as_micros_f64());
             invocations += 1;
         }
-        invoker.deallocate().expect("release succeeds");
+        session.close().expect("release succeeds");
         episodes += 1;
     }
     assert_eq!(group.lease_count(), 0, "every fleet lease must be released");

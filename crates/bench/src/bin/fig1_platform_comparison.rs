@@ -19,23 +19,15 @@ fn payload_sizes() -> Vec<usize> {
 
 fn measure_rfaas(mode: PollingMode, label: &str, repetitions: usize, rows: &mut Vec<ResultRow>) {
     let testbed = Testbed::new(1);
-    let invoker = testbed.allocated_invoker("fig1-client", 1, SandboxType::BareMetal, mode);
-    let alloc = invoker.allocator();
+    let session = testbed.allocated_session("fig1-client", 1, SandboxType::BareMetal, mode);
+    let echo = session.function::<[u8], [u8]>("echo").expect("echo");
     for &size in &payload_sizes() {
-        let input = alloc.input(size);
-        let output = alloc.output(size);
-        input
-            .write_payload(&workloads::generate_payload(size, 1))
-            .expect("payload fits");
+        let payload = workloads::generate_payload(size, 1);
         // Warm-up invocation, then measure.
-        invoker
-            .invoke_sync("echo", &input, size, &output)
-            .expect("invocation");
+        echo.invoke(&payload[..]).expect("invocation");
         let mut samples = Vec::with_capacity(repetitions);
         for _ in 0..repetitions {
-            let (_, rtt) = invoker
-                .invoke_sync("echo", &input, size, &output)
-                .expect("invocation");
+            let (_, rtt) = echo.invoke_timed(&payload[..]).expect("invocation");
             samples.push(rtt);
         }
         let summary = summarize_us(&samples);

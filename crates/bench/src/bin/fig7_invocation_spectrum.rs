@@ -28,9 +28,14 @@ fn payload_sizes(quick: bool) -> Vec<usize> {
 }
 
 /// Median + p99 RTT of repeated invocations on an already-leased worker.
+///
+/// Measured through `Session::raw()`: the spectrum is *the* zero-copy
+/// latency gate, so it drives pre-registered buffers and explicit payload
+/// lengths rather than the typed codec surface.
 fn leased_series(mode: PollingMode, sizes: &[usize], repetitions: usize) -> Vec<(usize, f64, f64)> {
     let testbed = Testbed::new(1);
-    let invoker = testbed.allocated_invoker("fig7-client", 1, SandboxType::BareMetal, mode);
+    let session = testbed.allocated_session("fig7-client", 1, SandboxType::BareMetal, mode);
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     sizes
         .iter()
@@ -69,13 +74,14 @@ fn cold_series(sizes: &[usize], repetitions: usize) -> Vec<(usize, f64, f64)> {
                     // meets a platform with no residual port occupancy or
                     // allocator state from earlier samples.
                     let testbed = Testbed::new(1);
-                    let mut invoker = testbed.allocated_invoker(
+                    let session = testbed.allocated_session(
                         &format!("fig7-cold-{size}-{rep}"),
                         1,
                         SandboxType::BareMetal,
                         PollingMode::Hot,
                     );
-                    let cold_start = invoker.cold_start().expect("fresh allocation").total();
+                    let invoker = session.raw();
+                    let cold_start = session.cold_start().expect("fresh allocation").total();
                     let alloc = invoker.allocator();
                     let input = alloc.input(size.max(8));
                     let output = alloc.output(size.max(8));
@@ -85,7 +91,7 @@ fn cold_series(sizes: &[usize], repetitions: usize) -> Vec<(usize, f64, f64)> {
                     let (_, rtt) = invoker
                         .invoke_sync("echo", &input, size, &output)
                         .expect("invoke");
-                    invoker.deallocate().expect("deallocate");
+                    session.close().expect("deallocate");
                     cold_start + rtt
                 })
                 .collect();
@@ -146,8 +152,9 @@ fn main() {
     // capped at the budget.
     let config = RFaasConfig::paper_calibration();
     let testbed = Testbed::with_config(1, config.clone());
-    let invoker =
-        testbed.allocated_invoker("fig7-demotion", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let session =
+        testbed.allocated_session("fig7-demotion", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     let input = alloc.input(64);
     let output = alloc.output(64);

@@ -67,24 +67,13 @@ fn main() {
     ];
     for spec in &series {
         let testbed = Testbed::new(1);
-        let invoker = testbed.allocated_invoker("fig8-client", 1, spec.sandbox, spec.mode);
-        let alloc = invoker.allocator();
+        let session = testbed.allocated_session("fig8-client", 1, spec.sandbox, spec.mode);
+        let echo = session.function::<[u8], [u8]>("echo").expect("echo");
         for &size in &payload_sizes() {
-            let input = alloc.input(size.max(8));
-            let output = alloc.output(size.max(8));
-            input
-                .write_payload(&workloads::generate_payload(size, 7))
-                .expect("payload fits");
-            invoker
-                .invoke_sync("echo", &input, size, &output)
-                .expect("warm-up");
+            let payload = workloads::generate_payload(size, 7);
+            echo.invoke(&payload[..]).expect("warm-up");
             let samples: Vec<_> = (0..repetitions)
-                .map(|_| {
-                    invoker
-                        .invoke_sync("echo", &input, size, &output)
-                        .expect("invoke")
-                        .1
-                })
+                .map(|_| echo.invoke_timed(&payload[..]).expect("invoke").1)
                 .collect();
             let summary = summarize_us(&samples);
             rows.push(ResultRow {

@@ -12,33 +12,24 @@ fn run_case(sandbox: SandboxType, payload: usize, workers: u32, repetitions: usi
     let mut components = [0.0f64; 6];
     for rep in 0..repetitions {
         let testbed = Testbed::new(1);
-        let mut invoker = testbed.invoker(&format!("fig9-client-{rep}"));
-        invoker
-            .allocate(
-                rfaas::LeaseRequest::single_worker(rfaas_bench::PACKAGE)
-                    .with_cores(workers)
-                    .with_memory_mib(16 * 1024)
-                    .with_sandbox(sandbox),
-                PollingMode::Hot,
-            )
+        let session = testbed
+            .session(&format!("fig9-client-{rep}"))
+            .workers(workers)
+            .sandbox(sandbox)
+            .polling(PollingMode::Hot)
+            .connect()
             .expect("allocation succeeds");
-        let cold = invoker.cold_start().expect("cold start recorded").clone();
-        let alloc = invoker.allocator();
-        let input = alloc.input(payload.max(8));
-        let output = alloc.output(payload.max(8));
-        input
-            .write_payload(&workloads::generate_payload(payload, 3))
-            .expect("payload fits");
-        let (_, first_invocation) = invoker
-            .invoke_sync("echo", &input, payload, &output)
-            .expect("first invocation");
+        let cold = session.cold_start().expect("cold start recorded").clone();
+        let echo = session.function::<[u8], [u8]>("echo").expect("echo");
+        let data = workloads::generate_payload(payload, 3);
+        let (_, first_invocation) = echo.invoke_timed(&data[..]).expect("first invocation");
         components[0] += cold.connect_to_manager.as_millis_f64();
         components[1] += cold.submit_allocation.as_millis_f64();
         components[2] += cold.spawn_workers.as_millis_f64();
         components[3] += cold.submit_code.as_millis_f64();
         components[4] += cold.connect_to_workers.as_millis_f64();
         components[5] += first_invocation.as_millis_f64();
-        invoker.deallocate().expect("deallocate");
+        session.close().expect("deallocate");
     }
     for c in components.iter_mut() {
         *c /= repetitions as f64;

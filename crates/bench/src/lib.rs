@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use cluster_sim::NodeResources;
 use rdma_fabric::Fabric;
-use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use rfaas::{AllocationBuilder, PollingMode, RFaasConfig, ResourceManager, Session, SpotExecutor};
 use sandbox::{echo_function, CodePackage, FunctionRegistry, SandboxType};
 use sim_core::{SimDuration, Summary};
 use workloads::{
@@ -68,36 +68,30 @@ impl Testbed {
         }
     }
 
-    /// Create a client invoker on its own node.
-    pub fn invoker(&self, client_name: &str) -> Invoker {
-        Invoker::new(
-            &self.fabric,
-            client_name,
-            &self.manager,
-            self.config.clone(),
-        )
+    /// Start building a [`Session`] for a client on its own node, against
+    /// the testbed's manager and configuration, requesting the evaluation
+    /// package. Callers layer worker count, sandbox and polling mode on top.
+    pub fn session(&self, client_name: &str) -> AllocationBuilder {
+        Session::builder(&self.fabric, client_name, &self.manager, PACKAGE)
+            .config(self.config.clone())
+            .memory_mib(16 * 1024)
     }
 
-    /// Create an invoker and lease `workers` workers with the given sandbox
-    /// and polling mode.
-    pub fn allocated_invoker(
+    /// Build a connected session leasing `workers` workers with the given
+    /// sandbox and polling mode (the one-liner most experiments want).
+    pub fn allocated_session(
         &self,
         client_name: &str,
         workers: u32,
         sandbox: SandboxType,
         mode: PollingMode,
-    ) -> Invoker {
-        let mut invoker = self.invoker(client_name);
-        invoker
-            .allocate(
-                LeaseRequest::single_worker(PACKAGE)
-                    .with_cores(workers)
-                    .with_memory_mib(16 * 1024)
-                    .with_sandbox(sandbox),
-                mode,
-            )
-            .expect("allocation on a fresh testbed succeeds");
-        invoker
+    ) -> Session {
+        self.session(client_name)
+            .workers(workers)
+            .sandbox(sandbox)
+            .polling(mode)
+            .connect()
+            .expect("allocation on a fresh testbed succeeds")
     }
 }
 
@@ -227,14 +221,11 @@ mod tests {
     fn testbed_builds_and_serves_invocations() {
         let testbed = Testbed::new(2);
         assert_eq!(testbed.manager.executor_count(), 2);
-        let invoker =
-            testbed.allocated_invoker("client", 1, SandboxType::BareMetal, PollingMode::Hot);
-        let alloc = invoker.allocator();
-        let input = alloc.input(256);
-        let output = alloc.output(256);
-        input.write_payload(&[9u8; 64]).unwrap();
-        let (len, rtt) = invoker.invoke_sync("echo", &input, 64, &output).unwrap();
-        assert_eq!(len, 64);
+        let session =
+            testbed.allocated_session("client", 1, SandboxType::BareMetal, PollingMode::Hot);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let (reply, rtt) = echo.invoke_timed(&[9u8; 64][..]).unwrap();
+        assert_eq!(reply.len(), 64);
         assert!(rtt.as_micros_f64() < 50.0);
     }
 

@@ -5,7 +5,7 @@
 //! crate provides the message-passing substrate those experiments run on —
 //! ranks are OS threads, point-to-point messages and collectives move real
 //! data through channels, and communication time is charged on per-rank
-//! [`VirtualClock`]s using the same latency/bandwidth constants as the RDMA
+//! [`VirtualClock`](sim_core::VirtualClock)s using the same latency/bandwidth constants as the RDMA
 //! fabric (MPI on the evaluation cluster runs over the same 100 Gb/s link).
 
 pub mod collectives;

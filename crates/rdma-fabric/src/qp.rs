@@ -299,10 +299,28 @@ impl QueuePair {
     pub fn post_send_batch(&self, requests: Vec<(u64, SendRequest, bool)>) -> Result<usize> {
         let mut posted = 0;
         for (wr_id, request, signaled) in requests {
-            self.post_send_inner(wr_id, request, signaled, posted > 0)?;
+            self.post_send_chained(wr_id, request, signaled, posted > 0)?;
             posted += 1;
         }
         Ok(posted)
+    }
+
+    /// Post one send-queue work request as an explicit link of a
+    /// caller-managed WQE chain: `chained = false` opens a chain (full
+    /// doorbell issue cost), `chained = true` appends to one (descriptor
+    /// build only). This is the primitive [`QueuePair::post_send_batch`] is
+    /// built on, exposed so a caller coordinating a burst across several
+    /// queue pairs on the same NIC (one WQE per peer, all descriptors built
+    /// before the doorbells are rung, as the mlx5 driver does for post
+    /// bursts) can bill the chain across connections.
+    pub fn post_send_chained(
+        &self,
+        wr_id: u64,
+        request: SendRequest,
+        signaled: bool,
+        chained: bool,
+    ) -> Result<()> {
+        self.post_send_inner(wr_id, request, signaled, chained)
     }
 
     /// Post a write(-with-immediate) whose payload is *inlined* into the

@@ -20,6 +20,7 @@ use rdma_fabric::{
 use sandbox::CodePackage;
 use sim_core::{SimDuration, SimTime, VirtualClock};
 
+use crate::codec::Codec;
 use crate::config::{PollingMode, RFaasConfig};
 use crate::error::{RFaasError, Result};
 use crate::executor::SpotExecutor;
@@ -104,6 +105,25 @@ impl Buffer {
             .collect())
     }
 
+    /// Encode `value` into the payload area through its [`Codec`], returning
+    /// the payload length (the typed equivalent of [`Buffer::write_payload`]).
+    pub fn write_encoded<C: Codec + ?Sized>(&self, value: &C) -> Result<usize> {
+        let len = value.encoded_len();
+        // Guards the slice below, not just the encode: encode_into checks
+        // against the slice it receives, which must exist first.
+        crate::codec::check_capacity(len, self.capacity())?;
+        let start = self.header_space;
+        self.region
+            .with_bytes_mut(|bytes| value.encode_into(&mut bytes[start..start + len]))
+    }
+
+    /// Decode `len` payload bytes through codec `C` (the typed equivalent of
+    /// [`Buffer::read_payload`]).
+    pub fn read_decoded<C: Codec + ?Sized>(&self, len: usize) -> Result<C::Owned> {
+        let bytes = self.read_payload(len)?;
+        C::decode(&bytes)
+    }
+
     /// Remote handle covering the payload area (what the executor writes to).
     pub fn remote_handle(&self) -> RemoteMemoryHandle {
         self.region
@@ -186,6 +206,21 @@ struct WorkerConnection {
 }
 
 impl WorkerConnection {
+    /// Drain whatever completions the ring already holds into the stash
+    /// without blocking (used by `wait_any`-style multiplexed waits).
+    fn drain_available(&self) {
+        while let Some(completion) = self.ring.poll_one() {
+            let wc = completion.wc;
+            let (id, status) = ImmValue::parse_response(wc.imm.unwrap_or(0));
+            self.completed.lock().insert(id, (wc.byte_len, status));
+        }
+    }
+
+    /// Whether a result for `invocation_id` is already stashed.
+    fn has_result(&self, invocation_id: u32) -> bool {
+        self.completed.lock().contains_key(&invocation_id)
+    }
+
     /// Wait until the result for `invocation_id` is available, using busy
     /// polling on the connection's completion queue.
     fn wait_for(&self, invocation_id: u32) -> Result<(usize, ResultStatus)> {
@@ -251,6 +286,46 @@ pub struct Invoker {
     round_robin: AtomicUsize,
     cold_start: Mutex<Option<ColdStartBreakdown>>,
     recoveries: AtomicU32,
+    recovery_budget: u32,
+}
+
+/// Everything one invocation needs to be posted (and transparently
+/// replayed): target worker, function name, payload location and length, and
+/// the result buffer. Bundling these kills the long argument tuples the raw
+/// API used to thread through every submission and recovery path.
+#[derive(Clone)]
+pub(crate) struct InvocationSpec {
+    pub(crate) worker: Option<usize>,
+    pub(crate) function: String,
+    pub(crate) input: Buffer,
+    pub(crate) payload_len: usize,
+    pub(crate) output: Buffer,
+}
+
+/// State of one transparent-recovery attempt: the allocation epoch observed
+/// failing, the remaining re-allocation budget, and the original failure to
+/// surface once the budget is spent.
+struct RecoveryPlan {
+    observed_epoch: u64,
+    budget: u32,
+    cause: RFaasError,
+}
+
+/// Doorbell accounting of one batched submission
+/// ([`crate::FunctionHandle::map_workers`]): all WQEs of the batch are built
+/// back-to-back and ride one doorbell, so only the first pays the full issue
+/// cost and the rest are billed at the chained-WQE rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Invocations submitted in the batch.
+    pub submissions: usize,
+    /// Doorbells rung (one per batch on the happy path).
+    pub doorbells: usize,
+    /// WQEs that joined an already-open chain instead of ringing their own
+    /// doorbell.
+    pub chained_wqes: usize,
+    /// Client-side virtual time spent posting the whole batch.
+    pub post_time: SimDuration,
 }
 
 impl std::fmt::Debug for Invoker {
@@ -285,7 +360,44 @@ impl Invoker {
             round_robin: AtomicUsize::new(0),
             cold_start: Mutex::new(None),
             recoveries: AtomicU32::new(0),
+            recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
         }
+    }
+
+    /// Default maximum lease re-allocations one invocation will attempt
+    /// before surfacing the failure (guards against a platform that keeps
+    /// handing out instantly-dying leases).
+    pub const DEFAULT_RECOVERY_BUDGET: u32 = 3;
+
+    /// Override the per-invocation transparent-recovery budget (see
+    /// [`Invoker::DEFAULT_RECOVERY_BUDGET`]).
+    pub fn set_recovery_budget(&mut self, budget: u32) {
+        self.recovery_budget = budget;
+    }
+
+    /// The per-invocation transparent-recovery budget.
+    pub fn recovery_budget(&self) -> u32 {
+        self.recovery_budget
+    }
+
+    /// Whether `function` exists in the currently allocated code package.
+    pub fn has_function(&self, function: &str) -> bool {
+        self.active
+            .lock()
+            .as_ref()
+            .is_some_and(|a| a.package.function_by_name(function).is_some())
+    }
+
+    /// Names of every function in the currently allocated code package (the
+    /// session-level function registry; empty when nothing is allocated).
+    pub fn function_names(&self) -> Vec<String> {
+        self.active.lock().as_ref().map_or_else(Vec::new, |a| {
+            a.package
+                .functions()
+                .iter()
+                .map(|f| f.name().to_string())
+                .collect()
+        })
     }
 
     /// The client's virtual clock (latency measurements are deltas of this).
@@ -544,7 +656,13 @@ impl Invoker {
         payload_len: usize,
         output: &Buffer,
     ) -> Result<InvocationFuture<'_>> {
-        self.submit_on(None, function, input, payload_len, output)
+        self.submit_spec(InvocationSpec {
+            worker: None,
+            function: function.to_string(),
+            input: input.clone(),
+            payload_len,
+            output: output.clone(),
+        })
     }
 
     /// Submit to a specific worker (used for explicit work partitioning and
@@ -557,34 +675,29 @@ impl Invoker {
         payload_len: usize,
         output: &Buffer,
     ) -> Result<InvocationFuture<'_>> {
-        self.submit_on(Some(worker), function, input, payload_len, output)
+        self.submit_spec(InvocationSpec {
+            worker: Some(worker),
+            function: function.to_string(),
+            input: input.clone(),
+            payload_len,
+            output: output.clone(),
+        })
     }
 
-    fn submit_on(
-        &self,
-        worker: Option<usize>,
-        function: &str,
-        input: &Buffer,
-        payload_len: usize,
-        output: &Buffer,
-    ) -> Result<InvocationFuture<'_>> {
+    pub(crate) fn submit_spec(&self, spec: InvocationSpec) -> Result<InvocationFuture<'_>> {
         let observed_epoch = self.current_epoch();
-        match self.try_submit_on(worker, function, input, payload_len, output) {
+        match self.try_submit_spec(&spec) {
             // A dead connection at submission time (the executor node was
             // reclaimed under us) is recovered exactly like a mid-wait loss:
             // re-allocate and submit on the fresh connections, with the same
             // retry budget.
             Err(e) if connection_is_lost(&e) && self.last_request.lock().is_some() => {
-                let (mut future, used) = self.recover_and_resubmit(
-                    worker,
-                    function,
-                    input,
-                    payload_len,
-                    output,
+                let plan = RecoveryPlan {
                     observed_epoch,
-                    InvocationFuture::MAX_RECOVERIES,
-                    e,
-                )?;
+                    budget: self.recovery_budget,
+                    cause: e,
+                };
+                let (mut future, used) = self.recover_and_resubmit(&spec, plan)?;
                 future.recoveries = used;
                 Ok(future)
             }
@@ -592,36 +705,85 @@ impl Invoker {
         }
     }
 
-    /// Recover from an allocation observed dead at `observed_epoch`, then
-    /// resubmit the invocation; fresh connection losses are retried (the
+    /// Submit a whole batch of invocations behind one doorbell: every WQE of
+    /// the batch is built back-to-back and posted on the chained path
+    /// ([`rdma_fabric::QueuePair::post_send_batch`] semantics, spanning the
+    /// per-worker queue pairs of one NIC), so only the first submission pays
+    /// the full issue cost. A connection lost mid-batch triggers one
+    /// transparent recovery of the whole batch, bounded by the invoker's
+    /// recovery budget.
+    pub(crate) fn submit_specs(
+        &self,
+        specs: &[InvocationSpec],
+    ) -> Result<(Vec<InvocationFuture<'_>>, BatchStats)> {
+        if specs.is_empty() {
+            return Ok((Vec::new(), BatchStats::default()));
+        }
+        // Captured BEFORE the attempt: if the attempt fails because the
+        // allocation died, recover() must only tear down that allocation —
+        // a fresh one another future raced in is detected as a newer epoch
+        // and reused, never destroyed.
+        let mut observed_epoch = self.current_epoch();
+        match self.try_submit_specs(specs) {
+            Err(cause) if connection_is_lost(&cause) && self.last_request.lock().is_some() => {
+                // Mirror of recover_and_resubmit, replaying the whole batch:
+                // a failed recovery consumes budget and is retried against
+                // whatever epoch is live now; once the budget is spent the
+                // original cause surfaces. Posts from a failed attempt died
+                // with the torn-down connections.
+                let mut used = 0u32;
+                loop {
+                    used += 1;
+                    if used > self.recovery_budget {
+                        return Err(cause);
+                    }
+                    if self.recover(observed_epoch).is_err() {
+                        continue;
+                    }
+                    observed_epoch = self.current_epoch();
+                    match self.try_submit_specs(specs) {
+                        Ok((mut futures, stats)) => {
+                            // The budget spent here is charged to every
+                            // future of the batch, exactly as the
+                            // single-submission path records it — a later
+                            // mid-wait recovery draws on what remains.
+                            for future in &mut futures {
+                                future.recoveries = used;
+                            }
+                            return Ok((futures, stats));
+                        }
+                        Err(e) if connection_is_lost(&e) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            result => result,
+        }
+    }
+
+    /// Recover from an allocation observed dead at `plan.observed_epoch`,
+    /// then resubmit the invocation; fresh connection losses are retried (the
     /// manager's round robin moves to a different executor each attempt)
-    /// until `budget` attempts are spent, after which `cause` surfaces.
-    /// Returns the replacement future and the attempts consumed.
-    #[allow(clippy::too_many_arguments)]
+    /// until the plan's budget is spent, after which the plan's cause
+    /// surfaces. Returns the replacement future and the attempts consumed.
     fn recover_and_resubmit(
         &self,
-        worker: Option<usize>,
-        function: &str,
-        input: &Buffer,
-        payload_len: usize,
-        output: &Buffer,
-        mut observed_epoch: u64,
-        budget: u32,
-        cause: RFaasError,
+        spec: &InvocationSpec,
+        mut plan: RecoveryPlan,
     ) -> Result<(InvocationFuture<'_>, u32)> {
         let mut used = 0;
         loop {
             used += 1;
-            if used > budget {
-                return Err(cause);
+            if used > plan.budget {
+                return Err(plan.cause);
             }
-            if self.recover(observed_epoch).is_err() {
+            if self.recover(plan.observed_epoch).is_err() {
                 continue;
             }
             // Whatever allocation is live now (ours or another future's) is
             // the one the next attempt must observe failing.
-            observed_epoch = self.current_epoch();
-            match self.try_submit_on(worker, function, input, payload_len, output) {
+            plan.observed_epoch = self.current_epoch();
+            match self.try_submit_spec(spec) {
                 Ok(future) => return Ok((future, used)),
                 Err(e) if connection_is_lost(&e) => continue,
                 Err(e) => return Err(e),
@@ -629,14 +791,10 @@ impl Invoker {
         }
     }
 
-    fn try_submit_on(
-        &self,
-        worker: Option<usize>,
-        function: &str,
-        input: &Buffer,
-        payload_len: usize,
-        output: &Buffer,
-    ) -> Result<InvocationFuture<'_>> {
+    /// Resolve a spec against the active allocation: function index, target
+    /// connection and allocation epoch, plus the wire-capacity checks that
+    /// must precede any posting.
+    fn resolve_spec(&self, spec: &InvocationSpec) -> Result<(u8, Arc<WorkerConnection>, u64)> {
         let (function_index, connection, epoch) = {
             let active = self.active.lock();
             let active = active.as_ref().ok_or(RFaasError::NotAllocated)?;
@@ -648,9 +806,9 @@ impl Invoker {
             // microsecond-scale hot path.
             let (function_index, _) = active
                 .package
-                .function_by_name(function)
-                .ok_or_else(|| RFaasError::UnknownFunction(function.to_string()))?;
-            let connection = match worker {
+                .function_by_name(&spec.function)
+                .ok_or_else(|| RFaasError::UnknownFunction(spec.function.clone()))?;
+            let connection = match spec.worker {
                 Some(idx) => active
                     .connections
                     .get(idx)
@@ -663,14 +821,24 @@ impl Invoker {
         if function_index > u8::MAX as usize {
             return Err(RFaasError::Internal("function index exceeds 255".into()));
         }
-        let wire_len = INVOCATION_HEADER_BYTES + payload_len;
+        if spec.payload_len > spec.input.capacity() {
+            return Err(RFaasError::PayloadTooLarge {
+                payload: spec.payload_len,
+                capacity: spec.input.capacity(),
+            });
+        }
+        let wire_len = INVOCATION_HEADER_BYTES + spec.payload_len;
         if wire_len > connection.remote_input.len {
             return Err(RFaasError::PayloadTooLarge {
                 payload: wire_len,
                 capacity: connection.remote_input.len,
             });
         }
+        Ok((function_index as u8, connection, epoch))
+    }
 
+    fn try_submit_spec(&self, spec: &InvocationSpec) -> Result<InvocationFuture<'_>> {
+        let (function_index, connection, epoch) = self.resolve_spec(spec)?;
         let invocation_id = self.next_invocation.fetch_add(1, Ordering::Relaxed) & 0x00FF_FFFF;
 
         // Reserve the in-flight slot *before* deciding whether an extra
@@ -683,10 +851,9 @@ impl Invoker {
             &connection,
             reserved,
             invocation_id,
-            function_index as u8,
-            input,
-            payload_len,
-            output,
+            function_index,
+            spec,
+            false,
         ) {
             connection.outstanding.fetch_sub(1, Ordering::Relaxed);
             return Err(e);
@@ -696,37 +863,94 @@ impl Invoker {
             invoker: self,
             connection,
             invocation_id,
-            function: function.to_string(),
-            input: input.clone(),
-            payload_len,
-            output: output.clone(),
+            spec: spec.clone(),
             redirections: 0,
             recoveries: 0,
             epoch,
         })
     }
 
+    /// One attempt at posting a whole batch behind a shared doorbell. Every
+    /// spec is resolved and capacity-checked *before* the first WQE is built;
+    /// a post that still fails mid-batch (a lost connection, or a device
+    /// limit such as an exhausted receive queue) reaps the already-posted
+    /// invocations before the error surfaces, so no in-flight reservation or
+    /// undrained completion outlives the failed attempt.
+    fn try_submit_specs(
+        &self,
+        specs: &[InvocationSpec],
+    ) -> Result<(Vec<InvocationFuture<'_>>, BatchStats)> {
+        let mut resolved = Vec::with_capacity(specs.len());
+        for spec in specs {
+            resolved.push(self.resolve_spec(spec)?);
+        }
+        let started = self.clock.now();
+        let mut futures: Vec<InvocationFuture<'_>> = Vec::with_capacity(specs.len());
+        for (i, (spec, (function_index, connection, epoch))) in
+            specs.iter().zip(resolved).enumerate()
+        {
+            let invocation_id = self.next_invocation.fetch_add(1, Ordering::Relaxed) & 0x00FF_FFFF;
+            let reserved = connection.outstanding.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = self.post_invocation(
+                &connection,
+                reserved,
+                invocation_id,
+                function_index,
+                spec,
+                i > 0,
+            ) {
+                connection.outstanding.fetch_sub(1, Ordering::Relaxed);
+                // The earlier posts of this attempt already executed. Wait
+                // their completions out (discarding the results) so their
+                // reservations and ring slots are returned — otherwise the
+                // connection's in-flight count stays inflated forever and
+                // stale completions clog the stash. A connection that died
+                // has nothing left to drain; wait_for's error says exactly
+                // that and is safe to ignore.
+                for posted in &futures {
+                    let _ = posted.connection.wait_for(posted.invocation_id);
+                }
+                return Err(e);
+            }
+            futures.push(InvocationFuture {
+                invoker: self,
+                connection,
+                invocation_id,
+                spec: spec.clone(),
+                redirections: 0,
+                recoveries: 0,
+                epoch,
+            });
+        }
+        let stats = BatchStats {
+            submissions: specs.len(),
+            doorbells: 1,
+            chained_wqes: specs.len().saturating_sub(1),
+            post_time: self.clock.now().saturating_since(started),
+        };
+        Ok((futures, stats))
+    }
+
     /// Post one invocation onto `connection`: the overflow receive when this
     /// submission's reserved slot (`reserved`, the pre-increment in-flight
-    /// count) exceeds the ring, then header + payload, inline when the wire
-    /// fits the device's WQE inline capacity.
-    #[allow(clippy::too_many_arguments)]
+    /// count) exceeds the ring, then header + payload — inline when the wire
+    /// fits the device's WQE inline capacity, buffered otherwise. A `chained`
+    /// post joins the WQE chain opened by the previous post of the batch
+    /// (descriptor build only, no doorbell) and always takes the buffered
+    /// path, since inline WQEs cannot join a chain that spans queue pairs.
     fn post_invocation(
         &self,
         connection: &Arc<WorkerConnection>,
         reserved: usize,
         invocation_id: u32,
         function_index: u8,
-        input: &Buffer,
-        payload_len: usize,
-        output: &Buffer,
+        spec: &InvocationSpec,
+        chained: bool,
     ) -> Result<()> {
-        if payload_len > input.capacity() {
-            return Err(RFaasError::PayloadTooLarge {
-                payload: payload_len,
-                capacity: input.capacity(),
-            });
-        }
+        // Payload-vs-capacity bounds were already enforced by resolve_spec
+        // (every caller resolves before posting), so the spec is trusted
+        // here.
+        let (input, payload_len, output) = (&spec.input, spec.payload_len, &spec.output);
 
         // The connection's receive ring holds one pre-posted slot per
         // in-flight result; only past the ring depth does a submission pay an
@@ -748,7 +972,8 @@ impl Invoker {
         // the heap (the default inline capacity is 128 B; a profile offering
         // more simply falls back to the buffered path beyond this bound).
         const INLINE_STACK: usize = 512;
-        if wire_len <= self.fabric.profile().max_inline_data && wire_len <= INLINE_STACK {
+        if !chained && wire_len <= self.fabric.profile().max_inline_data && wire_len <= INLINE_STACK
+        {
             // Zero-copy hot path (Sec. IV-A): header and payload ride inside
             // the WQE — no staging write into the input region, no DMA
             // fetch, no heap allocation.
@@ -772,7 +997,7 @@ impl Invoker {
                 .region()
                 .write(0, &header.encode())
                 .map_err(RFaasError::from)?;
-            connection.qp.post_send(
+            connection.qp.post_send_chained(
                 invocation_id as u64,
                 SendRequest::WriteWithImm {
                     local: Sge::range(input.region(), 0, wire_len),
@@ -780,6 +1005,7 @@ impl Invoker {
                     imm,
                 },
                 false,
+                chained,
             )?;
         }
         Ok(())
@@ -868,10 +1094,7 @@ pub struct InvocationFuture<'a> {
     invoker: &'a Invoker,
     connection: Arc<WorkerConnection>,
     invocation_id: u32,
-    function: String,
-    input: Buffer,
-    payload_len: usize,
-    output: Buffer,
+    spec: InvocationSpec,
     redirections: u32,
     recoveries: u32,
     // Allocation epoch the current connection belongs to; recovery uses it to
@@ -883,7 +1106,7 @@ impl std::fmt::Debug for InvocationFuture<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InvocationFuture")
             .field("id", &self.invocation_id)
-            .field("function", &self.function)
+            .field("function", &self.spec.function)
             .finish()
     }
 }
@@ -905,26 +1128,37 @@ impl InvocationFuture<'_> {
         self.recoveries
     }
 
-    /// Maximum lease re-allocations one invocation will attempt before
-    /// surfacing the failure (guards against a platform that keeps handing
-    /// out instantly-dying leases).
-    const MAX_RECOVERIES: u32 = 3;
+    /// The invocation's input and output buffers (used by the typed session
+    /// layer to return pooled buffers after the wait).
+    pub(crate) fn buffers(&self) -> (Buffer, Buffer) {
+        (self.spec.input.clone(), self.spec.output.clone())
+    }
+
+    /// Non-blocking completion probe: drains whatever completions the
+    /// connection's ring already holds, then reports whether this
+    /// invocation's result is stashed. Used by `wait_any`-style multiplexed
+    /// waits; a `true` result makes the next [`InvocationFuture::wait`]
+    /// return without further polling (modulo transparent redirections).
+    pub fn is_complete(&self) -> bool {
+        self.connection.drain_available();
+        self.connection.has_result(self.invocation_id)
+    }
 
     /// Re-allocate through the manager and replay this invocation on the
     /// fresh connections, drawing on the future's remaining recovery budget
     /// (shared with the submission-time recovery path).
     fn recover_and_resubmit(&mut self, cause: RFaasError) -> Result<()> {
-        let budget = Self::MAX_RECOVERIES.saturating_sub(self.recoveries);
-        let (retry, used) = self.invoker.recover_and_resubmit(
-            None,
-            &self.function,
-            &self.input,
-            self.payload_len,
-            &self.output,
-            self.epoch,
+        let budget = self.invoker.recovery_budget.saturating_sub(self.recoveries);
+        // The replay is not pinned to the dead worker index: the round robin
+        // moves it to whatever the fresh allocation offers.
+        let mut spec = self.spec.clone();
+        spec.worker = None;
+        let plan = RecoveryPlan {
+            observed_epoch: self.epoch,
             budget,
             cause,
-        )?;
+        };
+        let (retry, used) = self.invoker.recover_and_resubmit(&spec, plan)?;
         self.recoveries += used;
         self.connection = Arc::clone(&retry.connection);
         self.invocation_id = retry.invocation_id;
@@ -956,7 +1190,7 @@ impl InvocationFuture<'_> {
                     return Err(RFaasError::Function(
                         sandbox::FunctionError::ExecutionFailed(format!(
                             "function '{}' failed on the executor",
-                            self.function
+                            self.spec.function
                         )),
                     ))
                 }
@@ -972,13 +1206,9 @@ impl InvocationFuture<'_> {
                         return Err(RFaasError::AllWorkersBusy);
                     }
                     let next_worker = (self.connection.index + 1) % self.invoker.worker_count();
-                    let retry = self.invoker.submit_to_worker(
-                        next_worker,
-                        &self.function,
-                        &self.input,
-                        self.payload_len,
-                        &self.output,
-                    )?;
+                    let mut spec = self.spec.clone();
+                    spec.worker = Some(next_worker);
+                    let retry = self.invoker.submit_spec(spec)?;
                     self.connection = Arc::clone(&retry.connection);
                     self.invocation_id = retry.invocation_id;
                     self.epoch = retry.epoch;

@@ -7,7 +7,11 @@ use sandbox::FunctionError;
 
 /// Errors surfaced by the rFaaS client library, resource manager and
 /// executors.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so the platform can grow new failure modes without breaking callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RFaasError {
     /// The resource manager has no executor able to satisfy the request.
     InsufficientResources {
@@ -42,6 +46,9 @@ pub enum RFaasError {
     Fabric(FabricError),
     /// The executor process disappeared (connection lost / node reclaimed).
     ExecutorLost(String),
+    /// A typed payload failed to encode or decode (malformed wire bytes for
+    /// the requested [`crate::Codec`]).
+    Codec(String),
     /// An internal invariant was violated (bug guard).
     Internal(String),
 }
@@ -66,6 +73,7 @@ impl fmt::Display for RFaasError {
             RFaasError::Function(e) => write!(f, "function error: {e}"),
             RFaasError::Fabric(e) => write!(f, "fabric error: {e}"),
             RFaasError::ExecutorLost(name) => write!(f, "executor '{name}' is no longer reachable"),
+            RFaasError::Codec(msg) => write!(f, "codec error: {msg}"),
             RFaasError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

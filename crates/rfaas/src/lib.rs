@@ -23,7 +23,7 @@
 //! use rdma_fabric::Fabric;
 //! use cluster_sim::NodeResources;
 //! use sandbox::{CodePackage, FunctionRegistry, echo_function};
-//! use rfaas::{Invoker, LeaseRequest, PollingMode, ResourceManager, RFaasConfig, SpotExecutor};
+//! use rfaas::{ResourceManager, RFaasConfig, Session, SpotExecutor};
 //!
 //! // Deploy a code package and offer one spot executor.
 //! let fabric = Fabric::with_defaults();
@@ -37,31 +37,35 @@
 //! );
 //! manager.register_executor(&executor);
 //!
-//! // Lease one worker and invoke the echo function over RDMA.
-//! let mut invoker = Invoker::new(&fabric, "client", &manager, RFaasConfig::default());
-//! invoker.allocate(LeaseRequest::single_worker("demo"), PollingMode::Hot).unwrap();
-//! let alloc = invoker.allocator();
-//! let input = alloc.input(64);
-//! let output = alloc.output(64);
-//! input.write_payload(b"hello rfaas").unwrap();
-//! let (len, rtt) = invoker.invoke_sync("echo", &input, 11, &output).unwrap();
-//! assert_eq!(output.read_payload(len).unwrap(), b"hello rfaas");
+//! // Lease one worker and invoke the echo function over RDMA through a
+//! // typed handle: payload length and buffer sizing come from the codec.
+//! let session = Session::builder(&fabric, "client", &manager, "demo")
+//!     .connect()
+//!     .unwrap();
+//! let echo = session.function::<[u8], [u8]>("echo").unwrap();
+//! let (reply, rtt) = echo.invoke_timed(b"hello rfaas").unwrap();
+//! assert_eq!(reply, b"hello rfaas");
 //! assert!(rtt.as_micros_f64() < 50.0);
-//! invoker.deallocate().unwrap();
+//! session.close().unwrap();
 //! ```
 
 pub mod billing;
 pub mod client;
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod executor;
 pub mod lifecycle;
 pub mod manager;
 pub mod protocol;
+pub mod session;
 pub mod sharding;
 
 pub use billing::{BillingClient, BillingDatabase, UsageRecord, BILLING_SLOTS};
-pub use client::{Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, Invoker};
+pub use client::{
+    BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, Invoker,
+};
+pub use codec::{check_capacity, Codec};
 pub use config::{PollingMode, RFaasConfig};
 pub use error::{RFaasError, Result};
 pub use executor::{
@@ -73,4 +77,5 @@ pub use manager::ResourceManager;
 pub use protocol::{
     ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
 };
+pub use session::{AllocationBuilder, CompletionSet, FunctionHandle, Session, TypedFuture};
 pub use sharding::{stable_hash, HashRing, ManagerGroup};

@@ -80,7 +80,11 @@ impl InvocationHeader {
 }
 
 /// Status of an invocation result, carried in the immediate value.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new status codes can be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ResultStatus {
     /// The function executed; the completion's byte length is the output size.
     Success,

@@ -1,0 +1,883 @@
+//! The typed session API: allocation builder, function handles and batched
+//! completion sets.
+//!
+//! This is the surface client applications are meant to program against
+//! (Listing 2 of the paper, minus the transport plumbing). A [`Session`] is
+//! one leased allocation, built fluently through an [`AllocationBuilder`];
+//! it hands out typed [`FunctionHandle`]s whose [`Codec`]s infer payload
+//! lengths and buffer sizes, so callers never thread
+//! `(function, buffer, payload_len, buffer)` tuples by hand. Scatter/gather
+//! work goes through [`FunctionHandle::map_workers`], which posts each wave
+//! of one-invocation-per-worker behind one shared doorbell (the chained-WQE
+//! path of [`rdma_fabric::QueuePair::post_send_batch`]) and returns a
+//! [`CompletionSet`] with `wait_any`/`wait_all`.
+//!
+//! The raw buffer API stays reachable through [`Session::raw`] for callers
+//! that need explicit zero-copy control (the invocation-spectrum tests, the
+//! latency microbenchmarks).
+//!
+//! Lease-recovery semantics are first-class here: the allocation epoch each
+//! submission observed and the transparent re-allocation budget flow through
+//! [`TypedFuture`] and [`CompletionSet`] exactly as they do through the raw
+//! [`InvocationFuture`], and the budget is a knob on the builder
+//! ([`AllocationBuilder::recovery_budget`]).
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rdma_fabric::Fabric;
+use sandbox::SandboxType;
+use sim_core::{SimDuration, SimTime, VirtualClock};
+
+use crate::client::{
+    BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, InvocationSpec,
+    Invoker,
+};
+use crate::codec::Codec;
+use crate::config::{PollingMode, RFaasConfig};
+use crate::error::{RFaasError, Result};
+use crate::manager::ResourceManager;
+use crate::protocol::{Lease, LeaseRequest};
+
+/// Smallest output buffer the typed layer registers when the caller gives no
+/// explicit capacity: results at least as large as a small page are common
+/// (echo-style functions return the input; most others return less), and a
+/// floor keeps tiny inputs from allocating unusably small result buffers.
+const MIN_OUTPUT_CAPACITY: usize = 4096;
+
+/// Upper bound on buffer pairs the session's pool retains; beyond it,
+/// released buffers are dropped (deregistered) instead of cached.
+const MAX_POOLED_PAIRS: usize = 64;
+
+/// Fluent builder for a [`Session`]: lease shape, sandbox, polling mode and
+/// recovery policy in one place (the typed replacement for hand-assembling a
+/// [`LeaseRequest`] and calling `Invoker::allocate`).
+#[derive(Debug, Clone)]
+pub struct AllocationBuilder {
+    fabric: Arc<Fabric>,
+    client_node: String,
+    manager: Arc<ResourceManager>,
+    config: RFaasConfig,
+    package: String,
+    cores: u32,
+    memory_mib: u64,
+    sandbox: SandboxType,
+    lease_timeout: Option<SimDuration>,
+    mode: PollingMode,
+    recovery_budget: u32,
+    start_at: Option<SimTime>,
+}
+
+impl AllocationBuilder {
+    /// Start building a session for `client_node` against `manager`,
+    /// requesting the deployed code package `package`. Defaults: one worker,
+    /// 512 MiB, bare-metal sandbox, hot polling, the manager's configuration
+    /// defaults for lease timeout, and the standard recovery budget.
+    pub fn new(
+        fabric: &Arc<Fabric>,
+        client_node: &str,
+        manager: &Arc<ResourceManager>,
+        package: &str,
+    ) -> AllocationBuilder {
+        AllocationBuilder {
+            fabric: Arc::clone(fabric),
+            client_node: client_node.to_string(),
+            manager: Arc::clone(manager),
+            config: RFaasConfig::default(),
+            package: package.to_string(),
+            cores: 1,
+            memory_mib: 512,
+            sandbox: SandboxType::BareMetal,
+            lease_timeout: None,
+            mode: PollingMode::Hot,
+            recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
+            start_at: None,
+        }
+    }
+
+    /// Use an explicit platform configuration (cost calibration, payload
+    /// limits) instead of the default paper calibration.
+    pub fn config(mut self, config: RFaasConfig) -> AllocationBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Number of executor workers (= parallel function instances) to lease.
+    pub fn workers(mut self, cores: u32) -> AllocationBuilder {
+        self.cores = cores;
+        self
+    }
+
+    /// Memory to lease for the executor process, in MiB.
+    pub fn memory_mib(mut self, memory_mib: u64) -> AllocationBuilder {
+        self.memory_mib = memory_mib;
+        self
+    }
+
+    /// Sandbox technology isolating the executor.
+    pub fn sandbox(mut self, sandbox: SandboxType) -> AllocationBuilder {
+        self.sandbox = sandbox;
+        self
+    }
+
+    /// Lease lifetime (defaults to the request default of ten minutes).
+    pub fn lease_timeout(mut self, timeout: SimDuration) -> AllocationBuilder {
+        self.lease_timeout = Some(timeout);
+        self
+    }
+
+    /// How the leased workers wait for invocations (hot busy-polling, warm
+    /// blocking, or adaptive).
+    pub fn polling(mut self, mode: PollingMode) -> AllocationBuilder {
+        self.mode = mode;
+        self
+    }
+
+    /// Maximum transparent lease re-allocations per invocation before the
+    /// failure surfaces (see [`Invoker::DEFAULT_RECOVERY_BUDGET`]).
+    pub fn recovery_budget(mut self, budget: u32) -> AllocationBuilder {
+        self.recovery_budget = budget;
+        self
+    }
+
+    /// Advance the session's virtual clock to `at` before allocating (for
+    /// trace-driven clients whose requests arrive at a known instant).
+    pub fn starting_at(mut self, at: SimTime) -> AllocationBuilder {
+        self.start_at = Some(at);
+        self
+    }
+
+    /// Acquire the lease, spin up the workers and connect to them (the cold
+    /// path of Fig. 5/6), returning the live [`Session`].
+    pub fn connect(self) -> Result<Session> {
+        let mut invoker = Invoker::new(&self.fabric, &self.client_node, &self.manager, self.config);
+        invoker.set_recovery_budget(self.recovery_budget);
+        if let Some(at) = self.start_at {
+            invoker.clock().advance_to(at);
+        }
+        let mut request = LeaseRequest::single_worker(&self.package)
+            .with_cores(self.cores)
+            .with_memory_mib(self.memory_mib)
+            .with_sandbox(self.sandbox);
+        if let Some(timeout) = self.lease_timeout {
+            request.timeout = timeout;
+        }
+        invoker.allocate(request, self.mode)?;
+        Ok(Session {
+            invoker,
+            pool: BufferPool::default(),
+        })
+    }
+}
+
+/// Pool of registered (input, output) buffer pairs reused across typed
+/// invocations, so steady-state invocations never re-register memory.
+#[derive(Default)]
+struct BufferPool {
+    free: Mutex<Vec<(Buffer, Buffer)>>,
+}
+
+impl BufferPool {
+    fn acquire(
+        &self,
+        allocator: &BufferAllocator,
+        input_capacity: usize,
+        output_capacity: usize,
+    ) -> (Buffer, Buffer) {
+        let mut free = self.free.lock();
+        if let Some(position) = free
+            .iter()
+            .position(|(i, o)| i.capacity() >= input_capacity && o.capacity() >= output_capacity)
+        {
+            return free.swap_remove(position);
+        }
+        drop(free);
+        (
+            allocator.input(input_capacity),
+            allocator.output(output_capacity),
+        )
+    }
+
+    fn release(&self, pair: (Buffer, Buffer)) {
+        let mut free = self.free.lock();
+        if free.len() < MAX_POOLED_PAIRS {
+            free.push(pair);
+        }
+    }
+}
+
+/// One leased allocation and the typed invocation surface on top of it.
+///
+/// A session owns the underlying [`Invoker`] (lease, worker connections,
+/// recovery machinery) plus a pool of registered buffers shared by every
+/// [`FunctionHandle`] it hands out. Dropping the session releases the lease.
+pub struct Session {
+    invoker: Invoker,
+    pool: BufferPool,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("invoker", &self.invoker)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Start building a session (see [`AllocationBuilder`]).
+    pub fn builder(
+        fabric: &Arc<Fabric>,
+        client_node: &str,
+        manager: &Arc<ResourceManager>,
+        package: &str,
+    ) -> AllocationBuilder {
+        AllocationBuilder::new(fabric, client_node, manager, package)
+    }
+
+    /// Resolve `name` in the session's function registry and return a typed
+    /// handle for it. Unknown functions fail here, at handle creation, not at
+    /// the first invocation.
+    pub fn function<I, O>(&self, name: &str) -> Result<FunctionHandle<'_, I, O>>
+    where
+        I: Codec + ?Sized,
+        O: Codec + ?Sized,
+    {
+        if !self.invoker.has_function(name) {
+            return Err(RFaasError::UnknownFunction(name.to_string()));
+        }
+        Ok(FunctionHandle {
+            session: self,
+            name: name.to_string(),
+            output_capacity: None,
+            _typed: PhantomData,
+        })
+    }
+
+    /// Names of every function the allocated code package serves.
+    pub fn function_names(&self) -> Vec<String> {
+        self.invoker.function_names()
+    }
+
+    /// The raw buffer-level client underneath the typed surface — the
+    /// explicit escape hatch for callers that manage registered buffers and
+    /// payload lengths themselves (zero-copy spectrum tests, latency
+    /// microbenchmarks).
+    pub fn raw(&self) -> &Invoker {
+        &self.invoker
+    }
+
+    /// The session's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        self.invoker.clock()
+    }
+
+    /// Buffer allocator bound to the session's protection domain (for raw
+    /// buffer management alongside the typed surface).
+    pub fn allocator(&self) -> BufferAllocator {
+        self.invoker.allocator()
+    }
+
+    /// The active lease, if any.
+    pub fn lease(&self) -> Option<Lease> {
+        self.invoker.lease()
+    }
+
+    /// Cold-start breakdown of the session's allocation.
+    pub fn cold_start(&self) -> Option<ColdStartBreakdown> {
+        self.invoker.cold_start()
+    }
+
+    /// Number of connected executor workers.
+    pub fn worker_count(&self) -> usize {
+        self.invoker.worker_count()
+    }
+
+    /// How many times the session transparently re-allocated after a lease
+    /// expiry or executor loss.
+    pub fn recoveries(&self) -> u32 {
+        self.invoker.recoveries()
+    }
+
+    /// Renew the lease, pushing its expiry to `now + extension`; returns the
+    /// new expiry instant.
+    pub fn extend_lease(&self, extension: SimDuration) -> Result<SimTime> {
+        self.invoker.extend_lease(extension)
+    }
+
+    /// Release the lease and all executor resources.
+    pub fn close(mut self) -> Result<()> {
+        self.invoker.deallocate()
+    }
+}
+
+/// Zero-sized marker tying a handle to its input/output codec types without
+/// imposing `Send`/`Sync` or ownership semantics on either.
+type HandleTypes<I, O> = PhantomData<(fn(&I), fn() -> O)>;
+
+/// A typed handle on one deployed function: payload sizing, buffer pooling
+/// and submission all derive from the input/output [`Codec`]s.
+pub struct FunctionHandle<'s, I: ?Sized, O: ?Sized> {
+    session: &'s Session,
+    name: String,
+    output_capacity: Option<usize>,
+    _typed: HandleTypes<I, O>,
+}
+
+impl<I: ?Sized, O: ?Sized> std::fmt::Debug for FunctionHandle<'_, I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionHandle")
+            .field("function", &self.name)
+            .finish()
+    }
+}
+
+impl<I: ?Sized, O: ?Sized> Clone for FunctionHandle<'_, I, O> {
+    fn clone(&self) -> Self {
+        FunctionHandle {
+            session: self.session,
+            name: self.name.clone(),
+            output_capacity: self.output_capacity,
+            _typed: PhantomData,
+        }
+    }
+}
+
+impl<'s, I, O> FunctionHandle<'s, I, O>
+where
+    I: Codec + ?Sized,
+    O: Codec + ?Sized,
+{
+    /// The function's deployed name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reserve result buffers of at least `bytes` for this handle's
+    /// invocations. Without this, the result capacity defaults to the encoded
+    /// input length (floored at a small page) — right for echo-shaped
+    /// functions, too small for functions whose output outgrows their input.
+    pub fn with_output_capacity(mut self, bytes: usize) -> Self {
+        self.output_capacity = Some(bytes);
+        self
+    }
+
+    /// Build the invocation spec for `input`: size the buffers from the
+    /// codec, draw them from the session pool, and encode the payload.
+    fn spec_for(&self, worker: Option<usize>, input: &I) -> Result<InvocationSpec> {
+        let payload_len = input.encoded_len();
+        let output_capacity = self
+            .output_capacity
+            .unwrap_or_else(|| payload_len.max(MIN_OUTPUT_CAPACITY));
+        let (input_buffer, output_buffer) =
+            self.session
+                .pool
+                .acquire(&self.session.allocator(), payload_len, output_capacity);
+        input_buffer.write_encoded(input)?;
+        Ok(InvocationSpec {
+            worker,
+            function: self.name.clone(),
+            input: input_buffer,
+            payload_len,
+            output: output_buffer,
+        })
+    }
+
+    /// Submit asynchronously; the returned future resolves to the decoded
+    /// result.
+    pub fn submit(&self, input: &I) -> Result<TypedFuture<'s, O>> {
+        let spec = self.spec_for(None, input)?;
+        Ok(TypedFuture {
+            future: self.session.invoker.submit_spec(spec)?,
+            session: self.session,
+            _typed: PhantomData,
+        })
+    }
+
+    /// Submit asynchronously to a specific worker (explicit partitioning).
+    pub fn submit_to_worker(&self, worker: usize, input: &I) -> Result<TypedFuture<'s, O>> {
+        let spec = self.spec_for(Some(worker), input)?;
+        Ok(TypedFuture {
+            future: self.session.invoker.submit_spec(spec)?,
+            session: self.session,
+            _typed: PhantomData,
+        })
+    }
+
+    /// Invoke synchronously and decode the result.
+    pub fn invoke(&self, input: &I) -> Result<O::Owned> {
+        self.submit(input)?.wait()
+    }
+
+    /// Invoke synchronously, returning the decoded result and the
+    /// client-observed round-trip time.
+    pub fn invoke_timed(&self, input: &I) -> Result<(O::Owned, SimDuration)> {
+        let start = self.session.clock().now();
+        let value = self.invoke(input)?;
+        Ok((value, self.session.clock().now().saturating_since(start)))
+    }
+
+    /// Scatter one invocation per input across the session's workers (input
+    /// `i` goes to worker `i mod worker_count`), posting each wave of up to
+    /// `worker_count` submissions behind one shared doorbell: the wave's
+    /// first WQE pays the full issue cost, the rest ride the chained-WQE
+    /// path of [`rdma_fabric::QueuePair::post_send_batch`]. Returns a
+    /// [`CompletionSet`] for gathering the results.
+    ///
+    /// Waves exist because each worker exposes a single registered input
+    /// slot (one in-flight invocation per worker, as in the paper's
+    /// protocol): a second write to the same worker before the first is
+    /// consumed would clobber its header and payload. With more inputs than
+    /// workers, the completion set posts the next wave as the previous one
+    /// is gathered — callers still see one scatter and one result vector.
+    /// Payloads are encoded into registered buffers for the whole scatter up
+    /// front (peak registration scales with the input count, bounded by the
+    /// session pool's recycling); keep individual scatters to what the
+    /// client can afford to register at once.
+    pub fn map_workers<'i, It>(&self, inputs: It) -> Result<CompletionSet<'s, O>>
+    where
+        It: IntoIterator<Item = &'i I>,
+        I: 'i,
+    {
+        let workers = self.session.worker_count();
+        if workers == 0 {
+            return Err(RFaasError::NotAllocated);
+        }
+        let mut specs = Vec::new();
+        for (index, input) in inputs.into_iter().enumerate() {
+            specs.push(self.spec_for(Some(index % workers), input)?);
+        }
+        let total = specs.len();
+        let queued: std::collections::VecDeque<(usize, InvocationSpec)> =
+            specs.into_iter().enumerate().collect();
+        let mut set = CompletionSet {
+            entries: (0..total).map(|_| None).collect(),
+            queued,
+            wave: workers,
+            session: self.session,
+            stats: BatchStats::default(),
+        };
+        set.submit_next_wave()?;
+        Ok(set)
+    }
+}
+
+/// The in-flight result of one typed submission; waiting decodes the output
+/// through `O`'s [`Codec`] and recycles the invocation's buffers into the
+/// session pool. Transparent redirection and lease recovery behave exactly
+/// as on the raw [`InvocationFuture`].
+pub struct TypedFuture<'s, O: ?Sized> {
+    future: InvocationFuture<'s>,
+    session: &'s Session,
+    _typed: PhantomData<fn() -> O>,
+}
+
+impl<O: ?Sized> std::fmt::Debug for TypedFuture<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.future.fmt(f)
+    }
+}
+
+impl<O> TypedFuture<'_, O>
+where
+    O: Codec + ?Sized,
+{
+    /// The invocation identifier carried in the immediate value.
+    pub fn id(&self) -> u32 {
+        self.future.id()
+    }
+
+    /// Number of transparent lease re-allocations this invocation consumed
+    /// so far.
+    pub fn recoveries(&self) -> u32 {
+        self.future.recoveries()
+    }
+
+    /// Non-blocking completion probe (see
+    /// [`InvocationFuture::is_complete`]).
+    pub fn is_complete(&self) -> bool {
+        self.future.is_complete()
+    }
+
+    /// Block until the result is available, decode it, and return the
+    /// invocation's buffers to the session pool.
+    pub fn wait(self) -> Result<O::Owned> {
+        let buffers = self.future.buffers();
+        let len = self.future.wait()?;
+        let value = buffers.1.read_decoded::<O>(len)?;
+        self.session.pool.release(buffers);
+        Ok(value)
+    }
+}
+
+/// A set of in-flight typed invocations submitted as doorbell-batched waves
+/// ([`FunctionHandle::map_workers`]).
+///
+/// Results are gathered with [`CompletionSet::wait_all`] (submission order)
+/// or drained one at a time with [`CompletionSet::wait_any`]. When the
+/// scatter holds more inputs than workers, only one wave (one invocation
+/// per worker) is in flight at a time — each worker has a single input
+/// slot — and the next wave posts automatically once the current one has
+/// been fully gathered.
+pub struct CompletionSet<'s, O: ?Sized> {
+    /// One slot per input; `Some` while that invocation is in flight,
+    /// `None` before its wave posts and after its result is gathered.
+    entries: Vec<Option<TypedFuture<'s, O>>>,
+    /// Not-yet-posted (index, spec) pairs, in submission order.
+    queued: std::collections::VecDeque<(usize, InvocationSpec)>,
+    /// Submissions per wave (= the session's worker count at scatter time).
+    wave: usize,
+    session: &'s Session,
+    stats: BatchStats,
+}
+
+impl<O: ?Sized> std::fmt::Debug for CompletionSet<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionSet")
+            .field("pending", &self.pending())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<O: ?Sized> CompletionSet<'_, O> {
+    /// Number of invocations not yet gathered (in flight or queued for a
+    /// later wave).
+    pub fn pending(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count() + self.queued.len()
+    }
+
+    /// Whether every invocation has been gathered.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Doorbell accounting across every wave posted so far: how many WQEs
+    /// shared how many doorbells, and what the posting bursts cost on the
+    /// client clock. A scatter of one invocation per worker is a single
+    /// wave and therefore a single doorbell.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Post the next wave of queued specs (one per worker at most) behind a
+    /// shared doorbell. No-op while the current wave still has in-flight
+    /// entries — a worker's single input slot must be free before the next
+    /// write to it.
+    fn submit_next_wave(&mut self) -> Result<()> {
+        if self.queued.is_empty() || self.entries.iter().any(|e| e.is_some()) {
+            return Ok(());
+        }
+        let take = self.wave.min(self.queued.len());
+        let batch: Vec<(usize, InvocationSpec)> = self.queued.drain(..take).collect();
+        let specs: Vec<InvocationSpec> = batch.iter().map(|(_, s)| s.clone()).collect();
+        let (futures, stats) = self.session.invoker.submit_specs(&specs)?;
+        for ((index, _), future) in batch.into_iter().zip(futures) {
+            self.entries[index] = Some(TypedFuture {
+                future,
+                session: self.session,
+                _typed: PhantomData,
+            });
+        }
+        self.stats.submissions += stats.submissions;
+        self.stats.doorbells += stats.doorbells;
+        self.stats.chained_wqes += stats.chained_wqes;
+        self.stats.post_time += stats.post_time;
+        Ok(())
+    }
+}
+
+impl<O> CompletionSet<'_, O>
+where
+    O: Codec + ?Sized,
+{
+    /// Wait for the next available result: completions already delivered are
+    /// gathered first (without blocking); if none is ready, the lowest-index
+    /// in-flight invocation is waited for. Once a wave is fully gathered the
+    /// next queued wave posts. Returns the submission index with the decoded
+    /// result, or `None` once everything has been gathered.
+    pub fn wait_any(&mut self) -> Result<Option<(usize, O::Owned)>> {
+        self.submit_next_wave()?;
+        // Pass 1: anything already completed (drains each connection's ring
+        // without blocking).
+        for index in 0..self.entries.len() {
+            let ready = self.entries[index]
+                .as_ref()
+                .is_some_and(|f| f.is_complete());
+            if ready {
+                let future = self.entries[index].take().expect("checked is_some");
+                return Ok(Some((index, future.wait()?)));
+            }
+        }
+        // Pass 2: nothing delivered yet — block on the first in flight.
+        for index in 0..self.entries.len() {
+            if self.entries[index].is_some() {
+                let future = self.entries[index].take().expect("checked is_some");
+                return Ok(Some((index, future.wait()?)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Wait for every still-pending result, returned in submission order
+    /// (results already gathered through [`CompletionSet::wait_any`] are not
+    /// repeated).
+    pub fn wait_all(mut self) -> Result<Vec<O::Owned>> {
+        let mut slots: Vec<Option<O::Owned>> = (0..self.entries.len()).map(|_| None).collect();
+        while let Some((index, value)) = self.wait_any()? {
+            slots[index] = Some(value);
+        }
+        Ok(slots.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SpotExecutor;
+    use cluster_sim::NodeResources;
+    use sandbox::{echo_function, failing_function, CodePackage, FunctionRegistry};
+
+    fn platform(cores: u32) -> (Arc<Fabric>, Arc<ResourceManager>, Session) {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(
+            CodePackage::minimal("pkg")
+                .with_function(echo_function())
+                .with_function(failing_function("intentional")),
+        );
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let executor = SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources {
+                cores: 36,
+                memory_mib: 128 * 1024,
+            },
+            registry,
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&executor);
+        let session = Session::builder(&fabric, "client-0", &manager, "pkg")
+            .workers(cores)
+            .connect()
+            .unwrap();
+        (fabric, manager, session)
+    }
+
+    #[test]
+    fn typed_invoke_round_trips_bytes_and_f64() {
+        let (_f, _m, session) = platform(1);
+        let echo_bytes = session.function::<[u8], [u8]>("echo").unwrap();
+        assert_eq!(echo_bytes.invoke(&[1u8, 2, 3][..]).unwrap(), vec![1, 2, 3]);
+
+        let echo_f64 = session.function::<[f64], [f64]>("echo").unwrap();
+        let values = [1.5f64, -2.25, 4.0];
+        let (reply, rtt) = echo_f64.invoke_timed(&values[..]).unwrap();
+        assert_eq!(reply, values.to_vec());
+        assert!(rtt.as_micros_f64() > 0.0);
+    }
+
+    #[test]
+    fn unknown_functions_fail_at_handle_creation() {
+        let (_f, _m, session) = platform(1);
+        assert!(matches!(
+            session.function::<[u8], [u8]>("nope"),
+            Err(RFaasError::UnknownFunction(_))
+        ));
+        assert!(session.function_names().contains(&"echo".to_string()));
+    }
+
+    #[test]
+    fn map_workers_batches_behind_one_doorbell_and_preserves_order() {
+        let (_f, _m, session) = platform(4);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let inputs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 256]).collect();
+        let set = echo
+            .map_workers(inputs.iter().map(|v| v.as_slice()))
+            .unwrap();
+        let stats = set.stats();
+        assert_eq!(stats.submissions, 4);
+        assert_eq!(stats.doorbells, 1);
+        assert_eq!(stats.chained_wqes, 3);
+        assert_eq!(set.pending(), 4);
+        let results = set.wait_all().unwrap();
+        assert_eq!(results, inputs);
+    }
+
+    #[test]
+    fn batched_submission_posts_cheaper_than_sequential() {
+        // The whole point of the shared doorbell: N scatter submissions cost
+        // the client clock less than N individually posted submissions.
+        let (_f, _m, session) = platform(8);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let inputs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 2048]).collect();
+        // Warm the buffer pool so both measurements reuse registered memory.
+        echo.map_workers(inputs.iter().map(|v| v.as_slice()))
+            .unwrap()
+            .wait_all()
+            .unwrap();
+
+        let set = echo
+            .map_workers(inputs.iter().map(|v| v.as_slice()))
+            .unwrap();
+        let batched = set.stats().post_time;
+        set.wait_all().unwrap();
+
+        let start = session.clock().now();
+        let futures: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(w, v)| echo.submit_to_worker(w, v.as_slice()).unwrap())
+            .collect();
+        let sequential = session.clock().now().saturating_since(start);
+        for f in futures {
+            f.wait().unwrap();
+        }
+        assert!(
+            batched < sequential,
+            "batched posting {batched} must beat sequential posting {sequential}"
+        );
+    }
+
+    #[test]
+    fn map_workers_accepts_more_inputs_than_workers() {
+        // 64 inputs on 4 workers: each worker has ONE input slot, so the
+        // scatter proceeds in 16 waves of 4, each wave behind one doorbell,
+        // and every input must come back intact and in submission order
+        // (regression: a single 64-wide burst used to clobber the workers'
+        // input slots, returning the last payload — or nothing — for all
+        // but the final wave).
+        let (_f, _m, session) = platform(4);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let inputs: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 32]).collect();
+        let set = echo
+            .map_workers(inputs.iter().map(|v| v.as_slice()))
+            .unwrap();
+        // Only the first wave has posted so far.
+        assert_eq!(set.stats().submissions, 4);
+        assert_eq!(set.stats().doorbells, 1);
+        assert_eq!(set.pending(), 64);
+        let results = set.wait_all().unwrap();
+        assert_eq!(results, inputs);
+    }
+
+    #[test]
+    fn wait_any_crosses_wave_boundaries() {
+        let (_f, _m, session) = platform(2);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let inputs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i + 1; 16]).collect();
+        let mut set = echo
+            .map_workers(inputs.iter().map(|v| v.as_slice()))
+            .unwrap();
+        let mut seen = [false; 6];
+        while let Some((index, value)) = set.wait_any().unwrap() {
+            assert!(!seen[index]);
+            seen[index] = true;
+            assert_eq!(value, inputs[index]);
+        }
+        assert!(seen.iter().all(|&s| s));
+        // 3 waves of 2 → 3 doorbells, 6 submissions total.
+        assert_eq!(set.stats().submissions, 6);
+        assert_eq!(set.stats().doorbells, 3);
+        assert_eq!(set.stats().chained_wqes, 3);
+    }
+
+    #[test]
+    fn wait_any_drains_the_set_exactly_once_per_entry() {
+        let (_f, _m, session) = platform(3);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let inputs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i + 1; 64]).collect();
+        let mut set = echo
+            .map_workers(inputs.iter().map(|v| v.as_slice()))
+            .unwrap();
+        let mut seen = [false; 3];
+        while let Some((index, value)) = set.wait_any().unwrap() {
+            assert!(!seen[index], "index {index} returned twice");
+            seen[index] = true;
+            assert_eq!(value, inputs[index]);
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn output_capacity_override_allows_results_larger_than_the_input() {
+        let (_f, _m, session) = platform(1);
+        // Default capacity = max(input len, one page); echo fits trivially,
+        // so exercise the override path and the handle clone.
+        let echo = session
+            .function::<[u8], [u8]>("echo")
+            .unwrap()
+            .with_output_capacity(1 << 20);
+        let big = vec![7u8; 512 * 1024];
+        assert_eq!(echo.invoke(&big[..]).unwrap(), big);
+        let cloned = echo.clone();
+        assert_eq!(cloned.name(), "echo");
+    }
+
+    #[test]
+    fn typed_futures_recover_from_lease_expiry() {
+        let (_f, _m, session) = platform(1);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        echo.invoke(&[9u8; 16][..]).unwrap();
+        assert_eq!(session.recoveries(), 0);
+        // Jump past the lease expiry: the executor refuses with LeaseExpired
+        // and the typed future transparently replays on a fresh lease.
+        session.clock().advance(SimDuration::from_secs(3600));
+        assert_eq!(echo.invoke(&[9u8; 16][..]).unwrap(), vec![9u8; 16]);
+        assert_eq!(session.recoveries(), 1);
+    }
+
+    #[test]
+    fn builder_knobs_shape_the_lease() {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(CodePackage::minimal("pkg").with_function(echo_function()));
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let executor = SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources {
+                cores: 36,
+                memory_mib: 128 * 1024,
+            },
+            registry,
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&executor);
+        let start = SimTime::from_secs(42);
+        let session = Session::builder(&fabric, "c", &manager, "pkg")
+            .workers(2)
+            .memory_mib(2048)
+            .lease_timeout(SimDuration::from_secs(120))
+            .recovery_budget(5)
+            .starting_at(start)
+            .connect()
+            .unwrap();
+        assert_eq!(session.worker_count(), 2);
+        let lease = session.lease().unwrap();
+        assert_eq!(lease.cores, 2);
+        assert_eq!(lease.memory_mib, 2048);
+        assert!(session.clock().now() >= start);
+        assert_eq!(session.raw().recovery_budget(), 5);
+        assert!(session.cold_start().is_some());
+        session.close().unwrap();
+        assert_eq!(manager.lease_count(), 0);
+    }
+
+    #[test]
+    fn pooled_buffers_are_reused_across_invocations() {
+        let (_f, _m, session) = platform(1);
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        echo.invoke(&[1u8; 100][..]).unwrap();
+        assert_eq!(session.pool.free.lock().len(), 1);
+        // Same-size invocation reuses the pooled pair instead of growing it.
+        echo.invoke(&[2u8; 100][..]).unwrap();
+        assert_eq!(session.pool.free.lock().len(), 1);
+        // A larger invocation allocates a second pair.
+        echo.invoke(&vec![3u8; 100_000][..]).unwrap();
+        assert_eq!(session.pool.free.lock().len(), 2);
+    }
+}

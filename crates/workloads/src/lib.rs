@@ -30,5 +30,5 @@ pub use blackscholes::{
 pub use inference::{image_recognition_function, InferenceModel};
 pub use jacobi::{jacobi_function, jacobi_solve, JacobiSystem};
 pub use matmul::{matmul_function, multiply, multiply_rows};
-pub use payload::{generate_payload, InputSizes};
+pub use payload::{generate_payload, InputSizes, OptionBatch, OPTION_WIRE_BYTES};
 pub use thumbnailer::{thumbnailer_function, Image};

@@ -1,6 +1,12 @@
-//! Payload generators and the evaluation input sizes.
+//! Payload generators, the evaluation input sizes, and the [`Codec`]
+//! implementations that plug the workload wire formats into the typed
+//! session API (`rfaas::Session` / `rfaas::FunctionHandle`).
 
+use rfaas::{check_capacity, Codec, RFaasError};
 use sim_core::DeterministicRng;
+
+use crate::blackscholes::{options_from_bytes, OptionContract};
+use crate::thumbnailer::Image;
 
 /// Input sizes used throughout Sec. V of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,9 +57,99 @@ pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
         .collect()
 }
 
+/// Bytes one [`OptionContract`] occupies on the wire (six little-endian
+/// `f64` words: spot, strike, rate, volatility, time, is_put).
+pub const OPTION_WIRE_BYTES: usize = 48;
+
+/// An owned batch of [`OptionContract`]s, newtyped so the workload crate
+/// can implement the foreign [`Codec`] trait for it (orphan rule).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OptionBatch(pub Vec<OptionContract>);
+
+impl From<Vec<OptionContract>> for OptionBatch {
+    fn from(options: Vec<OptionContract>) -> OptionBatch {
+        OptionBatch(options)
+    }
+}
+
+impl std::ops::Deref for OptionBatch {
+    type Target = [OptionContract];
+
+    fn deref(&self) -> &[OptionContract] {
+        &self.0
+    }
+}
+
+impl Codec for OptionBatch {
+    type Owned = OptionBatch;
+
+    fn encoded_len(&self) -> usize {
+        self.0.len() * OPTION_WIRE_BYTES
+    }
+
+    fn encode_into(&self, buf: &mut [u8]) -> rfaas::Result<usize> {
+        let len = self.encoded_len();
+        if len > buf.len() {
+            return Err(RFaasError::PayloadTooLarge {
+                payload: len,
+                capacity: buf.len(),
+            });
+        }
+        for (record, option) in buf[..len]
+            .chunks_exact_mut(OPTION_WIRE_BYTES)
+            .zip(self.0.iter())
+        {
+            let words = [
+                option.spot,
+                option.strike,
+                option.rate,
+                option.volatility,
+                option.time,
+                if option.is_put { 1.0 } else { 0.0 },
+            ];
+            for (slot, word) in record.chunks_exact_mut(8).zip(words) {
+                slot.copy_from_slice(&word.to_le_bytes());
+            }
+        }
+        Ok(len)
+    }
+
+    fn decode(bytes: &[u8]) -> rfaas::Result<OptionBatch> {
+        if !bytes.len().is_multiple_of(OPTION_WIRE_BYTES) {
+            return Err(RFaasError::Codec(format!(
+                "option batch length {} is not a multiple of the {OPTION_WIRE_BYTES}-byte record",
+                bytes.len()
+            )));
+        }
+        Ok(OptionBatch(options_from_bytes(bytes)))
+    }
+}
+
+impl Codec for Image {
+    type Owned = Image;
+
+    fn encoded_len(&self) -> usize {
+        8 + self.pixels.len()
+    }
+
+    fn encode_into(&self, buf: &mut [u8]) -> rfaas::Result<usize> {
+        let len = self.encoded_len();
+        check_capacity(len, buf.len())?;
+        buf[0..4].copy_from_slice(&self.width.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.height.to_le_bytes());
+        buf[8..len].copy_from_slice(&self.pixels);
+        Ok(len)
+    }
+
+    fn decode(bytes: &[u8]) -> rfaas::Result<Image> {
+        Image::decode(bytes).map_err(|e| RFaasError::Codec(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blackscholes::{generate_options, options_to_bytes};
 
     #[test]
     fn payload_has_exact_size_and_is_deterministic() {
@@ -80,11 +176,73 @@ mod tests {
         assert_eq!(bytes_to_f64s(&f64s_to_bytes(&values)), values);
     }
 
+    #[test]
+    fn option_codec_matches_the_legacy_wire_format() {
+        let options = OptionBatch(generate_options(64, 9));
+        let mut buf = vec![0u8; options.encoded_len()];
+        assert_eq!(options.encode_into(&mut buf).unwrap(), 64 * 48);
+        // The codec must emit byte-identical wire data to options_to_bytes,
+        // or remote pricing would diverge between the typed and raw APIs.
+        assert_eq!(buf, options_to_bytes(&options));
+        assert_eq!(<OptionBatch as Codec>::decode(&buf).unwrap(), options);
+        // Ragged lengths and short buffers are rejected.
+        assert!(matches!(
+            <OptionBatch as Codec>::decode(&buf[..47]),
+            Err(RFaasError::Codec(_))
+        ));
+        let mut short = vec![0u8; 47];
+        assert!(matches!(
+            options.encode_into(&mut short),
+            Err(RFaasError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn image_codec_matches_image_encode() {
+        let image = Image::synthetic(20_000, 5);
+        let mut buf = vec![0u8; image.encoded_len()];
+        image.encode_into(&mut buf).unwrap();
+        assert_eq!(buf, image.encode());
+        assert_eq!(<Image as Codec>::decode(&buf).unwrap(), image);
+        assert!(matches!(
+            <Image as Codec>::decode(&buf[..10]),
+            Err(RFaasError::Codec(_))
+        ));
+        let mut short = vec![0u8; 16];
+        assert!(image.encode_into(&mut short).is_err());
+    }
+
     proptest::proptest! {
         #[test]
         fn prop_f64_round_trip(values: Vec<f64>) {
             let filtered: Vec<f64> = values.into_iter().filter(|v| !v.is_nan()).collect();
             proptest::prop_assert_eq!(bytes_to_f64s(&f64s_to_bytes(&filtered)), filtered);
+        }
+
+        #[test]
+        fn prop_option_codec_round_trip(n in 0usize..64, seed: u64) {
+            let options = OptionBatch(generate_options(n, seed));
+            let mut buf = vec![0u8; options.encoded_len()];
+            options.encode_into(&mut buf).unwrap();
+            proptest::prop_assert_eq!(<OptionBatch as Codec>::decode(&buf).unwrap(), options);
+        }
+
+        #[test]
+        fn prop_image_codec_round_trip(target in 9usize..40_000, seed: u64) {
+            let image = Image::synthetic(target, seed);
+            let mut buf = vec![0u8; image.encoded_len()];
+            image.encode_into(&mut buf).unwrap();
+            proptest::prop_assert_eq!(<Image as Codec>::decode(&buf).unwrap(), image);
+        }
+
+        #[test]
+        fn prop_codecs_reject_short_buffers(n in 1usize..32, seed: u64, cut in 1usize..48) {
+            let options = OptionBatch(generate_options(n, seed));
+            let needed = options.encoded_len();
+            if needed >= cut {
+                let mut short = vec![0u8; needed - cut];
+                proptest::prop_assert!(options.encode_into(&mut short).is_err());
+            }
         }
     }
 }

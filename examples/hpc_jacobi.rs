@@ -9,7 +9,7 @@
 use cluster_sim::NodeResources;
 use mpi_sim::MpiWorld;
 use rdma_fabric::Fabric;
-use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use rfaas::{RFaasConfig, ResourceManager, Session, SpotExecutor};
 use sandbox::{CodePackage, FunctionRegistry};
 use workloads::jacobi::{encode_install, encode_iterate, jacobi_sweep_rows, sweep_cost};
 use workloads::{jacobi_function, JacobiSystem};
@@ -43,24 +43,27 @@ fn main() {
     let config_ref = &config;
     let results = world.run(RANKS, move |rank| {
         // Each rank solves its own system; half of every sweep is offloaded.
-        let mut invoker = Invoker::new(
+        let session = Session::builder(
             fabric_ref,
             &format!("rank-{}", rank.rank()),
             manager_ref,
-            config_ref.clone(),
-        );
-        invoker
-            .allocate(LeaseRequest::single_worker("solver"), PollingMode::Hot)
-            .expect("allocation succeeds");
+            "solver",
+        )
+        .config(config_ref.clone())
+        .connect()
+        .expect("allocation succeeds");
+        // Jacobi messages are pre-encoded wire bytes; the solver returns the
+        // remote half of the iterate as f64s.
+        let jacobi = session
+            .function::<[u8], [f64]>("jacobi")
+            .expect("jacobi is deployed")
+            .with_output_capacity(UNKNOWNS * 8);
         // All ranks solve the same deployed system (the cached matrix lives in
         // the code package shared by every executor process).
         let system = JacobiSystem::generate(UNKNOWNS, 7);
-        let alloc = invoker.allocator();
-        let input = alloc.input(config_ref.max_payload_bytes);
-        let output = alloc.output(UNKNOWNS * 8);
         let mut x = vec![0.0f64; UNKNOWNS];
         rank.barrier();
-        let start = invoker.clock().now();
+        let start = session.clock().now();
         for iteration in 0..ITERATIONS {
             // First invocation ships the matrix; later ones only the vector.
             let message = if iteration == 0 {
@@ -68,21 +71,17 @@ fn main() {
             } else {
                 encode_iterate(&x, UNKNOWNS / 2, UNKNOWNS)
             };
-            input.write_payload(&message).expect("message fits");
-            let future = invoker
-                .submit("jacobi", &input, message.len(), &output)
-                .expect("submission succeeds");
+            let future = jacobi.submit(&message[..]).expect("submission succeeds");
             let local_half = jacobi_sweep_rows(&system, &x, 0, UNKNOWNS / 2);
-            invoker.clock().advance(sweep_cost(UNKNOWNS / 2, UNKNOWNS));
-            let len = future.wait().expect("offloaded half succeeds");
-            let remote_half = output.read_f64(len).expect("result readable");
+            session.clock().advance(sweep_cost(UNKNOWNS / 2, UNKNOWNS));
+            let remote_half = future.wait().expect("offloaded half succeeds");
             x[..UNKNOWNS / 2].copy_from_slice(&local_half);
             x[UNKNOWNS / 2..].copy_from_slice(&remote_half);
         }
-        let elapsed = invoker.clock().now().saturating_since(start);
+        let elapsed = session.clock().now().saturating_since(start);
         let residual = system.residual(&x);
         rank.barrier();
-        invoker.deallocate().expect("deallocation succeeds");
+        session.close().expect("deallocation succeeds");
         (elapsed, residual)
     });
 

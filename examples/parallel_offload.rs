@@ -1,6 +1,7 @@
 //! Parallel offloading of a Black-Scholes batch to multiple rFaaS workers
 //! (the Sec. V-F scenario): the client splits a large option batch across
-//! several leased workers, invokes them concurrently and combines the prices.
+//! several leased workers, scatters it with one doorbell-batched submission
+//! burst, and combines the prices from the completion set.
 //!
 //! ```text
 //! cargo run --release --example parallel_offload
@@ -8,10 +9,10 @@
 
 use cluster_sim::NodeResources;
 use rdma_fabric::Fabric;
-use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use rfaas::{RFaasConfig, ResourceManager, Session, SpotExecutor};
 use sandbox::{CodePackage, FunctionRegistry};
-use workloads::blackscholes::{options_to_bytes, price_batch};
-use workloads::{blackscholes_function, generate_options};
+use workloads::blackscholes::price_batch;
+use workloads::{blackscholes_function, generate_options, OptionBatch};
 
 const OPTIONS: usize = 100_000;
 const WORKERS: usize = 8;
@@ -33,46 +34,39 @@ fn main() {
     );
     manager.register_executor(&executor);
 
-    // Lease WORKERS hot workers.
-    let mut invoker = Invoker::new(&fabric, "pricing-client", &manager, config);
-    invoker
-        .allocate(
-            LeaseRequest::single_worker("pricing").with_cores(WORKERS as u32),
-            PollingMode::Hot,
-        )
+    // Lease WORKERS hot workers and grab a typed handle: option batches in,
+    // one f64 price per option out.
+    let session = Session::builder(&fabric, "pricing-client", &manager, "pricing")
+        .config(config)
+        .workers(WORKERS as u32)
+        .connect()
         .expect("allocation succeeds");
+    let pricer = session
+        .function::<OptionBatch, [f64]>("blackscholes")
+        .expect("blackscholes is deployed");
 
-    // Generate the batch and split it across the workers.
+    // Generate the batch, split it across the workers and scatter it with
+    // one doorbell-batched submission burst.
     let options = generate_options(OPTIONS, 7);
-    let alloc = invoker.allocator();
     let per_worker = OPTIONS.div_ceil(WORKERS);
-    let start = invoker.clock().now();
-    let mut futures = Vec::new();
-    let mut buffers = Vec::new();
-    for (worker, chunk) in options.chunks(per_worker).enumerate() {
-        let payload = options_to_bytes(chunk);
-        let input = alloc.input(payload.len());
-        let output = alloc.output(chunk.len() * 8);
-        input.write_payload(&payload).expect("payload fits");
-        buffers.push((input, output, chunk.len()));
-        let (input, output, _) = buffers.last().unwrap();
-        futures.push(
-            invoker
-                .submit_to_worker(worker, "blackscholes", input, payload.len(), output)
-                .expect("submission succeeds"),
-        );
-    }
+    let chunks: Vec<OptionBatch> = options
+        .chunks(per_worker)
+        .map(|c| OptionBatch(c.to_vec()))
+        .collect();
+    let start = session.clock().now();
+    let set = pricer.map_workers(chunks.iter()).expect("scatter succeeds");
+    let stats = set.stats();
+    let remote_prices: Vec<f64> = set
+        .wait_all()
+        .expect("offloaded pricing succeeds")
+        .into_iter()
+        .flatten()
+        .collect();
+    let elapsed = session.clock().now().saturating_since(start);
 
-    // Collect remote prices and verify them against a local computation.
-    let mut remote_prices = Vec::with_capacity(OPTIONS);
-    for (future, (_, output, count)) in futures.into_iter().zip(buffers.iter()) {
-        let len = future.wait().expect("offloaded pricing succeeds");
-        assert_eq!(len, count * 8);
-        remote_prices.extend(output.read_f64(len).expect("prices readable"));
-    }
-    let elapsed = invoker.clock().now().saturating_since(start);
-
+    // Verify the remote prices against a local computation.
     let local_prices = price_batch(&options);
+    assert_eq!(remote_prices.len(), local_prices.len());
     let max_error = remote_prices
         .iter()
         .zip(local_prices.iter())
@@ -80,12 +74,17 @@ fn main() {
         .fold(0.0f64, f64::max);
 
     println!("priced {OPTIONS} options on {WORKERS} remote workers");
+    println!(
+        "scatter submission: {} WQEs over {} doorbell(s), {} chained, posted in {}",
+        stats.submissions, stats.doorbells, stats.chained_wqes, stats.post_time
+    );
     println!("batch completion time (virtual): {elapsed}");
     println!("max |remote - local| price difference: {max_error:e}");
     assert!(
         max_error < 1e-12,
         "offloaded results must match local pricing"
     );
+    assert_eq!(stats.doorbells, 1, "the scatter must share one doorbell");
 
-    invoker.deallocate().expect("deallocation succeeds");
+    session.close().expect("deallocation succeeds");
 }

@@ -4,13 +4,14 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! This is the Rust equivalent of the paper's Listing 2: an `Invoker` acquires
-//! a lease, RDMA-registered buffers carry the payload, and the invocation is
-//! a single one-sided write into the executor's memory.
+//! This is the Rust equivalent of the paper's Listing 2, expressed through
+//! the typed session API: a `Session` owns the lease and the direct RDMA
+//! connections, a `FunctionHandle` infers payload sizes from its codec, and
+//! every invocation is a single one-sided write into the executor's memory.
 
 use cluster_sim::NodeResources;
 use rdma_fabric::Fabric;
-use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use rfaas::{RFaasConfig, ResourceManager, Session, SpotExecutor};
 use sandbox::{echo_function, CodePackage, FunctionRegistry};
 
 fn main() {
@@ -33,12 +34,13 @@ fn main() {
     );
     manager.register_executor(&executor);
 
-    // 2. The client side: lease one worker (cold start) ...
-    let mut invoker = Invoker::new(&fabric, "client-node", &manager, config);
-    invoker
-        .allocate(LeaseRequest::single_worker("quickstart"), PollingMode::Hot)
+    // 2. The client side: build a session — one leased worker, hot polling
+    //    (the cold start happens inside connect()).
+    let session = Session::builder(&fabric, "client-node", &manager, "quickstart")
+        .config(config)
+        .connect()
         .expect("allocation succeeds");
-    let cold = invoker.cold_start().expect("cold start recorded");
+    let cold = session.cold_start().expect("cold start recorded");
     println!(
         "cold start: {} (spawn {}, code {})",
         cold.total(),
@@ -46,24 +48,23 @@ fn main() {
         cold.submit_code
     );
 
-    // 3. ... allocate RDMA buffers and invoke the function.
-    let alloc = invoker.allocator();
-    let input = alloc.input(4096);
-    let output = alloc.output(4096);
+    // 3. Grab a typed handle and invoke: buffers, payload lengths and result
+    //    decoding all come from the codec.
+    let echo = session
+        .function::<[u8], [u8]>("echo")
+        .expect("echo is deployed");
     let message = b"hello, high-performance serverless!";
-    input.write_payload(message).expect("payload fits");
-
     for i in 0..5 {
-        let (len, rtt) = invoker
-            .invoke_sync("echo", &input, message.len(), &output)
-            .expect("invocation succeeds");
-        let echoed = output.read_payload(len).expect("result readable");
-        assert_eq!(&echoed, message);
-        println!("invocation {i}: {len} bytes echoed in {rtt} (hot invocation over RDMA)");
+        let (reply, rtt) = echo.invoke_timed(message).expect("invocation succeeds");
+        assert_eq!(&reply, message);
+        println!(
+            "invocation {i}: {} bytes echoed in {rtt} (hot invocation over RDMA)",
+            reply.len()
+        );
     }
 
-    // 4. Release the lease; the executor's resources return to the pool.
-    invoker.deallocate().expect("deallocation succeeds");
+    // 4. Close the session; the executor's resources return to the pool.
+    session.close().expect("deallocation succeeds");
     println!(
         "lease released; total platform cost: {:.6} USD",
         manager.total_cost()

@@ -9,7 +9,7 @@
 
 use cluster_sim::NodeResources;
 use rdma_fabric::Fabric;
-use rfaas::{Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor};
+use rfaas::{RFaasConfig, ResourceManager, Session, SpotExecutor};
 use sandbox::{CodePackage, FunctionRegistry, SandboxType};
 use workloads::{image_recognition_function, Image, InputSizes};
 
@@ -33,34 +33,29 @@ fn main() {
 
     // Docker sandbox: stronger isolation, the RDMA NIC is reached through an
     // SR-IOV virtual function (adds ~50 ns per hot invocation).
-    let mut invoker = Invoker::new(&fabric, "inference-client", &manager, config);
-    invoker
-        .allocate(
-            LeaseRequest::single_worker("ml-inference").with_sandbox(SandboxType::Docker),
-            PollingMode::Hot,
-        )
+    let session = Session::builder(&fabric, "inference-client", &manager, "ml-inference")
+        .config(config)
+        .sandbox(SandboxType::Docker)
+        .connect()
         .expect("allocation succeeds");
     println!(
         "Docker cold start: {} (paper: ~2.7 s with the SR-IOV plugin)",
-        invoker.cold_start().expect("recorded").total()
+        session.cold_start().expect("recorded").total()
     );
 
-    let alloc = invoker.allocator();
+    // Typed handle: an image goes in, 1000 class logits come out.
+    let classify = session
+        .function::<Image, [f64]>("image-recognition")
+        .expect("function deployed")
+        .with_output_capacity(1000 * 8);
     for (label, size) in [
         ("small (53 kB)", InputSizes::INFERENCE_SMALL),
         ("large (230 kB)", InputSizes::INFERENCE_LARGE),
     ] {
         let image = Image::synthetic(size, 42);
-        let payload = image.encode();
-        let input = alloc.input(payload.len());
-        let output = alloc.output(1000 * 8);
-        input.write_payload(&payload).expect("payload fits");
         // First call loads the model into executor memory; later calls reuse it.
         for round in 0..3 {
-            let (len, rtt) = invoker
-                .invoke_sync("image-recognition", &input, payload.len(), &output)
-                .expect("inference succeeds");
-            let logits = output.read_f64(len).expect("logits readable");
+            let (logits, rtt) = classify.invoke_timed(&image).expect("inference succeeds");
             let (best_class, best_logit) = logits
                 .iter()
                 .enumerate()
@@ -72,5 +67,5 @@ fn main() {
         }
     }
 
-    invoker.deallocate().expect("deallocation succeeds");
+    session.close().expect("deallocation succeeds");
 }

@@ -4,7 +4,7 @@
 //! JSON-oriented serialization facade with the same *spelling* as serde —
 //! `use serde::{Serialize, Deserialize}` and `#[derive(Serialize,
 //! Deserialize)]` work unchanged — but a much smaller model: values
-//! serialize into a [`Value`] tree (see [`serde_json`] for text output)
+//! serialize into a [`Value`] tree (see the `serde_json` shim for text output)
 //! instead of driving a generic `Serializer`. The derive macros live in
 //! `serde_derive` and are re-exported here, matching serde's `derive`
 //! feature layout.

@@ -7,10 +7,7 @@
 
 use cluster_sim::{NodeResources, TenantFleet};
 use rdma_fabric::Fabric;
-use rfaas::{
-    GroupLifecycleDriver, Invoker, LeaseRequest, ManagerGroup, PollingMode, RFaasConfig,
-    SpotExecutor,
-};
+use rfaas::{GroupLifecycleDriver, ManagerGroup, RFaasConfig, Session, SpotExecutor};
 use rfaas_bench::{evaluation_package, Testbed, PACKAGE};
 use sandbox::FunctionRegistry;
 use sim_core::{DeterministicRng, LatencyHistogram, SimDuration};
@@ -25,40 +22,31 @@ fn run_scenario(seed: u64) -> String {
     let mut histogram = LatencyHistogram::new();
 
     for client_idx in 0..2 {
-        let mut invoker = testbed.invoker(&format!("det-client-{client_idx}"));
         for round in 0..3 {
             let cores = rng.range_u64(1, 4) as u32;
-            invoker
-                .allocate(
-                    LeaseRequest::single_worker(PACKAGE)
-                        .with_cores(cores)
-                        .with_memory_mib(2048),
-                    PollingMode::Hot,
-                )
+            let session = testbed
+                .session(&format!("det-client-{client_idx}"))
+                .workers(cores)
+                .memory_mib(2048)
+                .connect()
                 .unwrap();
-            let lease = invoker.lease().unwrap();
+            let lease = session.lease().unwrap();
             transcript.push_str(&format!(
                 "client {client_idx} round {round}: lease cores={} node={}\n",
                 lease.cores, lease.executor_node
             ));
 
-            let alloc = invoker.allocator();
+            let echo = session.function::<[u8], [u8]>("echo").unwrap();
             let invocations = rng.range_u64(2, 6);
             for _ in 0..invocations {
                 let payload = rng.range_u64(1, 4096) as usize;
-                let input = alloc.input(payload.max(8));
-                let output = alloc.output(payload.max(8));
-                input
-                    .write_payload(&workloads::generate_payload(payload, seed))
-                    .unwrap();
-                let (len, rtt) = invoker
-                    .invoke_sync("echo", &input, payload, &output)
-                    .unwrap();
-                assert_eq!(len, payload);
+                let data = workloads::generate_payload(payload, seed);
+                let (reply, rtt) = echo.invoke_timed(&data[..]).unwrap();
+                assert_eq!(reply.len(), payload);
                 histogram.record(rtt);
                 transcript.push_str(&format!("invoke {payload} B -> {} ns\n", rtt.as_nanos()));
             }
-            invoker.deallocate().unwrap();
+            session.close().unwrap();
         }
     }
 
@@ -137,38 +125,34 @@ fn run_sharded_scenario(seed: u64) -> String {
     for (episode, request) in requests.iter().enumerate() {
         driver.step(request.arrival);
         let shard = group.shard_for_tenant(&request.tenant);
-        let mut invoker = Invoker::new(
+        let session = Session::builder(
             &fabric,
             &format!("{}-det{episode}", request.tenant),
             &group.manager_for_tenant(&request.tenant),
-            config.clone(),
-        );
-        invoker.clock().advance_to(request.arrival);
-        let mut lease_request = LeaseRequest::single_worker(PACKAGE)
-            .with_cores(request.cores)
-            .with_memory_mib(request.memory_mib);
-        lease_request.timeout = request.lease_timeout.max(SimDuration::from_secs(30));
-        invoker.allocate(lease_request, PollingMode::Hot).unwrap();
-        let lease = invoker.lease().unwrap();
+            PACKAGE,
+        )
+        .config(config.clone())
+        .workers(request.cores)
+        .memory_mib(request.memory_mib)
+        .lease_timeout(request.lease_timeout.max(SimDuration::from_secs(30)))
+        .starting_at(request.arrival)
+        .connect()
+        .unwrap();
+        let lease = session.lease().unwrap();
         assert_eq!(group.shard_of_lease(lease.id), Some(shard));
         transcript.push_str(&format!(
             "episode {episode}: tenant {} -> shard {shard}, lease {} on {}\n",
             request.tenant, lease.id, lease.executor_node
         ));
 
-        let alloc = invoker.allocator();
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
         let payload = workloads::generate_payload(request.payload_bytes.clamp(8, 4096), seed);
-        let input = alloc.input(payload.len());
-        let output = alloc.output(payload.len());
-        input.write_payload(&payload).unwrap();
         for _ in 0..request.invocations.min(3) {
-            let (len, rtt) = invoker
-                .invoke_sync("echo", &input, payload.len(), &output)
-                .unwrap();
-            assert_eq!(len, payload.len());
+            let (reply, rtt) = echo.invoke_timed(&payload[..]).unwrap();
+            assert_eq!(reply.len(), payload.len());
             transcript.push_str(&format!("  invoke -> {} ns\n", rtt.as_nanos()));
         }
-        invoker.deallocate().unwrap();
+        session.close().unwrap();
     }
 
     // Per-shard billing totals, bit-exact.

@@ -1,17 +1,17 @@
 //! End-to-end integration tests spanning the resource manager, spot
-//! executors, the client library and the billing database.
+//! executors, the typed session API and the billing database.
 
-use rfaas::{LeaseRequest, LifecycleDriver, PollingMode, RFaasError};
-use rfaas_bench::{Testbed, PACKAGE};
+use rfaas::{LifecycleDriver, PollingMode, RFaasError};
+use rfaas_bench::Testbed;
 use sandbox::SandboxType;
 use sim_core::SimDuration;
 
 #[test]
 fn multiple_clients_share_the_executor_pool() {
     let testbed = Testbed::new(2);
-    let mut invokers: Vec<_> = (0..4)
+    let sessions: Vec<_> = (0..4)
         .map(|i| {
-            testbed.allocated_invoker(
+            testbed.allocated_session(
                 &format!("client-{i}"),
                 2,
                 SandboxType::BareMetal,
@@ -22,20 +22,16 @@ fn multiple_clients_share_the_executor_pool() {
     assert_eq!(testbed.manager.lease_count(), 4);
 
     // Every client can invoke independently and receives its own data back.
-    for (i, invoker) in invokers.iter().enumerate() {
-        let alloc = invoker.allocator();
-        let input = alloc.input(1024);
-        let output = alloc.output(1024);
+    for (i, session) in sessions.iter().enumerate() {
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
         let payload = vec![i as u8 + 1; 512];
-        input.write_payload(&payload).unwrap();
-        let (len, _) = invoker.invoke_sync("echo", &input, 512, &output).unwrap();
-        assert_eq!(output.read_payload(len).unwrap(), payload);
+        assert_eq!(echo.invoke(&payload[..]).unwrap(), payload);
     }
 
-    // Releasing the leases returns every core to the pool.
+    // Closing the sessions returns every core to the pool.
     let total_before = testbed.manager.available_resources().cores;
-    for invoker in invokers.iter_mut() {
-        invoker.deallocate().unwrap();
+    for session in sessions {
+        session.close().unwrap();
     }
     let total_after = testbed.manager.available_resources().cores;
     assert_eq!(total_after, total_before + 4 * 2);
@@ -46,36 +42,27 @@ fn multiple_clients_share_the_executor_pool() {
 fn leases_are_spread_round_robin_and_exhaustion_is_reported() {
     let testbed = Testbed::new(2);
     // 2 nodes x 36 cores; leases of 20 cores each -> only 2 fit.
-    let mut first = testbed.invoker("c1");
-    first
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(20)
-                .with_memory_mib(1024),
-            PollingMode::Hot,
-        )
+    let first = testbed
+        .session("c1")
+        .workers(20)
+        .memory_mib(1024)
+        .connect()
         .unwrap();
-    let mut second = testbed.invoker("c2");
-    second
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(20)
-                .with_memory_mib(1024),
-            PollingMode::Hot,
-        )
+    let second = testbed
+        .session("c2")
+        .workers(20)
+        .memory_mib(1024)
+        .connect()
         .unwrap();
     let first_node = first.lease().unwrap().executor_node.clone();
     let second_node = second.lease().unwrap().executor_node.clone();
     assert_ne!(first_node, second_node, "round-robin placement");
 
-    let mut third = testbed.invoker("c3");
-    let err = third
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(20)
-                .with_memory_mib(1024),
-            PollingMode::Hot,
-        )
+    let err = testbed
+        .session("c3")
+        .workers(20)
+        .memory_mib(1024)
+        .connect()
         .unwrap_err();
     assert!(matches!(err, RFaasError::InsufficientResources { .. }));
 }
@@ -83,25 +70,22 @@ fn leases_are_spread_round_robin_and_exhaustion_is_reported() {
 #[test]
 fn billing_accumulates_through_rdma_atomics() {
     let testbed = Testbed::new(1);
-    let mut invoker = testbed.allocated_invoker(
+    let session = testbed.allocated_session(
         "billing-client",
         1,
         SandboxType::BareMetal,
         PollingMode::Hot,
     );
-    let lease = invoker.lease().unwrap().clone();
-    let alloc = invoker.allocator();
-    let input = alloc.input(1024 * 1024);
-    let output = alloc.output(1024 * 1024);
-    input
-        .write_payload(&workloads::generate_payload(1024 * 1024, 5))
-        .unwrap();
+    let lease = session.lease().unwrap().clone();
+    let echo = session
+        .function::<[u8], [u8]>("echo")
+        .unwrap()
+        .with_output_capacity(1024 * 1024);
+    let payload = workloads::generate_payload(1024 * 1024, 5);
     for _ in 0..5 {
-        invoker
-            .invoke_sync("echo", &input, 1024 * 1024, &output)
-            .unwrap();
+        echo.invoke(&payload[..]).unwrap();
     }
-    invoker.deallocate().unwrap();
+    session.close().unwrap();
     let usage = testbed.manager.lease_usage(&lease);
     // Allocation time must have been recorded; echo itself has no cost model,
     // so compute time may be zero, but the platform cost must be positive.
@@ -112,21 +96,18 @@ fn billing_accumulates_through_rdma_atomics() {
 #[test]
 fn warm_oversubscription_rejects_and_client_redirects() {
     let testbed = Testbed::new(1);
-    let mut invoker = testbed.invoker("oversub-client");
-    invoker
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(1)
-                .with_memory_mib(1024),
-            PollingMode::Warm,
-        )
+    let session = testbed
+        .session("oversub-client")
+        .memory_mib(1024)
+        .polling(PollingMode::Warm)
+        .connect()
         .unwrap();
     // Oversubscribe: 4 workers share the single leased core.
     let executor = testbed
         .manager
-        .executor(&invoker.lease().unwrap().executor_node)
+        .executor(&session.lease().unwrap().executor_node)
         .unwrap();
-    let lease = invoker.lease().unwrap().clone();
+    let lease = session.lease().unwrap().clone();
     let oversubscribed = executor
         .allocator()
         .allocate_with_workers(&lease, 4, PollingMode::Warm);
@@ -138,7 +119,7 @@ fn warm_oversubscription_rejects_and_client_redirects() {
         assert_eq!(result.workers.len(), 4);
         executor.allocator().deallocate(result.process_id).unwrap();
     }
-    invoker.deallocate().unwrap();
+    session.close().unwrap();
 }
 
 #[test]
@@ -152,50 +133,45 @@ fn heartbeats_and_lease_expiry_reclaim_resources() {
     assert!(failed.contains(&"spot-01".to_string()));
     assert!(!failed.contains(&"spot-00".to_string()) || failed.len() == 2);
 
-    let mut invoker = testbed.invoker("expiry-client");
-    let mut request = LeaseRequest::single_worker(PACKAGE)
-        .with_cores(1)
-        .with_memory_mib(512);
-    request.timeout = SimDuration::from_secs(5);
-    invoker.allocate(request, PollingMode::Hot).unwrap();
+    let session = testbed
+        .session("expiry-client")
+        .memory_mib(512)
+        .lease_timeout(SimDuration::from_secs(5))
+        .connect()
+        .unwrap();
     let expired = testbed
         .manager
         .expired_leases(testbed.manager.clock().now() + SimDuration::from_secs(10));
     assert_eq!(expired.len(), 1);
     testbed.manager.release_lease(expired[0]).unwrap();
     assert_eq!(testbed.manager.lease_count(), 0);
+    drop(session);
 }
 
 #[test]
 fn invocation_after_expiry_gets_lease_expired_and_recovers_transparently() {
     let testbed = Testbed::new(2);
-    let mut invoker = testbed.invoker("expiry-recovery-client");
-    let mut request = LeaseRequest::single_worker(PACKAGE)
-        .with_cores(1)
-        .with_memory_mib(1024);
-    request.timeout = SimDuration::from_secs(10);
-    invoker.allocate(request, PollingMode::Hot).unwrap();
-    let first_lease = invoker.lease().unwrap();
+    let session = testbed
+        .session("expiry-recovery-client")
+        .memory_mib(1024)
+        .lease_timeout(SimDuration::from_secs(10))
+        .connect()
+        .unwrap();
+    let first_lease = session.lease().unwrap();
 
-    let alloc = invoker.allocator();
-    let input = alloc.input(256);
-    let output = alloc.output(256);
-    input.write_payload(&[42u8; 32]).unwrap();
-    let (len, _) = invoker.invoke_sync("echo", &input, 32, &output).unwrap();
-    assert_eq!(len, 32);
-    assert_eq!(invoker.recoveries(), 0);
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
+    assert_eq!(echo.invoke(&[42u8; 32][..]).unwrap(), vec![42u8; 32]);
+    assert_eq!(session.recoveries(), 0);
 
     // Jump the client far past the lease expiry. The next invocation arrives
     // at the worker with that late timestamp, the worker's clock synchronises
     // to it, and the executor-side enforcement refuses the invocation with
-    // LeaseExpired — upon which the invoker transparently re-allocates and
+    // LeaseExpired — upon which the session transparently re-allocates and
     // replays it.
-    invoker.clock().advance(SimDuration::from_secs(60));
-    let (len, _) = invoker.invoke_sync("echo", &input, 32, &output).unwrap();
-    assert_eq!(len, 32);
-    assert_eq!(output.read_payload(32).unwrap(), vec![42u8; 32]);
-    assert_eq!(invoker.recoveries(), 1);
-    let second_lease = invoker.lease().unwrap();
+    session.clock().advance(SimDuration::from_secs(60));
+    assert_eq!(echo.invoke(&[42u8; 32][..]).unwrap(), vec![42u8; 32]);
+    assert_eq!(session.recoveries(), 1);
+    let second_lease = session.lease().unwrap();
     assert_ne!(second_lease.id, first_lease.id);
     assert!(second_lease.expires_at > first_lease.expires_at);
     // The expired lease is gone from the manager; the fresh one is live.
@@ -206,19 +182,19 @@ fn invocation_after_expiry_gets_lease_expired_and_recovers_transparently() {
 #[test]
 fn lease_renewal_keeps_the_worker_past_the_original_expiry() {
     let testbed = Testbed::new(1);
-    let mut invoker = testbed.invoker("renewal-client");
-    let mut request = LeaseRequest::single_worker(PACKAGE)
-        .with_cores(1)
-        .with_memory_mib(1024);
-    request.timeout = SimDuration::from_secs(10);
-    invoker.allocate(request, PollingMode::Hot).unwrap();
-    let original_expiry = invoker.lease().unwrap().expires_at;
+    let session = testbed
+        .session("renewal-client")
+        .memory_mib(1024)
+        .lease_timeout(SimDuration::from_secs(10))
+        .connect()
+        .unwrap();
+    let original_expiry = session.lease().unwrap().expires_at;
 
     // Renew shortly before the lease would lapse.
-    invoker.clock().advance(SimDuration::from_secs(8));
-    let new_expiry = invoker.extend_lease(SimDuration::from_secs(120)).unwrap();
+    session.clock().advance(SimDuration::from_secs(8));
+    let new_expiry = session.extend_lease(SimDuration::from_secs(120)).unwrap();
     assert!(new_expiry > original_expiry);
-    let lease = invoker.lease().unwrap();
+    let lease = session.lease().unwrap();
     assert_eq!(lease.expires_at, new_expiry);
     assert_eq!(
         testbed.manager.lease(lease.id).unwrap().expires_at,
@@ -227,37 +203,26 @@ fn lease_renewal_keeps_the_worker_past_the_original_expiry() {
 
     // Well past the original expiry the same worker still serves us — no
     // LeaseExpired, no recovery, same lease.
-    invoker.clock().advance(SimDuration::from_secs(60));
-    let alloc = invoker.allocator();
-    let input = alloc.input(128);
-    let output = alloc.output(128);
-    input.write_payload(&[7u8; 16]).unwrap();
-    let (len, _) = invoker.invoke_sync("echo", &input, 16, &output).unwrap();
-    assert_eq!(len, 16);
-    assert_eq!(invoker.recoveries(), 0);
-    assert_eq!(invoker.lease().unwrap().id, lease.id);
+    session.clock().advance(SimDuration::from_secs(60));
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
+    assert_eq!(echo.invoke(&[7u8; 16][..]).unwrap(), vec![7u8; 16]);
+    assert_eq!(session.recoveries(), 0);
+    assert_eq!(session.lease().unwrap().id, lease.id);
 }
 
 #[test]
 fn executor_failure_is_detected_and_the_client_recovers_elsewhere() {
     let testbed = Testbed::new(2);
     let driver = LifecycleDriver::new(&testbed.manager);
-    let mut invoker = testbed.invoker("failover-client");
-    invoker
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(1)
-                .with_memory_mib(1024),
-            PollingMode::Hot,
-        )
+    let session = testbed
+        .session("failover-client")
+        .memory_mib(1024)
+        .connect()
         .unwrap();
-    let lease = invoker.lease().unwrap();
+    let lease = session.lease().unwrap();
 
-    let alloc = invoker.allocator();
-    let input = alloc.input(256);
-    let output = alloc.output(256);
-    input.write_payload(&[9u8; 24]).unwrap();
-    invoker.invoke_sync("echo", &input, 24, &output).unwrap();
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
+    echo.invoke(&[9u8; 24][..]).unwrap();
 
     // Both executors heartbeat, then the lease's host dies.
     let t0 = testbed.manager.clock().now();
@@ -277,85 +242,69 @@ fn executor_failure_is_detected_and_the_client_recovers_elsewhere() {
 
     // The client's next invocation finds its connections dead, transparently
     // re-allocates from the manager and lands on the surviving executor.
-    invoker.clock().advance_to(later);
-    let (len, _) = invoker.invoke_sync("echo", &input, 24, &output).unwrap();
-    assert_eq!(len, 24);
-    assert_eq!(output.read_payload(24).unwrap(), vec![9u8; 24]);
-    assert_eq!(invoker.recoveries(), 1);
-    let recovered = invoker.lease().unwrap();
+    session.clock().advance_to(later);
+    assert_eq!(echo.invoke(&[9u8; 24][..]).unwrap(), vec![9u8; 24]);
+    assert_eq!(session.recoveries(), 1);
+    let recovered = session.lease().unwrap();
     assert_ne!(recovered.executor_node, lease.executor_node);
 }
 
 #[test]
 fn stale_futures_share_one_recovery_instead_of_cascading() {
     let testbed = Testbed::new(2);
-    let mut invoker = testbed.invoker("stale-future-client");
-    let mut request = LeaseRequest::single_worker(PACKAGE)
-        .with_cores(1)
-        .with_memory_mib(1024);
-    request.timeout = SimDuration::from_secs(10);
-    invoker.allocate(request, PollingMode::Hot).unwrap();
-
-    let alloc = invoker.allocator();
-    let inputs: Vec<_> = (0..2).map(|_| alloc.input(128)).collect();
-    let outputs: Vec<_> = (0..2).map(|_| alloc.output(128)).collect();
-    for input in &inputs {
-        input.write_payload(&[5u8; 16]).unwrap();
-    }
+    let session = testbed
+        .session("stale-future-client")
+        .memory_mib(1024)
+        .lease_timeout(SimDuration::from_secs(10))
+        .connect()
+        .unwrap();
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
 
     // Both futures are submitted after the lease expired, so both hit the
     // executor-side LeaseExpired enforcement. The first wait() re-allocates;
     // the second must detect that its allocation epoch is stale and reuse the
     // recovered allocation instead of tearing it down and re-allocating again.
-    invoker.clock().advance(SimDuration::from_secs(60));
-    let f1 = invoker.submit("echo", &inputs[0], 16, &outputs[0]).unwrap();
-    let f2 = invoker.submit("echo", &inputs[1], 16, &outputs[1]).unwrap();
-    assert_eq!(f1.wait().unwrap(), 16);
-    assert_eq!(f2.wait().unwrap(), 16);
+    session.clock().advance(SimDuration::from_secs(60));
+    let f1 = echo.submit(&[5u8; 16][..]).unwrap();
+    let f2 = echo.submit(&[5u8; 16][..]).unwrap();
+    assert_eq!(f1.wait().unwrap(), vec![5u8; 16]);
+    assert_eq!(f2.wait().unwrap(), vec![5u8; 16]);
     assert_eq!(
-        invoker.recoveries(),
+        session.recoveries(),
         1,
         "one expiry must cost one re-allocation, however many futures saw it"
     );
-    assert_eq!(outputs[1].read_payload(16).unwrap(), vec![5u8; 16]);
 }
 
 #[test]
 fn docker_and_bare_metal_executors_coexist() {
     let testbed = Testbed::new(2);
     let bare =
-        testbed.allocated_invoker("bare-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+        testbed.allocated_session("bare-client", 1, SandboxType::BareMetal, PollingMode::Hot);
     let docker =
-        testbed.allocated_invoker("docker-client", 1, SandboxType::Docker, PollingMode::Hot);
+        testbed.allocated_session("docker-client", 1, SandboxType::Docker, PollingMode::Hot);
     assert!(
         docker.cold_start().unwrap().total() > bare.cold_start().unwrap().total() * 10,
         "Docker cold start must be much slower than bare metal"
     );
-    for invoker in [&bare, &docker] {
-        let alloc = invoker.allocator();
-        let input = alloc.input(128);
-        let output = alloc.output(128);
-        input.write_payload(&[1, 2, 3]).unwrap();
-        let (len, _) = invoker.invoke_sync("echo", &input, 3, &output).unwrap();
-        assert_eq!(len, 3);
+    for session in [&bare, &docker] {
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        assert_eq!(echo.invoke(&[1u8, 2, 3][..]).unwrap(), vec![1, 2, 3]);
     }
 }
 
 #[test]
 fn lease_reuse_avoids_repeated_cold_starts() {
     let testbed = Testbed::new(1);
-    let invoker =
-        testbed.allocated_invoker("reuse-client", 1, SandboxType::BareMetal, PollingMode::Hot);
-    let cold_total = invoker.cold_start().unwrap().total();
-    let alloc = invoker.allocator();
-    let input = alloc.input(64);
-    let output = alloc.output(64);
-    input.write_payload(&[7u8; 16]).unwrap();
+    let session =
+        testbed.allocated_session("reuse-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let cold_total = session.cold_start().unwrap().total();
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
     // 100 consecutive warm/hot invocations on the cached lease must cost far
     // less in total than the single cold start.
     let mut total = SimDuration::ZERO;
     for _ in 0..100 {
-        let (_, rtt) = invoker.invoke_sync("echo", &input, 16, &output).unwrap();
+        let (_, rtt) = echo.invoke_timed(&[7u8; 16][..]).unwrap();
         total += rtt;
     }
     assert!(

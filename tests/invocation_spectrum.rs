@@ -9,9 +9,14 @@ use sandbox::SandboxType;
 use sim_core::{median, SimDuration};
 
 /// Median round-trip of `repetitions` echo invocations on a leased worker.
+///
+/// Driven through `Session::raw()`: the spectrum pins the zero-copy path
+/// (pre-registered buffers, explicit payload lengths), which is exactly what
+/// the raw escape hatch exists for.
 fn leased_median_us(mode: PollingMode, payload: usize, repetitions: usize) -> f64 {
     let testbed = Testbed::new(1);
-    let invoker = testbed.allocated_invoker("spectrum-client", 1, SandboxType::BareMetal, mode);
+    let session = testbed.allocated_session("spectrum-client", 1, SandboxType::BareMetal, mode);
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     let input = alloc.input(payload.max(8));
     let output = alloc.output(payload.max(8));
@@ -39,13 +44,14 @@ fn cold_median_us(payload: usize, repetitions: usize) -> f64 {
     let samples: Vec<f64> = (0..repetitions)
         .map(|rep| {
             let testbed = Testbed::new(1);
-            let mut invoker = testbed.allocated_invoker(
+            let session = testbed.allocated_session(
                 &format!("spectrum-cold-{rep}"),
                 1,
                 SandboxType::BareMetal,
                 PollingMode::Hot,
             );
-            let cold_start = invoker.cold_start().unwrap().total();
+            let invoker = session.raw();
+            let cold_start = session.cold_start().unwrap().total();
             let alloc = invoker.allocator();
             let input = alloc.input(payload.max(8));
             let output = alloc.output(payload.max(8));
@@ -55,7 +61,7 @@ fn cold_median_us(payload: usize, repetitions: usize) -> f64 {
             let (_, rtt) = invoker
                 .invoke_sync("echo", &input, payload, &output)
                 .unwrap();
-            invoker.deallocate().unwrap();
+            session.close().unwrap();
             (cold_start + rtt).as_micros_f64()
         })
         .collect();
@@ -97,12 +103,13 @@ fn spectrum_ordering_holds_across_payload_sizes() {
 fn hot_worker_demotes_to_warm_after_the_poll_timeout() {
     let config = RFaasConfig::paper_calibration();
     let testbed = Testbed::with_config(1, config.clone());
-    let invoker = testbed.allocated_invoker(
+    let session = testbed.allocated_session(
         "demotion-client",
         1,
         SandboxType::BareMetal,
         PollingMode::Hot,
     );
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     let input = alloc.input(64);
     let output = alloc.output(64);
@@ -169,12 +176,13 @@ fn adaptive_workers_bill_at_most_the_budget_per_idle_gap() {
     // hot-poll budget — and it never demotes (it already self-regulates).
     let config = RFaasConfig::paper_calibration();
     let testbed = Testbed::with_config(1, config.clone());
-    let invoker = testbed.allocated_invoker(
+    let session = testbed.allocated_session(
         "adaptive-client",
         1,
         SandboxType::BareMetal,
         PollingMode::Adaptive,
     );
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     let input = alloc.input(64);
     let output = alloc.output(64);
@@ -200,8 +208,9 @@ fn disabling_the_timeout_keeps_workers_hot_forever() {
     let mut config = RFaasConfig::paper_calibration();
     config.hot_poll_timeout = SimDuration::ZERO;
     let testbed = Testbed::with_config(1, config);
-    let invoker =
-        testbed.allocated_invoker("no-demotion", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let session =
+        testbed.allocated_session("no-demotion", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let invoker = session.raw();
     let alloc = invoker.allocator();
     let input = alloc.input(64);
     let output = alloc.output(64);

@@ -14,24 +14,12 @@ fn measure_median_us(
     repetitions: usize,
 ) -> f64 {
     let testbed = Testbed::new(1);
-    let invoker = testbed.allocated_invoker("latency-client", 1, sandbox, mode);
-    let alloc = invoker.allocator();
-    let input = alloc.input(payload.max(8));
-    let output = alloc.output(payload.max(8));
-    input
-        .write_payload(&workloads::generate_payload(payload, 3))
-        .unwrap();
-    invoker
-        .invoke_sync("echo", &input, payload, &output)
-        .unwrap();
+    let session = testbed.allocated_session("latency-client", 1, sandbox, mode);
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
+    let data = workloads::generate_payload(payload, 3);
+    echo.invoke(&data[..]).unwrap();
     let samples: Vec<f64> = (0..repetitions)
-        .map(|_| {
-            invoker
-                .invoke_sync("echo", &input, payload, &output)
-                .unwrap()
-                .1
-                .as_micros_f64()
-        })
+        .map(|_| echo.invoke_timed(&data[..]).unwrap().1.as_micros_f64())
         .collect();
     median(&samples)
 }
@@ -136,32 +124,21 @@ fn parallel_hot_invocations_scale_until_bandwidth_saturates() {
     // number of workers because the client link saturates (Fig. 10).
     let testbed = Testbed::new(1);
     let workers = 8usize;
-    let invoker = testbed.allocated_invoker(
+    let session = testbed.allocated_session(
         "parallel-client",
         workers as u32,
         SandboxType::BareMetal,
         PollingMode::Hot,
     );
-    let alloc = invoker.allocator();
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
 
     let batch = |payload: usize| -> f64 {
-        let inputs: Vec<_> = (0..workers).map(|_| alloc.input(payload)).collect();
-        let outputs: Vec<_> = (0..workers).map(|_| alloc.output(payload)).collect();
         let data = workloads::generate_payload(payload, 1);
-        for input in &inputs {
-            input.write_payload(&data).unwrap();
-        }
-        let start = invoker.clock().now();
-        let futures: Vec<_> = inputs
-            .iter()
-            .zip(outputs.iter())
-            .enumerate()
-            .map(|(w, (i, o))| invoker.submit_to_worker(w, "echo", i, payload, o).unwrap())
-            .collect();
-        for f in futures {
-            f.wait().unwrap();
-        }
-        invoker
+        let chunks: Vec<&[u8]> = (0..workers).map(|_| data.as_slice()).collect();
+        let start = session.clock().now();
+        let set = echo.map_workers(chunks.iter().copied()).unwrap();
+        set.wait_all().unwrap();
+        session
             .clock()
             .now()
             .saturating_since(start)

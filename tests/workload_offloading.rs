@@ -1,32 +1,27 @@
 //! Integration tests offloading every evaluation workload through the full
-//! rFaaS stack and checking the results against local execution.
+//! rFaaS stack — via the typed session API — and checking the results
+//! against local execution.
 
 use rfaas::PollingMode;
-use rfaas::{LeaseRequest, RFaasConfig};
-use rfaas_bench::{Testbed, PACKAGE};
+use rfaas_bench::Testbed;
 use sandbox::SandboxType;
-use workloads::blackscholes::{options_to_bytes, price_batch};
+use workloads::blackscholes::price_batch;
 use workloads::jacobi::{encode_install, encode_iterate, jacobi_sweep_rows};
 use workloads::matmul::{encode_matmul_request, multiply_rows, random_matrix};
-use workloads::payload::bytes_to_f64s;
-use workloads::{generate_options, Image, InferenceModel, InputSizes, JacobiSystem};
+use workloads::{generate_options, Image, InferenceModel, InputSizes, JacobiSystem, OptionBatch};
 
 #[test]
 fn offloaded_blackscholes_matches_local_pricing() {
     let testbed = Testbed::new(1);
-    let invoker =
-        testbed.allocated_invoker("bs-client", 2, SandboxType::BareMetal, PollingMode::Hot);
-    let options = generate_options(10_000, 17);
-    let payload = options_to_bytes(&options);
-    let alloc = invoker.allocator();
-    let input = alloc.input(payload.len());
-    let output = alloc.output(options.len() * 8);
-    input.write_payload(&payload).unwrap();
-    let (len, rtt) = invoker
-        .invoke_sync("blackscholes", &input, payload.len(), &output)
-        .unwrap();
-    assert_eq!(len, options.len() * 8);
-    assert_eq!(output.read_f64(len).unwrap(), price_batch(&options));
+    let session =
+        testbed.allocated_session("bs-client", 2, SandboxType::BareMetal, PollingMode::Hot);
+    let options = OptionBatch(generate_options(10_000, 17));
+    let pricer = session
+        .function::<OptionBatch, [f64]>("blackscholes")
+        .unwrap()
+        .with_output_capacity(options.len() * 8);
+    let (prices, rtt) = pricer.invoke_timed(&options).unwrap();
+    assert_eq!(prices, price_batch(&options));
     // 10 000 options at 80 ns each plus ~40 us of data movement.
     let rtt_us = rtt.as_micros_f64();
     assert!(
@@ -38,18 +33,15 @@ fn offloaded_blackscholes_matches_local_pricing() {
 #[test]
 fn offloaded_thumbnailer_produces_a_valid_thumbnail() {
     let testbed = Testbed::new(1);
-    let invoker =
-        testbed.allocated_invoker("thumb-client", 1, SandboxType::Docker, PollingMode::Warm);
+    let session =
+        testbed.allocated_session("thumb-client", 1, SandboxType::Docker, PollingMode::Warm);
     let image = Image::synthetic(InputSizes::THUMBNAIL_LARGE, 9);
-    let payload = image.encode();
-    let alloc = invoker.allocator();
-    let input = alloc.input(payload.len());
-    let output = alloc.output(300 * 1024);
-    input.write_payload(&payload).unwrap();
-    let (len, rtt) = invoker
-        .invoke_sync("thumbnailer", &input, payload.len(), &output)
-        .unwrap();
-    let thumbnail = Image::decode(&output.read_payload(len).unwrap()).unwrap();
+    // Image in, image out: the result decodes straight through the codec.
+    let thumbnailer = session
+        .function::<Image, Image>("thumbnailer")
+        .unwrap()
+        .with_output_capacity(300 * 1024);
+    let (thumbnail, rtt) = thumbnailer.invoke_timed(&image).unwrap();
     assert_eq!(thumbnail.width, 256);
     assert_eq!(thumbnail.height, 256);
     // End-to-end latency is dominated by the ~115 ms resize cost model.
@@ -63,18 +55,14 @@ fn offloaded_thumbnailer_produces_a_valid_thumbnail() {
 #[test]
 fn offloaded_inference_matches_local_model() {
     let testbed = Testbed::new(1);
-    let invoker =
-        testbed.allocated_invoker("ml-client", 1, SandboxType::BareMetal, PollingMode::Hot);
+    let session =
+        testbed.allocated_session("ml-client", 1, SandboxType::BareMetal, PollingMode::Hot);
     let image = Image::synthetic(InputSizes::INFERENCE_SMALL, 23);
-    let payload = image.encode();
-    let alloc = invoker.allocator();
-    let input = alloc.input(payload.len());
-    let output = alloc.output(1000 * 8);
-    input.write_payload(&payload).unwrap();
-    let (len, _) = invoker
-        .invoke_sync("image-recognition", &input, payload.len(), &output)
-        .unwrap();
-    let remote_logits = output.read_f64(len).unwrap();
+    let classify = session
+        .function::<Image, [f64]>("image-recognition")
+        .unwrap()
+        .with_output_capacity(1000 * 8);
+    let remote_logits = classify.invoke(&image).unwrap();
     let local_logits = InferenceModel::pretrained(50).forward(&image);
     assert_eq!(remote_logits.len(), local_logits.len());
     for (r, l) in remote_logits.iter().zip(local_logits.iter()) {
@@ -85,29 +73,22 @@ fn offloaded_inference_matches_local_model() {
 #[test]
 fn offloaded_matmul_half_matches_local_kernel() {
     let n = 96;
-    let mut config = RFaasConfig::paper_calibration();
+    let mut config = rfaas::RFaasConfig::paper_calibration();
     config.max_payload_bytes = 2 * n * n * 8 + 4096;
     let testbed = Testbed::with_config(1, config);
-    let mut invoker = testbed.invoker("mm-client");
-    invoker
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(1)
-                .with_memory_mib(2048),
-            PollingMode::Hot,
-        )
+    let session = testbed
+        .session("mm-client")
+        .memory_mib(2048)
+        .connect()
         .unwrap();
     let a = random_matrix(n, 1);
     let b = random_matrix(n, 2);
     let request = encode_matmul_request(&a, &b, n, n / 2, n);
-    let alloc = invoker.allocator();
-    let input = alloc.input(request.len());
-    let output = alloc.output((n / 2) * n * 8);
-    input.write_payload(&request).unwrap();
-    let (len, _) = invoker
-        .invoke_sync("matmul", &input, request.len(), &output)
-        .unwrap();
-    let remote = bytes_to_f64s(&output.read_payload(len).unwrap());
+    let matmul = session
+        .function::<[u8], [f64]>("matmul")
+        .unwrap()
+        .with_output_capacity((n / 2) * n * 8);
+    let remote = matmul.invoke(&request[..]).unwrap();
     let local = multiply_rows(&a, &b, n, n / 2, n);
     assert_eq!(remote.len(), local.len());
     for (r, l) in remote.iter().zip(local.iter()) {
@@ -119,22 +100,19 @@ fn offloaded_matmul_half_matches_local_kernel() {
 fn distributed_jacobi_converges_with_cached_system() {
     let n = 120;
     let iterations = 60;
-    let mut config = RFaasConfig::paper_calibration();
+    let mut config = rfaas::RFaasConfig::paper_calibration();
     config.max_payload_bytes = n * n * 8 + 64 * 1024;
     let testbed = Testbed::with_config(1, config.clone());
-    let mut invoker = testbed.invoker("jacobi-client");
-    invoker
-        .allocate(
-            LeaseRequest::single_worker(PACKAGE)
-                .with_cores(1)
-                .with_memory_mib(2048),
-            PollingMode::Hot,
-        )
+    let session = testbed
+        .session("jacobi-client")
+        .memory_mib(2048)
+        .connect()
         .unwrap();
     let system = JacobiSystem::generate(n, 77);
-    let alloc = invoker.allocator();
-    let input = alloc.input(config.max_payload_bytes);
-    let output = alloc.output(n * 8);
+    let jacobi = session
+        .function::<[u8], [f64]>("jacobi")
+        .unwrap()
+        .with_output_capacity(n * 8);
     let mut x = vec![0.0f64; n];
     let mut install_bytes = 0usize;
     let mut iterate_bytes = 0usize;
@@ -148,11 +126,7 @@ fn distributed_jacobi_converges_with_cached_system() {
             iterate_bytes = m.len();
             m
         };
-        input.write_payload(&message).unwrap();
-        let (len, _) = invoker
-            .invoke_sync("jacobi", &input, message.len(), &output)
-            .unwrap();
-        let remote = output.read_f64(len).unwrap();
+        let remote = jacobi.invoke(&message[..]).unwrap();
         let local = jacobi_sweep_rows(&system, &x, 0, n / 2);
         x[..n / 2].copy_from_slice(&local);
         x[n / 2..].copy_from_slice(&remote);

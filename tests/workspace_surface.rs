@@ -7,9 +7,7 @@
 
 use rfaas_repro::cluster_sim::NodeResources;
 use rfaas_repro::rdma_fabric::Fabric;
-use rfaas_repro::rfaas::{
-    Invoker, LeaseRequest, PollingMode, RFaasConfig, ResourceManager, SpotExecutor,
-};
+use rfaas_repro::rfaas::{RFaasConfig, ResourceManager, Session, SpotExecutor};
 use rfaas_repro::sandbox::{echo_function, CodePackage, FunctionRegistry};
 
 /// Mirror of the `rfaas` crate-level doc example, invoked through the
@@ -32,18 +30,14 @@ fn rfaas_doc_example_flow_runs() {
     );
     manager.register_executor(&executor);
 
-    let mut invoker = Invoker::new(&fabric, "client", &manager, RFaasConfig::default());
-    invoker
-        .allocate(LeaseRequest::single_worker("demo"), PollingMode::Hot)
+    let session = Session::builder(&fabric, "client", &manager, "demo")
+        .connect()
         .unwrap();
-    let alloc = invoker.allocator();
-    let input = alloc.input(64);
-    let output = alloc.output(64);
-    input.write_payload(b"hello rfaas").unwrap();
-    let (len, rtt) = invoker.invoke_sync("echo", &input, 11, &output).unwrap();
-    assert_eq!(output.read_payload(len).unwrap(), b"hello rfaas");
+    let echo = session.function::<[u8], [u8]>("echo").unwrap();
+    let (reply, rtt) = echo.invoke_timed(b"hello rfaas").unwrap();
+    assert_eq!(reply, b"hello rfaas");
     assert!(rtt.as_micros_f64() < 50.0);
-    invoker.deallocate().unwrap();
+    session.close().unwrap();
 }
 
 /// Every workspace layer is reachable through the umbrella crate, in DAG
