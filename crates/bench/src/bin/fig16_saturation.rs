@@ -1,0 +1,243 @@
+//! Figure 16: completion-driven saturation — in-flight depth vs throughput
+//! and tail latency on one client thread.
+//!
+//! The paper's invocation protocol gives every worker a single registered
+//! input slot, so sustaining N in-flight invocations means holding N live
+//! worker connections. A thread-per-connection client (and a thread-per-
+//! worker executor) stops scaling long before the fabric does; the reactor
+//! rebuilds both sides as completion-driven event loops: every session's
+//! worker connections register with one shared [`rfaas::Reactor`], every
+//! executor process multiplexes its workers' receive CQs over one
+//! [`rdma_fabric::CqSet`] dispatcher thread. This experiment measures what
+//! that buys: one client thread (one shared virtual clock) drives sessions
+//! whose combined worker count — the in-flight depth — sweeps 1 → 4096,
+//! and we record sustained throughput and the p99 gather latency per round.
+//!
+//! Expected shape: throughput climbs steeply with depth while the per-wave
+//! submit/pickup costs amortise, then saturates as the client clock's
+//! serial per-completion pickup work (Sec. III-C's completion-pickup cost)
+//! becomes the bottleneck; p99 grows with depth because the last completion
+//! of a wave queues behind every earlier pickup. The `--quick` run gates
+//! the headline claim: 1024 in-flight invocations on one client thread
+//! must sustain at least 5x the depth-1 invocation rate. The committed
+//! `BENCH_BASELINE.json` additionally pins depth-1 throughput, saturated
+//! throughput and saturated p99 (perf-snapshot job, ±15%).
+
+use cluster_sim::NodeResources;
+use rdma_fabric::Fabric;
+use rfaas::{PollingMode, RFaasConfig, Reactor, ResourceManager, Session, SpotExecutor};
+use rfaas_bench::{evaluation_package, print_table, quick_mode, ResultRow, PACKAGE};
+use sandbox::FunctionRegistry;
+use sim_core::{Summary, VirtualClock};
+
+/// Payload of every invocation: small on purpose, so the measured costs are
+/// the platform's per-invocation overheads, not payload bandwidth.
+const PAYLOAD_BYTES: usize = 64;
+
+struct DepthOutcome {
+    invocations: u64,
+    /// Sustained rate over the whole run, thousands of invocations per
+    /// second of client virtual time.
+    throughput_kinv_s: f64,
+    /// Per-invocation gather latencies (gather instant minus the round's
+    /// submit instant), microseconds.
+    latencies_us: Vec<f64>,
+    /// Completions pumped/dispatched by the shared reactor.
+    pumped: u64,
+    dispatched: u64,
+}
+
+/// Drive `rounds` full waves at a fixed in-flight depth: `sessions` sessions
+/// of `depth / sessions` workers each, all sharing one reactor and one
+/// client clock, each round scattering one invocation to every worker and
+/// gathering all of them through the reactor.
+fn run_depth(depth: usize, rounds: usize) -> DepthOutcome {
+    // Per-worker input buffers are sized by `max_payload_bytes`; the default
+    // 8 MiB would register gigabytes at depth 4096. Saturation is about
+    // invocation count, not payload size.
+    let mut config = RFaasConfig::paper_calibration();
+    config.max_payload_bytes = 4096;
+
+    let sessions = depth.min(8);
+    assert_eq!(depth % sessions, 0, "depth must split evenly over sessions");
+    let per_session = depth / sessions;
+
+    let fabric = Fabric::with_defaults();
+    let registry = FunctionRegistry::new();
+    registry.deploy(evaluation_package());
+    let manager = ResourceManager::new(&fabric, config.clone());
+    // One executor node per session, sized exactly to its lease, so
+    // placement is deterministic and every worker owns a core (hot workers
+    // hold their core for their lifetime).
+    for i in 0..sessions {
+        let executor = SpotExecutor::new(
+            &fabric,
+            &format!("sat-exec-{i:02}"),
+            NodeResources {
+                cores: per_session as u32,
+                memory_mib: 16 * 1024,
+            },
+            registry.clone(),
+            config.clone(),
+        );
+        manager.register_executor(&executor);
+    }
+
+    // The "one client thread": a single reactor draining every session's
+    // connections and a single virtual clock all submissions and pickups
+    // serialise on.
+    let reactor = Reactor::new();
+    let clock = VirtualClock::shared();
+    let session_handles: Vec<Session> = (0..sessions)
+        .map(|i| {
+            Session::builder(&fabric, &format!("sat-client-{i:02}"), &manager, PACKAGE)
+                .config(config.clone())
+                .workers(per_session as u32)
+                .memory_mib(1024)
+                .polling(PollingMode::Hot)
+                .reactor(&reactor)
+                .clock(&clock)
+                .connect()
+                .expect("saturation allocation succeeds")
+        })
+        .collect();
+    let functions: Vec<_> = session_handles
+        .iter()
+        .map(|s| {
+            s.function::<[u8], [u8]>("echo")
+                .expect("echo deployed")
+                .with_output_capacity(PAYLOAD_BYTES)
+        })
+        .collect();
+
+    let payload = [0xabu8; PAYLOAD_BYTES];
+    let inputs: Vec<&[u8]> = (0..per_session).map(|_| &payload[..]).collect();
+
+    let mut latencies_us = Vec::with_capacity(depth * rounds);
+    let mut invocations = 0u64;
+    let start = clock.now();
+    for _ in 0..rounds {
+        let round_start = clock.now();
+        // Scatter: one wave per session, `depth` invocations in flight
+        // before the first gather.
+        let mut sets: Vec<_> = functions
+            .iter()
+            .map(|f| {
+                f.map_workers(inputs.iter().copied())
+                    .expect("scatter succeeds")
+            })
+            .collect();
+        // Gather: the shared reactor dispatches completions of every
+        // session while any set is being drained.
+        for set in &mut sets {
+            while let Some((_, reply)) = set.wait_any().expect("gather succeeds") {
+                assert_eq!(reply.len(), PAYLOAD_BYTES);
+                latencies_us.push(clock.now().saturating_since(round_start).as_micros_f64());
+                invocations += 1;
+            }
+        }
+    }
+    let elapsed = clock.now().saturating_since(start);
+    let stats = reactor.stats();
+
+    for session in session_handles {
+        session.close().expect("release succeeds");
+    }
+
+    DepthOutcome {
+        invocations,
+        throughput_kinv_s: invocations as f64 / elapsed.as_secs_f64().max(1e-12) / 1e3,
+        latencies_us,
+        pumped: stats.pumped,
+        dispatched: stats.dispatched,
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (depths, rounds): (&[usize], usize) = if quick {
+        (&[1, 16, 256, 1024], 3)
+    } else {
+        (&[1, 4, 16, 64, 256, 1024, 4096], 6)
+    };
+
+    println!(
+        "# Figure 16: completion-driven saturation — one client thread, depth 1 -> {}",
+        depths.last().unwrap()
+    );
+    println!("# each depth: sessions x workers = depth connections sharing one reactor + one client clock, {rounds} full waves");
+
+    let mut rows = Vec::new();
+    let mut throughput_at = Vec::new();
+    for &depth in depths {
+        let outcome = run_depth(depth, rounds);
+        let latency = Summary::of(&outcome.latencies_us);
+        println!(
+            "# depth {depth}: {} invocations, {:.1} kinv/s, gather p50 {:.1} us, p99 {:.1} us, reactor pumped {} dispatched {}",
+            outcome.invocations,
+            outcome.throughput_kinv_s,
+            latency.median,
+            latency.p99,
+            outcome.pumped,
+            outcome.dispatched
+        );
+        assert_eq!(
+            outcome.invocations,
+            (depth * rounds) as u64,
+            "every scattered invocation must be gathered at depth {depth}"
+        );
+        assert!(
+            outcome.pumped >= outcome.invocations,
+            "the shared reactor must have pumped every completion at depth {depth}: {} < {}",
+            outcome.pumped,
+            outcome.invocations
+        );
+        rows.push(ResultRow {
+            series: "throughput".into(),
+            x: depth as f64,
+            median: outcome.throughput_kinv_s,
+            p99: outcome.throughput_kinv_s,
+            unit: "kinv/s".into(),
+        });
+        rows.push(ResultRow {
+            series: "gather latency".into(),
+            x: depth as f64,
+            median: latency.median,
+            p99: latency.p99,
+            unit: "us".into(),
+        });
+        throughput_at.push((depth, outcome.throughput_kinv_s));
+    }
+
+    print_table(
+        "In-flight depth vs throughput and gather latency, one client thread",
+        &rows,
+    );
+
+    // --- Regression gates -------------------------------------------------
+    let thr = |d: usize| {
+        throughput_at
+            .iter()
+            .find(|(n, _)| *n == d)
+            .map(|(_, t)| *t)
+            .expect("depth measured")
+    };
+    let saturated = depths.iter().copied().find(|&d| d >= 1024).unwrap_or(1);
+    assert!(
+        thr(saturated) >= 5.0 * thr(1),
+        "one client thread must sustain >= 5x the depth-1 rate at depth {saturated}: {:.1} vs {:.1} kinv/s",
+        thr(saturated),
+        thr(1)
+    );
+    // Throughput must not collapse past the knee: the saturated plateau
+    // (every depth >= 256) stays within 2x of the best depth measured.
+    let best = throughput_at.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+    for &(depth, t) in &throughput_at {
+        if depth >= 256 {
+            assert!(
+                t * 2.0 >= best,
+                "throughput collapsed past the knee at depth {depth}: {t:.1} vs best {best:.1} kinv/s"
+            );
+        }
+    }
+}

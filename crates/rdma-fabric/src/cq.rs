@@ -33,6 +33,7 @@ pub enum WaitMode {
 struct CqState {
     completions: VecDeque<WorkCompletion>,
     disconnected: bool,
+    notifier: Option<CqNotifier>,
 }
 
 #[derive(Debug)]
@@ -43,6 +44,57 @@ struct CqInner {
     node: Arc<FabricNode>,
     profile: NicProfile,
     function: DeviceFunction,
+}
+
+#[derive(Debug, Default)]
+struct NotifierState {
+    seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct NotifierInner {
+    state: Mutex<NotifierState>,
+    changed: Condvar,
+}
+
+/// Edge notification channel shared by every member of a [`CqSet`]: each
+/// delivery (or disconnect) on any member bumps a sequence number and wakes
+/// sleepers, so one thread can block on N rings at once without busy
+/// re-scanning them.
+#[derive(Debug, Clone, Default)]
+pub struct CqNotifier {
+    inner: Arc<NotifierInner>,
+}
+
+impl CqNotifier {
+    fn signal(&self) {
+        let mut state = self.inner.state.lock();
+        state.seq = state.seq.wrapping_add(1);
+        drop(state);
+        self.inner.changed.notify_all();
+    }
+
+    fn sequence(&self) -> u64 {
+        self.inner.state.lock().seq
+    }
+
+    /// Block until the sequence number moves past `seen` or the wall-clock
+    /// timeout expires. Returns `true` when woken by a signal.
+    fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        while state.seq == seen {
+            if self
+                .inner
+                .changed
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return state.seq != seen;
+            }
+        }
+        true
+    }
 }
 
 /// A completion queue bound to one consumer actor (its virtual clock) and one
@@ -82,14 +134,29 @@ impl CompletionQueue {
     pub(crate) fn push(&self, completion: WorkCompletion) {
         let mut state = self.inner.state.lock();
         state.completions.push_back(completion);
+        let notifier = state.notifier.clone();
         drop(state);
         self.inner.available.notify_all();
+        if let Some(notifier) = notifier {
+            notifier.signal();
+        }
     }
 
     /// Mark the CQ as disconnected so blocked waiters wake up with `None`.
     pub(crate) fn disconnect(&self) {
-        self.inner.state.lock().disconnected = true;
+        let mut state = self.inner.state.lock();
+        state.disconnected = true;
+        let notifier = state.notifier.clone();
+        drop(state);
         self.inner.available.notify_all();
+        if let Some(notifier) = notifier {
+            notifier.signal();
+        }
+    }
+
+    /// Whether the producing side has torn the connection down.
+    pub fn is_disconnected(&self) -> bool {
+        self.inner.state.lock().disconnected
     }
 
     /// Number of completions currently queued.
@@ -104,21 +171,50 @@ impl CompletionQueue {
     /// not advance virtual time: an idle spinning thread does no useful
     /// virtual work.
     pub fn poll(&self, max: usize) -> Vec<WorkCompletion> {
-        let mut state = self.inner.state.lock();
-        let n = state.completions.len().min(max);
-        let drained: Vec<WorkCompletion> = state.completions.drain(..n).collect();
-        drop(state);
-        for wc in &drained {
-            let pickup = self.inner.profile.completion_pickup
-                + self.inner.function.message_overhead(&self.inner.profile);
-            self.inner.clock.advance_to_then(wc.timestamp, pickup);
-        }
+        let mut drained = Vec::new();
+        self.poll_into(max, &mut drained);
         drained
     }
 
-    /// Poll a single completion without blocking.
+    /// Like [`CompletionQueue::poll`], but drains into a caller-owned scratch
+    /// buffer so the hot loop performs no steady-state allocations. Appends at
+    /// most `max` completions to `out` and returns how many were appended.
+    pub fn poll_into(&self, max: usize, out: &mut Vec<WorkCompletion>) -> usize {
+        let n = self.poll_uncharged_into(max, out);
+        for wc in &out[out.len() - n..] {
+            self.charge_poll_pickup(wc);
+        }
+        n
+    }
+
+    /// Drain up to `max` completions into `out` **without** touching the
+    /// consumer clock. This is the multiplexed-drain building block: an event
+    /// loop that serves several consumers from one thread drains rings
+    /// uncharged and then applies the per-consumer pickup cost (busy-poll or
+    /// blocking) via [`CompletionQueue::charge_poll_pickup`] /
+    /// [`CompletionQueue::charge_blocking_pickup`].
+    pub fn poll_uncharged_into(&self, max: usize, out: &mut Vec<WorkCompletion>) -> usize {
+        let mut state = self.inner.state.lock();
+        let n = state.completions.len().min(max);
+        out.extend(state.completions.drain(..n));
+        n
+    }
+
+    /// Poll a single completion without blocking (allocation-free).
     pub fn poll_one(&self) -> Option<WorkCompletion> {
-        self.poll(1).into_iter().next()
+        let mut state = self.inner.state.lock();
+        let wc = state.completions.pop_front()?;
+        drop(state);
+        self.charge_poll_pickup(&wc);
+        Some(wc)
+    }
+
+    /// Synchronise the consumer clock to a completion observed by busy
+    /// polling: arrival time plus the polling pickup cost.
+    pub fn charge_poll_pickup(&self, wc: &WorkCompletion) {
+        let pickup = self.inner.profile.completion_pickup
+            + self.inner.function.message_overhead(&self.inner.profile);
+        self.inner.clock.advance_to_then(wc.timestamp, pickup);
     }
 
     /// Busy-poll until a completion arrives (hot path). Returns `None` if the
@@ -193,7 +289,13 @@ impl CompletionQueue {
         }
     }
 
-    fn charge_blocking_pickup(&self, wc: WorkCompletion) -> WorkCompletion {
+    /// Synchronise the consumer clock to a completion observed via a blocking
+    /// wait: the notification serialises through the node's shared event
+    /// channel and the consumer pays the wake-up latency. Public so a
+    /// multiplexed event loop draining uncharged (see
+    /// [`CompletionQueue::poll_uncharged_into`]) can bill a blocked consumer
+    /// exactly as [`CompletionQueue::blocking_wait`] would have.
+    pub fn charge_blocking_pickup(&self, wc: WorkCompletion) -> WorkCompletion {
         // Serialise the notification through the node's shared event channel:
         // concurrent blocking waiters on one node queue behind each other.
         let dispatch = self.inner.profile.notification_dispatch;
@@ -212,6 +314,120 @@ impl CompletionQueue {
     /// cost-model introspection in benchmarks.
     pub fn blocking_penalty(&self) -> SimDuration {
         self.inner.profile.blocking_wakeup + self.inner.function.blocking_extra(&self.inner.profile)
+    }
+
+    /// Attach (or detach, with `None`) the edge notifier of a [`CqSet`].
+    fn set_notifier(&self, notifier: Option<CqNotifier>) {
+        self.inner.state.lock().notifier = notifier;
+    }
+}
+
+/// A multiplexed poll/drain surface over N completion queues.
+///
+/// One event-loop thread registers every ring it serves and then alternates
+/// between [`CqSet::poll_uncharged_into`] — which drains all members in
+/// **registration order**, keeping multiplexed runs virtual-time
+/// deterministic — and [`CqSet::wait`], which blocks on the shared
+/// [`CqNotifier`] until any member receives a delivery or disconnect. The
+/// drain is uncharged: the event loop applies the per-consumer pickup cost
+/// itself ([`CompletionQueue::charge_poll_pickup`] or
+/// [`CompletionQueue::charge_blocking_pickup`]) because only it knows which
+/// consumer the completion belongs to and how that consumer waits.
+#[derive(Debug, Default)]
+pub struct CqSet {
+    // `None` marks a deregistered member: tokens are indices, so slots are
+    // tombstoned rather than removed to keep the remaining tokens stable.
+    members: Vec<Option<CompletionQueue>>,
+    notifier: CqNotifier,
+}
+
+impl CqSet {
+    /// An empty set.
+    pub fn new() -> CqSet {
+        CqSet::default()
+    }
+
+    /// Register a CQ and return its member token: the index reported by
+    /// [`CqSet::poll_uncharged_into`] for completions drained from it.
+    /// Registration order is the drain order.
+    pub fn register(&mut self, cq: &CompletionQueue) -> usize {
+        cq.set_notifier(Some(self.notifier.clone()));
+        self.members.push(Some(cq.clone()));
+        self.members.len() - 1
+    }
+
+    /// Remove a member from the set, detaching its notifier. Its token is
+    /// retired, not reused. Required once a member disconnects for good:
+    /// a permanently disconnected member would otherwise turn every
+    /// [`CqSet::wait`] into an immediate (spurious) wakeup.
+    pub fn deregister(&mut self, token: usize) {
+        if let Some(cq) = self.members[token].take() {
+            cq.set_notifier(None);
+        }
+    }
+
+    /// Number of registered (non-deregistered) members.
+    pub fn len(&self) -> usize {
+        self.members.iter().flatten().count()
+    }
+
+    /// Whether the set has no registered members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total completions currently queued across all members.
+    pub fn pending(&self) -> usize {
+        self.members.iter().flatten().map(|cq| cq.pending()).sum()
+    }
+
+    /// Drain up to `max_per_member` completions from every member, in
+    /// registration order, into the caller's scratch buffer as
+    /// `(member_token, completion)` pairs. No clock is charged — see the type
+    /// docs. Returns how many pairs were appended.
+    pub fn poll_uncharged_into(
+        &self,
+        max_per_member: usize,
+        out: &mut Vec<(usize, WorkCompletion)>,
+    ) -> usize {
+        let mut drained = 0;
+        for (token, cq) in self.members.iter().enumerate() {
+            let Some(cq) = cq else { continue };
+            let mut state = cq.inner.state.lock();
+            let n = state.completions.len().min(max_per_member);
+            out.extend(state.completions.drain(..n).map(|wc| (token, wc)));
+            drained += n;
+        }
+        drained
+    }
+
+    /// Member access by token (registration index). Panics for a
+    /// deregistered token.
+    pub fn member(&self, token: usize) -> &CompletionQueue {
+        self.members[token]
+            .as_ref()
+            .expect("CqSet member was deregistered")
+    }
+
+    /// Block until any member has a queued completion, any member
+    /// disconnects, or the wall-clock timeout expires. Returns `true` if
+    /// there may be work (queued completions or a disconnect edge), `false`
+    /// on a quiet timeout. Never charges virtual time: like an empty poll,
+    /// waiting is not useful virtual work.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        // Snapshot the sequence number *before* re-checking the members: a
+        // delivery racing with this wait bumps the sequence and the
+        // `wait_past` below returns immediately instead of losing the wakeup.
+        let seen = self.notifier.sequence();
+        if self
+            .members
+            .iter()
+            .flatten()
+            .any(|cq| cq.pending() > 0 || cq.is_disconnected())
+        {
+            return true;
+        }
+        self.notifier.wait_past(seen, timeout)
     }
 }
 
@@ -373,5 +589,118 @@ mod tests {
         assert_eq!(cq.pending(), 2);
         cq.poll(1);
         assert_eq!(cq.pending(), 1);
+    }
+
+    #[test]
+    fn poll_into_reuses_scratch_without_steady_state_allocations() {
+        let (cq, clock) = make_cq(DeviceFunction::Physical);
+        let mut scratch: Vec<WorkCompletion> = Vec::with_capacity(8);
+        // Warm-up round sizes the buffer; every later round must reuse it.
+        for round in 0..64_u64 {
+            for i in 0..4 {
+                cq.push(completion_at(round * 10 + i));
+            }
+            scratch.clear();
+            let before = scratch.capacity();
+            let n = cq.poll_into(8, &mut scratch);
+            assert_eq!(n, 4);
+            assert_eq!(scratch.len(), 4);
+            assert_eq!(
+                scratch.capacity(),
+                before,
+                "steady-state drain must not reallocate"
+            );
+        }
+        assert!(clock.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn poll_uncharged_leaves_the_clock_alone() {
+        let (cq, clock) = make_cq(DeviceFunction::Physical);
+        cq.push(completion_at(10));
+        let mut out = Vec::new();
+        assert_eq!(cq.poll_uncharged_into(4, &mut out), 1);
+        assert_eq!(clock.now(), SimTime::ZERO);
+        // Charging afterwards reproduces the busy-poll pickup exactly.
+        cq.charge_poll_pickup(&out[0]);
+        assert_eq!(clock.now().as_nanos(), 10_065);
+    }
+
+    #[test]
+    fn cq_set_drains_members_in_registration_order() {
+        let (a, _) = make_cq(DeviceFunction::Physical);
+        let (b, _) = make_cq(DeviceFunction::Physical);
+        let mut set = CqSet::new();
+        let ta = set.register(&a);
+        let tb = set.register(&b);
+        assert_eq!((ta, tb), (0, 1));
+        // Push in the "wrong" order; the drain must still visit a before b.
+        b.push(completion_at(2));
+        a.push(completion_at(1));
+        let mut out = Vec::new();
+        assert_eq!(set.poll_uncharged_into(16, &mut out), 2);
+        assert_eq!(out[0].0, ta);
+        assert_eq!(out[1].0, tb);
+        assert_eq!(set.pending(), 0);
+    }
+
+    #[test]
+    fn cq_set_wait_wakes_on_member_push_and_disconnect() {
+        let (a, _) = make_cq(DeviceFunction::Physical);
+        let (b, _) = make_cq(DeviceFunction::Physical);
+        let mut set = CqSet::new();
+        set.register(&a);
+        set.register(&b);
+        // Quiet timeout.
+        assert!(!set.wait(Duration::from_millis(5)));
+        // Pre-queued work returns immediately.
+        b.push(completion_at(1));
+        assert!(set.wait(Duration::from_millis(5)));
+        let mut out = Vec::new();
+        set.poll_uncharged_into(16, &mut out);
+        // A push from another thread wakes the sleeper.
+        let b2 = b.clone();
+        let pusher = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            b2.push(completion_at(2));
+        });
+        assert!(set.wait(Duration::from_secs(5)));
+        pusher.join().unwrap();
+        out.clear();
+        set.poll_uncharged_into(16, &mut out);
+        // A disconnect edge also wakes the sleeper.
+        let a2 = a.clone();
+        let dropper = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            a2.disconnect();
+        });
+        assert!(set.wait(Duration::from_secs(5)));
+        dropper.join().unwrap();
+    }
+
+    #[test]
+    fn cq_set_deregister_silences_dead_members() {
+        let (a, _) = make_cq(DeviceFunction::Physical);
+        let (b, _) = make_cq(DeviceFunction::Physical);
+        let mut set = CqSet::new();
+        let ta = set.register(&a);
+        let tb = set.register(&b);
+        assert_eq!(set.len(), 2);
+        a.disconnect();
+        // A permanently disconnected member makes every wait return
+        // immediately; deregistering it restores quiet timeouts.
+        assert!(set.wait(Duration::from_millis(1)));
+        set.deregister(ta);
+        assert_eq!(set.len(), 1);
+        assert!(!set.wait(Duration::from_millis(1)));
+        // Tokens are stable: the surviving member keeps its index and
+        // pushes to the dead slot's CQ are no longer drained.
+        a.push(completion_at(1));
+        b.push(completion_at(2));
+        let mut out = Vec::new();
+        assert_eq!(set.poll_uncharged_into(16, &mut out), 1);
+        assert_eq!(out[0].0, tb);
+        // Deregistering twice is a no-op.
+        set.deregister(ta);
     }
 }

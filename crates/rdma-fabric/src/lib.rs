@@ -49,7 +49,7 @@ pub mod ring;
 pub mod verbs;
 
 pub use cm::{connect, connect_with_timeout, Listener};
-pub use cq::{CompletionQueue, WaitMode};
+pub use cq::{CompletionQueue, CqNotifier, CqSet, WaitMode};
 pub use device::{DeviceFunction, NicProfile};
 pub use error::{FabricError, Result};
 pub use fabric::{Fabric, FabricNode, TransferTiming};

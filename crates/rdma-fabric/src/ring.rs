@@ -208,7 +208,11 @@ impl ReceiveRing {
     /// that collides with a slot index while that slot is not at the ring's
     /// front (a receive posted outside the ring by a caller ignoring the
     /// reserve-high-`wr_id` contract below).
-    fn adopt(&self, wc: WorkCompletion) -> RingCompletion {
+    ///
+    /// Public so an external event loop that drains this ring's CQ through a
+    /// multiplexed [`crate::CqSet`] can hand the raw completions back to the
+    /// ring for slot accounting and auto-repost.
+    pub fn adopt(&self, wc: WorkCompletion) -> RingCompletion {
         let slot_id = wc.wr_id as usize;
         if wc.wr_id == u64::MAX || slot_id >= self.depth() {
             return RingCompletion { slot: None, wc };

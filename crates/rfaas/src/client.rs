@@ -28,6 +28,7 @@ use crate::manager::ResourceManager;
 use crate::protocol::{
     ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
 };
+use crate::reactor::{CompletionSource, Reactor};
 
 /// A registered, page-aligned client buffer.
 ///
@@ -201,49 +202,46 @@ struct WorkerConnection {
     overflow_scratch: MemoryRegion,
     outstanding: AtomicUsize,
     completed: Mutex<HashMap<u32, (usize, ResultStatus)>>,
-    wait_lock: Mutex<()>,
+    /// Token under which this connection is registered with the invoker's
+    /// [`Reactor`] (set right after registration, before any submission).
+    reactor_token: AtomicU64,
     index: usize,
 }
 
 impl WorkerConnection {
-    /// Drain whatever completions the ring already holds into the stash
-    /// without blocking (used by `wait_any`-style multiplexed waits).
-    fn drain_available(&self) {
-        while let Some(completion) = self.ring.poll_one() {
-            let wc = completion.wc;
-            let (id, status) = ImmValue::parse_response(wc.imm.unwrap_or(0));
-            self.completed.lock().insert(id, (wc.byte_len, status));
-        }
-    }
-
     /// Whether a result for `invocation_id` is already stashed.
     fn has_result(&self, invocation_id: u32) -> bool {
         self.completed.lock().contains_key(&invocation_id)
     }
 
-    /// Wait until the result for `invocation_id` is available, using busy
-    /// polling on the connection's completion queue.
-    fn wait_for(&self, invocation_id: u32) -> Result<(usize, ResultStatus)> {
-        loop {
-            if let Some(result) = self.completed.lock().remove(&invocation_id) {
-                self.outstanding.fetch_sub(1, Ordering::Relaxed);
-                return Ok(result);
-            }
-            let _guard = self.wait_lock.lock();
-            // Re-check: another waiter may have stashed our completion.
-            if let Some(result) = self.completed.lock().remove(&invocation_id) {
-                self.outstanding.fetch_sub(1, Ordering::Relaxed);
-                return Ok(result);
-            }
-            match self.ring.busy_wait() {
-                Some(completion) => {
-                    let wc = completion.wc;
-                    let (id, status) = ImmValue::parse_response(wc.imm.unwrap_or(0));
-                    self.completed.lock().insert(id, (wc.byte_len, status));
-                }
-                None => return Err(RFaasError::ExecutorLost(format!("worker {}", self.index))),
-            }
+    /// Remove a stashed result, returning the in-flight reservation with it.
+    fn take_result(&self, invocation_id: u32) -> Option<(usize, ResultStatus)> {
+        let result = self.completed.lock().remove(&invocation_id)?;
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        Some(result)
+    }
+
+    fn token(&self) -> u64 {
+        self.reactor_token.load(Ordering::Relaxed)
+    }
+}
+
+impl CompletionSource for WorkerConnection {
+    /// Drain the receive ring into the result stash, reporting each newly
+    /// stashed invocation id. `ring.poll_one` charges the busy-poll pickup on
+    /// the client clock per completion — the reactor sweep costs exactly what
+    /// the old per-connection rescan did.
+    fn pump(&self, sink: &mut dyn FnMut(u32)) {
+        while let Some(completion) = self.ring.poll_one() {
+            let wc = completion.wc;
+            let (id, status) = ImmValue::parse_response(wc.imm.unwrap_or(0));
+            self.completed.lock().insert(id, (wc.byte_len, status));
+            sink(id);
         }
+    }
+
+    fn is_connected(&self) -> bool {
+        self.qp.is_connected()
     }
 }
 
@@ -268,6 +266,7 @@ struct ActiveAllocation {
 pub struct Invoker {
     fabric: Arc<Fabric>,
     clock: Arc<VirtualClock>,
+    reactor: Reactor,
     pd: ProtectionDomain,
     node_name: String,
     config: RFaasConfig,
@@ -348,6 +347,7 @@ impl Invoker {
         Invoker {
             fabric: Arc::clone(fabric),
             clock: VirtualClock::shared(),
+            reactor: Reactor::new(),
             pd: ProtectionDomain::new(),
             node_name: client_node.to_string(),
             config,
@@ -378,6 +378,61 @@ impl Invoker {
     /// The per-invocation transparent-recovery budget.
     pub fn recovery_budget(&self) -> u32 {
         self.recovery_budget
+    }
+
+    /// Share a completion reactor with other invokers (one event loop driving
+    /// many sessions from one thread). Must be called before `allocate` —
+    /// connections register with whatever reactor is installed at connect
+    /// time.
+    pub fn set_reactor(&mut self, reactor: Reactor) {
+        self.reactor = reactor;
+    }
+
+    /// The invoker's completion reactor: every worker connection is
+    /// registered with it and one [`Reactor::turn`] pumps them all.
+    pub fn reactor(&self) -> &Reactor {
+        &self.reactor
+    }
+
+    /// Share a virtual clock with other invokers (sessions driven by one
+    /// client thread advance one clock). Must be called before `allocate` —
+    /// worker endpoints capture the clock at connect time.
+    pub fn set_clock(&mut self, clock: Arc<VirtualClock>) {
+        self.clock = clock;
+    }
+
+    /// Drive the reactor until `invocation_id`'s result lands on
+    /// `connection`, then take it. Every wait path funnels through here: the
+    /// turn pumps *all* registered connections, so one waiting thread keeps
+    /// every other in-flight invocation moving too.
+    fn await_result(
+        &self,
+        connection: &Arc<WorkerConnection>,
+        invocation_id: u32,
+    ) -> Result<(usize, ResultStatus)> {
+        loop {
+            if let Some(result) = connection.take_result(invocation_id) {
+                return Ok(result);
+            }
+            let progressed = self.reactor.turn();
+            if progressed == 0 {
+                // Re-check after the empty sweep: a concurrent turner may
+                // have stashed our result between the take above and now.
+                if let Some(result) = connection.take_result(invocation_id) {
+                    return Ok(result);
+                }
+                // The final (empty) drain has run, so a dead connection can
+                // never produce this result any more.
+                if !connection.qp.is_connected() {
+                    return Err(RFaasError::ExecutorLost(format!(
+                        "worker {}",
+                        connection.index
+                    )));
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// Whether `function` exists in the currently allocated code package.
@@ -571,16 +626,24 @@ impl Invoker {
                 .clamp(1, self.fabric.profile().max_recv_queue_depth);
             let ring = ReceiveRing::new(&qp, ring_depth, 8)?;
             let overflow_scratch = self.pd.register(8, AccessFlags::LOCAL_ONLY);
-            connections.push(Arc::new(WorkerConnection {
+            let connection = Arc::new(WorkerConnection {
                 qp,
                 remote_input,
                 ring,
                 overflow_scratch,
                 outstanding: AtomicUsize::new(0),
                 completed: Mutex::new(HashMap::new()),
-                wait_lock: Mutex::new(()),
+                reactor_token: AtomicU64::new(0),
                 index,
-            }));
+            });
+            // Register with the reactor before the connection can carry an
+            // invocation: every result on this ring is picked up by the
+            // shared event loop.
+            let token = self
+                .reactor
+                .register_source(Arc::clone(&connection) as Arc<dyn CompletionSource>);
+            connection.reactor_token.store(token, Ordering::Relaxed);
+            connections.push(connection);
         }
         Ok(connections)
     }
@@ -905,10 +968,10 @@ impl Invoker {
                 // reservations and ring slots are returned — otherwise the
                 // connection's in-flight count stays inflated forever and
                 // stale completions clog the stash. A connection that died
-                // has nothing left to drain; wait_for's error says exactly
-                // that and is safe to ignore.
+                // has nothing left to drain; await_result's error says
+                // exactly that and is safe to ignore.
                 for posted in &futures {
-                    let _ = posted.connection.wait_for(posted.invocation_id);
+                    let _ = self.await_result(&posted.connection, posted.invocation_id);
                 }
                 return Err(e);
             }
@@ -1056,6 +1119,7 @@ impl Invoker {
     fn teardown(&self, active: ActiveAllocation) {
         for conn in &active.connections {
             conn.qp.disconnect();
+            self.reactor.unregister_source(conn.token());
         }
         // Both calls tolerate the other side being gone already: a failed
         // executor has no process left to deallocate, and the lifecycle
@@ -1134,14 +1198,31 @@ impl InvocationFuture<'_> {
         (self.spec.input.clone(), self.spec.output.clone())
     }
 
-    /// Non-blocking completion probe: drains whatever completions the
-    /// connection's ring already holds, then reports whether this
-    /// invocation's result is stashed. Used by `wait_any`-style multiplexed
-    /// waits; a `true` result makes the next [`InvocationFuture::wait`]
-    /// return without further polling (modulo transparent redirections).
+    /// Non-blocking completion probe: one reactor turn pumps every
+    /// registered connection, then this invocation's stash is checked. A
+    /// `true` result makes the next [`InvocationFuture::wait`] return without
+    /// further polling (modulo transparent redirections).
     pub fn is_complete(&self) -> bool {
-        self.connection.drain_available();
+        self.invoker.reactor.turn();
         self.connection.has_result(self.invocation_id)
+    }
+
+    /// Whether the result is already stashed, without pumping anything.
+    /// The completion-set fast path: ready-queue hits resolve through this.
+    pub(crate) fn has_stashed_result(&self) -> bool {
+        self.connection.has_result(self.invocation_id)
+    }
+
+    /// The `(source token, invocation id)` key under which a continuation
+    /// for this future registers with the invoker's reactor.
+    pub(crate) fn reactor_key(&self) -> (u64, u32) {
+        (self.connection.token(), self.invocation_id)
+    }
+
+    /// Whether the future's connection is gone (its continuation can never
+    /// fire; only a blocking wait — which runs recovery — resolves it).
+    pub(crate) fn connection_lost(&self) -> bool {
+        !self.connection.qp.is_connected()
     }
 
     /// Re-allocate through the manager and replay this invocation on the
@@ -1176,7 +1257,10 @@ impl InvocationFuture<'_> {
     /// from the resource manager (Sec. III-B failure handling).
     pub fn wait(mut self) -> Result<usize> {
         loop {
-            let (byte_len, status) = match self.connection.wait_for(self.invocation_id) {
+            let (byte_len, status) = match self
+                .invoker
+                .await_result(&self.connection, self.invocation_id)
+            {
                 Ok(result) => result,
                 Err(e) if connection_is_lost(&e) => {
                     self.recover_and_resubmit(e)?;

@@ -3,10 +3,21 @@
 //! A *spot executor* offers the idle cores and memory of one node to rFaaS
 //! (Sec. III-A). Its *lightweight allocator* accepts allocation requests tied
 //! to a lease, spawns an isolated *executor process* (sandbox) with one
-//! worker thread per requested core, and accounts resource consumption. Each
-//! *worker thread* owns its RDMA queue pair and completion queue, serves one
-//! client connection, and switches between hot (busy-polling) and warm
-//! (blocking) invocation handling.
+//! worker per requested core, and accounts resource consumption. Each
+//! *worker* owns its RDMA queue pair and completion queue, serves one client
+//! connection, and switches between hot (busy-polling) and warm (blocking)
+//! invocation handling.
+//!
+//! Workers are not threads: one *dispatcher* thread per executor process
+//! registers every worker's receive CQ in a [`rdma_fabric::CqSet`] and runs a
+//! completion-driven event loop over all of them — accepting client
+//! connections, draining the multiplexed CQs in deterministic registration
+//! order, and billing each pickup on the owning worker's virtual clock
+//! according to that worker's polling mode (busy-poll pickup for hot workers,
+//! notification serialisation + wake-up for warm ones). One thread therefore
+//! sustains any number of workers without a poll loop per worker, while the
+//! hot/warm cost split and the retrospective hot→warm demotion accounting
+//! stay exactly as a thread-per-worker executor would charge them.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -17,8 +28,8 @@ use std::time::Duration;
 use cluster_sim::NodeResources;
 use parking_lot::Mutex;
 use rdma_fabric::{
-    AccessFlags, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, ReceiveRing, SendRequest,
-    Sge,
+    AccessFlags, CqSet, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, MemoryRegion,
+    QueuePair, ReceiveRing, SendRequest, Sge, WorkCompletion,
 };
 #[cfg(test)]
 use sandbox::SandboxType;
@@ -131,12 +142,12 @@ pub struct WorkerEndpointInfo {
     pub max_payload: usize,
 }
 
-/// Handle owned by the executor process for one worker thread.
+/// Handle owned by the executor process for one worker. The worker itself is
+/// state driven by the process dispatcher thread, not a thread of its own.
 #[derive(Debug)]
 pub struct WorkerHandle {
     info: WorkerEndpointInfo,
     shared: Arc<WorkerShared>,
-    thread: Option<JoinHandle<()>>,
 }
 
 impl WorkerHandle {
@@ -168,66 +179,91 @@ impl WorkerHandle {
     fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
     }
-
-    fn join(&mut self) {
-        if let Some(handle) = self.thread.take() {
-            let _ = handle.join();
-        }
-    }
 }
 
 impl Drop for WorkerHandle {
     fn drop(&mut self) {
+        // The dispatcher retires the worker (releases its core, disconnects
+        // its client) on its next turn; joining happens at process level.
         self.request_shutdown();
-        self.join();
     }
 }
 
-/// Everything a worker thread needs to run.
-struct WorkerContext {
+/// Per-worker state built at allocation time; the process dispatcher drives
+/// its whole lifecycle (accept → hello → serve → retire).
+struct WorkerSlot {
     listener: Listener,
     endpoint: Endpoint,
-    package: CodePackage,
-    config: RFaasConfig,
     shared: Arc<WorkerShared>,
-    billing: Option<Arc<BillingClient>>,
     core: Arc<CoreSlot>,
     max_payload: usize,
+    conn: Option<WorkerConn>,
+    /// The worker finished (client gone, shutdown or setup failure). Its CQ
+    /// is deregistered from the set; any stray token in flight is ignored.
+    done: bool,
 }
 
-/// The worker thread body: accept one client connection, advertise the input
-/// buffer, then serve invocations until shutdown or disconnect.
-fn worker_main(ctx: WorkerContext) {
-    let WorkerContext {
-        listener,
-        endpoint,
-        package,
-        config,
-        shared,
-        billing,
-        core,
-        max_payload,
-    } = ctx;
+/// Live connection state of one worker, from accept until retirement.
+struct WorkerConn {
+    qp: QueuePair,
+    ring: ReceiveRing,
+    input: MemoryRegion,
+    output: MemoryRegion,
+    hello_region: MemoryRegion,
+    hello_sent: bool,
+    /// This worker's receive-CQ token in the dispatcher's [`CqSet`].
+    token: usize,
+    holds_core: bool,
+    last_ready: Option<SimTime>,
+    /// Adaptive workers busy-poll until this wall-clock instant after each
+    /// served request, then park on the completion channel. The flag decides
+    /// whether a pickup is billed as a busy poll or a blocking wake-up,
+    /// mirroring the spin-then-block wait of a dedicated thread.
+    unparked_until: std::time::Instant,
+}
 
-    // Wait for the lease-holding client to connect.
-    let qp = loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match listener.accept_timeout(&endpoint, Duration::from_millis(50)) {
-            Ok(Some(qp)) => break qp,
-            Ok(None) => continue,
-            Err(_) => return,
-        }
-    };
+/// Everything one dispatcher thread needs to serve a whole executor process.
+struct DispatcherContext {
+    workers: Vec<WorkerSlot>,
+    package: CodePackage,
+    config: RFaasConfig,
+    billing: Option<Arc<BillingClient>>,
+    shutdown: Arc<AtomicBool>,
+}
 
+/// Release a worker's resources and mark it finished. Dropping the
+/// connection disconnects the queue pair and frees the registered buffers.
+fn retire_worker(slot: &mut WorkerSlot, cqset: &mut CqSet) {
+    if let Some(conn) = slot.conn.take() {
+        if conn.holds_core {
+            slot.core.release();
+        }
+        cqset.deregister(conn.token);
+        conn.qp.disconnect();
+    }
+    slot.done = true;
+}
+
+/// Finish a worker's setup once its client connected: register the input and
+/// output buffers, build the receive ring, register the receive CQ in the
+/// dispatcher's set and prepare the hello message advertising the input
+/// buffer. `None` when the ring cannot be built (the worker is retired).
+fn connect_worker(
+    slot: &WorkerSlot,
+    qp: QueuePair,
+    cqset: &mut CqSet,
+    config: &RFaasConfig,
+) -> Option<WorkerConn> {
     // Registered buffers: clients write [header | payload] into `input`; the
     // function produces its result in `output` before it is written back.
-    let input = endpoint.pd.register(
-        INVOCATION_HEADER_BYTES + max_payload,
+    let input = slot.endpoint.pd.register(
+        INVOCATION_HEADER_BYTES + slot.max_payload,
         AccessFlags::REMOTE_WRITE,
     );
-    let output = endpoint.pd.register(max_payload, AccessFlags::LOCAL_ONLY);
+    let output = slot
+        .endpoint
+        .pd
+        .register(slot.max_payload, AccessFlags::LOCAL_ONLY);
 
     // The receive ring: one pre-posted doorbell slot per in-flight
     // invocation, re-posted automatically as completions are picked up, so
@@ -236,286 +272,414 @@ fn worker_main(ctx: WorkerContext) {
     // worker: a shallower ring degrades throughput, not correctness.
     let ring_depth = config
         .recv_queue_depth
-        .clamp(1, endpoint.fabric.profile().max_recv_queue_depth);
-    let Ok(ring) = ReceiveRing::new(&qp, ring_depth, 8) else {
-        return;
-    };
+        .clamp(1, slot.endpoint.fabric.profile().max_recv_queue_depth);
+    let ring = ReceiveRing::new(&qp, ring_depth, 8).ok()?;
 
-    // Advertise the input buffer to the client ("hello" message). The client
-    // posts its receive right after connecting; retry briefly to cover the
-    // race between accept() returning on both sides.
     let hello = InvocationHeader {
         result_rkey: input.rkey(),
         result_offset: 0,
         result_capacity: input.len() as u64,
     };
-    let hello_region = endpoint
+    let hello_region = slot
+        .endpoint
         .pd
         .register_from(hello.encode().to_vec(), AccessFlags::LOCAL_ONLY);
-    for _ in 0..200 {
-        match qp.post_send(
-            0,
-            SendRequest::Send {
-                local: Sge::whole(&hello_region),
-            },
-            false,
-        ) {
-            Ok(()) => break,
-            Err(rdma_fabric::FabricError::ReceiverNotReady) => {
-                std::thread::sleep(Duration::from_millis(2));
+    let token = cqset.register(qp.recv_cq());
+    Some(WorkerConn {
+        qp,
+        ring,
+        input,
+        output,
+        hello_region,
+        hello_sent: false,
+        token,
+        holds_core: false,
+        last_ready: None,
+        unparked_until: std::time::Instant::now() + config.hot_poll_fallback,
+    })
+}
+
+/// Serve one invocation completion on its owning worker: charge the pickup
+/// on the worker's clock per its polling mode, apply the retrospective
+/// hot-poll accounting, enforce the lease, acquire the core, run the
+/// function and write the result back. The billing is exactly what a
+/// dedicated worker thread charged; only the completion delivery is
+/// multiplexed.
+fn serve_completion(
+    slot: &mut WorkerSlot,
+    raw: WorkCompletion,
+    package: &CodePackage,
+    config: &RFaasConfig,
+    billing: &Option<Arc<BillingClient>>,
+) {
+    let shared = Arc::clone(&slot.shared);
+    let core = Arc::clone(&slot.core);
+    let Some(conn) = slot.conn.as_mut() else {
+        return;
+    };
+    // Hand the raw completion back to the ring for slot accounting and the
+    // automatic re-post of the consumed receive.
+    let wc = conn.ring.adopt(raw).wc;
+
+    // The multiplexed drain was uncharged: bill the pickup the way this
+    // worker's own wait would have. Hot workers (and adaptive workers still
+    // inside their spin window) pay the busy-poll pickup; warm and parked
+    // adaptive workers pay notification serialisation plus the blocking
+    // wake-up.
+    let mode = *shared.mode.lock();
+    let parked = match mode {
+        PollingMode::Hot => false,
+        PollingMode::Warm => true,
+        PollingMode::Adaptive => std::time::Instant::now() >= conn.unparked_until,
+    };
+    let wc = if parked {
+        conn.qp.recv_cq().charge_blocking_pickup(wc)
+    } else {
+        conn.qp.recv_cq().charge_poll_pickup(&wc);
+        wc
+    };
+    if matches!(mode, PollingMode::Adaptive) {
+        conn.unparked_until = std::time::Instant::now() + config.hot_poll_fallback;
+    }
+    if !wc.is_success() {
+        return;
+    }
+
+    // Hot-polling time: the gap between becoming idle and the arrival of
+    // this request is CPU time burnt spinning (billed like compute).
+    //
+    // Demotion is evaluated *retrospectively* at the next arrival: an
+    // idle worker cannot observe virtual time passing (empty polls do
+    // not advance it), so the spin gap is only known once a completion
+    // carries its timestamp. The one fidelity cost: a hot worker past
+    // its budget keeps the core until that next arrival, so co-located
+    // warm invocations can still be rejected during the window.
+    if matches!(mode, PollingMode::Hot | PollingMode::Adaptive) {
+        if let Some(idle_since) = conn.last_ready {
+            let spin = wc.timestamp.saturating_since(idle_since);
+            let demote = matches!(mode, PollingMode::Hot)
+                && !config.hot_poll_timeout.is_zero()
+                && spin > config.hot_poll_timeout;
+            if demote {
+                // The worker stopped spinning `hot_poll_timeout` after
+                // going idle and parked on the completion channel
+                // (Sec. III-C): the polling bill is capped at the
+                // budget, the worker is warm from here on, and this
+                // request pays the blocking wake-up it actually took.
+                {
+                    let mut stats = shared.stats.lock();
+                    stats.hot_poll_time += config.hot_poll_timeout;
+                    stats.demotions += 1;
+                }
+                if let Some(b) = billing {
+                    b.record_hot_poll(config.hot_poll_timeout);
+                }
+                *shared.mode.lock() = PollingMode::Warm;
+                shared.clock.advance(conn.qp.recv_cq().blocking_penalty());
+                if conn.holds_core {
+                    core.release();
+                    conn.holds_core = false;
+                }
+            } else {
+                // An adaptive worker parks after its fallback window, so
+                // it too only burns CPU up to the budget — never the
+                // whole idle gap.
+                let billed = if matches!(mode, PollingMode::Adaptive)
+                    && !config.hot_poll_timeout.is_zero()
+                {
+                    spin.min(config.hot_poll_timeout)
+                } else {
+                    spin
+                };
+                if !billed.is_zero() {
+                    shared.stats.lock().hot_poll_time += billed;
+                    if let Some(b) = billing {
+                        b.record_hot_poll(billed);
+                    }
+                }
             }
-            Err(_) => return,
         }
     }
 
-    // Hot workers own their core for their entire lifetime.
-    let mut holds_core = false;
-    let mut last_ready: Option<SimTime> = None;
+    let imm = wc.imm.unwrap_or(0);
+    let (invocation_id, function_index) = ImmValue::parse_request(imm);
+    let total_len = wc.byte_len;
+    let header_bytes = match conn.input.read(0, INVOCATION_HEADER_BYTES) {
+        Ok(bytes) => bytes,
+        Err(_) => return,
+    };
+    let Ok(header) = InvocationHeader::decode(&header_bytes) else {
+        return;
+    };
+    let result_handle = header.result_handle();
+    let payload_len = total_len.saturating_sub(INVOCATION_HEADER_BYTES);
 
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        let mode = *shared.mode.lock();
-
-        if matches!(mode, PollingMode::Hot) && !holds_core {
-            holds_core = core.try_acquire();
-        }
-        if !matches!(mode, PollingMode::Hot) && holds_core {
-            core.release();
-            holds_core = false;
-        }
-
-        // Wait for the next invocation according to the polling mode.
-        let completion = match mode {
-            PollingMode::Hot => {
-                let mut wc = None;
-                while !shared.shutdown.load(Ordering::Acquire) {
-                    if let Some(c) = ring.poll_one() {
-                        wc = Some(c.wc);
-                        break;
-                    }
-                    if !qp.is_connected() {
-                        break;
-                    }
-                    std::thread::yield_now();
-                }
-                wc
-            }
-            PollingMode::Warm => ring
-                .blocking_wait_timeout(Duration::from_millis(50))
-                .map(|c| c.wc),
-            PollingMode::Adaptive => {
-                // Busy-poll until the fallback deadline, then block.
-                let deadline = std::time::Instant::now() + config.hot_poll_fallback;
-                let mut wc = None;
-                while std::time::Instant::now() < deadline {
-                    if let Some(c) = ring.poll_one() {
-                        wc = Some(c.wc);
-                        break;
-                    }
-                    if shared.shutdown.load(Ordering::Acquire) || !qp.is_connected() {
-                        break;
-                    }
-                    std::thread::yield_now();
-                }
-                if wc.is_none() && !shared.shutdown.load(Ordering::Acquire) {
-                    ring.blocking_wait_timeout(Duration::from_millis(50))
-                        .map(|c| c.wc)
-                } else {
-                    wc
-                }
-            }
-        };
-        let Some(wc) = completion else {
-            if !qp.is_connected() {
-                break;
-            }
-            continue;
-        };
-        if !wc.is_success() {
-            continue;
-        }
-
-        // Hot-polling time: the gap between becoming idle and the arrival of
-        // this request is CPU time burnt spinning (billed like compute).
-        //
-        // Demotion is evaluated *retrospectively* at the next arrival: an
-        // idle worker cannot observe virtual time passing (empty polls do
-        // not advance it), so the spin gap is only known once a completion
-        // carries its timestamp. The one fidelity cost: a hot worker past
-        // its budget keeps the core until that next arrival, so co-located
-        // warm invocations can still be rejected during the window.
-        if matches!(mode, PollingMode::Hot | PollingMode::Adaptive) {
-            if let Some(idle_since) = last_ready {
-                let spin = wc.timestamp.saturating_since(idle_since);
-                let demote = matches!(mode, PollingMode::Hot)
-                    && !config.hot_poll_timeout.is_zero()
-                    && spin > config.hot_poll_timeout;
-                if demote {
-                    // The worker stopped spinning `hot_poll_timeout` after
-                    // going idle and parked on the completion channel
-                    // (Sec. III-C): the polling bill is capped at the
-                    // budget, the worker is warm from here on, and this
-                    // request pays the blocking wake-up it actually took.
-                    {
-                        let mut stats = shared.stats.lock();
-                        stats.hot_poll_time += config.hot_poll_timeout;
-                        stats.demotions += 1;
-                    }
-                    if let Some(b) = &billing {
-                        b.record_hot_poll(config.hot_poll_timeout);
-                    }
-                    *shared.mode.lock() = PollingMode::Warm;
-                    shared.clock.advance(qp.recv_cq().blocking_penalty());
-                    if holds_core {
-                        core.release();
-                        holds_core = false;
-                    }
-                } else {
-                    // An adaptive worker parks after its fallback window, so
-                    // it too only burns CPU up to the budget — never the
-                    // whole idle gap.
-                    let billed = if matches!(mode, PollingMode::Adaptive)
-                        && !config.hot_poll_timeout.is_zero()
-                    {
-                        spin.min(config.hot_poll_timeout)
-                    } else {
-                        spin
-                    };
-                    if !billed.is_zero() {
-                        shared.stats.lock().hot_poll_time += billed;
-                        if let Some(b) = &billing {
-                            b.record_hot_poll(billed);
-                        }
-                    }
-                }
-            }
-        }
-
-        let imm = wc.imm.unwrap_or(0);
-        let (invocation_id, function_index) = ImmValue::parse_request(imm);
-        let total_len = wc.byte_len;
-        let header_bytes = match input.read(0, INVOCATION_HEADER_BYTES) {
-            Ok(bytes) => bytes,
-            Err(_) => continue,
-        };
-        let Ok(header) = InvocationHeader::decode(&header_bytes) else {
-            continue;
-        };
-        let result_handle = header.result_handle();
-        let payload_len = total_len.saturating_sub(INVOCATION_HEADER_BYTES);
-
-        // Lease enforcement (Sec. III-B): polling the completion synchronised
-        // this worker's clock to the invocation's arrival time, so comparing
-        // against the shared deadline catches leases that expired while the
-        // client kept the connection open. Refuse the invocation so the client
-        // re-allocates through the resource manager.
-        if shared.deadline.is_expired(shared.clock.now()) {
-            shared.stats.lock().expired += 1;
-            let _ = qp.post_send(
-                invocation_id as u64,
-                SendRequest::WriteWithImm {
-                    local: Sge::range(&output, 0, 0),
-                    remote: result_handle.slice(0, 0),
-                    imm: ImmValue::response(invocation_id, ResultStatus::LeaseExpired),
-                },
-                false,
-            );
-            // The spin up to this arrival was already accounted above; mark
-            // the new idle point or the next request re-bills that interval.
-            last_ready = Some(shared.clock.now());
-            continue;
-        }
-
-        // Oversubscribed warm executions must grab the core; if a
-        // compute-intensive task holds it, reject immediately so the client
-        // redirects to another executor (Sec. III-D, Fig. 6).
-        let acquired_for_this = if !holds_core {
-            if core.try_acquire() {
-                true
-            } else {
-                shared.stats.lock().rejected += 1;
-                let _ = qp.post_send(
-                    invocation_id as u64,
-                    SendRequest::WriteWithImm {
-                        local: Sge::range(&output, 0, 0),
-                        remote: result_handle.slice(0, 0),
-                        imm: ImmValue::response(invocation_id, ResultStatus::Rejected),
-                    },
-                    false,
-                );
-                last_ready = Some(shared.clock.now());
-                continue;
-            }
-        } else {
-            false
-        };
-
-        // Dispatch: header parse, function lookup, argument setup.
-        shared.clock.advance(config.dispatch_cost);
-
-        let function = package.function_by_index(function_index as usize).cloned();
-        let response = match function {
-            None => (0usize, ResultStatus::FunctionFailed),
-            Some(function) => {
-                let input_bytes = input
-                    .read(INVOCATION_HEADER_BYTES, payload_len)
-                    .unwrap_or_default();
-                let started = shared.clock.now();
-                let outcome = output.with_bytes_mut(|buf| function.invoke(&input_bytes, buf));
-                shared.clock.advance(function.compute_cost(payload_len));
-                let busy = shared.clock.now().saturating_since(started);
-                {
-                    let mut stats = shared.stats.lock();
-                    stats.busy_time += busy;
-                }
-                if let Some(b) = &billing {
-                    b.record_compute(busy);
-                }
-                match outcome {
-                    Ok(n) if n <= result_handle.len => (n, ResultStatus::Success),
-                    Ok(_) | Err(_) => (0, ResultStatus::FunctionFailed),
-                }
-            }
-        };
-
-        // Write the result directly into the client's memory and notify it
-        // through the immediate value.
-        let (out_len, status) = response;
-        let _ = qp.post_send(
+    // Lease enforcement (Sec. III-B): charging the pickup synchronised
+    // this worker's clock to the invocation's arrival time, so comparing
+    // against the shared deadline catches leases that expired while the
+    // client kept the connection open. Refuse the invocation so the client
+    // re-allocates through the resource manager.
+    if shared.deadline.is_expired(shared.clock.now()) {
+        shared.stats.lock().expired += 1;
+        let _ = conn.qp.post_send(
             invocation_id as u64,
             SendRequest::WriteWithImm {
-                local: Sge::range(&output, 0, out_len),
-                remote: result_handle.slice(0, out_len),
-                imm: ImmValue::response(invocation_id, status),
+                local: Sge::range(&conn.output, 0, 0),
+                remote: result_handle.slice(0, 0),
+                imm: ImmValue::response(invocation_id, ResultStatus::LeaseExpired),
             },
             false,
         );
-        {
-            let mut stats = shared.stats.lock();
-            match status {
-                ResultStatus::Success => stats.invocations += 1,
-                ResultStatus::FunctionFailed => stats.failed += 1,
-                ResultStatus::Rejected | ResultStatus::LeaseExpired => {}
+        // The spin up to this arrival was already accounted above; mark
+        // the new idle point or the next request re-bills that interval.
+        conn.last_ready = Some(shared.clock.now());
+        return;
+    }
+
+    // Oversubscribed warm executions must grab the core; if a
+    // compute-intensive task holds it, reject immediately so the client
+    // redirects to another executor (Sec. III-D, Fig. 6).
+    let acquired_for_this = if !conn.holds_core {
+        if core.try_acquire() {
+            true
+        } else {
+            shared.stats.lock().rejected += 1;
+            let _ = conn.qp.post_send(
+                invocation_id as u64,
+                SendRequest::WriteWithImm {
+                    local: Sge::range(&conn.output, 0, 0),
+                    remote: result_handle.slice(0, 0),
+                    imm: ImmValue::response(invocation_id, ResultStatus::Rejected),
+                },
+                false,
+            );
+            conn.last_ready = Some(shared.clock.now());
+            return;
+        }
+    } else {
+        false
+    };
+
+    // Dispatch: header parse, function lookup, argument setup.
+    shared.clock.advance(config.dispatch_cost);
+
+    let function = package.function_by_index(function_index as usize).cloned();
+    let response = match function {
+        None => (0usize, ResultStatus::FunctionFailed),
+        Some(function) => {
+            let input_bytes = conn
+                .input
+                .read(INVOCATION_HEADER_BYTES, payload_len)
+                .unwrap_or_default();
+            let started = shared.clock.now();
+            let outcome = conn
+                .output
+                .with_bytes_mut(|buf| function.invoke(&input_bytes, buf));
+            shared.clock.advance(function.compute_cost(payload_len));
+            let busy = shared.clock.now().saturating_since(started);
+            {
+                let mut stats = shared.stats.lock();
+                stats.busy_time += busy;
+            }
+            if let Some(b) = billing {
+                b.record_compute(busy);
+            }
+            match outcome {
+                Ok(n) if n <= result_handle.len => (n, ResultStatus::Success),
+                Ok(_) | Err(_) => (0, ResultStatus::FunctionFailed),
             }
         }
-        if acquired_for_this {
-            core.release();
-        }
+    };
 
-        // The ring already replenished the consumed receive; mark the idle
-        // point for the hot-poll accounting of the next request.
-        last_ready = Some(shared.clock.now());
-        if let Some(b) = &billing {
-            let _ = b.flush();
+    // Write the result directly into the client's memory and notify it
+    // through the immediate value.
+    let (out_len, status) = response;
+    let _ = conn.qp.post_send(
+        invocation_id as u64,
+        SendRequest::WriteWithImm {
+            local: Sge::range(&conn.output, 0, out_len),
+            remote: result_handle.slice(0, out_len),
+            imm: ImmValue::response(invocation_id, status),
+        },
+        false,
+    );
+    {
+        let mut stats = shared.stats.lock();
+        match status {
+            ResultStatus::Success => stats.invocations += 1,
+            ResultStatus::FunctionFailed => stats.failed += 1,
+            ResultStatus::Rejected | ResultStatus::LeaseExpired => {}
         }
     }
-
-    if holds_core {
+    if acquired_for_this {
         core.release();
     }
-    qp.disconnect();
+
+    // The ring already replenished the consumed receive; mark the idle
+    // point for the hot-poll accounting of the next request.
+    conn.last_ready = Some(shared.clock.now());
+    if let Some(b) = billing {
+        let _ = b.flush();
+    }
+}
+
+/// The dispatcher thread body: one completion-driven event loop serving
+/// every worker of an executor process over a single multiplexed CQ set.
+///
+/// Each turn sweeps the worker lifecycles (accept pending clients, push
+/// pending hellos, keep hot workers on their cores, retire finished
+/// workers), then drains every receive CQ in deterministic registration
+/// order and serves the completions on their owning workers. When a turn
+/// makes no progress the loop spins only if some worker busy-polls;
+/// otherwise it parks on the set's notifier like a warm worker parks on its
+/// completion channel.
+fn dispatcher_main(ctx: DispatcherContext) {
+    let DispatcherContext {
+        mut workers,
+        package,
+        config,
+        billing,
+        shutdown,
+    } = ctx;
+
+    let mut cqset = CqSet::new();
+    // Member token -> worker index, in registration (= drain) order.
+    let mut owner: Vec<usize> = Vec::new();
+    // Scratch reused across turns: the steady-state drain never allocates.
+    let mut scratch: Vec<(usize, WorkCompletion)> = Vec::new();
+
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+
+        let mut progressed = false;
+
+        // Lifecycle sweep.
+        for (index, slot) in workers.iter_mut().enumerate() {
+            if slot.done {
+                continue;
+            }
+            if slot.shared.shutdown.load(Ordering::Acquire) {
+                retire_worker(slot, &mut cqset);
+                continue;
+            }
+            if slot.conn.is_none() {
+                // Wait for the lease-holding client to connect.
+                match slot.listener.try_accept(&slot.endpoint) {
+                    Ok(Some(qp)) => match connect_worker(slot, qp, &mut cqset, &config) {
+                        Some(conn) => {
+                            debug_assert_eq!(conn.token, owner.len());
+                            owner.push(index);
+                            slot.conn = Some(conn);
+                            progressed = true;
+                        }
+                        None => retire_worker(slot, &mut cqset),
+                    },
+                    Ok(None) => {}
+                    Err(_) => retire_worker(slot, &mut cqset),
+                }
+                continue;
+            }
+            let conn = slot.conn.as_mut().unwrap();
+            if !conn.hello_sent {
+                // Advertise the input buffer to the client ("hello"). The
+                // client posts its receive right after connecting; retry
+                // every turn to cover the race between accept() returning
+                // on both sides.
+                match conn.qp.post_send(
+                    0,
+                    SendRequest::Send {
+                        local: Sge::whole(&conn.hello_region),
+                    },
+                    false,
+                ) {
+                    Ok(()) => {
+                        conn.hello_sent = true;
+                        progressed = true;
+                    }
+                    Err(rdma_fabric::FabricError::ReceiverNotReady) => {
+                        if !conn.qp.is_connected() {
+                            retire_worker(slot, &mut cqset);
+                        }
+                    }
+                    Err(_) => retire_worker(slot, &mut cqset),
+                }
+                continue;
+            }
+            // Hot workers own their core for their entire lifetime.
+            let mode = *slot.shared.mode.lock();
+            if matches!(mode, PollingMode::Hot) && !conn.holds_core {
+                conn.holds_core = slot.core.try_acquire();
+            }
+            if !matches!(mode, PollingMode::Hot) && conn.holds_core {
+                slot.core.release();
+                conn.holds_core = false;
+            }
+            // A gone client retires the worker once its CQ drained: the
+            // drain below still serves completions queued before the
+            // disconnect, exactly like a dedicated thread polling dry.
+            if !conn.qp.is_connected() && conn.qp.recv_cq().pending() == 0 {
+                retire_worker(slot, &mut cqset);
+            }
+        }
+
+        // Drain every member CQ in registration order and serve the
+        // completions on their owning workers.
+        scratch.clear();
+        cqset.poll_uncharged_into(usize::MAX, &mut scratch);
+        for (token, wc) in scratch.drain(..) {
+            let slot = &mut workers[owner[token]];
+            if slot.done || slot.conn.is_none() {
+                continue;
+            }
+            serve_completion(slot, wc, &package, &config, &billing);
+            progressed = true;
+        }
+
+        if workers.iter().all(|slot| slot.done) {
+            break;
+        }
+        if progressed {
+            continue;
+        }
+
+        // Idle policy: spin while any worker busy-polls (hot, or adaptive
+        // inside its spin window), nap briefly while connections are still
+        // being set up, otherwise park on the set's notifier.
+        let mut spin = false;
+        let mut setting_up = false;
+        for slot in &workers {
+            if slot.done {
+                continue;
+            }
+            match &slot.conn {
+                None => setting_up = true,
+                Some(conn) if !conn.hello_sent => setting_up = true,
+                Some(conn) => match *slot.shared.mode.lock() {
+                    PollingMode::Hot => spin = true,
+                    PollingMode::Adaptive => {
+                        if std::time::Instant::now() < conn.unparked_until {
+                            spin = true;
+                        }
+                    }
+                    PollingMode::Warm => {}
+                },
+            }
+        }
+        if spin {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        } else if setting_up {
+            std::thread::sleep(Duration::from_micros(200));
+        } else {
+            cqset.wait(Duration::from_millis(50));
+        }
+    }
+
+    for slot in &mut workers {
+        retire_worker(slot, &mut cqset);
+    }
 }
 
 /// Per-lease cold-start cost breakdown produced by the allocator, matching
@@ -557,6 +721,9 @@ pub struct ExecutorProcess {
     lease_id: u64,
     sandbox: Mutex<Sandbox>,
     workers: Vec<WorkerHandle>,
+    /// The one event-loop thread multiplexing every worker's receive CQ.
+    dispatcher: Option<JoinHandle<()>>,
+    dispatcher_shutdown: Arc<AtomicBool>,
     /// Cores reserved from the node pool at allocation time (`lease.cores`,
     /// not the worker count — oversubscribed allocations spawn more workers
     /// than they reserve cores).
@@ -622,8 +789,9 @@ impl ExecutorProcess {
         for w in &self.workers {
             w.request_shutdown();
         }
-        for w in &mut self.workers {
-            w.join();
+        self.dispatcher_shutdown.store(true, Ordering::Release);
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
         }
         self.sandbox.lock().terminate()
     }
@@ -789,6 +957,7 @@ impl LightweightAllocator {
         let billing = self.billing.lock().clone();
         let deadline = Arc::new(LeaseDeadline::new(lease.expires_at));
         let mut handles = Vec::with_capacity(workers);
+        let mut slots = Vec::with_capacity(workers);
         let mut spawn_error = None;
         for worker_idx in 0..workers {
             if worker_idx == self.spawn_fail_at.load(Ordering::Acquire) {
@@ -816,40 +985,54 @@ impl LightweightAllocator {
                 pd: rdma_fabric::ProtectionDomain::new(),
                 function: device_function,
             };
-            let context = WorkerContext {
+            handles.push(WorkerHandle {
+                info: WorkerEndpointInfo {
+                    address,
+                    max_payload: self.config.max_payload_bytes,
+                },
+                shared: Arc::clone(&shared),
+            });
+            slots.push(WorkerSlot {
                 listener,
                 endpoint,
-                package: package.clone(),
-                config: self.config.clone(),
-                shared: Arc::clone(&shared),
-                billing: billing.clone(),
+                shared,
                 core: Arc::clone(&cores[worker_idx % cores.len()]),
                 max_payload: self.config.max_payload_bytes,
+                conn: None,
+                done: false,
+            });
+        }
+
+        // One dispatcher thread per process serves every worker slot.
+        let dispatcher_shutdown = Arc::new(AtomicBool::new(false));
+        let mut dispatcher = None;
+        if spawn_error.is_none() {
+            let context = DispatcherContext {
+                workers: std::mem::take(&mut slots),
+                package: package.clone(),
+                config: self.config.clone(),
+                billing,
+                shutdown: Arc::clone(&dispatcher_shutdown),
             };
             match std::thread::Builder::new()
-                .name(format!("rfaas-worker-{worker_id}"))
-                .spawn(move || worker_main(context))
+                .name(format!("rfaas-dispatch-{process_id}"))
+                .spawn(move || dispatcher_main(context))
             {
-                Ok(thread) => handles.push(WorkerHandle {
-                    info: WorkerEndpointInfo {
-                        address,
-                        max_payload: self.config.max_payload_bytes,
-                    },
-                    shared,
-                    thread: Some(thread),
-                }),
+                Ok(thread) => dispatcher = Some(thread),
                 Err(e) => {
-                    spawn_error =
-                        Some(RFaasError::Internal(format!("failed to spawn worker: {e}")));
-                    break;
+                    spawn_error = Some(RFaasError::Internal(format!(
+                        "failed to spawn dispatcher: {e}"
+                    )));
                 }
             }
         }
         if let Some(error) = spawn_error {
-            // Roll back the partial allocation: stop and join the workers
-            // already spawned (WorkerHandle::drop does both), terminate the
-            // sandbox and return the reservation to the node pool.
+            // Roll back the partial allocation: drop the worker handles and
+            // slots built so far (nothing is serving them — the dispatcher
+            // never started), terminate the sandbox and return the
+            // reservation to the node pool.
             drop(handles);
+            drop(slots);
             let teardown = sandbox.terminate();
             self.clock.advance(teardown);
             let mut state = self.state.lock();
@@ -863,6 +1046,8 @@ impl LightweightAllocator {
             lease_id: lease.id,
             sandbox: Mutex::new(sandbox),
             workers: handles,
+            dispatcher,
+            dispatcher_shutdown,
             leased_cores: lease.cores,
             memory_mib: lease.memory_mib,
             deadline,

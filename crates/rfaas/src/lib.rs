@@ -58,6 +58,7 @@ pub mod executor;
 pub mod lifecycle;
 pub mod manager;
 pub mod protocol;
+pub mod reactor;
 pub mod session;
 pub mod sharding;
 
@@ -77,5 +78,6 @@ pub use manager::ResourceManager;
 pub use protocol::{
     ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
 };
+pub use reactor::{Reactor, ReactorStats};
 pub use session::{AllocationBuilder, CompletionSet, FunctionHandle, Session, TypedFuture};
 pub use sharding::{stable_hash, HashRing, ManagerGroup};

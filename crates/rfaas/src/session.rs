@@ -22,6 +22,7 @@
 //! [`InvocationFuture`], and the budget is a knob on the builder
 //! ([`AllocationBuilder::recovery_budget`]).
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -39,6 +40,7 @@ use crate::config::{PollingMode, RFaasConfig};
 use crate::error::{RFaasError, Result};
 use crate::manager::ResourceManager;
 use crate::protocol::{Lease, LeaseRequest};
+use crate::reactor::Reactor;
 
 /// Smallest output buffer the typed layer registers when the caller gives no
 /// explicit capacity: results at least as large as a small page are common
@@ -67,6 +69,8 @@ pub struct AllocationBuilder {
     mode: PollingMode,
     recovery_budget: u32,
     start_at: Option<SimTime>,
+    reactor: Option<Reactor>,
+    shared_clock: Option<Arc<VirtualClock>>,
 }
 
 impl AllocationBuilder {
@@ -93,6 +97,8 @@ impl AllocationBuilder {
             mode: PollingMode::Hot,
             recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
             start_at: None,
+            reactor: None,
+            shared_clock: None,
         }
     }
 
@@ -148,11 +154,33 @@ impl AllocationBuilder {
         self
     }
 
+    /// Drive this session's completions from a shared [`Reactor`]: sessions
+    /// built against the same reactor are pumped by one event loop, so a
+    /// single client thread sustains in-flight invocations across all of
+    /// them at once.
+    pub fn reactor(mut self, reactor: &Reactor) -> AllocationBuilder {
+        self.reactor = Some(reactor.clone());
+        self
+    }
+
+    /// Share a virtual clock with other sessions (they model one client
+    /// thread, whose virtual time advances across all of them).
+    pub fn clock(mut self, clock: &Arc<VirtualClock>) -> AllocationBuilder {
+        self.shared_clock = Some(Arc::clone(clock));
+        self
+    }
+
     /// Acquire the lease, spin up the workers and connect to them (the cold
     /// path of Fig. 5/6), returning the live [`Session`].
     pub fn connect(self) -> Result<Session> {
         let mut invoker = Invoker::new(&self.fabric, &self.client_node, &self.manager, self.config);
         invoker.set_recovery_budget(self.recovery_budget);
+        if let Some(reactor) = self.reactor {
+            invoker.set_reactor(reactor);
+        }
+        if let Some(clock) = self.shared_clock {
+            invoker.set_clock(clock);
+        }
         if let Some(at) = self.start_at {
             invoker.clock().advance_to(at);
         }
@@ -449,14 +477,14 @@ where
             specs.push(self.spec_for(Some(index % workers), input)?);
         }
         let total = specs.len();
-        let queued: std::collections::VecDeque<(usize, InvocationSpec)> =
-            specs.into_iter().enumerate().collect();
+        let queued: VecDeque<(usize, InvocationSpec)> = specs.into_iter().enumerate().collect();
         let mut set = CompletionSet {
             entries: (0..total).map(|_| None).collect(),
             queued,
             wave: workers,
             session: self.session,
             stats: BatchStats::default(),
+            ready: Arc::default(),
         };
         set.submit_next_wave()?;
         Ok(set)
@@ -525,11 +553,17 @@ pub struct CompletionSet<'s, O: ?Sized> {
     /// `None` before its wave posts and after its result is gathered.
     entries: Vec<Option<TypedFuture<'s, O>>>,
     /// Not-yet-posted (index, spec) pairs, in submission order.
-    queued: std::collections::VecDeque<(usize, InvocationSpec)>,
+    queued: VecDeque<(usize, InvocationSpec)>,
     /// Submissions per wave (= the session's worker count at scatter time).
     wave: usize,
     session: &'s Session,
     stats: BatchStats,
+    /// Entry indices whose results the reactor has dispatched, in completion
+    /// order. `wait_any` pops this queue instead of rescanning every entry —
+    /// the old rescan made gathering an n-entry scatter quadratic. Indices
+    /// are hints: a duplicate (from the post-registration stash re-check) is
+    /// skipped because its entry slot is already `None`.
+    ready: Arc<Mutex<VecDeque<usize>>>,
 }
 
 impl<O: ?Sized> std::fmt::Debug for CompletionSet<'_, O> {
@@ -573,7 +607,17 @@ impl<O: ?Sized> CompletionSet<'_, O> {
         let batch: Vec<(usize, InvocationSpec)> = self.queued.drain(..take).collect();
         let specs: Vec<InvocationSpec> = batch.iter().map(|(_, s)| s.clone()).collect();
         let (futures, stats) = self.session.invoker.submit_specs(&specs)?;
+        let reactor = self.session.invoker.reactor();
         for ((index, _), future) in batch.into_iter().zip(futures) {
+            // Arm the continuation, then re-check the stash: a concurrent
+            // reactor turn may have pumped this result before the
+            // continuation existed, in which case the ready push happens
+            // here (a duplicate hint is harmless, a missing one would hang).
+            let (token, id) = future.reactor_key();
+            reactor.register_continuation(token, id, &self.ready, index);
+            if future.has_stashed_result() {
+                self.ready.lock().push_back(index);
+            }
             self.entries[index] = Some(TypedFuture {
                 future,
                 session: self.session,
@@ -588,36 +632,75 @@ impl<O: ?Sized> CompletionSet<'_, O> {
     }
 }
 
-impl<O> CompletionSet<'_, O>
+impl<O: ?Sized> Drop for CompletionSet<'_, O> {
+    fn drop(&mut self) {
+        // Continuations of never-gathered entries must not outlive the set:
+        // their ready queue dies with it, and the 24-bit invocation ids
+        // eventually wrap around onto fresh submissions.
+        let reactor = self.session.invoker.reactor();
+        for entry in self.entries.iter().flatten() {
+            let (token, id) = entry.future.reactor_key();
+            reactor.cancel_continuation(token, id);
+        }
+    }
+}
+
+impl<'s, O> CompletionSet<'s, O>
 where
     O: Codec + ?Sized,
 {
-    /// Wait for the next available result: completions already delivered are
-    /// gathered first (without blocking); if none is ready, the lowest-index
-    /// in-flight invocation is waited for. Once a wave is fully gathered the
-    /// next queued wave posts. Returns the submission index with the decoded
-    /// result, or `None` once everything has been gathered.
+    /// Disarm the entry's continuation (its hint either fired already or is
+    /// now moot) and gather its result.
+    fn gather(&self, future: TypedFuture<'s, O>) -> Result<O::Owned> {
+        let (token, id) = future.future.reactor_key();
+        self.session
+            .invoker
+            .reactor()
+            .cancel_continuation(token, id);
+        future.wait()
+    }
+
+    /// Wait for the next available result, in completion order: the reactor
+    /// dispatches each finished invocation's index onto the set's ready
+    /// queue, so a gather is O(1) instead of a rescan of every entry (the
+    /// old rescan made draining an n-entry scatter quadratic). If nothing is
+    /// ready the reactor is driven until something completes. Once a wave is
+    /// fully gathered the next queued wave posts. Returns the submission
+    /// index with the decoded result, or `None` once everything has been
+    /// gathered.
     pub fn wait_any(&mut self) -> Result<Option<(usize, O::Owned)>> {
         self.submit_next_wave()?;
-        // Pass 1: anything already completed (drains each connection's ring
-        // without blocking).
-        for index in 0..self.entries.len() {
-            let ready = self.entries[index]
-                .as_ref()
-                .is_some_and(|f| f.is_complete());
-            if ready {
-                let future = self.entries[index].take().expect("checked is_some");
-                return Ok(Some((index, future.wait()?)));
+        loop {
+            // Completions the reactor already dispatched, oldest first.
+            let hint = self.ready.lock().pop_front();
+            if let Some(index) = hint {
+                if let Some(future) = self.entries[index].take() {
+                    return Ok(Some((index, self.gather(future)?)));
+                }
+                // Stale duplicate hint for an already-gathered entry.
+                continue;
+            }
+            if self.entries.iter().all(|e| e.is_none()) {
+                return Ok(None);
+            }
+            // Nothing dispatched yet: drive the shared event loop. An empty
+            // sweep can also mean a connection died (its continuation will
+            // never fire) — fall back to a blocking gather on the first such
+            // entry, whose wait() runs the transparent recovery path.
+            if self.session.invoker.reactor().turn() == 0 {
+                let lost = (0..self.entries.len()).find(|&i| {
+                    self.entries[i]
+                        .as_ref()
+                        .is_some_and(|f| f.future.connection_lost())
+                });
+                if let Some(index) = lost {
+                    let future = self.entries[index].take().expect("checked is_some");
+                    return Ok(Some((index, self.gather(future)?)));
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
             }
         }
-        // Pass 2: nothing delivered yet — block on the first in flight.
-        for index in 0..self.entries.len() {
-            if self.entries[index].is_some() {
-                let future = self.entries[index].take().expect("checked is_some");
-                return Ok(Some((index, future.wait()?)));
-            }
-        }
-        Ok(None)
     }
 
     /// Wait for every still-pending result, returned in submission order

@@ -7,10 +7,10 @@
 
 use cluster_sim::{NodeResources, TenantFleet};
 use rdma_fabric::Fabric;
-use rfaas::{GroupLifecycleDriver, ManagerGroup, RFaasConfig, Session, SpotExecutor};
+use rfaas::{GroupLifecycleDriver, ManagerGroup, RFaasConfig, Reactor, Session, SpotExecutor};
 use rfaas_bench::{evaluation_package, Testbed, PACKAGE};
 use sandbox::FunctionRegistry;
-use sim_core::{DeterministicRng, LatencyHistogram, SimDuration};
+use sim_core::{DeterministicRng, LatencyHistogram, SimDuration, VirtualClock};
 
 /// One end-to-end scenario: three executors, two sequential clients, a
 /// seeded mix of lease shapes, payload sizes, renewals and re-allocations.
@@ -184,4 +184,108 @@ fn sharded_scenario_seeds_change_the_fleet() {
     let a = run_sharded_scenario(3);
     let b = run_sharded_scenario(4);
     assert_ne!(a, b, "the seed must drive the tenant fleet");
+}
+
+/// The reactor-driven scenario: three leases held concurrently, all of their
+/// worker connections registered with one shared [`Reactor`] and all
+/// submissions and pickups serialised on one shared client clock. A seeded
+/// schedule hops between the sessions, so every completion travels through
+/// the shared event loop's source sweep rather than a per-connection wait.
+/// The transcript pins placements, per-invocation latencies, the histogram
+/// bits, the reactor's pump count and the billing total bit-for-bit.
+fn run_reactor_scenario(seed: u64) -> String {
+    let testbed = Testbed::new(3);
+    let mut rng = DeterministicRng::new(seed);
+    let mut transcript = String::new();
+    let mut histogram = LatencyHistogram::new();
+
+    let reactor = Reactor::new();
+    let clock = VirtualClock::shared();
+    let sessions: Vec<Session> = (0..3)
+        .map(|i| {
+            let workers = rng.range_u64(1, 4) as u32;
+            let session = testbed
+                .session(&format!("reactor-det-{i}"))
+                .workers(workers)
+                .memory_mib(2048)
+                .reactor(&reactor)
+                .clock(&clock)
+                .connect()
+                .unwrap();
+            let lease = session.lease().unwrap();
+            transcript.push_str(&format!(
+                "session {i}: lease cores={} node={}\n",
+                lease.cores, lease.executor_node
+            ));
+            session
+        })
+        .collect();
+    let functions: Vec<_> = sessions
+        .iter()
+        .map(|s| s.function::<[u8], [u8]>("echo").unwrap())
+        .collect();
+
+    let mut invocations = 0u64;
+    for round in 0..4 {
+        for _ in 0..sessions.len() {
+            let pick = rng.range_u64(0, sessions.len() as u64) as usize;
+            let payload = rng.range_u64(1, 2048) as usize;
+            let data = workloads::generate_payload(payload, seed);
+            let (reply, rtt) = functions[pick].invoke_timed(&data[..]).unwrap();
+            assert_eq!(reply.len(), payload);
+            histogram.record(rtt);
+            invocations += 1;
+            transcript.push_str(&format!(
+                "round {round}: session {pick} invoke {payload} B -> {} ns\n",
+                rtt.as_nanos()
+            ));
+        }
+    }
+
+    // Every completion of the scenario was pumped by the shared reactor,
+    // exactly once — a second pickup path would double this count.
+    let stats = reactor.stats();
+    assert_eq!(stats.pumped, invocations);
+    transcript.push_str(&format!("reactor: pumped={}\n", stats.pumped));
+
+    transcript.push_str(&format!(
+        "histogram: n={} min={} p50={} p99={} max={}\n",
+        histogram.count(),
+        histogram.min().as_nanos(),
+        histogram.median().as_nanos(),
+        histogram.percentile(0.99).as_nanos(),
+        histogram.max().as_nanos()
+    ));
+
+    drop(functions);
+    for session in sessions {
+        session.close().unwrap();
+    }
+    let total_cost = testbed.manager.total_cost();
+    transcript.push_str(&format!(
+        "billing: total_cost_bits={:#018x}\n",
+        total_cost.to_bits()
+    ));
+    assert!(total_cost > 0.0, "the scenario must accrue billable usage");
+    transcript
+}
+
+#[test]
+fn reactor_driven_runs_are_byte_identical() {
+    let first = run_reactor_scenario(0xFACADE);
+    let second = run_reactor_scenario(0xFACADE);
+    assert_eq!(
+        first, second,
+        "reactor dispatch order, latencies or billing diverged between identical runs"
+    );
+}
+
+#[test]
+fn reactor_scenario_seeds_change_the_schedule() {
+    let a = run_reactor_scenario(5);
+    let b = run_reactor_scenario(6);
+    assert_ne!(
+        a, b,
+        "the seed must drive the session schedule and payloads"
+    );
 }
