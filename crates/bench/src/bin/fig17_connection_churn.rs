@@ -1,0 +1,216 @@
+//! Figure 17: connection-plane cost under tenant churn — pooled QPs, shared
+//! receive queues, and the datagram first-contact path.
+//!
+//! A multi-tenant fleet (10k+ tenants, Poisson episode arrivals, heavy-hitter
+//! skew) churns allocation episodes through a sharded manager plane. Every
+//! episode allocates through the datagram control path, connects its worker
+//! through a *shared connection pool* keyed by executor node, invokes once
+//! and releases. The first episode against each executor pays the full RC
+//! handshake (first contact); later episodes ride the warm tier bought by
+//! pooled connection warmth. We report the connection-setup cost of both
+//! classes (connect-to-manager + connect-to-workers, the connection-plane
+//! slice of the cold start) and assert warm re-allocation is at least 5×
+//! cheaper.
+//!
+//! A second probe allocates 1-worker and 16-worker processes on one executor
+//! and compares their shared-receive-queue depths: executor receive memory
+//! must grow sublinearly in the connection count (the point of the SRQ), and
+//! the binary gates on 16 workers holding at most 4× the slots of one.
+
+use std::sync::Arc;
+
+use cluster_sim::{episode_ordinals, NodeResources, TenantFleet};
+use rdma_fabric::{ConnectionPool, Fabric};
+use rfaas::{ManagerGroup, RFaasConfig, Session, SpotExecutor};
+use rfaas_bench::{evaluation_package, print_table, quick_mode, ResultRow, PACKAGE};
+use sandbox::FunctionRegistry;
+use sim_core::{SimDuration, Summary};
+
+/// Register spot executors with the plane until the requested count is
+/// reached AND every shard owns at least one.
+fn register_executors(
+    fabric: &Arc<Fabric>,
+    registry: &FunctionRegistry,
+    config: &RFaasConfig,
+    group: &ManagerGroup,
+    at_least: usize,
+) -> Vec<Arc<SpotExecutor>> {
+    let mut executors = Vec::new();
+    let mut covered = vec![false; group.shard_count()];
+    let mut index = 0;
+    while executors.len() < at_least || covered.iter().any(|c| !c) {
+        let executor = SpotExecutor::new(
+            fabric,
+            &format!("churn-exec-{index:03}"),
+            NodeResources::xeon_gold_6154_dual(),
+            registry.clone(),
+            config.clone(),
+        );
+        covered[group.register_executor(&executor)] = true;
+        executors.push(executor);
+        index += 1;
+    }
+    executors
+}
+
+fn main() {
+    let quick = quick_mode();
+    let tenants = if quick { 10_000 } else { 12_000 };
+    let episode_cap = if quick { 400 } else { 2_000 };
+    let shards = 8usize;
+    let executor_count = 12usize;
+
+    let config = RFaasConfig::paper_calibration();
+    let fabric = Fabric::with_defaults();
+    let registry = FunctionRegistry::new();
+    registry.deploy(evaluation_package());
+    let group = ManagerGroup::new(&fabric, config.clone(), shards);
+    let executors = register_executors(&fabric, &registry, &config, &group, executor_count);
+
+    // The whole fleet flows through the consistent-hash ring: placement of
+    // every tenant's episodes, even the ones beyond the session-driven
+    // sample below, exercises shard routing at fleet scale.
+    let fleet = TenantFleet::generate(17, tenants, SimDuration::from_secs(20));
+    let requests = fleet.requests(SimDuration::from_secs(40));
+    let ordinals = episode_ordinals(&requests);
+    let mut per_shard = vec![0usize; shards];
+    for request in &requests {
+        per_shard[group.shard_for_tenant(&request.tenant)] += 1;
+    }
+    let revisits = ordinals.iter().filter(|&&o| o > 0).count();
+    println!("# Figure 17: connection churn — pooled QPs, SRQ memory, datagram first contact");
+    println!(
+        "# fleet: {tenants} tenants, {} episodes in the horizon ({revisits} revisits), {shards} manager shards, {} executors",
+        requests.len(),
+        executors.len()
+    );
+    println!("# per-shard episode load: {per_shard:?} (consistent hashing over tenant ids)");
+
+    // Connection warmth shared across every episode: the pool is the tenant
+    // churn survivor — leases come and go, executor-node warmth stays.
+    let pool = ConnectionPool::new();
+    let mut first_contact_us: Vec<f64> = Vec::new();
+    let mut warm_us: Vec<f64> = Vec::new();
+    let mut connections_opened = 0u64;
+    let mut srq_watermark = 0usize;
+
+    for (episode, request) in requests.iter().take(episode_cap).enumerate() {
+        let manager = group.manager_for_tenant(&request.tenant);
+        let hits_before = pool.stats().hits;
+        let session = Session::builder(&fabric, &request.tenant, &manager, PACKAGE)
+            .config(config.clone())
+            .workers(1)
+            .memory_mib(1024)
+            .connection_pool(&pool)
+            .starting_at(request.arrival)
+            .connect()
+            .unwrap_or_else(|e| panic!("episode {episode} allocation failed: {e}"));
+        let cold = session.cold_start().expect("cold start recorded");
+        let setup_us =
+            cold.connect_to_manager.as_micros_f64() + cold.connect_to_workers.as_micros_f64();
+        if pool.stats().hits > hits_before {
+            warm_us.push(setup_us);
+        } else {
+            first_contact_us.push(setup_us);
+        }
+        let echo = session.function::<[u8], [u8]>("echo").expect("echo");
+        let payload = workloads::generate_payload(64, episode as u64);
+        echo.invoke(&payload[..]).expect("invocation succeeds");
+        let stats = session.connection_stats();
+        connections_opened += stats.connections_opened;
+        srq_watermark = srq_watermark.max(stats.srq_depth_high_watermark);
+        session.close().expect("release");
+    }
+
+    let pool_stats = pool.stats();
+    println!(
+        "# connection plane: {connections_opened} connections opened, pool hits {} / misses {} (returned {}, evicted {}), SRQ depth high watermark {srq_watermark}",
+        pool_stats.hits, pool_stats.misses, pool_stats.returned, pool_stats.evictions
+    );
+
+    // SRQ memory probe: one executor, 1-worker vs 16-worker processes. The
+    // shared receive queue must keep executor receive memory sublinear in
+    // the connection count.
+    let probe = &executors[0];
+    let probe_manager = group.managers()[group.shard_for_executor(probe.name())].clone();
+    let mut srq_slots = Vec::new();
+    for workers in [1u32, 16] {
+        let session = Session::builder(&fabric, "fig17-srq-probe", &probe_manager, PACKAGE)
+            .config(config.clone())
+            .workers(workers)
+            .memory_mib(4096)
+            .connect()
+            .expect("probe allocation succeeds");
+        let lease = session.lease().expect("probe lease");
+        let depth = executors
+            .iter()
+            .find(|e| e.name() == lease.executor_node)
+            .expect("probe lease lands on a registered executor")
+            .allocator()
+            .processes()
+            .iter()
+            .find_map(|p| {
+                let p = p.lock();
+                (p.lease_id() == lease.id).then(|| p.srq_stats().max_depth)
+            })
+            .expect("probe process visible");
+        srq_slots.push((workers, depth));
+        session.close().expect("probe release");
+    }
+
+    let first = Summary::of(&first_contact_us);
+    let warm = Summary::of(&warm_us);
+    let rows = vec![
+        ResultRow {
+            series: "connection setup".into(),
+            x: 0.0,
+            median: first.median,
+            p99: first.p99,
+            unit: "us".into(),
+        },
+        ResultRow {
+            series: "connection setup".into(),
+            x: 1.0,
+            median: warm.median,
+            p99: warm.p99,
+            unit: "us".into(),
+        },
+        ResultRow {
+            series: "srq slots".into(),
+            x: srq_slots[0].0 as f64,
+            median: srq_slots[0].1 as f64,
+            p99: srq_slots[0].1 as f64,
+            unit: "slots".into(),
+        },
+        ResultRow {
+            series: "srq slots".into(),
+            x: srq_slots[1].0 as f64,
+            median: srq_slots[1].1 as f64,
+            p99: srq_slots[1].1 as f64,
+            unit: "slots".into(),
+        },
+    ];
+    print_table(
+        "Connection setup under churn (x=0 first contact, x=1 warm re-allocation) and SRQ depth vs workers",
+        &rows,
+    );
+
+    assert!(
+        !first_contact_us.is_empty() && warm_us.len() > first_contact_us.len(),
+        "churn must produce both first contacts ({}) and a warm majority ({})",
+        first_contact_us.len(),
+        warm_us.len()
+    );
+    assert!(
+        warm.median * 5.0 <= first.median,
+        "warm re-allocation ({:.1} us) must be at least 5x cheaper than first contact ({:.1} us)",
+        warm.median,
+        first.median
+    );
+    let (w1, slots1) = srq_slots[0];
+    let (w16, slots16) = srq_slots[1];
+    assert!(
+        slots16 <= 4 * slots1,
+        "SRQ depth must be sublinear in connections: {w1} workers -> {slots1} slots, {w16} workers -> {slots16} slots"
+    );
+}

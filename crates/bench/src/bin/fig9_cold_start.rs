@@ -10,6 +10,9 @@ use sandbox::SandboxType;
 
 fn run_case(sandbox: SandboxType, payload: usize, workers: u32, repetitions: usize) {
     let mut components = [0.0f64; 6];
+    let mut opened = 0u64;
+    let mut pool_misses = 0u64;
+    let mut srq_watermark = 0usize;
     for rep in 0..repetitions {
         let testbed = Testbed::new(1);
         let session = testbed
@@ -29,8 +32,15 @@ fn run_case(sandbox: SandboxType, payload: usize, workers: u32, repetitions: usi
         components[3] += cold.submit_code.as_millis_f64();
         components[4] += cold.connect_to_workers.as_millis_f64();
         components[5] += first_invocation.as_millis_f64();
+        let conn = session.connection_stats();
+        opened += conn.connections_opened;
+        pool_misses += conn.pool_misses;
+        srq_watermark = srq_watermark.max(conn.srq_depth_high_watermark);
         session.close().expect("deallocate");
     }
+    println!(
+        "#   connection plane: {opened} connections opened ({pool_misses} pool misses — every cold start is first contact), SRQ depth high watermark {srq_watermark}"
+    );
     for c in components.iter_mut() {
         *c /= repetitions as f64;
     }

@@ -25,5 +25,5 @@ pub mod trace;
 pub use harvest::{HarvestedResources, ResourceHarvester};
 pub use jobs::{BatchJob, BatchScheduler, JobGenerator};
 pub use node::{ClusterNode, NodeResources};
-pub use tenants::{TenantFleet, TenantProfile, TenantRequest, WorkloadKind};
+pub use tenants::{episode_ordinals, TenantFleet, TenantProfile, TenantRequest, WorkloadKind};
 pub use trace::{TracePoint, UtilizationTrace};

@@ -265,6 +265,24 @@ impl TenantFleet {
     }
 }
 
+/// Per-request episode ordinal: how many episodes the same tenant already
+/// had earlier in the timeline. Ordinal 0 is the tenant's *first contact* —
+/// its connection pool entry is necessarily cold — while later ordinals are
+/// revisit candidates whose connection warmth a pooled transport can reuse.
+/// The churn benchmarks split setup costs along exactly this boundary.
+pub fn episode_ordinals(requests: &[TenantRequest]) -> Vec<u32> {
+    let mut counts: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    requests
+        .iter()
+        .map(|r| {
+            let seen = counts.entry(r.tenant_index).or_insert(0);
+            let ordinal = *seen;
+            *seen += 1;
+            ordinal
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +370,35 @@ mod tests {
         assert!(
             max as f64 > 3.0 * mean,
             "heavy hitters should dominate: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn episode_ordinals_split_first_contact_from_revisits() {
+        let fleet = fleet();
+        let requests = fleet.requests(SimDuration::from_secs(600));
+        let ordinals = episode_ordinals(&requests);
+        assert_eq!(ordinals.len(), requests.len());
+        // A tenant's ordinals increase monotonically along the timeline.
+        let mut last: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut first_contacts = 0usize;
+        for (r, &o) in requests.iter().zip(&ordinals) {
+            match last.get(&r.tenant_index) {
+                None => {
+                    assert_eq!(o, 0, "first episode of {} must be ordinal 0", r.tenant);
+                    first_contacts += 1;
+                }
+                Some(&prev) => assert_eq!(o, prev + 1),
+            }
+            last.insert(r.tenant_index, o);
+        }
+        assert_eq!(first_contacts, last.len());
+        // Over a long horizon, churn dominates: most episodes are revisits.
+        let revisits = ordinals.iter().filter(|&&o| o > 0).count();
+        assert!(
+            revisits * 2 > ordinals.len(),
+            "expected mostly revisits, got {revisits}/{}",
+            ordinals.len()
         );
     }
 

@@ -14,12 +14,16 @@ use sim_core::SimTime;
 
 use crate::error::{FabricError, Result};
 use crate::fabric::Fabric;
+use crate::pool::ConnectionPool;
 use crate::qp::{Endpoint, QueuePair};
 
 /// Private message describing a pending connection request.
 pub(crate) struct ConnectRequest {
     client_qp: QueuePair,
     client_time: SimTime,
+    /// Whether the client redeemed a pool warmth token for this remote: both
+    /// sides then charge the (much cheaper) warm re-establishment tier.
+    warm: bool,
     reply: Sender<()>,
 }
 
@@ -118,11 +122,16 @@ impl Listener {
         let server_qp = QueuePair::new(endpoint);
         QueuePair::connect_pair(&request.client_qp, &server_qp)?;
         // The server observes the request one propagation delay after the
-        // client issued it and spends half the handshake processing it.
-        endpoint.clock.advance_to_then(
-            request.client_time + profile.one_way_latency,
-            profile.connection_setup / 2,
-        );
+        // client issued it and spends half the handshake processing it; a
+        // warm re-establishment only pays the cheap tier.
+        let setup = if request.warm {
+            profile.warm_connection_setup
+        } else {
+            profile.connection_setup
+        };
+        endpoint
+            .clock
+            .advance_to_then(request.client_time + profile.one_way_latency, setup / 2);
         // Wake the connecting client; it may have given up (dropped receiver).
         let _ = request.reply.send(());
         Ok(server_qp)
@@ -153,6 +162,34 @@ pub fn connect_with_timeout(
     address: &str,
     timeout: Duration,
 ) -> Result<QueuePair> {
+    connect_inner(endpoint, address, timeout, false)
+}
+
+/// Connect through a [`ConnectionPool`]: when the pool holds a warmth token
+/// for `key` (usually the remote node's name), both sides charge only the
+/// warm re-establishment tier of the NIC profile instead of the full RC
+/// handshake. Returns the connected queue pair and whether it was warm.
+///
+/// The token is consumed either way — a failed warm connect loses it, the
+/// safe direction (the next attempt pays full price).
+pub fn connect_pooled(
+    endpoint: &Endpoint,
+    address: &str,
+    pool: &ConnectionPool,
+    key: &str,
+    timeout: Duration,
+) -> Result<(QueuePair, bool)> {
+    let warm = pool.lease(key);
+    let qp = connect_inner(endpoint, address, timeout, warm)?;
+    Ok((qp, warm))
+}
+
+fn connect_inner(
+    endpoint: &Endpoint,
+    address: &str,
+    timeout: Duration,
+    warm: bool,
+) -> Result<QueuePair> {
     let handle = endpoint
         .fabric
         .listener(address)
@@ -163,18 +200,186 @@ pub fn connect_with_timeout(
     let request = ConnectRequest {
         client_qp: client_qp.clone(),
         client_time: endpoint.clock.now(),
+        warm,
         reply: reply_tx,
     };
     handle
         .tx
         .send(request)
         .map_err(|_| FabricError::UnknownAddress(address.to_string()))?;
-    reply_rx
-        .recv_timeout(timeout)
-        .map_err(|_| FabricError::ConnectionLost)?;
-    // The client pays the full connection-establishment latency.
-    endpoint.clock.advance(profile.connection_setup);
+    match reply_rx.recv_timeout(timeout) {
+        Ok(()) => {}
+        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+            return Err(FabricError::Timeout {
+                operation: "connect",
+            })
+        }
+        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+            return Err(FabricError::ConnectionLost)
+        }
+    }
+    // The client pays the connection-establishment latency of its tier.
+    endpoint.clock.advance(if warm {
+        profile.warm_connection_setup
+    } else {
+        profile.connection_setup
+    });
     Ok(client_qp)
+}
+
+/// A message delivered through a [`DatagramSocket`].
+#[derive(Debug, Clone)]
+pub struct DatagramMessage {
+    /// Address of the sending socket (reply-to).
+    pub from: String,
+    /// Message payload.
+    pub payload: Vec<u8>,
+    /// Fabric-model instant the last byte arrived.
+    pub arrived_at: SimTime,
+}
+
+/// Cloneable handle stored in the fabric's datagram table.
+#[derive(Clone)]
+pub(crate) struct DatagramHandle {
+    tx: Sender<DatagramMessage>,
+    node: Arc<crate::fabric::FabricNode>,
+    token: u64,
+}
+
+impl std::fmt::Debug for DatagramHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatagramHandle")
+            .field("node", &self.node.name())
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
+/// A UD/DC-style unreliable-datagram endpoint: per-message addressing, no
+/// per-peer connection state, and a setup cost (`datagram_setup`) an order
+/// of magnitude below the RC handshake. rFaaS-style control planes use this
+/// for first contact — allocation requests and replies — and reserve RC
+/// connections for the leased data path.
+pub struct DatagramSocket {
+    fabric: Arc<Fabric>,
+    node: Arc<crate::fabric::FabricNode>,
+    clock: Arc<sim_core::VirtualClock>,
+    address: String,
+    rx: Receiver<DatagramMessage>,
+    token: u64,
+}
+
+impl std::fmt::Debug for DatagramSocket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatagramSocket")
+            .field("address", &self.address)
+            .finish()
+    }
+}
+
+impl DatagramSocket {
+    /// Bind a datagram socket at `address`, charging the (cheap) datagram
+    /// endpoint setup on the endpoint's clock. Rebinding an address replaces
+    /// the previous socket.
+    pub fn bind(endpoint: &Endpoint, address: &str) -> DatagramSocket {
+        let (tx, rx) = unbounded();
+        let token = Fabric::next_listener_token();
+        endpoint.fabric.register_datagram(
+            address,
+            DatagramHandle {
+                tx,
+                node: Arc::clone(&endpoint.node),
+                token,
+            },
+        );
+        endpoint
+            .clock
+            .advance(endpoint.fabric.profile().datagram_setup);
+        DatagramSocket {
+            fabric: Arc::clone(&endpoint.fabric),
+            node: Arc::clone(&endpoint.node),
+            clock: Arc::clone(&endpoint.clock),
+            address: address.to_string(),
+            rx,
+            token,
+        }
+    }
+
+    /// The address this socket is bound to.
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Send `payload` to the socket bound at `dst`. No connection is
+    /// involved: the sender pays the usual issue cost, the fabric model
+    /// times the transfer, and the message queues at the destination.
+    /// Returns the arrival instant.
+    pub fn send_to(&self, dst: &str, payload: &[u8]) -> Result<SimTime> {
+        let handle = self
+            .fabric
+            .datagram(dst)
+            .ok_or_else(|| FabricError::UnknownAddress(dst.to_string()))?;
+        let ready = self
+            .clock
+            .advance(self.fabric.profile().issue_cost(payload.len()));
+        let timing = self
+            .fabric
+            .transfer(&self.node, &handle.node, payload.len(), ready);
+        handle
+            .tx
+            .send(DatagramMessage {
+                from: self.address.clone(),
+                payload: payload.to_vec(),
+                arrived_at: timing.arrive,
+            })
+            .map_err(|_| FabricError::UnknownAddress(dst.to_string()))?;
+        Ok(timing.arrive)
+    }
+
+    /// Receive the next message, blocking up to the wall-clock `timeout`.
+    /// The receiver's clock advances to the message's arrival and pays the
+    /// completion pickup cost.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<DatagramMessage> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.observe(&msg);
+                Ok(msg)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(FabricError::Timeout {
+                operation: "datagram receive",
+            }),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(FabricError::ConnectionLost)
+            }
+        }
+    }
+
+    /// Non-blocking receive: `None` when no message is queued.
+    pub fn try_recv(&self) -> Option<DatagramMessage> {
+        let msg = self.rx.try_recv().ok()?;
+        self.observe(&msg);
+        Some(msg)
+    }
+
+    /// Number of messages waiting to be received.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    fn observe(&self, msg: &DatagramMessage) {
+        self.clock
+            .advance_to_then(msg.arrived_at, self.fabric.profile().completion_pickup);
+    }
+}
+
+impl Drop for DatagramSocket {
+    fn drop(&mut self) {
+        if let Some(handle) = self.fabric.datagram(&self.address) {
+            if handle.token == self.token {
+                self.fabric.unregister_datagram(&self.address);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,5 +531,192 @@ mod tests {
             assert!(c.join().unwrap().is_connected());
         }
         assert_eq!(server_qps.len(), 4);
+    }
+
+    #[test]
+    fn try_accept_on_replaced_listener_reports_connection_lost() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("server");
+        let ep = Endpoint::new(&fabric, &node);
+        let first = Listener::bind(&fabric, "svc:replaced");
+        // Rebinding drops the table's clone of the first listener's sender;
+        // once no sender remains, its channel reads as disconnected.
+        let _second = Listener::bind(&fabric, "svc:replaced");
+        assert!(matches!(
+            first.try_accept(&ep),
+            Err(FabricError::ConnectionLost)
+        ));
+        assert!(matches!(
+            first.accept(&ep),
+            Err(FabricError::ConnectionLost)
+        ));
+    }
+
+    #[test]
+    fn connect_times_out_against_unresponsive_listener() {
+        let fabric = Fabric::with_defaults();
+        let _server = fabric.add_node("server");
+        let client_node = fabric.add_node("client");
+        let _listener = Listener::bind(&fabric, "server:slow");
+        let ep = Endpoint::new(&fabric, &client_node);
+        // Nobody calls accept: the client must give up with a typed error,
+        // not hang or report the address as unknown.
+        let err = connect_with_timeout(&ep, "server:slow", Duration::from_millis(20)).unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::Timeout {
+                operation: "connect"
+            }
+        );
+    }
+
+    #[test]
+    fn accept_survives_client_that_gave_up() {
+        let fabric = Fabric::with_defaults();
+        let server_node = fabric.add_node("server");
+        let client_node = fabric.add_node("client");
+        let listener = Listener::bind(&fabric, "server:late");
+        let server_ep = Endpoint::new(&fabric, &server_node);
+
+        let client_ep = Endpoint::new(&fabric, &client_node);
+        let err = connect_with_timeout(&client_ep, "server:late", Duration::from_millis(5));
+        assert!(matches!(err, Err(FabricError::Timeout { .. })));
+
+        // The request is still queued; accepting it must not panic even
+        // though the client dropped its reply receiver.
+        let qp = listener.accept(&server_ep).unwrap();
+        assert!(qp.is_connected());
+    }
+
+    #[test]
+    fn pooled_connect_charges_warm_tier_on_reuse() {
+        let fabric = Fabric::with_defaults();
+        let server_node = fabric.add_node("server");
+        let client_node = fabric.add_node("client");
+        let listener = Listener::bind(&fabric, "server:pooled");
+        let server_ep = Endpoint::new(&fabric, &server_node);
+        let pool = ConnectionPool::new();
+
+        let fabric2 = Arc::clone(&fabric);
+        let pool2 = pool.clone();
+        let t = thread::spawn(move || {
+            let ep = Endpoint::new(&fabric2, &client_node);
+            let before = ep.clock.now();
+            let (qp, warm) = connect_pooled(
+                &ep,
+                "server:pooled",
+                &pool2,
+                "server",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            let cold_cost = ep.clock.now().saturating_since(before);
+            assert!(!warm);
+            qp.disconnect();
+            pool2.release("server", ep.clock.now());
+
+            let before = ep.clock.now();
+            let (qp, warm) = connect_pooled(
+                &ep,
+                "server:pooled",
+                &pool2,
+                "server",
+                Duration::from_secs(5),
+            )
+            .unwrap();
+            let warm_cost = ep.clock.now().saturating_since(before);
+            assert!(warm);
+            assert!(qp.is_connected());
+            (cold_cost, warm_cost)
+        });
+        let first = listener.accept(&server_ep).unwrap();
+        let server_cold = server_ep.clock.now();
+        listener.accept(&server_ep).unwrap();
+        let (cold_cost, warm_cost) = t.join().unwrap();
+        drop(first);
+
+        // Warm re-establishment is at least 5x cheaper on the client, and the
+        // server's half-handshake share shrinks by the same tier change.
+        assert!(
+            warm_cost.as_nanos() * 5 <= cold_cost.as_nanos(),
+            "warm {warm_cost:?} vs cold {cold_cost:?}"
+        );
+        assert!(server_cold.as_nanos() > 0);
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn datagrams_deliver_payload_and_reply_address() {
+        let fabric = Fabric::with_defaults();
+        let a = fabric.add_node("ctl-a");
+        let b = fabric.add_node("ctl-b");
+        let ep_a = Endpoint::new(&fabric, &a);
+        let ep_b = Endpoint::new(&fabric, &b);
+        let sock_a = DatagramSocket::bind(&ep_a, "udp://a");
+        let sock_b = DatagramSocket::bind(&ep_b, "udp://b");
+
+        sock_a.send_to("udp://b", b"allocate 4 cores").unwrap();
+        let msg = sock_b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.payload, b"allocate 4 cores");
+        assert_eq!(msg.from, "udp://a");
+        // The receiver's clock caught up to the arrival.
+        assert!(ep_b.clock.now() >= msg.arrived_at);
+
+        // Reply through the carried address: no connection state anywhere.
+        sock_b.send_to(&msg.from, b"granted").unwrap();
+        let reply = sock_a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.payload, b"granted");
+    }
+
+    #[test]
+    fn datagram_bind_is_cheaper_than_connection_setup() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("ctl");
+        let ep = Endpoint::new(&fabric, &node);
+        let before = ep.clock.now();
+        let _sock = DatagramSocket::bind(&ep, "udp://ctl");
+        let bind_cost = ep.clock.now().saturating_since(before);
+        assert_eq!(bind_cost, fabric.profile().datagram_setup);
+        assert!(bind_cost.as_nanos() * 5 <= fabric.profile().connection_setup.as_nanos());
+    }
+
+    #[test]
+    fn datagram_recv_times_out_and_unknown_destination_fails() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("ctl");
+        let ep = Endpoint::new(&fabric, &node);
+        let sock = DatagramSocket::bind(&ep, "udp://lonely");
+        assert!(matches!(
+            sock.send_to("udp://nobody", b"hello"),
+            Err(FabricError::UnknownAddress(_))
+        ));
+        assert_eq!(
+            sock.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            FabricError::Timeout {
+                operation: "datagram receive"
+            }
+        );
+        assert!(sock.try_recv().is_none());
+        assert_eq!(sock.pending(), 0);
+    }
+
+    #[test]
+    fn dropping_datagram_socket_unbinds_address() {
+        let fabric = Fabric::with_defaults();
+        let node = fabric.add_node("ctl");
+        let ep = Endpoint::new(&fabric, &node);
+        {
+            let _sock = DatagramSocket::bind(&ep, "udp://temp");
+            assert!(fabric.datagram("udp://temp").is_some());
+        }
+        assert!(fabric.datagram("udp://temp").is_none());
+        // Rebinding replaces; dropping the stale socket keeps the new one.
+        let first = DatagramSocket::bind(&ep, "udp://re");
+        let second = DatagramSocket::bind(&ep, "udp://re");
+        drop(first);
+        assert!(fabric.datagram("udp://re").is_some());
+        drop(second);
+        assert!(fabric.datagram("udp://re").is_none());
     }
 }

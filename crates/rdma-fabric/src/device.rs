@@ -48,6 +48,14 @@ pub struct NicProfile {
     pub local_completion: SimDuration,
     /// Reliable-connection establishment cost (QP transition + CM handshake).
     pub connection_setup: SimDuration,
+    /// Re-establishment cost of a *warm* reliable connection: the peers have
+    /// exchanged QP attributes before, cached path records and pinned pages
+    /// survive in the pool, so only the state-machine transition is paid.
+    pub warm_connection_setup: SimDuration,
+    /// Setup cost of an unreliable-datagram style endpoint (UD/DC): no
+    /// per-peer handshake, one address-handle creation — the cheap
+    /// first-contact transport for control-plane traffic.
+    pub datagram_setup: SimDuration,
     /// Per-message overhead added by an SR-IOV virtual function (each
     /// direction) when the executor runs inside a container.
     pub vf_message_overhead: SimDuration,
@@ -79,6 +87,8 @@ impl NicProfile {
             atomic_execution: SimDuration::from_nanos(120),
             local_completion: SimDuration::from_nanos(100),
             connection_setup: SimDuration::from_micros(450),
+            warm_connection_setup: SimDuration::from_micros(45),
+            datagram_setup: SimDuration::from_micros(18),
             vf_message_overhead: SimDuration::from_nanos(25),
             vf_blocking_extra: SimDuration::from_nanos(600),
             max_recv_queue_depth: 1024,
@@ -102,6 +112,8 @@ impl NicProfile {
             atomic_execution: SimDuration::from_nanos(900),
             local_completion: SimDuration::from_nanos(400),
             connection_setup: SimDuration::from_millis(2),
+            warm_connection_setup: SimDuration::from_micros(200),
+            datagram_setup: SimDuration::from_micros(90),
             vf_message_overhead: SimDuration::from_nanos(100),
             vf_blocking_extra: SimDuration::from_micros(2),
             max_recv_queue_depth: 256,
@@ -251,6 +263,17 @@ mod tests {
             DeviceFunction::Virtual.blocking_extra(&p)
                 > DeviceFunction::Physical.blocking_extra(&p)
         );
+    }
+
+    #[test]
+    fn connection_setup_tiers_are_ordered() {
+        // Full RC handshake ≫ warm re-establishment ≫ datagram first contact:
+        // the spread the connection pool and the control-plane datagram path
+        // amortise. Holds on every profile.
+        for p in [NicProfile::mellanox_cx5_100g(), NicProfile::soft_roce()] {
+            assert!(p.warm_connection_setup * 5 <= p.connection_setup);
+            assert!(p.datagram_setup < p.warm_connection_setup);
+        }
     }
 
     #[test]

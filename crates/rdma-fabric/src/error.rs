@@ -79,6 +79,12 @@ pub enum FabricError {
         /// Which limit was exceeded.
         limit: &'static str,
     },
+    /// A blocking control-plane operation (connect, datagram receive) ran
+    /// past its wall-clock deadline without the peer answering.
+    Timeout {
+        /// The operation that timed out.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -119,6 +125,9 @@ impl fmt::Display for FabricError {
                 "inline payload of {len} B exceeds the device inline capacity of {max} B"
             ),
             FabricError::DeviceLimitExceeded { limit } => write!(f, "device limit exceeded: {limit}"),
+            FabricError::Timeout { operation } => {
+                write!(f, "{operation} timed out waiting for the peer")
+            }
         }
     }
 }

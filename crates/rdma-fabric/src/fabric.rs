@@ -119,6 +119,7 @@ pub struct Fabric {
     profile: NicProfile,
     nodes: Mutex<HashMap<String, Arc<FabricNode>>>,
     listeners: Mutex<HashMap<String, crate::cm::ListenerHandle>>,
+    datagrams: Mutex<HashMap<String, crate::cm::DatagramHandle>>,
 }
 
 impl Fabric {
@@ -128,6 +129,7 @@ impl Fabric {
             profile,
             nodes: Mutex::new(HashMap::new()),
             listeners: Mutex::new(HashMap::new()),
+            datagrams: Mutex::new(HashMap::new()),
         })
     }
 
@@ -212,6 +214,18 @@ impl Fabric {
 
     pub(crate) fn listener(&self, address: &str) -> Option<crate::cm::ListenerHandle> {
         self.listeners.lock().get(address).cloned()
+    }
+
+    pub(crate) fn register_datagram(&self, address: &str, handle: crate::cm::DatagramHandle) {
+        self.datagrams.lock().insert(address.to_string(), handle);
+    }
+
+    pub(crate) fn unregister_datagram(&self, address: &str) {
+        self.datagrams.lock().remove(address);
+    }
+
+    pub(crate) fn datagram(&self, address: &str) -> Option<crate::cm::DatagramHandle> {
+        self.datagrams.lock().get(address).cloned()
     }
 
     pub(crate) fn next_listener_token() -> u64 {

@@ -44,17 +44,23 @@ pub mod error;
 pub mod fabric;
 pub mod memory;
 pub mod pd;
+pub mod pool;
 pub mod qp;
 pub mod ring;
+pub mod srq;
 pub mod verbs;
 
-pub use cm::{connect, connect_with_timeout, Listener};
+pub use cm::{
+    connect, connect_pooled, connect_with_timeout, DatagramMessage, DatagramSocket, Listener,
+};
 pub use cq::{CompletionQueue, CqNotifier, CqSet, WaitMode};
 pub use device::{DeviceFunction, NicProfile};
 pub use error::{FabricError, Result};
 pub use fabric::{Fabric, FabricNode, TransferTiming};
 pub use memory::{AccessFlags, MemoryRegion, RemoteMemoryHandle, PAGE_SIZE};
 pub use pd::ProtectionDomain;
+pub use pool::{ConnectionPool, PoolStats};
 pub use qp::{Endpoint, QpState, QueuePair};
 pub use ring::{ReceiveRing, RingCompletion, RingState};
+pub use srq::{SharedReceiveQueue, SrqStats};
 pub use verbs::{CompletionStatus, OpCode, RecvRequest, SendRequest, Sge, WorkCompletion};

@@ -19,6 +19,7 @@ use crate::error::{FabricError, Result};
 use crate::fabric::{Fabric, FabricNode};
 use crate::memory::{MemoryRegion, RemoteMemoryHandle};
 use crate::pd::ProtectionDomain;
+use crate::srq::SharedReceiveQueue;
 use crate::verbs::{CompletionStatus, OpCode, RecvRequest, SendRequest, Sge, WorkCompletion};
 
 /// Everything needed to create queue pairs for one actor on one node.
@@ -110,6 +111,9 @@ pub(crate) struct QpInner {
     send_cq: CompletionQueue,
     recv_cq: CompletionQueue,
     recv_queue: Mutex<VecDeque<RecvRequest>>,
+    /// When set, incoming messages consume buffers from this shared queue
+    /// instead of the private `recv_queue` (ibv SRQ association).
+    srq: RwLock<Option<SharedReceiveQueue>>,
     peer: RwLock<Option<Arc<QpInner>>>,
     state: RwLock<QpState>,
     ops_posted: AtomicU64,
@@ -158,6 +162,7 @@ impl QueuePair {
                 send_cq,
                 recv_cq,
                 recv_queue: Mutex::new(VecDeque::new()),
+                srq: RwLock::new(None),
                 peer: RwLock::new(None),
                 state: RwLock::new(QpState::Init),
                 ops_posted: AtomicU64::new(0),
@@ -229,6 +234,21 @@ impl QueuePair {
         Ok(())
     }
 
+    /// Associate this queue pair with a shared receive queue: incoming
+    /// messages will consume buffers from `srq` (with a flow-control budget
+    /// of `credit` concurrently held buffers) instead of the private receive
+    /// queue. Mirrors passing `srq` to `ibv_create_qp`. Completions still
+    /// land on this QP's own receive CQ.
+    pub fn attach_srq(&self, srq: &SharedReceiveQueue, credit: usize) {
+        srq.attach(self.inner.qp_num, credit);
+        *self.inner.srq.write() = Some(srq.clone());
+    }
+
+    /// The shared receive queue this QP consumes from, if any.
+    pub fn srq(&self) -> Option<SharedReceiveQueue> {
+        self.inner.srq.read().clone()
+    }
+
     /// Tear down the connection. Peers observe `ConnectionLost` on their next
     /// operation and blocked completion waits wake with `None`.
     pub fn disconnect(&self) {
@@ -236,11 +256,17 @@ impl QueuePair {
         *self.inner.state.write() = QpState::Disconnected;
         self.inner.send_cq.disconnect();
         self.inner.recv_cq.disconnect();
+        if let Some(srq) = self.inner.srq.write().take() {
+            srq.detach(self.inner.qp_num);
+        }
         if let Some(peer) = peer {
             *peer.state.write() = QpState::Disconnected;
             peer.peer.write().take();
             peer.send_cq.disconnect();
             peer.recv_cq.disconnect();
+            if let Some(srq) = peer.srq.write().take() {
+                srq.detach(peer.qp_num);
+            }
         }
     }
 
@@ -258,6 +284,11 @@ impl QueuePair {
                 operation: "post_recv",
                 state: state.name(),
             });
+        }
+        if self.inner.srq.read().is_some() {
+            return Err(FabricError::UnsupportedOperation(
+                "post_recv on an SRQ-attached queue pair (post to the SRQ instead)",
+            ));
         }
         let profile = self.profile();
         validate_sge(&recv.local)?;
@@ -401,6 +432,47 @@ impl QueuePair {
         }
     }
 
+    /// Consume the receive buffer an incoming message lands in: from the
+    /// peer's SRQ when one is attached (honouring its credit), otherwise
+    /// from its private receive queue — FIFO either way.
+    ///
+    /// An SRQ that is momentarily *empty* — every posted buffer in flight
+    /// to the dispatcher — is not a receiver failure: the NIC answers with
+    /// an RNR NAK and the sender retransmits, so this path spins until the
+    /// consumer reposts (bounded by a generous wall-clock window). Only a
+    /// genuine per-QP credit overrun, the flow-control contract that stops
+    /// one tenant starving the shared queue, fails the post immediately.
+    /// Retries never touch the virtual clock, so timestamps stay
+    /// deterministic.
+    fn consume_peer_recv(peer: &Arc<QpInner>) -> Result<RecvRequest> {
+        const RNR_RETRY_WINDOW: std::time::Duration = std::time::Duration::from_secs(5);
+        let srq = peer.srq.read().clone();
+        match srq {
+            Some(srq) => {
+                let mut deadline = None;
+                loop {
+                    match srq.pop_for(peer.qp_num) {
+                        Err(FabricError::ReceiverNotReady) if !srq.over_credit(peer.qp_num) => {
+                            let now = std::time::Instant::now();
+                            match deadline {
+                                None => deadline = Some(now + RNR_RETRY_WINDOW),
+                                Some(d) if now >= d => return Err(FabricError::ReceiverNotReady),
+                                Some(_) => {}
+                            }
+                            std::thread::yield_now();
+                        }
+                        other => return other,
+                    }
+                }
+            }
+            None => peer
+                .recv_queue
+                .lock()
+                .pop_front()
+                .ok_or(FabricError::ReceiverNotReady),
+        }
+    }
+
     fn connected_peer(&self, operation: &'static str) -> Result<Arc<QpInner>> {
         let state = self.state();
         if state != QpState::Connected {
@@ -445,11 +517,7 @@ impl QueuePair {
         chained: bool,
     ) -> Result<()> {
         let profile = self.profile();
-        let recv = peer
-            .recv_queue
-            .lock()
-            .pop_front()
-            .ok_or(FabricError::ReceiverNotReady)?;
+        let recv = Self::consume_peer_recv(peer)?;
         if recv.local.len < local.len {
             // The message is lost and the receive is consumed, as with a real
             // RC transport length error; report it to the initiator.
@@ -535,12 +603,7 @@ impl QueuePair {
         // Write-with-immediate additionally consumes a posted receive so the
         // remote CPU learns about the delivery.
         let consumed_recv = if imm.is_some() {
-            Some(
-                peer.recv_queue
-                    .lock()
-                    .pop_front()
-                    .ok_or(FabricError::ReceiverNotReady)?,
-            )
+            Some(Self::consume_peer_recv(peer)?)
         } else {
             None
         };

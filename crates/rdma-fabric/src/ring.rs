@@ -26,7 +26,8 @@ use parking_lot::Mutex;
 
 use crate::error::{FabricError, Result};
 use crate::memory::{AccessFlags, MemoryRegion};
-use crate::qp::QueuePair;
+use crate::qp::{Endpoint, QueuePair};
+use crate::srq::SharedReceiveQueue;
 use crate::verbs::{RecvRequest, Sge, WorkCompletion};
 
 /// Pure state machine of a receive ring: every slot is either *posted*
@@ -85,6 +86,25 @@ impl RingState {
         Ok(slot)
     }
 
+    /// Deliver a message into a *specific* posted slot, regardless of FIFO
+    /// position. An SRQ-backed ring needs this: several QPs consume from the
+    /// shared queue and their completion queues are drained in sweep order,
+    /// so deliveries are observed out of post order. Rejects slots that are
+    /// out of range or not currently posted.
+    pub fn deliver_slot(&mut self, slot: usize) -> Result<()> {
+        if slot >= self.depth || self.consumed[slot] {
+            return Err(FabricError::ReceiverNotReady);
+        }
+        let position = self
+            .posted
+            .iter()
+            .position(|s| *s == slot)
+            .ok_or(FabricError::ReceiverNotReady)?;
+        self.posted.remove(position);
+        self.consumed[slot] = true;
+        Ok(())
+    }
+
     /// Return a consumed slot to the back of the posted FIFO. Reposting a
     /// slot that is still posted (or out of range) is a caller bug and is
     /// rejected rather than silently duplicating the slot.
@@ -120,7 +140,7 @@ pub struct RingCompletion {
 /// long as at most `depth` messages are in flight.
 #[derive(Debug)]
 pub struct ReceiveRing {
-    qp: QueuePair,
+    backing: RingBacking,
     region: MemoryRegion,
     slot_len: usize,
     /// Immutable after construction; duplicated outside the state mutex so
@@ -131,11 +151,25 @@ pub struct ReceiveRing {
     state: Mutex<RingState>,
 }
 
+/// Where the ring posts its slots: a private queue pair (classic per-
+/// connection ring) or a shared receive queue serving many QPs.
+#[derive(Debug)]
+enum RingBacking {
+    Qp(QueuePair),
+    Srq(SharedReceiveQueue),
+}
+
 impl ReceiveRing {
     /// Build a ring of `depth` slots of `slot_len` bytes each and post every
     /// slot. Slots are re-posted automatically at pickup time.
     pub fn new(qp: &QueuePair, depth: usize, slot_len: usize) -> Result<ReceiveRing> {
-        Self::build(qp, depth, slot_len, true)
+        Self::build(
+            RingBacking::Qp(qp.clone()),
+            qp.pd().clone(),
+            depth,
+            slot_len,
+            true,
+        )
     }
 
     /// Same ring, but the caller re-posts slots explicitly with
@@ -146,11 +180,40 @@ impl ReceiveRing {
         depth: usize,
         slot_len: usize,
     ) -> Result<ReceiveRing> {
-        Self::build(qp, depth, slot_len, false)
+        Self::build(
+            RingBacking::Qp(qp.clone()),
+            qp.pd().clone(),
+            depth,
+            slot_len,
+            false,
+        )
+    }
+
+    /// Build a ring whose slots are posted into a *shared* receive queue
+    /// instead of a private QP: one ring serves every QP attached to the
+    /// SRQ, so receive memory no longer scales with connection count. The
+    /// slot slab is registered in `endpoint`'s protection domain. Pickup
+    /// happens externally (the caller drains the attached QPs' completion
+    /// queues, e.g. through a [`crate::CqSet`]) and hands raw completions to
+    /// [`ReceiveRing::adopt`]; deliveries may arrive in any slot order.
+    pub fn on_srq(
+        endpoint: &Endpoint,
+        srq: &SharedReceiveQueue,
+        depth: usize,
+        slot_len: usize,
+    ) -> Result<ReceiveRing> {
+        Self::build(
+            RingBacking::Srq(srq.clone()),
+            endpoint.pd.clone(),
+            depth,
+            slot_len,
+            true,
+        )
     }
 
     fn build(
-        qp: &QueuePair,
+        backing: RingBacking,
+        pd: crate::pd::ProtectionDomain,
         depth: usize,
         slot_len: usize,
         auto_repost: bool,
@@ -160,11 +223,9 @@ impl ReceiveRing {
                 limit: "receive ring depth must be non-zero",
             });
         }
-        let region = qp
-            .pd()
-            .register(depth * slot_len.max(1), AccessFlags::LOCAL_ONLY);
+        let region = pd.register(depth * slot_len.max(1), AccessFlags::LOCAL_ONLY);
         let ring = ReceiveRing {
-            qp: qp.clone(),
+            backing,
             region,
             slot_len: slot_len.max(1),
             depth,
@@ -172,9 +233,16 @@ impl ReceiveRing {
             state: Mutex::new(RingState::new(depth)),
         };
         for slot in 0..depth {
-            ring.qp.post_recv(ring.recv_request(slot))?;
+            ring.post_slot(slot)?;
         }
         Ok(ring)
+    }
+
+    fn post_slot(&self, slot: usize) -> Result<()> {
+        match &self.backing {
+            RingBacking::Qp(qp) => qp.post_recv(self.recv_request(slot)),
+            RingBacking::Srq(srq) => srq.post(self.recv_request(slot)),
+        }
     }
 
     fn recv_request(&self, slot: usize) -> RecvRequest {
@@ -219,15 +287,32 @@ impl ReceiveRing {
         }
         {
             let mut state = self.state.lock();
-            // The QP consumes receives FIFO, so a ring delivery always hits
-            // the front slot; anything else is a foreign receive whose
-            // wr_id happens to collide with a slot index.
-            if state.front() != Some(slot_id) {
-                return RingCompletion { slot: None, wc };
+            match &self.backing {
+                RingBacking::Qp(_) => {
+                    // The QP consumes receives FIFO, so a ring delivery
+                    // always hits the front slot; anything else is a foreign
+                    // receive whose wr_id happens to collide with a slot
+                    // index.
+                    if state.front() != Some(slot_id) {
+                        return RingCompletion { slot: None, wc };
+                    }
+                    state
+                        .deliver()
+                        .expect("front() is Some, deliver cannot fail");
+                }
+                RingBacking::Srq(_) => {
+                    // Several QPs drain from the shared queue and their CQs
+                    // are swept in registration order, so deliveries land in
+                    // arbitrary slot order.
+                    if state.deliver_slot(slot_id).is_err() {
+                        return RingCompletion { slot: None, wc };
+                    }
+                }
             }
-            state
-                .deliver()
-                .expect("front() is Some, deliver cannot fail");
+        }
+        if let RingBacking::Srq(srq) = &self.backing {
+            // The buffer is free again: return the consuming QP's credit.
+            srq.release(wc.qp_num);
         }
         if self.auto_repost {
             // A failed re-post only happens on a disconnected QP, where the
@@ -248,26 +333,39 @@ impl ReceiveRing {
     /// their completions are indistinguishable from slot deliveries.
     pub fn repost(&self, slot: usize) -> Result<()> {
         self.state.lock().repost(slot)?;
-        self.qp.post_recv(self.recv_request(slot))
+        self.post_slot(slot)
     }
 
-    /// Non-blocking pickup of one completion.
+    /// The private queue pair backing this ring; `None` for SRQ-backed rings
+    /// (their pickup runs through the attached QPs' completion queues).
+    fn backing_qp(&self) -> Option<&QueuePair> {
+        match &self.backing {
+            RingBacking::Qp(qp) => Some(qp),
+            RingBacking::Srq(_) => None,
+        }
+    }
+
+    /// Non-blocking pickup of one completion. `None` on SRQ-backed rings —
+    /// drain the attached QPs' CQs and call [`ReceiveRing::adopt`] instead.
     pub fn poll_one(&self) -> Option<RingCompletion> {
-        let wc = self.qp.recv_cq().poll_one()?;
+        let wc = self.backing_qp()?.recv_cq().poll_one()?;
         Some(self.adopt(wc))
     }
 
     /// Busy-poll until a completion arrives (hot path). `None` when the
-    /// queue pair disconnects while waiting.
+    /// queue pair disconnects while waiting, or on an SRQ-backed ring.
     pub fn busy_wait(&self) -> Option<RingCompletion> {
-        let wc = self.qp.recv_cq().busy_wait()?;
+        let wc = self.backing_qp()?.recv_cq().busy_wait()?;
         Some(self.adopt(wc))
     }
 
     /// Block until a completion arrives or the wall-clock timeout expires
     /// (warm path; the virtual wake-up cost is charged by the CQ).
     pub fn blocking_wait_timeout(&self, timeout: std::time::Duration) -> Option<RingCompletion> {
-        let wc = self.qp.recv_cq().blocking_wait_timeout(timeout)?;
+        let wc = self
+            .backing_qp()?
+            .recv_cq()
+            .blocking_wait_timeout(timeout)?;
         Some(self.adopt(wc))
     }
 }
@@ -431,6 +529,112 @@ mod tests {
     fn zero_depth_ring_is_rejected() {
         let (_client, server) = connected_pair();
         assert!(ReceiveRing::new(&server, 0, 8).is_err());
+    }
+
+    #[test]
+    fn deliver_slot_supports_out_of_order_pickup() {
+        let mut state = RingState::new(3);
+        state.deliver_slot(2).unwrap();
+        state.deliver_slot(0).unwrap();
+        // Already consumed and out-of-range slots are rejected.
+        assert!(state.deliver_slot(2).is_err());
+        assert!(state.deliver_slot(9).is_err());
+        assert_eq!(state.posted(), 1);
+        assert_eq!(state.consumed(), 2);
+        state.repost(2).unwrap();
+        // FIFO delivery still works around the targeted ones: 1 then 2.
+        assert_eq!(state.deliver().unwrap(), 1);
+        assert_eq!(state.deliver().unwrap(), 2);
+    }
+
+    /// A server endpoint with an SRQ-backed ring and `n` connected QPs
+    /// drawing from it, each with `credit` flow-control credits.
+    fn srq_ring(
+        depth: usize,
+        n: usize,
+        credit: usize,
+    ) -> (SharedReceiveQueue, ReceiveRing, Vec<(QueuePair, QueuePair)>) {
+        let fabric = Fabric::with_defaults();
+        let server_node = fabric.add_node("server");
+        let server_ep = Endpoint::new(&fabric, &server_node);
+        let srq = SharedReceiveQueue::new(&server_ep, depth);
+        let ring = ReceiveRing::on_srq(&server_ep, &srq, depth, 8).unwrap();
+        let pairs = (0..n)
+            .map(|i| {
+                let client_node = fabric.add_node(&format!("client-{i}"));
+                let client = QueuePair::new(&Endpoint::new(&fabric, &client_node));
+                let server = QueuePair::new(&server_ep);
+                QueuePair::connect_pair(&client, &server).unwrap();
+                server.attach_srq(&srq, credit);
+                (client, server)
+            })
+            .collect();
+        (srq, ring, pairs)
+    }
+
+    #[test]
+    fn srq_ring_serves_multiple_qps_from_shared_slots() {
+        let (srq, ring, pairs) = srq_ring(4, 2, 2);
+        assert_eq!(srq.posted(), 4);
+        // More messages than slots-per-QP: auto repost keeps the shared pool
+        // full, and both connections are served from the same 4 slots.
+        for round in 0..3u32 {
+            for (i, (client, server)) in pairs.iter().enumerate() {
+                let imm = round * 10 + i as u32;
+                write_with_imm(client, server, imm).unwrap();
+                let raw = server.recv_cq().poll_one().unwrap();
+                let c = ring.adopt(raw);
+                assert!(c.slot.is_some(), "round {round} qp {i}");
+                assert_eq!(c.wc.imm, Some(imm));
+            }
+        }
+        assert_eq!(srq.posted(), 4);
+        assert_eq!(srq.stats().in_flight, 0);
+        assert!(srq.stats().depth_high_watermark >= 1);
+    }
+
+    #[test]
+    fn srq_ring_adopts_completions_out_of_slot_order() {
+        let (_srq, ring, pairs) = srq_ring(4, 2, 2);
+        // Both clients send before any pickup: slots 0 and 1 are consumed.
+        write_with_imm(&pairs[0].0, &pairs[0].1, 100).unwrap();
+        write_with_imm(&pairs[1].0, &pairs[1].1, 200).unwrap();
+        // Drain the *second* QP's CQ first: slot 1 is adopted before slot 0.
+        let second = ring.adopt(pairs[1].1.recv_cq().poll_one().unwrap());
+        assert_eq!(second.slot, Some(1));
+        let first = ring.adopt(pairs[0].1.recv_cq().poll_one().unwrap());
+        assert_eq!(first.slot, Some(0));
+    }
+
+    #[test]
+    fn srq_credits_contain_a_flooding_connection() {
+        let (_srq, ring, pairs) = srq_ring(4, 2, 1);
+        // QP 0 floods: its single credit allows one in-flight message, the
+        // second is refused even though the shared pool still has slots...
+        write_with_imm(&pairs[0].0, &pairs[0].1, 1).unwrap();
+        assert_eq!(
+            write_with_imm(&pairs[0].0, &pairs[0].1, 2).unwrap_err(),
+            FabricError::ReceiverNotReady
+        );
+        // ...which the neighbour happily uses.
+        write_with_imm(&pairs[1].0, &pairs[1].1, 3).unwrap();
+        // Adopting QP 0's completion releases its credit.
+        ring.adopt(pairs[0].1.recv_cq().poll_one().unwrap());
+        write_with_imm(&pairs[0].0, &pairs[0].1, 4).unwrap();
+    }
+
+    #[test]
+    fn srq_attached_qp_rejects_private_post_recv() {
+        let (_srq, _ring, pairs) = srq_ring(2, 1, 1);
+        let extra = pairs[0].1.pd().register(8, AccessFlags::LOCAL_ONLY);
+        let err = pairs[0]
+            .1
+            .post_recv(RecvRequest {
+                wr_id: u64::MAX,
+                local: Sge::whole(&extra),
+            })
+            .unwrap_err();
+        assert!(matches!(err, FabricError::UnsupportedOperation(_)));
     }
 
     #[test]

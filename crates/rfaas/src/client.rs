@@ -10,12 +10,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use parking_lot::Mutex;
 use rdma_fabric::{
-    connect_with_timeout, AccessFlags, Endpoint, Fabric, MemoryRegion, ProtectionDomain, QueuePair,
-    ReceiveRing, RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
+    connect_pooled, AccessFlags, ConnectionPool, DatagramSocket, Endpoint, Fabric, MemoryRegion,
+    ProtectionDomain, QueuePair, ReceiveRing, RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
 };
 use sandbox::CodePackage;
 use sim_core::{SimDuration, SimTime, VirtualClock};
@@ -26,7 +25,8 @@ use crate::error::{RFaasError, Result};
 use crate::executor::SpotExecutor;
 use crate::manager::ResourceManager;
 use crate::protocol::{
-    ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
+    ControlFrame, ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus,
+    INVOCATION_HEADER_BYTES,
 };
 use crate::reactor::{CompletionSource, Reactor};
 
@@ -190,6 +190,22 @@ impl ColdStartBreakdown {
     }
 }
 
+/// Connection-plane counters of one invoker/session: how many worker
+/// connections were physically established, how the warmth pool performed,
+/// and how deep the executor side reached into its shared receive queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionPlaneStats {
+    /// Worker RC connections established over the invoker's lifetime.
+    pub connections_opened: u64,
+    /// Connects that redeemed a pool warmth token (warm re-establishment).
+    pub pool_hits: u64,
+    /// Connects that paid the full first-contact handshake.
+    pub pool_misses: u64,
+    /// Highest concurrent buffer use of the active executor process's shared
+    /// receive queue (0 when nothing is allocated).
+    pub srq_depth_high_watermark: usize,
+}
+
 struct WorkerConnection {
     qp: QueuePair,
     remote_input: RemoteMemoryHandle,
@@ -271,6 +287,14 @@ pub struct Invoker {
     node_name: String,
     config: RFaasConfig,
     manager: Arc<ResourceManager>,
+    /// Warmth pool worker connects draw from; shared across sessions via
+    /// [`Invoker::set_connection_pool`] so lease churn back to the same
+    /// executor reuses the warm re-establishment tier.
+    pool: ConnectionPool,
+    /// Datagram socket for first contact with the resource manager, bound
+    /// lazily on the first allocation and reused for every re-allocation.
+    control: Mutex<Option<DatagramSocket>>,
+    connections_opened: AtomicU64,
     active: Mutex<Option<ActiveAllocation>>,
     // The request that produced the current lease, replayed by the
     // transparent recovery path (Sec. III-B: clients re-allocate when an
@@ -352,6 +376,9 @@ impl Invoker {
             node_name: client_node.to_string(),
             config,
             manager: Arc::clone(manager),
+            pool: ConnectionPool::new(),
+            control: Mutex::new(None),
+            connections_opened: AtomicU64::new(0),
             active: Mutex::new(None),
             last_request: Mutex::new(None),
             recovery_lock: Mutex::new(()),
@@ -399,6 +426,32 @@ impl Invoker {
     /// worker endpoints capture the clock at connect time.
     pub fn set_clock(&mut self, clock: Arc<VirtualClock>) {
         self.clock = clock;
+    }
+
+    /// Share a connection-warmth pool with other invokers. Must be called
+    /// before `allocate` — re-allocations consult whatever pool is installed.
+    pub fn set_connection_pool(&mut self, pool: ConnectionPool) {
+        self.pool = pool;
+    }
+
+    /// The invoker's connection-warmth pool.
+    pub fn connection_pool(&self) -> &ConnectionPool {
+        &self.pool
+    }
+
+    /// Connection-plane counters: physical connects, pool hit/miss, and the
+    /// active executor process's shared-receive-queue high watermark.
+    pub fn connection_stats(&self) -> ConnectionPlaneStats {
+        let pool = self.pool.stats();
+        let srq_depth_high_watermark = self.active.lock().as_ref().map_or(0, |a| {
+            a.executor.allocator().srq_high_watermark(a.process_id)
+        });
+        ConnectionPlaneStats {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            srq_depth_high_watermark,
+        }
     }
 
     /// Drive the reactor until `invocation_id`'s result lands on
@@ -514,15 +567,19 @@ impl Invoker {
         }
         let mut breakdown = ColdStartBreakdown::default();
 
-        // Step 1: connect to the resource manager.
+        // Step 1: first contact with the resource manager rides the datagram
+        // transport — a UD-style endpoint an order of magnitude cheaper to
+        // set up than the RC connection the old control path paid for
+        // (`manager_connect_cost`). Bound once, reused by re-allocations.
         let t0 = self.clock.now();
-        self.clock.advance(self.config.manager_connect_cost);
+        self.ensure_control_socket();
         breakdown.connect_to_manager = self.clock.now().saturating_since(t0);
 
-        // Step 2: submit the allocation request, wait for the lease.
+        // Step 2: submit the allocation request as a control frame, wait for
+        // the verdict datagram.
         let t1 = self.clock.now();
         self.clock.advance(self.config.allocation_submit_cost);
-        let (lease, executor) = self.manager.request_lease(request, &self.clock)?;
+        let (lease, executor) = self.allocate_via_control(request)?;
         breakdown.submit_allocation = self.clock.now().saturating_since(t1);
 
         // Step 3 + 4: the allocator spawns the sandboxed executor process and
@@ -550,7 +607,7 @@ impl Invoker {
         // Step 5: establish a direct RDMA connection to every worker thread
         // and learn where its input buffer lives.
         let t4 = self.clock.now();
-        let connections = match self.connect_workers(&allocation.workers) {
+        let connections = match self.connect_workers(&allocation.workers, &lease.executor_node) {
             Ok(connections) => connections,
             Err(e) => {
                 let _ = executor.allocator().deallocate(allocation.process_id);
@@ -582,9 +639,65 @@ impl Invoker {
         self.active.lock().as_ref().map_or(0, |a| a.epoch)
     }
 
+    /// Bind the control datagram socket on first use. The bind charges the
+    /// cheap `datagram_setup` tier once; later allocations reuse the socket
+    /// for free — exactly the first-contact amortisation the paper's leases
+    /// give the data plane.
+    fn ensure_control_socket(&self) {
+        let mut control = self.control.lock();
+        if control.is_none() {
+            static NEXT_CONTROL_ID: AtomicU64 = AtomicU64::new(1);
+            let endpoint = Endpoint {
+                fabric: Arc::clone(&self.fabric),
+                node: self.fabric.add_node(&self.node_name),
+                clock: Arc::clone(&self.clock),
+                pd: self.pd.clone(),
+                function: rdma_fabric::DeviceFunction::Physical,
+            };
+            let address = format!(
+                "rfaas-clt://{}/{}",
+                self.node_name,
+                NEXT_CONTROL_ID.fetch_add(1, Ordering::Relaxed)
+            );
+            *control = Some(DatagramSocket::bind(&endpoint, &address));
+        }
+    }
+
+    /// One allocation round trip over the datagram control plane: send the
+    /// `Allocate` frame, drive the manager's poller (the manager is not a
+    /// thread in this simulation), and decode the verdict.
+    fn allocate_via_control(&self, request: &LeaseRequest) -> Result<(Lease, Arc<SpotExecutor>)> {
+        let control = self.control.lock();
+        let socket = control.as_ref().expect("control socket bound");
+        let frame = ControlFrame::Allocate {
+            reply_to: socket.address().to_string(),
+            request: request.clone(),
+        };
+        socket.send_to(self.manager.control_address(), &frame.encode())?;
+        self.manager.poll_control();
+        let reply = socket.recv_timeout(self.config.connect_timeout)?;
+        match ControlFrame::decode(&reply.payload)? {
+            ControlFrame::Granted { lease } => {
+                let executor = self
+                    .manager
+                    .executor(&lease.executor_node)
+                    .ok_or_else(|| RFaasError::ExecutorLost(lease.executor_node.clone()))?;
+                Ok((lease, executor))
+            }
+            ControlFrame::Denied { .. } => Err(RFaasError::InsufficientResources {
+                requested_cores: request.cores,
+                requested_memory_mib: request.memory_mib,
+            }),
+            ControlFrame::Allocate { .. } => Err(RFaasError::Internal(
+                "unexpected allocate frame on the client control socket".into(),
+            )),
+        }
+    }
+
     fn connect_workers(
         &self,
         workers: &[crate::executor::WorkerEndpointInfo],
+        pool_key: &str,
     ) -> Result<Vec<Arc<WorkerConnection>>> {
         let client_node = self.fabric.add_node(&self.node_name);
         let mut connections = Vec::with_capacity(workers.len());
@@ -596,7 +709,17 @@ impl Invoker {
                 pd: self.pd.clone(),
                 function: rdma_fabric::DeviceFunction::Physical,
             };
-            let qp = connect_with_timeout(&endpoint, &worker.address, Duration::from_secs(10))?;
+            // Worker addresses are fresh per lease, but the executor *node*
+            // stays warm across lease churn: a pooled token keyed by the node
+            // buys the cheap re-establishment tier.
+            let (qp, _warm) = connect_pooled(
+                &endpoint,
+                &worker.address,
+                &self.pool,
+                pool_key,
+                self.config.connect_timeout,
+            )?;
+            self.connections_opened.fetch_add(1, Ordering::Relaxed);
             // Receive the worker's "hello" advertising its input buffer.
             let hello = self
                 .pd
@@ -607,7 +730,7 @@ impl Invoker {
             })?;
             let wc = qp
                 .recv_cq()
-                .blocking_wait_timeout(Duration::from_secs(10))
+                .blocking_wait_timeout(self.config.connect_timeout)
                 .ok_or_else(|| RFaasError::ExecutorLost(worker.address.clone()))?;
             if !wc.is_success() {
                 return Err(RFaasError::ExecutorLost(worker.address.clone()));
@@ -1120,6 +1243,11 @@ impl Invoker {
         for conn in &active.connections {
             conn.qp.disconnect();
             self.reactor.unregister_source(conn.token());
+            // The remote node's state (path records, exchanged attributes)
+            // survives the teardown: park a warmth token so a re-allocation
+            // landing on the same executor reconnects at the warm tier.
+            self.pool
+                .release(&active.lease.executor_node, self.clock.now());
         }
         // Both calls tolerate the other side being gone already: a failed
         // executor has no process left to deallocate, and the lifecycle
@@ -1638,5 +1766,41 @@ mod tests {
         let (out_len, _) = invoker.invoke_sync("echo", &input, len, &output).unwrap();
         assert_eq!(out_len, len);
         assert_eq!(output.read_f64(out_len).unwrap(), data);
+    }
+
+    #[test]
+    fn worker_connect_surfaces_a_typed_timeout() {
+        // Regression: the connect deadline was a hardcoded ten seconds; a
+        // worker that never accepts must now fail within the configured
+        // timeout with a typed error, not hang or panic.
+        let fabric = Fabric::with_defaults();
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let config = RFaasConfig {
+            connect_timeout: std::time::Duration::from_millis(50),
+            ..Default::default()
+        };
+        let invoker = Invoker::new(&fabric, "client-0", &manager, config);
+        // A listener nobody ever accepts on: the client's connect request
+        // sits in the accept queue until the client gives up.
+        let _silent = rdma_fabric::Listener::bind(&fabric, "rfaas://dead-node/1/1");
+        let worker = crate::executor::WorkerEndpointInfo {
+            address: "rfaas://dead-node/1/1".to_string(),
+            max_payload: 4096,
+        };
+        let started = std::time::Instant::now();
+        let err = match invoker.connect_workers(std::slice::from_ref(&worker), "dead-node") {
+            Ok(_) => panic!("connect to a silent worker unexpectedly succeeded"),
+            Err(err) => err,
+        };
+        assert!(
+            matches!(
+                err,
+                RFaasError::Fabric(rdma_fabric::FabricError::Timeout {
+                    operation: "connect"
+                })
+            ),
+            "expected typed connect timeout, got {err:?}"
+        );
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
     }
 }

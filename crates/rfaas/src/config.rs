@@ -41,6 +41,10 @@ pub struct RFaasConfig {
     /// polling to a blocking wait (the "configurable time without a new
     /// invocation" of Sec. III-C). Wall-clock, bounds CPU burn in tests.
     pub hot_poll_fallback: std::time::Duration,
+    /// Wall-clock deadline for establishing a worker connection (and for the
+    /// executor's hello that follows). A peer that never answers surfaces a
+    /// typed timeout error instead of hanging the client forever.
+    pub connect_timeout: std::time::Duration,
     /// *Virtual-time* budget a hot worker spins without a new invocation
     /// before demoting itself to warm (Sec. III-C: hot executors poll "for a
     /// configurable amount of time" and then release the core). The demotion
@@ -89,6 +93,7 @@ impl RFaasConfig {
             allocation_processing_cost: SimDuration::from_micros(700),
             allocation_submit_cost: SimDuration::from_micros(500),
             hot_poll_fallback: std::time::Duration::from_millis(50),
+            connect_timeout: std::time::Duration::from_secs(10),
             hot_poll_timeout: SimDuration::from_millis(100),
             max_payload_bytes: 8 * 1024 * 1024,
             recv_queue_depth: 16,
@@ -130,6 +135,9 @@ mod tests {
         assert!(c.max_payload_bytes >= 5 * 1024 * 1024);
         assert!(c.recv_queue_depth >= 1);
         assert_eq!(c.default_sandbox, SandboxType::BareMetal);
+        // Connect attempts must give up eventually, but not so fast that a
+        // loaded test box produces spurious timeouts.
+        assert!(c.connect_timeout >= std::time::Duration::from_secs(1));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use cluster_sim::NodeResources;
 use parking_lot::Mutex;
 use rdma_fabric::{
     AccessFlags, CqSet, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, MemoryRegion,
-    QueuePair, ReceiveRing, SendRequest, Sge, WorkCompletion,
+    QueuePair, ReceiveRing, SendRequest, Sge, SharedReceiveQueue, SrqStats, WorkCompletion,
 };
 #[cfg(test)]
 use sandbox::SandboxType;
@@ -43,6 +43,16 @@ use crate::protocol::{ImmValue, InvocationHeader, Lease, ResultStatus, INVOCATIO
 
 static NEXT_PROCESS_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Integer square root (floor), used to size the shared receive queue
+/// sublinearly in the worker count.
+fn integer_sqrt(n: usize) -> usize {
+    let mut root = 0usize;
+    while (root + 1).saturating_mul(root + 1) <= n {
+        root += 1;
+    }
+    root
+}
 
 /// The (renewable) expiry instant of one lease, shared between the allocator,
 /// the executor process and every worker thread serving the lease.
@@ -206,7 +216,6 @@ struct WorkerSlot {
 /// Live connection state of one worker, from accept until retirement.
 struct WorkerConn {
     qp: QueuePair,
-    ring: ReceiveRing,
     input: MemoryRegion,
     output: MemoryRegion,
     hello_region: MemoryRegion,
@@ -229,6 +238,12 @@ struct DispatcherContext {
     config: RFaasConfig,
     billing: Option<Arc<BillingClient>>,
     shutdown: Arc<AtomicBool>,
+    /// The process-wide shared receive queue every worker QP consumes from.
+    srq: SharedReceiveQueue,
+    /// The one receive ring replenishing the SRQ: its doorbell slots back
+    /// every invocation of the process, so receive memory scales with the
+    /// SRQ depth instead of `workers × recv_queue_depth`.
+    ring: ReceiveRing,
 }
 
 /// Release a worker's resources and mark it finished. Dropping the
@@ -245,14 +260,15 @@ fn retire_worker(slot: &mut WorkerSlot, cqset: &mut CqSet) {
 }
 
 /// Finish a worker's setup once its client connected: register the input and
-/// output buffers, build the receive ring, register the receive CQ in the
-/// dispatcher's set and prepare the hello message advertising the input
-/// buffer. `None` when the ring cannot be built (the worker is retired).
+/// output buffers, attach the QP to the process SRQ, register the receive CQ
+/// in the dispatcher's set and prepare the hello message advertising the
+/// input buffer.
 fn connect_worker(
     slot: &WorkerSlot,
     qp: QueuePair,
     cqset: &mut CqSet,
     config: &RFaasConfig,
+    srq: &SharedReceiveQueue,
 ) -> Option<WorkerConn> {
     // Registered buffers: clients write [header | payload] into `input`; the
     // function produces its result in `output` before it is written back.
@@ -265,15 +281,12 @@ fn connect_worker(
         .pd
         .register(slot.max_payload, AccessFlags::LOCAL_ONLY);
 
-    // The receive ring: one pre-posted doorbell slot per in-flight
-    // invocation, re-posted automatically as completions are picked up, so
-    // clients never observe ReceiverNotReady within the ring depth. A depth
-    // beyond what the device supports is clamped rather than killing the
-    // worker: a shallower ring degrades throughput, not correctness.
-    let ring_depth = config
-        .recv_queue_depth
-        .clamp(1, slot.endpoint.fabric.profile().max_recv_queue_depth);
-    let ring = ReceiveRing::new(&qp, ring_depth, 8).ok()?;
+    // No private receive ring: the QP consumes pre-posted receives from the
+    // process-wide SRQ, capped by a per-worker flow-control credit so one
+    // chatty connection cannot starve its siblings. The credit equals the
+    // old private ring depth, so a single client observes the same
+    // ReceiverNotReady threshold as before the SRQ rework.
+    qp.attach_srq(srq, config.recv_queue_depth.max(1));
 
     let hello = InvocationHeader {
         result_rkey: input.rkey(),
@@ -287,7 +300,6 @@ fn connect_worker(
     let token = cqset.register(qp.recv_cq());
     Some(WorkerConn {
         qp,
-        ring,
         input,
         output,
         hello_region,
@@ -308,6 +320,7 @@ fn connect_worker(
 fn serve_completion(
     slot: &mut WorkerSlot,
     raw: WorkCompletion,
+    ring: &ReceiveRing,
     package: &CodePackage,
     config: &RFaasConfig,
     billing: &Option<Arc<BillingClient>>,
@@ -317,9 +330,10 @@ fn serve_completion(
     let Some(conn) = slot.conn.as_mut() else {
         return;
     };
-    // Hand the raw completion back to the ring for slot accounting and the
-    // automatic re-post of the consumed receive.
-    let wc = conn.ring.adopt(raw).wc;
+    // Hand the raw completion back to the shared ring for slot accounting:
+    // adoption releases the consuming QP's SRQ credit and re-posts the
+    // consumed receive into the SRQ.
+    let wc = ring.adopt(raw).wc;
 
     // The multiplexed drain was uncharged: bill the pickup the way this
     // worker's own wait would have. Hot workers (and adaptive workers still
@@ -540,6 +554,8 @@ fn dispatcher_main(ctx: DispatcherContext) {
         config,
         billing,
         shutdown,
+        srq,
+        ring,
     } = ctx;
 
     let mut cqset = CqSet::new();
@@ -567,7 +583,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
             if slot.conn.is_none() {
                 // Wait for the lease-holding client to connect.
                 match slot.listener.try_accept(&slot.endpoint) {
-                    Ok(Some(qp)) => match connect_worker(slot, qp, &mut cqset, &config) {
+                    Ok(Some(qp)) => match connect_worker(slot, qp, &mut cqset, &config, &srq) {
                         Some(conn) => {
                             debug_assert_eq!(conn.token, owner.len());
                             owner.push(index);
@@ -633,7 +649,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
             if slot.done || slot.conn.is_none() {
                 continue;
             }
-            serve_completion(slot, wc, &package, &config, &billing);
+            serve_completion(slot, wc, &ring, &package, &config, &billing);
             progressed = true;
         }
 
@@ -724,6 +740,9 @@ pub struct ExecutorProcess {
     /// The one event-loop thread multiplexing every worker's receive CQ.
     dispatcher: Option<JoinHandle<()>>,
     dispatcher_shutdown: Arc<AtomicBool>,
+    /// The process-wide shared receive queue the dispatcher's workers
+    /// consume from (kept for statistics; the dispatcher owns a clone).
+    srq: SharedReceiveQueue,
     /// Cores reserved from the node pool at allocation time (`lease.cores`,
     /// not the worker count — oversubscribed allocations spawn more workers
     /// than they reserve cores).
@@ -774,6 +793,12 @@ impl ExecutorProcess {
             total.hot_poll_time += s.hot_poll_time;
         }
         total
+    }
+
+    /// Statistics of the process-wide shared receive queue: depth, posted
+    /// slots, in-flight receives and the depth high watermark.
+    pub fn srq_stats(&self) -> SrqStats {
+        self.srq.stats()
     }
 
     /// Latest virtual time observed by any worker of this process.
@@ -953,13 +978,39 @@ impl LightweightAllocator {
             DeviceFunction::Physical
         };
 
+        // The process-wide shared receive queue: every worker QP consumes
+        // pre-posted receives from it, so receive memory scales with the SRQ
+        // depth — sublinear in the worker count — instead of one full ring
+        // per connection. The depth grows with √workers on top of a
+        // two-ring floor, clamped to what the device supports.
+        let dispatch_endpoint = Endpoint {
+            fabric: Arc::clone(&self.fabric),
+            node: Arc::clone(&self.node),
+            clock: Arc::new(VirtualClock::starting_at(start_time)),
+            pd: rdma_fabric::ProtectionDomain::new(),
+            function: device_function,
+        };
+        let max_depth = self.fabric.profile().max_recv_queue_depth;
+        let srq_depth = (self.config.recv_queue_depth * (2 + integer_sqrt(workers))).clamp(
+            self.config.recv_queue_depth.min(max_depth).max(1),
+            max_depth,
+        );
+        let srq = SharedReceiveQueue::new(&dispatch_endpoint, srq_depth);
+        let shared_ring = ReceiveRing::on_srq(&dispatch_endpoint, &srq, srq_depth, 8);
+
         let process_id = NEXT_PROCESS_ID.fetch_add(1, Ordering::Relaxed);
         let billing = self.billing.lock().clone();
         let deadline = Arc::new(LeaseDeadline::new(lease.expires_at));
         let mut handles = Vec::with_capacity(workers);
         let mut slots = Vec::with_capacity(workers);
-        let mut spawn_error = None;
+        let mut spawn_error = shared_ring
+            .as_ref()
+            .err()
+            .map(|e| RFaasError::Internal(format!("failed to build shared receive ring: {e}")));
         for worker_idx in 0..workers {
+            if spawn_error.is_some() {
+                break;
+            }
             if worker_idx == self.spawn_fail_at.load(Ordering::Acquire) {
                 self.spawn_fail_at.store(usize::MAX, Ordering::Release);
                 spawn_error = Some(RFaasError::Internal(format!(
@@ -1007,22 +1058,26 @@ impl LightweightAllocator {
         let dispatcher_shutdown = Arc::new(AtomicBool::new(false));
         let mut dispatcher = None;
         if spawn_error.is_none() {
-            let context = DispatcherContext {
-                workers: std::mem::take(&mut slots),
-                package: package.clone(),
-                config: self.config.clone(),
-                billing,
-                shutdown: Arc::clone(&dispatcher_shutdown),
-            };
-            match std::thread::Builder::new()
-                .name(format!("rfaas-dispatch-{process_id}"))
-                .spawn(move || dispatcher_main(context))
-            {
-                Ok(thread) => dispatcher = Some(thread),
-                Err(e) => {
-                    spawn_error = Some(RFaasError::Internal(format!(
-                        "failed to spawn dispatcher: {e}"
-                    )));
+            if let Ok(ring) = shared_ring {
+                let context = DispatcherContext {
+                    workers: std::mem::take(&mut slots),
+                    package: package.clone(),
+                    config: self.config.clone(),
+                    billing,
+                    shutdown: Arc::clone(&dispatcher_shutdown),
+                    srq: srq.clone(),
+                    ring,
+                };
+                match std::thread::Builder::new()
+                    .name(format!("rfaas-dispatch-{process_id}"))
+                    .spawn(move || dispatcher_main(context))
+                {
+                    Ok(thread) => dispatcher = Some(thread),
+                    Err(e) => {
+                        spawn_error = Some(RFaasError::Internal(format!(
+                            "failed to spawn dispatcher: {e}"
+                        )));
+                    }
                 }
             }
         }
@@ -1048,6 +1103,7 @@ impl LightweightAllocator {
             workers: handles,
             dispatcher,
             dispatcher_shutdown,
+            srq,
             leased_cores: lease.cores,
             memory_mib: lease.memory_mib,
             deadline,
@@ -1073,6 +1129,21 @@ impl LightweightAllocator {
     /// Look up an executor process.
     pub fn process(&self, process_id: u64) -> Option<Arc<Mutex<ExecutorProcess>>> {
         self.state.lock().processes.get(&process_id).cloned()
+    }
+
+    /// Shared-receive-queue statistics of one process (`None` for an unknown
+    /// or already deallocated process).
+    pub fn srq_stats(&self, process_id: u64) -> Option<SrqStats> {
+        self.process(process_id).map(|p| p.lock().srq_stats())
+    }
+
+    /// Depth high watermark of one process's shared receive queue: the peak
+    /// number of receive slots simultaneously in flight across every worker
+    /// connection of the process. Zero for an unknown process.
+    pub fn srq_high_watermark(&self, process_id: u64) -> usize {
+        self.srq_stats(process_id)
+            .map(|s| s.depth_high_watermark)
+            .unwrap_or(0)
     }
 
     /// All live executor processes, in ascending process-id order (used by
@@ -1589,6 +1660,59 @@ mod tests {
         assert!(exec
             .emit_heartbeat_if_due(SimTime::from_secs(5), interval)
             .is_some());
+    }
+
+    #[test]
+    fn integer_sqrt_floors() {
+        assert_eq!(integer_sqrt(0), 0);
+        assert_eq!(integer_sqrt(1), 1);
+        assert_eq!(integer_sqrt(3), 1);
+        assert_eq!(integer_sqrt(4), 2);
+        assert_eq!(integer_sqrt(15), 3);
+        assert_eq!(integer_sqrt(16), 4);
+        assert_eq!(integer_sqrt(17), 4);
+    }
+
+    #[test]
+    fn srq_depth_is_sublinear_in_worker_count() {
+        let exec = executor();
+        let one = exec
+            .allocator()
+            .allocate_with_workers(&test_lease(2, "echo-pkg"), 1, PollingMode::Warm)
+            .unwrap();
+        let sixteen = exec
+            .allocator()
+            .allocate_with_workers(&test_lease(2, "echo-pkg"), 16, PollingMode::Warm)
+            .unwrap();
+        let config = RFaasConfig::default();
+        let depth1 = exec
+            .allocator()
+            .srq_stats(one.process_id)
+            .unwrap()
+            .max_depth;
+        let depth16 = exec
+            .allocator()
+            .srq_stats(sixteen.process_id)
+            .unwrap()
+            .max_depth;
+        // A single worker still gets at least its old private ring depth.
+        assert!(depth1 >= config.recv_queue_depth);
+        // 16 workers share far fewer receive slots than 16 private rings
+        // would pin — receive memory is sublinear in the connection count.
+        assert!(
+            depth16 < 16 * config.recv_queue_depth,
+            "16-worker SRQ depth {depth16} should undercut 16 private rings"
+        );
+        assert!(depth16 * 4 <= 16 * depth1, "depth must grow sublinearly");
+        exec.allocator().deallocate(one.process_id).unwrap();
+        exec.allocator().deallocate(sixteen.process_id).unwrap();
+    }
+
+    #[test]
+    fn srq_stats_of_unknown_process_are_empty() {
+        let exec = executor();
+        assert!(exec.allocator().srq_stats(999).is_none());
+        assert_eq!(exec.allocator().srq_high_watermark(999), 0);
     }
 
     #[test]

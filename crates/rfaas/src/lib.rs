@@ -64,7 +64,8 @@ pub mod sharding;
 
 pub use billing::{BillingClient, BillingDatabase, UsageRecord, BILLING_SLOTS};
 pub use client::{
-    BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, Invoker,
+    BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, ConnectionPlaneStats,
+    InvocationFuture, Invoker,
 };
 pub use codec::{check_capacity, Codec};
 pub use config::{PollingMode, RFaasConfig};
@@ -76,7 +77,8 @@ pub use executor::{
 pub use lifecycle::{GroupLifecycleDriver, LifecycleDriver, LifecycleStats};
 pub use manager::ResourceManager;
 pub use protocol::{
-    ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus, INVOCATION_HEADER_BYTES,
+    ControlFrame, ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus,
+    INVOCATION_HEADER_BYTES,
 };
 pub use reactor::{Reactor, ReactorStats};
 pub use session::{AllocationBuilder, CompletionSet, FunctionHandle, Session, TypedFuture};

@@ -17,11 +17,13 @@ use parking_lot::Mutex;
 use rdma_fabric::{Endpoint, Fabric, FabricNode, QueuePair};
 use sim_core::{SimDuration, SimTime, VirtualClock};
 
+use rdma_fabric::DatagramSocket;
+
 use crate::billing::{BillingClient, BillingDatabase, UsageRecord};
 use crate::config::RFaasConfig;
 use crate::error::{RFaasError, Result};
 use crate::executor::SpotExecutor;
-use crate::protocol::{Lease, LeaseRequest};
+use crate::protocol::{ControlFrame, Lease, LeaseRequest};
 
 /// How many executor-failure lease terminations the manager remembers for
 /// [`ResourceManager::is_lease_terminated`] before pruning the oldest.
@@ -41,6 +43,11 @@ pub struct ResourceManager {
     node: Arc<FabricNode>,
     endpoint: Endpoint,
     clock: Arc<VirtualClock>,
+    // First-contact control plane: allocation requests arrive as datagrams
+    // (no RC handshake) and the verdict goes back to the client's reply
+    // address. The mutex serialises concurrent pollers, not the socket.
+    control: Mutex<DatagramSocket>,
+    control_address: String,
     executors: Mutex<HashMap<String, RegisteredExecutor>>,
     leases: Mutex<HashMap<u64, Lease>>,
     // Leases killed because their executor died (as opposed to expiring or
@@ -101,12 +108,16 @@ impl ResourceManager {
         let node = fabric.add_node(node_name);
         let endpoint = Endpoint::new(fabric, &node);
         let billing = BillingDatabase::new(&endpoint);
+        let control_address = format!("rfaas-ctl://{node_name}");
+        let control = DatagramSocket::bind(&endpoint, &control_address);
         Arc::new(ResourceManager {
             config,
             fabric: Arc::clone(fabric),
             node,
             clock: Arc::clone(&endpoint.clock),
             endpoint,
+            control: Mutex::new(control),
+            control_address,
             executors: Mutex::new(HashMap::new()),
             leases: Mutex::new(HashMap::new()),
             terminated_leases: Mutex::new(BTreeSet::new()),
@@ -228,7 +239,43 @@ impl ResourceManager {
         self.clock.advance_to(client_clock.now());
         self.clock.advance(self.config.allocation_processing_cost);
         client_clock.advance(self.config.allocation_processing_cost);
+        self.place_request(request)
+    }
 
+    /// The datagram address allocation requests should be sent to.
+    pub fn control_address(&self) -> &str {
+        &self.control_address
+    }
+
+    /// Drain pending control-plane datagrams: each `Allocate` frame is placed
+    /// (or denied) and answered at the sender's reply address. Returns how
+    /// many frames were handled. Malformed or unexpected frames are dropped —
+    /// an unreliable transport cannot promise the sender a diagnosis anyway.
+    pub fn poll_control(&self) -> usize {
+        let control = self.control.lock();
+        let mut handled = 0;
+        while let Some(msg) = control.try_recv() {
+            handled += 1;
+            let (reply_to, request) = match ControlFrame::decode(&msg.payload) {
+                Ok(ControlFrame::Allocate { reply_to, request }) => (reply_to, request),
+                _ => continue,
+            };
+            self.clock.advance(self.config.allocation_processing_cost);
+            let frame = match self.place_request(&request) {
+                Ok((lease, _)) => ControlFrame::Granted { lease },
+                Err(err) => ControlFrame::Denied {
+                    reason: err.to_string(),
+                },
+            };
+            let _ = control.send_to(&reply_to, &frame.encode());
+        }
+        handled
+    }
+
+    /// Placement core shared by the RC path ([`Self::request_lease`]) and the
+    /// datagram control plane: round-robin over executors with room, reserve
+    /// the resources, mint the lease at the manager's current clock.
+    fn place_request(&self, request: &LeaseRequest) -> Result<(Lease, Arc<SpotExecutor>)> {
         let mut executors = self.executors.lock();
         if executors.is_empty() {
             return Err(RFaasError::InsufficientResources {
@@ -681,6 +728,52 @@ mod tests {
             .map(|_| manager.request_lease(&request(), &clock).unwrap().0.id)
             .collect();
         assert_eq!(ids, vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn control_datagrams_grant_and_deny() {
+        let (fabric, manager, _execs) = setup(1);
+        let client_node = fabric.add_node("ctl-client");
+        let ep = Endpoint::new(&fabric, &client_node);
+        let sock = DatagramSocket::bind(&ep, "rfaas-clt://ctl-client/0");
+
+        // 16 cores / 4 per request: four grants, then a denial.
+        for _ in 0..5 {
+            let frame = ControlFrame::Allocate {
+                reply_to: sock.address().to_string(),
+                request: request(),
+            };
+            sock.send_to(manager.control_address(), &frame.encode())
+                .unwrap();
+        }
+        assert_eq!(manager.poll_control(), 5);
+        assert_eq!(manager.poll_control(), 0);
+
+        let mut grants = 0;
+        let mut denials = 0;
+        for _ in 0..5 {
+            let reply = sock
+                .recv_timeout(std::time::Duration::from_secs(1))
+                .unwrap();
+            match ControlFrame::decode(&reply.payload).unwrap() {
+                ControlFrame::Granted { lease } => {
+                    assert!(manager.lease(lease.id).is_some());
+                    assert_eq!(lease.executor_node, "exec-0");
+                    grants += 1;
+                }
+                ControlFrame::Denied { reason } => {
+                    assert!(!reason.is_empty());
+                    denials += 1;
+                }
+                other => panic!("unexpected control reply {other:?}"),
+            }
+        }
+        assert_eq!((grants, denials), (4, 1));
+        // Garbage frames are dropped without wedging the poller.
+        sock.send_to(manager.control_address(), &[0xFF, 1, 2])
+            .unwrap();
+        assert_eq!(manager.poll_control(), 1);
+        assert_eq!(manager.lease_count(), 4);
     }
 
     #[test]

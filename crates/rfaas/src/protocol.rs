@@ -141,7 +141,7 @@ impl ImmValue {
 }
 
 /// A client's request for executor resources (A1 in Fig. 4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LeaseRequest {
     /// Worker threads (= parallel function instances) requested.
     pub cores: u32,
@@ -187,7 +187,7 @@ impl LeaseRequest {
 }
 
 /// A granted lease on a spot executor (Sec. III-B).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Lease {
     /// Unique lease identifier.
     pub id: u64,
@@ -211,6 +211,173 @@ impl Lease {
     /// Whether the lease is still valid at `now`.
     pub fn is_valid_at(&self, now: SimTime) -> bool {
         now < self.expires_at
+    }
+}
+
+/// Control-plane frames carried over the datagram first-contact transport.
+///
+/// Allocation no longer needs a reliable connection: the client sends one
+/// `Allocate` datagram carrying its reply address, the manager answers with
+/// `Granted` or `Denied`. The frames use a hand-rolled little-endian layout —
+/// length-prefixed strings, nanosecond u64 durations — so both ends agree on
+/// bytes without relying on a serialisation framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlFrame {
+    /// A1 in Fig. 4: request resources; `reply_to` is the client's datagram
+    /// address the verdict should be sent to.
+    Allocate {
+        /// Datagram address of the requesting client.
+        reply_to: String,
+        /// The resource request itself.
+        request: LeaseRequest,
+    },
+    /// A2: the manager granted a lease.
+    Granted {
+        /// The granted lease.
+        lease: Lease,
+    },
+    /// The manager could not place the request.
+    Denied {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn sandbox_code(sandbox: SandboxType) -> u8 {
+    match sandbox {
+        SandboxType::BareMetal => 0,
+        SandboxType::Docker => 1,
+        SandboxType::Singularity => 2,
+        SandboxType::MicroVm => 3,
+    }
+}
+
+/// Cursor-style decoder over a control frame's bytes.
+struct FrameReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.at < n {
+            return Err(RFaasError::Internal(format!(
+                "control frame truncated at byte {}",
+                self.at
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| RFaasError::Internal("control frame string is not UTF-8".into()))
+    }
+
+    fn sandbox(&mut self) -> Result<SandboxType> {
+        match self.u8()? {
+            0 => Ok(SandboxType::BareMetal),
+            1 => Ok(SandboxType::Docker),
+            2 => Ok(SandboxType::Singularity),
+            3 => Ok(SandboxType::MicroVm),
+            code => Err(RFaasError::Internal(format!(
+                "unknown sandbox code {code} in control frame"
+            ))),
+        }
+    }
+}
+
+impl ControlFrame {
+    /// Serialise into the on-wire byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ControlFrame::Allocate { reply_to, request } => {
+                out.push(0);
+                put_str(&mut out, reply_to);
+                out.extend_from_slice(&request.cores.to_le_bytes());
+                out.extend_from_slice(&request.memory_mib.to_le_bytes());
+                out.extend_from_slice(&request.timeout.as_nanos().to_le_bytes());
+                out.push(sandbox_code(request.sandbox));
+                put_str(&mut out, &request.package);
+            }
+            ControlFrame::Granted { lease } => {
+                out.push(1);
+                out.extend_from_slice(&lease.id.to_le_bytes());
+                put_str(&mut out, &lease.executor_node);
+                out.extend_from_slice(&lease.cores.to_le_bytes());
+                out.extend_from_slice(&lease.memory_mib.to_le_bytes());
+                out.extend_from_slice(&lease.expires_at.as_nanos().to_le_bytes());
+                out.push(sandbox_code(lease.sandbox));
+                put_str(&mut out, &lease.package);
+                out.extend_from_slice(&(lease.billing_slot as u64).to_le_bytes());
+            }
+            ControlFrame::Denied { reason } => {
+                out.push(2);
+                put_str(&mut out, reason);
+            }
+        }
+        out
+    }
+
+    /// Parse from the on-wire byte layout.
+    pub fn decode(bytes: &[u8]) -> Result<ControlFrame> {
+        let mut r = FrameReader { bytes, at: 0 };
+        match r.u8()? {
+            0 => Ok(ControlFrame::Allocate {
+                reply_to: r.string()?,
+                request: LeaseRequest {
+                    cores: r.u32()?,
+                    memory_mib: r.u64()?,
+                    timeout: SimDuration::from_nanos(r.u64()?),
+                    sandbox: r.sandbox()?,
+                    package: r.string()?,
+                },
+            }),
+            1 => Ok(ControlFrame::Granted {
+                lease: Lease {
+                    id: r.u64()?,
+                    executor_node: r.string()?,
+                    cores: r.u32()?,
+                    memory_mib: r.u64()?,
+                    expires_at: SimTime::from_nanos(r.u64()?),
+                    sandbox: r.sandbox()?,
+                    package: r.string()?,
+                    billing_slot: r.u64()? as usize,
+                },
+            }),
+            2 => Ok(ControlFrame::Denied {
+                reason: r.string()?,
+            }),
+            tag => Err(RFaasError::Internal(format!(
+                "unknown control frame tag {tag}"
+            ))),
+        }
     }
 }
 
@@ -309,7 +476,73 @@ mod tests {
         assert!(!lease.is_valid_at(SimTime::from_secs(101)));
     }
 
+    #[test]
+    fn control_frames_round_trip() {
+        let frames = [
+            ControlFrame::Allocate {
+                reply_to: "rfaas-clt://client-0/1".into(),
+                request: LeaseRequest::single_worker("thumbnailer")
+                    .with_cores(4)
+                    .with_sandbox(SandboxType::Docker),
+            },
+            ControlFrame::Granted {
+                lease: Lease {
+                    id: 42,
+                    executor_node: "nid00007".into(),
+                    cores: 4,
+                    memory_mib: 2048,
+                    expires_at: SimTime::from_secs(600),
+                    sandbox: SandboxType::MicroVm,
+                    package: "thumbnailer".into(),
+                    billing_slot: 9,
+                },
+            },
+            ControlFrame::Denied {
+                reason: "no executor can fit 4 cores".into(),
+            },
+        ];
+        for frame in frames {
+            let decoded = ControlFrame::decode(&frame.encode()).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn control_frame_decode_rejects_garbage() {
+        assert!(ControlFrame::decode(&[]).is_err());
+        assert!(ControlFrame::decode(&[9]).is_err());
+        // A truncated Allocate (string length promises more than present).
+        let mut bytes = ControlFrame::Denied {
+            reason: "x".repeat(40),
+        }
+        .encode();
+        bytes.truncate(10);
+        assert!(ControlFrame::decode(&bytes).is_err());
+    }
+
     proptest::proptest! {
+        #[test]
+        fn prop_control_allocate_round_trip(
+            cores in 1u32..1024,
+            memory_mib in 1u64..1 << 20,
+            timeout_ns: u64,
+            reply: String,
+            package: String,
+        ) {
+            let frame = ControlFrame::Allocate {
+                reply_to: reply,
+                request: LeaseRequest {
+                    cores,
+                    memory_mib,
+                    timeout: SimDuration::from_nanos(timeout_ns),
+                    sandbox: SandboxType::Singularity,
+                    package,
+                },
+            };
+            let decoded = ControlFrame::decode(&frame.encode()).unwrap();
+            proptest::prop_assert_eq!(decoded, frame);
+        }
+
         #[test]
         fn prop_imm_request_round_trip(id in 0u32..0x0100_0000, index: u8) {
             let imm = ImmValue::request(id, index);

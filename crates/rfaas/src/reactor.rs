@@ -6,7 +6,7 @@
 //! entry per call, so the sustainable in-flight depth per thread was
 //! effectively the worker count. The reactor inverts the control flow: every
 //! [`WorkerConnection`](crate::client) registers itself as a
-//! [`CompletionSource`], and a single [`Reactor::turn`] pumps all sources in
+//! `CompletionSource`, and a single [`Reactor::turn`] pumps all sources in
 //! **registration order** (keeping virtual-time runs deterministic),
 //! stashes results and dispatches registered continuations — each exactly
 //! once — to the ready queues of the completion sets waiting on them. One

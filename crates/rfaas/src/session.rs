@@ -27,13 +27,13 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rdma_fabric::Fabric;
+use rdma_fabric::{ConnectionPool, Fabric};
 use sandbox::SandboxType;
 use sim_core::{SimDuration, SimTime, VirtualClock};
 
 use crate::client::{
-    BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, InvocationFuture, InvocationSpec,
-    Invoker,
+    BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, ConnectionPlaneStats,
+    InvocationFuture, InvocationSpec, Invoker,
 };
 use crate::codec::Codec;
 use crate::config::{PollingMode, RFaasConfig};
@@ -71,6 +71,8 @@ pub struct AllocationBuilder {
     start_at: Option<SimTime>,
     reactor: Option<Reactor>,
     shared_clock: Option<Arc<VirtualClock>>,
+    connection_pool: Option<ConnectionPool>,
+    connect_timeout: Option<std::time::Duration>,
 }
 
 impl AllocationBuilder {
@@ -99,6 +101,8 @@ impl AllocationBuilder {
             start_at: None,
             reactor: None,
             shared_clock: None,
+            connection_pool: None,
+            connect_timeout: None,
         }
     }
 
@@ -170,11 +174,34 @@ impl AllocationBuilder {
         self
     }
 
+    /// Lease worker connections through a shared [`ConnectionPool`]:
+    /// sessions built against the same pool reuse connection warmth left by
+    /// earlier leases to the same executor node, so re-allocation after
+    /// churn pays the warm setup tier instead of the full handshake.
+    pub fn connection_pool(mut self, pool: &ConnectionPool) -> AllocationBuilder {
+        self.connection_pool = Some(pool.clone());
+        self
+    }
+
+    /// Wall-clock deadline for each worker connection (and the hello that
+    /// follows). Overrides [`RFaasConfig::connect_timeout`].
+    pub fn connect_timeout(mut self, timeout: std::time::Duration) -> AllocationBuilder {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
     /// Acquire the lease, spin up the workers and connect to them (the cold
     /// path of Fig. 5/6), returning the live [`Session`].
     pub fn connect(self) -> Result<Session> {
-        let mut invoker = Invoker::new(&self.fabric, &self.client_node, &self.manager, self.config);
+        let mut config = self.config;
+        if let Some(timeout) = self.connect_timeout {
+            config.connect_timeout = timeout;
+        }
+        let mut invoker = Invoker::new(&self.fabric, &self.client_node, &self.manager, config);
         invoker.set_recovery_budget(self.recovery_budget);
+        if let Some(pool) = self.connection_pool {
+            invoker.set_connection_pool(pool);
+        }
         if let Some(reactor) = self.reactor {
             invoker.set_reactor(reactor);
         }
@@ -315,6 +342,12 @@ impl Session {
     /// Cold-start breakdown of the session's allocation.
     pub fn cold_start(&self) -> Option<ColdStartBreakdown> {
         self.invoker.cold_start()
+    }
+
+    /// Connection-plane counters: physical connects, pool hits/misses and
+    /// the executor's shared-receive-queue depth high watermark.
+    pub fn connection_stats(&self) -> ConnectionPlaneStats {
+        self.invoker.connection_stats()
     }
 
     /// Number of connected executor workers.
@@ -948,6 +981,58 @@ mod tests {
         assert!(session.cold_start().is_some());
         session.close().unwrap();
         assert_eq!(manager.lease_count(), 0);
+    }
+
+    #[test]
+    fn shared_connection_pool_warms_reallocation_to_the_same_executor() {
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        registry.deploy(CodePackage::minimal("pkg").with_function(echo_function()));
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let executor = SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources {
+                cores: 36,
+                memory_mib: 128 * 1024,
+            },
+            registry,
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&executor);
+
+        let pool = ConnectionPool::new();
+        let first = Session::builder(&fabric, "c", &manager, "pkg")
+            .workers(2)
+            .connection_pool(&pool)
+            .connect()
+            .unwrap();
+        let stats = first.connection_stats();
+        assert_eq!(stats.connections_opened, 2);
+        assert_eq!(stats.pool_hits, 0);
+        assert_eq!(stats.pool_misses, 2);
+        assert!(stats.srq_depth_high_watermark <= 1, "no invocations yet");
+        first.close().unwrap();
+        // Teardown returned both connections' warmth to the pool.
+        assert_eq!(pool.idle_for("exec-0"), 2);
+
+        // A new session on the same pool re-connects warm.
+        let second = Session::builder(&fabric, "c", &manager, "pkg")
+            .workers(2)
+            .connection_pool(&pool)
+            .connect_timeout(std::time::Duration::from_secs(2))
+            .connect()
+            .unwrap();
+        let stats = second.connection_stats();
+        assert_eq!(stats.connections_opened, 2);
+        // Pool counters are cumulative across the sessions sharing it: the
+        // first session's two misses plus the second session's two hits.
+        assert_eq!(stats.pool_hits, 2);
+        assert_eq!(stats.pool_misses, 2);
+        let echo = second.function::<[u8], [u8]>("echo").unwrap();
+        assert_eq!(echo.invoke(&[5u8; 8][..]).unwrap(), vec![5u8; 8]);
+        assert!(second.connection_stats().srq_depth_high_watermark >= 1);
+        second.close().unwrap();
     }
 
     #[test]

@@ -270,6 +270,84 @@ fn run_reactor_scenario(seed: u64) -> String {
     transcript
 }
 
+/// The pooled-connection churn scenario: one shared [`ConnectionPool`]
+/// survives a seeded sequence of allocate→invoke→release episodes, so later
+/// episodes re-warm QPs left behind by earlier ones. The transcript pins
+/// each episode's placement, its first-contact/warm classification, the
+/// connection-plane slice of the cold start in integer nanoseconds, and the
+/// cumulative pool counters — any wall-clock leak in the pooled handshake or
+/// the SRQ-backed dispatcher shows up as a byte diff.
+fn run_pooled_churn_scenario(seed: u64) -> String {
+    let testbed = Testbed::new(2);
+    let pool = rdma_fabric::ConnectionPool::new();
+    let mut rng = DeterministicRng::new(seed);
+    let mut transcript = String::new();
+
+    for episode in 0..8 {
+        let workers = rng.range_u64(1, 3) as u32;
+        let hits_before = pool.stats().hits;
+        let session = testbed
+            .session(&format!("pool-det-{episode}"))
+            .workers(workers)
+            .memory_mib(1024)
+            .connection_pool(&pool)
+            .connect()
+            .unwrap();
+        let lease = session.lease().unwrap();
+        let cold = session.cold_start().unwrap();
+        let setup_ns = cold.connect_to_manager.as_nanos() + cold.connect_to_workers.as_nanos();
+        let class = if pool.stats().hits > hits_before {
+            "warm"
+        } else {
+            "first-contact"
+        };
+        transcript.push_str(&format!(
+            "episode {episode}: workers={workers} node={} {class} setup={setup_ns} ns\n",
+            lease.executor_node
+        ));
+
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        let payload = rng.range_u64(1, 2048) as usize;
+        let data = workloads::generate_payload(payload, seed);
+        let (reply, rtt) = echo.invoke_timed(&data[..]).unwrap();
+        assert_eq!(reply.len(), payload);
+        let conn = session.connection_stats();
+        transcript.push_str(&format!(
+            "  invoke {payload} B -> {} ns, opened={} srq_watermark={}\n",
+            rtt.as_nanos(),
+            conn.connections_opened,
+            conn.srq_depth_high_watermark
+        ));
+        session.close().unwrap();
+    }
+
+    let stats = pool.stats();
+    transcript.push_str(&format!(
+        "pool: hits={} misses={} returned={} evictions={}\n",
+        stats.hits, stats.misses, stats.returned, stats.evictions
+    ));
+    assert!(stats.hits > 0, "churn over a shared pool must re-warm QPs");
+    assert!(stats.misses > 0, "the first contact per executor must miss");
+    transcript
+}
+
+#[test]
+fn pooled_churn_runs_are_byte_identical() {
+    let first = run_pooled_churn_scenario(0xC0FFEE);
+    let second = run_pooled_churn_scenario(0xC0FFEE);
+    assert_eq!(
+        first, second,
+        "pool warmth, setup costs or SRQ watermarks diverged between identical runs"
+    );
+}
+
+#[test]
+fn pooled_churn_seeds_change_the_episodes() {
+    let a = run_pooled_churn_scenario(7);
+    let b = run_pooled_churn_scenario(8);
+    assert_ne!(a, b, "the seed must drive worker counts and payloads");
+}
+
 #[test]
 fn reactor_driven_runs_are_byte_identical() {
     let first = run_reactor_scenario(0xFACADE);
