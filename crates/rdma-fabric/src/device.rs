@@ -154,6 +154,33 @@ impl NicProfile {
         }
     }
 
+    /// Cost of serving one remote-fork page fault of `page_bytes` with a
+    /// single one-sided READ from the parent node: issue the READ, wait a
+    /// round trip, stream the page back, pick the completion up. The
+    /// initiator is the *child*; the parent's CPU is never involved — the
+    /// property that makes MITOSIS-style fork viable.
+    pub fn fork_page_read_cost(&self, page_bytes: usize) -> SimDuration {
+        self.fork_read_cost(1, page_bytes)
+    }
+
+    /// Cost of a batched prefetch window: `pages` page READs posted as one
+    /// chained batch (one doorbell, one shared round trip, back-to-back
+    /// serialisation), amortising the per-fault overhead that makes
+    /// page-at-a-time faulting expensive.
+    pub fn fork_read_cost(&self, pages: usize, page_bytes: usize) -> SimDuration {
+        if pages == 0 || page_bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        // READs carry no payload outbound, so nothing inlines: every WQE
+        // pays its descriptor DMA fetch.
+        self.post_send_overhead
+            + self.non_inline_dma_fetch
+            + (self.chained_wqe_overhead + self.non_inline_dma_fetch) * (pages as u64 - 1)
+            + self.serialization(pages * page_bytes)
+            + self.one_way_latency * 2
+            + self.completion_pickup
+    }
+
     /// Expected uncontended round-trip time of a write ping-pong with
     /// payloads of `bytes` in each direction — the `ib_write_lat` baseline the
     /// paper compares against in Fig. 8.

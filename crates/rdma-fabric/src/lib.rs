@@ -42,6 +42,7 @@ pub mod cq;
 pub mod device;
 pub mod error;
 pub mod fabric;
+pub mod fork;
 pub mod memory;
 pub mod pd;
 pub mod pool;
@@ -57,6 +58,7 @@ pub use cq::{CompletionQueue, CqNotifier, CqSet, WaitMode};
 pub use device::{DeviceFunction, NicProfile};
 pub use error::{FabricError, Result};
 pub use fabric::{Fabric, FabricNode, TransferTiming};
+pub use fork::{FaultBatch, PrefetchPlan};
 pub use memory::{AccessFlags, MemoryRegion, RemoteMemoryHandle, PAGE_SIZE};
 pub use pd::ProtectionDomain;
 pub use pool::{ConnectionPool, PoolStats};

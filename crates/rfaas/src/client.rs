@@ -22,7 +22,7 @@ use sim_core::{SimDuration, SimTime, VirtualClock};
 use crate::codec::Codec;
 use crate::config::{PollingMode, RFaasConfig};
 use crate::error::{RFaasError, Result};
-use crate::executor::SpotExecutor;
+use crate::executor::{AllocationPolicy, ForkFaultState, SpotExecutor};
 use crate::manager::ResourceManager;
 use crate::protocol::{
     ControlFrame, ImmValue, InvocationHeader, Lease, LeaseRequest, ResultStatus,
@@ -310,6 +310,9 @@ pub struct Invoker {
     cold_start: Mutex<Option<ColdStartBreakdown>>,
     recoveries: AtomicU32,
     recovery_budget: u32,
+    /// How the allocator provisions the executor sandbox: full cold spawn,
+    /// remote fork from a parked parent, or warm-pool resume.
+    policy: AllocationPolicy,
 }
 
 /// Everything one invocation needs to be posted (and transparently
@@ -388,6 +391,7 @@ impl Invoker {
             cold_start: Mutex::new(None),
             recoveries: AtomicU32::new(0),
             recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
+            policy: AllocationPolicy::default(),
         }
     }
 
@@ -405,6 +409,27 @@ impl Invoker {
     /// The per-invocation transparent-recovery budget.
     pub fn recovery_budget(&self) -> u32 {
         self.recovery_budget
+    }
+
+    /// Choose how allocations provision their executor sandbox (cold spawn,
+    /// remote fork, or warm-pool resume). Applies to the next `allocate` and
+    /// to transparent re-allocations; fork and warm-pool degrade to a cold
+    /// spawn when the chosen executor holds no suitable warm parent.
+    pub fn set_allocation_policy(&mut self, policy: AllocationPolicy) {
+        self.policy = policy;
+    }
+
+    /// The provisioning policy the next allocation will use.
+    pub fn allocation_policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Fault state of the active allocation's forked sandbox: `None` when
+    /// nothing is allocated or the sandbox was not provisioned by fork.
+    pub fn fork_state(&self) -> Option<Arc<ForkFaultState>> {
+        self.active.lock().as_ref().and_then(|a| {
+            a.executor.allocator().fork_state(a.process_id)
+        })
     }
 
     /// Share a completion reactor with other invokers (one event loop driving
@@ -590,7 +615,7 @@ impl Invoker {
         let allocation =
             match executor
                 .allocator()
-                .allocate_with_workers(&lease, request.cores as usize, mode)
+                .allocate_with_policy(&lease, request.cores as usize, mode, self.policy)
             {
                 Ok(allocation) => allocation,
                 Err(e) => {

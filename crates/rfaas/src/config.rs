@@ -75,6 +75,17 @@ pub struct RFaasConfig {
     pub heartbeat_timeout: SimDuration,
     /// Idle time after which an executor process is reclaimed.
     pub executor_idle_timeout: SimDuration,
+    /// Max parked warm parents per `(SandboxType, package)` key in each
+    /// executor's warm pool. Zero disables warm pooling entirely: every
+    /// deallocation tears its sandbox down and every allocation cold-spawns,
+    /// which is the paper's baseline behaviour.
+    pub warm_pool_capacity: usize,
+    /// Idle age after which a parked warm parent is evicted from the pool
+    /// (and its sandbox finally torn down).
+    pub warm_pool_idle_timeout: SimDuration,
+    /// Pages fetched per remote-fork fault: one chained one-sided READ batch
+    /// from the parent node serves this many consecutive snapshot pages.
+    pub fork_prefetch_window: usize,
     /// Billing rate per (GiB × second) of leased memory.
     pub price_allocation: f64,
     /// Billing rate per second of active computation.
@@ -103,6 +114,11 @@ impl RFaasConfig {
             heartbeat_interval: SimDuration::from_secs(5),
             heartbeat_timeout: SimDuration::from_secs(15),
             executor_idle_timeout: SimDuration::from_secs(60),
+            // Warm pooling is opt-in: the paper's evaluation always pays the
+            // full cold spawn, so the calibrated default keeps the pool off.
+            warm_pool_capacity: 0,
+            warm_pool_idle_timeout: SimDuration::from_secs(120),
+            fork_prefetch_window: 32,
             // Prices follow the provisioned-function model of Sec. IV-C: hot
             // polling is billed like active compute, memory allocation is an
             // order of magnitude cheaper.

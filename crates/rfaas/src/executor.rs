@@ -28,12 +28,16 @@ use std::time::Duration;
 use cluster_sim::NodeResources;
 use parking_lot::Mutex;
 use rdma_fabric::{
-    AccessFlags, CqSet, DeviceFunction, Endpoint, Fabric, FabricNode, Listener, MemoryRegion,
-    QueuePair, ReceiveRing, SendRequest, Sge, SharedReceiveQueue, SrqStats, WorkCompletion,
+    AccessFlags, CqSet, DeviceFunction, Endpoint, Fabric, FabricNode, FaultBatch, Listener,
+    MemoryRegion, NicProfile, PrefetchPlan, QueuePair, ReceiveRing, SendRequest, Sge,
+    SharedReceiveQueue, SrqStats, WorkCompletion,
 };
 #[cfg(test)]
 use sandbox::SandboxType;
-use sandbox::{CodePackage, FunctionRegistry, ImageRegistry, Sandbox, SpawnBreakdown};
+use sandbox::{
+    CodePackage, FaultTracker, FunctionRegistry, ImageRegistry, Sandbox, SandboxSnapshot,
+    SpawnBreakdown, WarmPool, SNAPSHOT_PAGE_BYTES,
+};
 use sim_core::{SimDuration, SimTime, VirtualClock};
 
 use crate::billing::BillingClient;
@@ -43,6 +47,84 @@ use crate::protocol::{ImmValue, InvocationHeader, Lease, ResultStatus, INVOCATIO
 
 static NEXT_PROCESS_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// How the allocator provisions the sandbox of a new executor process — the
+/// client-visible knob spanning the cold-start spectrum's new fork tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationPolicy {
+    /// Always pay the full sandbox spawn (the paper's baseline).
+    #[default]
+    Cold,
+    /// Fork from a parked warm parent's snapshot when one exists: µs-scale
+    /// setup, pages fault in over one-sided RDMA reads during the first
+    /// invocations. Falls back to a cold spawn on a pool miss.
+    Fork,
+    /// Resume a parked warm parent outright (the parent leaves the pool):
+    /// no faults, but one parent serves one allocation. Falls back to a
+    /// cold spawn on a pool miss.
+    WarmPool,
+}
+
+/// Shared fault state of one forked executor process: the deterministic
+/// prefetch schedule over the parent snapshot's page map, drained one window
+/// per served invocation until the child is fully resident.
+#[derive(Debug)]
+pub struct ForkFaultState {
+    plan: PrefetchPlan,
+    tracker: Mutex<FaultTracker>,
+    served: Mutex<Vec<FaultBatch>>,
+}
+
+impl ForkFaultState {
+    fn new(snapshot: &SandboxSnapshot, profile: &NicProfile, window: usize) -> ForkFaultState {
+        let plan = PrefetchPlan::new(profile, snapshot.total_pages(), window, SNAPSHOT_PAGE_BYTES);
+        ForkFaultState {
+            tracker: Mutex::new(FaultTracker::for_snapshot(snapshot)),
+            served: Mutex::new(Vec::new()),
+            plan,
+        }
+    }
+
+    /// Serve the next prefetch window, if any pages are still cold: returns
+    /// the batch (pages + link cost) the invocation must absorb.
+    fn serve_next(&self) -> Option<FaultBatch> {
+        let (start_page, pages) = self.tracker.lock().fault_next_window(self.plan.window())?;
+        let batch = FaultBatch {
+            start_page,
+            pages,
+            cost: self.plan.batch_cost(pages),
+        };
+        self.served.lock().push(batch);
+        Some(batch)
+    }
+
+    /// Pages in the parent snapshot's page map.
+    pub fn total_pages(&self) -> usize {
+        self.plan.total_pages()
+    }
+
+    /// Pages faulted in so far.
+    pub fn pages_faulted(&self) -> usize {
+        self.tracker.lock().faulted_count()
+    }
+
+    /// Whether the child is fully resident (steady state: no more fault
+    /// latency on invocations).
+    pub fn is_complete(&self) -> bool {
+        self.tracker.lock().is_complete()
+    }
+
+    /// The fault batches served so far, in service order — the child's
+    /// fault schedule.
+    pub fn fault_schedule(&self) -> Vec<FaultBatch> {
+        self.served.lock().clone()
+    }
+
+    /// Total link time spent serving faults so far.
+    pub fn fault_time(&self) -> SimDuration {
+        self.served.lock().iter().map(|b| b.cost).sum()
+    }
+}
 
 /// Integer square root (floor), used to size the shared receive queue
 /// sublinearly in the worker count.
@@ -132,6 +214,10 @@ pub struct WorkerStats {
     pub busy_time: SimDuration,
     /// Virtual time spent hot-polling between invocations.
     pub hot_poll_time: SimDuration,
+    /// Remote-fork fault batches this worker served (forked processes only).
+    pub fork_faults: u64,
+    /// Virtual time spent faulting parent pages in over RDMA reads.
+    pub fork_fault_time: SimDuration,
 }
 
 #[derive(Debug)]
@@ -244,6 +330,9 @@ struct DispatcherContext {
     /// every invocation of the process, so receive memory scales with the
     /// SRQ depth instead of `workers × recv_queue_depth`.
     ring: ReceiveRing,
+    /// Fault state of a forked process: early invocations drain one prefetch
+    /// window each until the child is resident. `None` for cold/warm spawns.
+    fork: Option<Arc<ForkFaultState>>,
 }
 
 /// Release a worker's resources and mark it finished. Dropping the
@@ -324,6 +413,7 @@ fn serve_completion(
     package: &CodePackage,
     config: &RFaasConfig,
     billing: &Option<Arc<BillingClient>>,
+    fork: &Option<Arc<ForkFaultState>>,
 ) {
     let shared = Arc::clone(&slot.shared);
     let core = Arc::clone(&slot.core);
@@ -474,6 +564,25 @@ fn serve_completion(
         false
     };
 
+    // A forked child still faulting in parent pages pays the next prefetch
+    // window here: the page touches happen under this invocation's function
+    // entry, served by one-sided READs from the parent node and billed to
+    // the tenant like compute. Once the map is resident (`serve_next`
+    // returns None) invocations are indistinguishable from a warm spawn.
+    if let Some(fork) = fork {
+        if let Some(batch) = fork.serve_next() {
+            shared.clock.advance(batch.cost);
+            {
+                let mut stats = shared.stats.lock();
+                stats.fork_faults += 1;
+                stats.fork_fault_time += batch.cost;
+            }
+            if let Some(b) = billing {
+                b.record_compute(batch.cost);
+            }
+        }
+    }
+
     // Dispatch: header parse, function lookup, argument setup.
     shared.clock.advance(config.dispatch_cost);
 
@@ -556,6 +665,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
         shutdown,
         srq,
         ring,
+        fork,
     } = ctx;
 
     let mut cqset = CqSet::new();
@@ -649,7 +759,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
             if slot.done || slot.conn.is_none() {
                 continue;
             }
-            serve_completion(slot, wc, &ring, &package, &config, &billing);
+            serve_completion(slot, wc, &ring, &package, &config, &billing, &fork);
             progressed = true;
         }
 
@@ -751,6 +861,10 @@ pub struct ExecutorProcess {
     deadline: Arc<LeaseDeadline>,
     created_at: SimTime,
     last_used: Mutex<SimTime>,
+    /// How the sandbox was provisioned, and — for forked processes — the
+    /// shared fault state over the parent snapshot's page map.
+    policy: AllocationPolicy,
+    fork: Option<Arc<ForkFaultState>>,
 }
 
 impl ExecutorProcess {
@@ -791,8 +905,20 @@ impl ExecutorProcess {
             total.demotions += s.demotions;
             total.busy_time += s.busy_time;
             total.hot_poll_time += s.hot_poll_time;
+            total.fork_faults += s.fork_faults;
+            total.fork_fault_time += s.fork_fault_time;
         }
         total
+    }
+
+    /// The allocation policy this process was provisioned under.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Fault state of a forked process (`None` for cold/warm provisioning).
+    pub fn fork_state(&self) -> Option<Arc<ForkFaultState>> {
+        self.fork.clone()
     }
 
     /// Statistics of the process-wide shared receive queue: depth, posted
@@ -810,7 +936,9 @@ impl ExecutorProcess {
             .unwrap_or(SimTime::ZERO)
     }
 
-    fn shutdown(&mut self) -> SimDuration {
+    /// Stop serving: shut every worker down and join the dispatcher. The
+    /// sandbox stays alive so the caller can park it as a warm parent.
+    fn stop_serving(&mut self) {
         for w in &self.workers {
             w.request_shutdown();
         }
@@ -818,7 +946,11 @@ impl ExecutorProcess {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
-        self.sandbox.lock().terminate()
+    }
+
+    fn shutdown(&mut self) -> SimDuration {
+        self.stop_serving();
+        self.sandbox.lock().terminate().unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -840,6 +972,10 @@ pub struct LightweightAllocator {
     state: Mutex<AllocatorState>,
     clock: Arc<VirtualClock>,
     billing: Mutex<Option<Arc<BillingClient>>>,
+    /// Parked warm parents per `(SandboxType, package)` — deallocation parks
+    /// a sandbox here (when capacity admits it) instead of tearing it down,
+    /// and fork/warm-pool allocations consult it before a full spawn.
+    warm_pool: WarmPool,
     // Cleared when the node dies or is reclaimed: a dead allocator refuses
     // new allocations instead of spawning processes on a gone machine.
     alive: AtomicBool,
@@ -867,6 +1003,7 @@ impl LightweightAllocator {
         images: ImageRegistry,
         config: RFaasConfig,
     ) -> LightweightAllocator {
+        let config_warm_capacity = config.warm_pool_capacity;
         LightweightAllocator {
             node_name,
             fabric,
@@ -880,6 +1017,7 @@ impl LightweightAllocator {
             }),
             clock: VirtualClock::shared(),
             billing: Mutex::new(None),
+            warm_pool: WarmPool::with_capacity(config_warm_capacity),
             alive: AtomicBool::new(true),
             spawn_fail_at: AtomicUsize::new(usize::MAX),
         }
@@ -927,6 +1065,19 @@ impl LightweightAllocator {
         workers: usize,
         mode: PollingMode,
     ) -> Result<AllocationResult> {
+        self.allocate_with_policy(lease, workers, mode, AllocationPolicy::Cold)
+    }
+
+    /// Allocate under an explicit [`AllocationPolicy`]: the fork and
+    /// warm-pool tiers consult the executor's [`WarmPool`] before paying for
+    /// a full `Sandbox::spawn`, and fall back to the cold path on a miss.
+    pub fn allocate_with_policy(
+        &self,
+        lease: &Lease,
+        workers: usize,
+        mode: PollingMode,
+        policy: AllocationPolicy,
+    ) -> Result<AllocationResult> {
         if workers == 0 {
             return Err(RFaasError::Internal("cannot allocate zero workers".into()));
         }
@@ -952,19 +1103,67 @@ impl LightweightAllocator {
             state.available = state.available.saturating_sub(&request);
         }
 
-        // Spawn the sandbox and charge its cost on the allocator clock.
-        let (mut sandbox, spawn) = Sandbox::spawn(
-            lease.sandbox,
-            workers,
-            lease.memory_mib * 1024 * 1024,
-            &self.images,
-            package.image(),
-        );
-        let code_submission = self
-            .registry
-            .code_submission_cost(&lease.package)
-            .unwrap_or(SimDuration::ZERO)
-            + sandbox.load_package(package.clone());
+        // Provision the sandbox per the policy and charge its cost on the
+        // allocator clock. The fork and warm-pool tiers consult the warm
+        // pool first; a miss degrades to the cold path. A micro-cost hit
+        // (resume or fork setup) is reported through the spawn breakdown's
+        // `sandbox_create` slot so clients see it in their cold-start bars.
+        let cold_spawn = |images: &ImageRegistry| {
+            let (mut sandbox, spawn) = Sandbox::spawn(
+                lease.sandbox,
+                workers,
+                lease.memory_mib * 1024 * 1024,
+                images,
+                package.image(),
+            );
+            let code_submission = self
+                .registry
+                .code_submission_cost(&lease.package)
+                .unwrap_or(SimDuration::ZERO)
+                + sandbox.load_package(package.clone());
+            (sandbox, spawn, code_submission)
+        };
+        let micro_spawn = |setup: SimDuration| SpawnBreakdown {
+            image_pull: SimDuration::ZERO,
+            sandbox_create: setup,
+            executor_start: SimDuration::ZERO,
+            workers: SimDuration::ZERO,
+        };
+        let mut fork_state: Option<Arc<ForkFaultState>> = None;
+        let (mut sandbox, spawn, code_submission) = match policy {
+            AllocationPolicy::Cold => cold_spawn(&self.images),
+            AllocationPolicy::WarmPool => {
+                match self.warm_pool.lease(lease.sandbox, &lease.package) {
+                    Some(parent) => {
+                        // The parent leaves the pool and becomes this
+                        // lease's sandbox: resume it, no code submission —
+                        // the package is already loaded and warm.
+                        let mut sandbox = parent.into_sandbox();
+                        let resume = sandbox.resume().unwrap_or(SimDuration::ZERO);
+                        sandbox.set_workers(workers);
+                        (sandbox, micro_spawn(resume), SimDuration::ZERO)
+                    }
+                    None => cold_spawn(&self.images),
+                }
+            }
+            AllocationPolicy::Fork => {
+                match self.warm_pool.fork_source(lease.sandbox, &lease.package) {
+                    Some(snapshot) => {
+                        // Clone the executor skeleton from the parent's
+                        // snapshot; the parent stays parked and serves the
+                        // child's page faults via one-sided READs.
+                        let (sandbox, setup) = Sandbox::fork_from(&snapshot, workers);
+                        fork_state = Some(Arc::new(ForkFaultState::new(
+                            &snapshot,
+                            &self.fabric.profile(),
+                            self.config.fork_prefetch_window,
+                        )));
+                        (sandbox, micro_spawn(setup), SimDuration::ZERO)
+                    }
+                    None => cold_spawn(&self.images),
+                }
+            }
+        };
         self.clock.advance(spawn.total() + code_submission);
         let start_time = self.clock.now();
 
@@ -1067,6 +1266,7 @@ impl LightweightAllocator {
                     shutdown: Arc::clone(&dispatcher_shutdown),
                     srq: srq.clone(),
                     ring,
+                    fork: fork_state.clone(),
                 };
                 match std::thread::Builder::new()
                     .name(format!("rfaas-dispatch-{process_id}"))
@@ -1088,8 +1288,9 @@ impl LightweightAllocator {
             // reservation to the node pool.
             drop(handles);
             drop(slots);
-            let teardown = sandbox.terminate();
-            self.clock.advance(teardown);
+            if let Some(teardown) = sandbox.terminate() {
+                self.clock.advance(teardown);
+            }
             let mut state = self.state.lock();
             state.available = state.available.add(&request);
             return Err(error);
@@ -1109,6 +1310,8 @@ impl LightweightAllocator {
             deadline,
             created_at: start_time,
             last_used: Mutex::new(start_time),
+            policy,
+            fork: fork_state,
         };
         self.state
             .lock()
@@ -1146,6 +1349,25 @@ impl LightweightAllocator {
             .unwrap_or(0)
     }
 
+    /// The executor's warm pool of parked fork parents.
+    pub fn warm_pool(&self) -> &WarmPool {
+        &self.warm_pool
+    }
+
+    /// Evict warm parents idle past the configured timeout, finally tearing
+    /// their sandboxes down. Returns the number evicted.
+    pub fn evict_warm_parents(&self, now: SimTime) -> usize {
+        self.warm_pool
+            .evict_idle(now, self.config.warm_pool_idle_timeout)
+            .len()
+    }
+
+    /// Fault state of a forked process (`None` for unknown processes or
+    /// cold/warm provisioning).
+    pub fn fork_state(&self, process_id: u64) -> Option<Arc<ForkFaultState>> {
+        self.process(process_id).and_then(|p| p.lock().fork_state())
+    }
+
     /// All live executor processes, in ascending process-id order (used by
     /// experiments and tests to reach worker handles without the id).
     pub fn processes(&self) -> Vec<Arc<Mutex<ExecutorProcess>>> {
@@ -1176,8 +1398,20 @@ impl LightweightAllocator {
         // leased cores, not the worker count, which oversubscribed
         // allocations inflate past the reservation.
         let cores = process.leased_cores;
-        let teardown = process.shutdown();
-        self.clock.advance(teardown);
+        process.stop_serving();
+        // Offer the sandbox to the warm pool before destroying it: a parked
+        // parent turns a later allocation of the same (sandbox, package)
+        // into a µs-scale resume or fork source. Admission decides (pool
+        // disabled or key at capacity → normal teardown, billed once).
+        let parked = self
+            .warm_pool
+            .park(process.sandbox.lock().clone(), self.clock.now())
+            .is_some();
+        if !parked {
+            if let Some(teardown) = process.sandbox.lock().terminate() {
+                self.clock.advance(teardown);
+            }
+        }
         if let Some(billing) = self.billing.lock().as_ref() {
             billing.record_allocation(allocation_time, memory_mib);
             let _ = billing.flush();
@@ -1414,6 +1648,37 @@ mod tests {
             registry_with_echo(),
             RFaasConfig::default(),
         )
+    }
+
+    fn executor_with_pool(capacity: usize) -> Arc<SpotExecutor> {
+        let fabric = Fabric::with_defaults();
+        let mut config = RFaasConfig::default();
+        config.warm_pool_capacity = capacity;
+        SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources {
+                cores: 8,
+                memory_mib: 32 * 1024,
+            },
+            registry_with_echo(),
+            config,
+        )
+    }
+
+    /// Allocate and deallocate once so a warm parent is parked for
+    /// `echo-pkg`, returning the pool-enabled executor.
+    fn executor_with_parked_parent() -> Arc<SpotExecutor> {
+        let exec = executor_with_pool(2);
+        let first = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        exec.allocator().deallocate(first.process_id).unwrap();
+        assert_eq!(
+            exec.allocator()
+                .warm_pool()
+                .idle_for(SandboxType::BareMetal, "echo-pkg"),
+            1
+        );
+        exec
     }
 
     #[test]
@@ -1734,5 +1999,131 @@ mod tests {
         assert_eq!(exec.allocator().cleanup_idle(far), 1);
         assert_eq!(exec.allocator().process_count(), 0);
         assert!(exec.allocator().process(result.process_id).is_none());
+    }
+
+    #[test]
+    fn deallocate_parks_into_warm_pool_when_enabled() {
+        let exec = executor_with_pool(2);
+        let result = exec
+            .allocator()
+            .allocate(&test_lease(4, "echo-pkg"))
+            .unwrap();
+        exec.allocator().deallocate(result.process_id).unwrap();
+        // The sandbox was parked, not torn down, and the reservation was
+        // still restored in full.
+        let pool = exec.allocator().warm_pool();
+        assert_eq!(pool.idle_for(SandboxType::BareMetal, "echo-pkg"), 1);
+        assert_eq!(pool.stats().returned, 1);
+        assert_eq!(exec.allocator().available().cores, 8);
+    }
+
+    #[test]
+    fn disabled_pool_never_parks() {
+        let exec = executor();
+        let result = exec
+            .allocator()
+            .allocate(&test_lease(1, "echo-pkg"))
+            .unwrap();
+        exec.allocator().deallocate(result.process_id).unwrap();
+        let pool = exec.allocator().warm_pool();
+        assert_eq!(pool.idle_for(SandboxType::BareMetal, "echo-pkg"), 0);
+        assert_eq!(pool.stats().rejected, 1);
+    }
+
+    #[test]
+    fn fork_allocation_is_microseconds_and_faults_lazily() {
+        let exec = executor_with_parked_parent();
+        let result = exec
+            .allocator()
+            .allocate_with_policy(
+                &test_lease(1, "echo-pkg"),
+                1,
+                PollingMode::Warm,
+                AllocationPolicy::Fork,
+            )
+            .unwrap();
+        // Fork setup is µs-scale — orders of magnitude below the ~17 ms
+        // bare-metal cold spawn — and submits no code (the snapshot already
+        // holds the package).
+        let total = result.breakdown.total().as_micros_f64();
+        assert!(total < 100.0, "forked allocation took {total} µs");
+        assert!(result.breakdown.code_submission.is_zero());
+        // The child starts with an empty address space: every page is still
+        // to be faulted in over one-sided READs, none served yet.
+        let fork = exec.allocator().fork_state(result.process_id).unwrap();
+        assert!(fork.total_pages() > 0);
+        assert_eq!(fork.pages_faulted(), 0);
+        assert!(!fork.is_complete());
+        // The parent stays parked and can seed further forks.
+        assert_eq!(
+            exec.allocator()
+                .warm_pool()
+                .idle_for(SandboxType::BareMetal, "echo-pkg"),
+            1
+        );
+    }
+
+    #[test]
+    fn warm_pool_hit_resumes_the_parked_parent() {
+        let exec = executor_with_parked_parent();
+        let result = exec
+            .allocator()
+            .allocate_with_policy(
+                &test_lease(1, "echo-pkg"),
+                1,
+                PollingMode::Warm,
+                AllocationPolicy::WarmPool,
+            )
+            .unwrap();
+        // A pool hit pays only the paused→running resume (150 µs scale) and
+        // consumes the parked parent.
+        let total = result.breakdown.total().as_micros_f64();
+        assert!(
+            (100.0..1000.0).contains(&total),
+            "warm-pool hit took {total} µs"
+        );
+        assert!(result.breakdown.code_submission.is_zero());
+        assert!(exec.allocator().fork_state(result.process_id).is_none());
+        assert_eq!(
+            exec.allocator()
+                .warm_pool()
+                .idle_for(SandboxType::BareMetal, "echo-pkg"),
+            0
+        );
+        assert_eq!(exec.allocator().warm_pool().stats().hits, 1);
+    }
+
+    #[test]
+    fn fork_and_warm_pool_degrade_to_cold_on_a_miss() {
+        for policy in [AllocationPolicy::Fork, AllocationPolicy::WarmPool] {
+            let exec = executor_with_pool(2); // enabled but empty
+            let result = exec
+                .allocator()
+                .allocate_with_policy(&test_lease(1, "echo-pkg"), 1, PollingMode::Hot, policy)
+                .unwrap();
+            assert!(
+                result.breakdown.total().as_millis_f64() > 10.0,
+                "a pool miss must pay the full cold spawn"
+            );
+            assert!(exec.allocator().fork_state(result.process_id).is_none());
+            assert_eq!(exec.allocator().warm_pool().stats().misses, 1);
+        }
+    }
+
+    #[test]
+    fn idle_warm_parents_are_evicted_after_the_timeout() {
+        let exec = executor_with_parked_parent();
+        let clock = Arc::clone(exec.allocator().clock());
+        // Under the 120 s idle timeout nothing is evicted.
+        assert_eq!(exec.allocator().evict_warm_parents(clock.now()), 0);
+        let late = clock.now() + SimDuration::from_secs(3600);
+        assert_eq!(exec.allocator().evict_warm_parents(late), 1);
+        assert_eq!(
+            exec.allocator()
+                .warm_pool()
+                .idle_for(SandboxType::BareMetal, "echo-pkg"),
+            0
+        );
+        assert_eq!(exec.allocator().warm_pool().stats().evictions, 1);
     }
 }

@@ -17,6 +17,11 @@
 //!    hot invocations with ~300 ns of platform overhead, blocking workers
 //!    serve warm invocations a few microseconds slower but release the CPU,
 //!    and cold invocations pay sandbox initialisation (Fig. 5).
+//! 4. **A fork tier between warm and cold** — deallocated sandboxes park in
+//!    per-executor warm pools ([`sandbox::WarmPool`]) and later allocations
+//!    of the same package either resume a parked parent or *remote-fork*
+//!    from its snapshot, lazily faulting pages in over one-sided RDMA reads
+//!    ([`executor::ForkFaultState`]); see [`executor::AllocationPolicy`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -71,8 +76,9 @@ pub use codec::{check_capacity, Codec};
 pub use config::{PollingMode, RFaasConfig};
 pub use error::{RFaasError, Result};
 pub use executor::{
-    AllocationBreakdown, AllocationResult, CoreSlot, ExecutorProcess, LeaseDeadline,
-    LightweightAllocator, SpotExecutor, WorkerEndpointInfo, WorkerStats,
+    AllocationBreakdown, AllocationPolicy, AllocationResult, CoreSlot, ExecutorProcess,
+    ForkFaultState, LeaseDeadline, LightweightAllocator, SpotExecutor, WorkerEndpointInfo,
+    WorkerStats,
 };
 pub use lifecycle::{GroupLifecycleDriver, LifecycleDriver, LifecycleStats};
 pub use manager::ResourceManager;

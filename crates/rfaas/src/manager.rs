@@ -292,9 +292,25 @@ impl ResourceManager {
         let mut names: Vec<String> = executors.keys().cloned().collect();
         names.sort_unstable();
         let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
-        let chosen = (0..names.len())
-            .map(|i| &names[(start + i) % names.len()])
-            .find(|name| executors[*name].available.can_fit(&needed))
+        let candidates = || {
+            (0..names.len())
+                .map(|i| &names[(start + i) % names.len()])
+                .filter(|name| executors[*name].available.can_fit(&needed))
+        };
+        // Prefer an executor holding a warm parent for this (sandbox,
+        // package): an allocation placed there can resume or fork instead of
+        // cold-spawning. Fall back to plain round-robin over executors with
+        // room; with warm pooling disabled the two passes choose identically.
+        let chosen = candidates()
+            .find(|name| {
+                executors[*name]
+                    .executor
+                    .allocator()
+                    .warm_pool()
+                    .idle_for(request.sandbox, &request.package)
+                    > 0
+            })
+            .or_else(|| candidates().next())
             .cloned()
             .ok_or(RFaasError::InsufficientResources {
                 requested_cores: request.cores,

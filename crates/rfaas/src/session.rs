@@ -38,6 +38,7 @@ use crate::client::{
 use crate::codec::Codec;
 use crate::config::{PollingMode, RFaasConfig};
 use crate::error::{RFaasError, Result};
+use crate::executor::{AllocationPolicy, ForkFaultState};
 use crate::manager::ResourceManager;
 use crate::protocol::{Lease, LeaseRequest};
 use crate::reactor::Reactor;
@@ -67,6 +68,7 @@ pub struct AllocationBuilder {
     sandbox: SandboxType,
     lease_timeout: Option<SimDuration>,
     mode: PollingMode,
+    policy: AllocationPolicy,
     recovery_budget: u32,
     start_at: Option<SimTime>,
     reactor: Option<Reactor>,
@@ -97,6 +99,7 @@ impl AllocationBuilder {
             sandbox: SandboxType::BareMetal,
             lease_timeout: None,
             mode: PollingMode::Hot,
+            policy: AllocationPolicy::Cold,
             recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
             start_at: None,
             reactor: None,
@@ -141,6 +144,17 @@ impl AllocationBuilder {
     /// blocking, or adaptive).
     pub fn polling(mut self, mode: PollingMode) -> AllocationBuilder {
         self.mode = mode;
+        self
+    }
+
+    /// How the allocator provisions the executor sandbox: a full cold spawn
+    /// (the default), a remote fork from a parked warm parent's snapshot
+    /// ([`AllocationPolicy::Fork`]), or a warm-pool resume
+    /// ([`AllocationPolicy::WarmPool`]). Fork and warm-pool silently degrade
+    /// to a cold spawn when no suitable parent is parked on the chosen
+    /// executor.
+    pub fn allocation_policy(mut self, policy: AllocationPolicy) -> AllocationBuilder {
+        self.policy = policy;
         self
     }
 
@@ -199,6 +213,7 @@ impl AllocationBuilder {
         }
         let mut invoker = Invoker::new(&self.fabric, &self.client_node, &self.manager, config);
         invoker.set_recovery_budget(self.recovery_budget);
+        invoker.set_allocation_policy(self.policy);
         if let Some(pool) = self.connection_pool {
             invoker.set_connection_pool(pool);
         }
@@ -342,6 +357,14 @@ impl Session {
     /// Cold-start breakdown of the session's allocation.
     pub fn cold_start(&self) -> Option<ColdStartBreakdown> {
         self.invoker.cold_start()
+    }
+
+    /// Fault state of the session's forked sandbox: the deterministic
+    /// schedule of RDMA page-fault batches and how far the child has faulted
+    /// in. `None` unless the allocation was provisioned by
+    /// [`AllocationPolicy::Fork`].
+    pub fn fork_state(&self) -> Option<Arc<ForkFaultState>> {
+        self.invoker.fork_state()
     }
 
     /// Connection-plane counters: physical connects, pool hits/misses and

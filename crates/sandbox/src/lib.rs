@@ -10,11 +10,15 @@
 //!
 //! * [`function`] — the function ABI, code packages and built-in functions,
 //! * [`registry`] — function/code registries and the Docker image registry,
-//! * [`sandbox`] — sandbox types, lifecycle state machine and cost model.
+//! * [`sandbox`] — sandbox types, lifecycle state machine and cost model,
+//! * [`snapshot`] — parent snapshots and page-fault accounting for remote fork,
+//! * [`warm_pool`] — pre-warmed fork parents pooled per sandbox type/package.
 
 pub mod function;
 pub mod registry;
 pub mod sandbox;
+pub mod snapshot;
+pub mod warm_pool;
 
 pub use function::{
     echo_function, failing_function, zeros_function, FunctionError, FunctionOutcome,
@@ -22,3 +26,5 @@ pub use function::{
 };
 pub use registry::{CodePackage, FunctionRegistry, ImageInfo, ImageRegistry};
 pub use sandbox::{Sandbox, SandboxProfile, SandboxState, SandboxType, SpawnBreakdown};
+pub use snapshot::{FaultTracker, SandboxSnapshot, EXECUTOR_RESIDENT_BYTES, SNAPSHOT_PAGE_BYTES};
+pub use warm_pool::{WarmParent, WarmPool, WarmPoolStats};

@@ -58,6 +58,11 @@ pub struct SandboxProfile {
     pub per_worker_cost: SimDuration,
     /// Cost of tearing the sandbox down when the lease ends.
     pub teardown_cost: SimDuration,
+    /// Control-plane cost of forking a child from a warm parent's snapshot
+    /// (clone the process skeleton and QP metadata; pages come later, faulted
+    /// over RDMA). Microseconds, not milliseconds — the point of the fork
+    /// tier.
+    pub fork_cost: SimDuration,
 }
 
 impl SandboxProfile {
@@ -72,6 +77,7 @@ impl SandboxProfile {
                 executor_start_cost: SimDuration::from_millis(17),
                 per_worker_cost: SimDuration::from_micros(450),
                 teardown_cost: SimDuration::from_millis(3),
+                fork_cost: SimDuration::from_micros(18),
             },
             SandboxType::Docker => SandboxProfile {
                 sandbox_type,
@@ -79,6 +85,7 @@ impl SandboxProfile {
                 executor_start_cost: SimDuration::from_millis(680),
                 per_worker_cost: SimDuration::from_millis(1),
                 teardown_cost: SimDuration::from_millis(350),
+                fork_cost: SimDuration::from_micros(45),
             },
             SandboxType::Singularity => SandboxProfile {
                 sandbox_type,
@@ -86,6 +93,7 @@ impl SandboxProfile {
                 executor_start_cost: SimDuration::from_millis(60),
                 per_worker_cost: SimDuration::from_micros(700),
                 teardown_cost: SimDuration::from_millis(25),
+                fork_cost: SimDuration::from_micros(30),
             },
             SandboxType::MicroVm => SandboxProfile {
                 sandbox_type,
@@ -93,6 +101,7 @@ impl SandboxProfile {
                 executor_start_cost: SimDuration::from_millis(30),
                 per_worker_cost: SimDuration::from_micros(800),
                 teardown_cost: SimDuration::from_millis(12),
+                fork_cost: SimDuration::from_micros(22),
             },
         }
     }
@@ -101,6 +110,14 @@ impl SandboxProfile {
     /// sandbox creation and executor start.
     pub fn spawn_cost(&self, workers: usize) -> SimDuration {
         self.create_cost + self.executor_start_cost + self.per_worker_cost * workers as u64
+    }
+
+    /// Setup cost of forking a child with `workers` worker threads from a
+    /// warm parent. The child's worker threads re-arm inherited QP state
+    /// instead of building it (a fraction of `per_worker_cost`); memory is
+    /// not copied at all — pages fault in lazily over RDMA afterwards.
+    pub fn fork_setup_cost(&self, workers: usize) -> SimDuration {
+        self.fork_cost + SimDuration::from_micros(2) * workers as u64
     }
 }
 
@@ -183,6 +200,29 @@ impl Sandbox {
         )
     }
 
+    /// Fork a child from a warm parent's snapshot: the child starts running
+    /// with the parent's package already loaded, paying only the µs-scale
+    /// fork setup cost returned alongside — its memory pages are *not*
+    /// copied; they fault in lazily over one-sided RDMA reads from the
+    /// parent node (tracked by [`crate::snapshot::FaultTracker`]).
+    pub fn fork_from(
+        snapshot: &crate::snapshot::SandboxSnapshot,
+        workers: usize,
+    ) -> (Sandbox, SimDuration) {
+        let profile = SandboxProfile::for_type(snapshot.sandbox_type());
+        let setup = profile.fork_setup_cost(workers);
+        (
+            Sandbox {
+                profile,
+                state: SandboxState::Running,
+                workers,
+                package: Some(snapshot.package().clone()),
+                memory_bytes: snapshot.memory_bytes(),
+            },
+            setup,
+        )
+    }
+
     /// Sandbox type.
     pub fn sandbox_type(&self) -> SandboxType {
         self.profile.sandbox_type
@@ -241,10 +281,20 @@ impl Sandbox {
         }
     }
 
-    /// Destroy the sandbox, returning the teardown cost.
-    pub fn terminate(&mut self) -> SimDuration {
+    /// Destroy the sandbox, returning the teardown cost — or `None` if it is
+    /// already terminated (teardown is billed exactly once).
+    pub fn terminate(&mut self) -> Option<SimDuration> {
+        if self.state == SandboxState::Terminated {
+            return None;
+        }
         self.state = SandboxState::Terminated;
-        self.profile.teardown_cost
+        Some(self.profile.teardown_cost)
+    }
+
+    /// Re-shape the worker-thread count when a pooled parent is resumed for
+    /// a lease that asked for a different worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers;
     }
 }
 
@@ -316,9 +366,112 @@ mod tests {
         assert_eq!(sb.state(), SandboxState::Paused);
         assert!(sb.resume().is_some());
         assert!(sb.resume().is_none());
-        let teardown = sb.terminate();
+        let teardown = sb.terminate().expect("first terminate bills teardown");
         assert!(!teardown.is_zero());
         assert_eq!(sb.state(), SandboxState::Terminated);
+    }
+
+    #[test]
+    fn pause_rejected_outside_running() {
+        let images = ImageRegistry::new();
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 1, 1 << 20, &images, "ubuntu:20.04");
+        sb.pause();
+        // Paused → pause is illegal.
+        assert!(!sb.pause());
+        assert_eq!(sb.state(), SandboxState::Paused);
+        sb.resume();
+        sb.terminate();
+        // Terminated → pause is illegal and does not resurrect the sandbox.
+        assert!(!sb.pause());
+        assert_eq!(sb.state(), SandboxState::Terminated);
+    }
+
+    #[test]
+    fn resume_rejected_outside_paused() {
+        let images = ImageRegistry::new();
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 1, 1 << 20, &images, "ubuntu:20.04");
+        // Running → resume is a no-op with no cost billed.
+        assert!(sb.resume().is_none());
+        assert_eq!(sb.state(), SandboxState::Running);
+        sb.terminate();
+        assert!(sb.resume().is_none());
+        assert_eq!(sb.state(), SandboxState::Terminated);
+    }
+
+    #[test]
+    fn resume_bills_the_cheap_warm_cost_once_per_pause() {
+        let images = ImageRegistry::new();
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 1, 1 << 20, &images, "ubuntu:20.04");
+        assert!(sb.pause());
+        let resume = sb.resume().expect("paused sandbox resumes");
+        // Resume is the warm tier: far below any spawn, well above zero.
+        assert_eq!(resume, SimDuration::from_micros(150));
+        assert!(resume < SandboxProfile::for_type(SandboxType::BareMetal).spawn_cost(1));
+        // Back-to-back resume without an intervening pause bills nothing.
+        assert!(sb.resume().is_none());
+        assert!(sb.pause());
+        assert_eq!(sb.resume(), Some(SimDuration::from_micros(150)));
+    }
+
+    #[test]
+    fn terminate_is_billed_exactly_once() {
+        let images = ImageRegistry::new();
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 1, 1 << 20, &images, "ubuntu:20.04");
+        assert!(sb.terminate().is_some());
+        // Double-terminate is an illegal transition: no second teardown bill.
+        assert!(sb.terminate().is_none());
+        assert_eq!(sb.state(), SandboxState::Terminated);
+    }
+
+    #[test]
+    fn terminate_from_paused_still_tears_down() {
+        let images = ImageRegistry::new();
+        let (mut sb, _) =
+            Sandbox::spawn(SandboxType::Docker, 1, 1 << 20, &images, "ubuntu:20.04");
+        sb.pause();
+        let teardown = sb.terminate().expect("paused sandbox can be destroyed");
+        assert_eq!(
+            teardown,
+            SandboxProfile::for_type(SandboxType::Docker).teardown_cost
+        );
+    }
+
+    #[test]
+    fn fork_setup_is_microseconds_for_every_type() {
+        for sandbox_type in SandboxType::all() {
+            let profile = SandboxProfile::for_type(sandbox_type);
+            let fork = profile.fork_setup_cost(1);
+            assert!(
+                fork < SimDuration::from_micros(100),
+                "{sandbox_type:?} fork setup {fork:?} must stay sub-100µs"
+            );
+            // The whole point of the fork tier: orders of magnitude under a
+            // cold spawn of the same sandbox type.
+            assert!(profile.spawn_cost(1).as_micros_f64() / fork.as_micros_f64() > 100.0);
+        }
+    }
+
+    #[test]
+    fn forked_child_inherits_package_and_runs() {
+        let images = ImageRegistry::new();
+        let (mut parent, _) =
+            Sandbox::spawn(SandboxType::BareMetal, 2, 1 << 30, &images, "ubuntu:20.04");
+        parent.load_package(CodePackage::minimal("echo"));
+        let snapshot =
+            crate::snapshot::SandboxSnapshot::capture(&parent, sim_core::SimTime::ZERO).unwrap();
+        let (child, setup) = Sandbox::fork_from(&snapshot, 4);
+        assert_eq!(child.state(), SandboxState::Running);
+        assert_eq!(child.workers(), 4);
+        assert_eq!(child.package().unwrap().name(), "echo");
+        assert_eq!(child.memory_bytes(), 1 << 30);
+        assert_eq!(
+            setup,
+            SandboxProfile::for_type(SandboxType::BareMetal).fork_setup_cost(4)
+        );
     }
 
     #[test]

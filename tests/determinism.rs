@@ -331,6 +331,107 @@ fn run_pooled_churn_scenario(seed: u64) -> String {
     transcript
 }
 
+/// The fork-tier churn scenario: one executor with a warm pool, a parked
+/// parent, and a seeded sequence of fork / warm-pool / cold allocations. The
+/// transcript pins each episode's provisioning class, its executor-side
+/// setup cost in integer nanoseconds, the forked children's *fault
+/// schedules* (which pages each RDMA READ batch fetched and what it cost),
+/// the cumulative warm-pool counters and the billing total bit-for-bit — a
+/// wall-clock or iteration-order leak anywhere in the fork tier shows up as
+/// a byte diff.
+fn run_fork_scenario(seed: u64) -> String {
+    let mut config = RFaasConfig::default();
+    config.warm_pool_capacity = 2;
+    let testbed = Testbed::with_config(1, config);
+    let mut rng = DeterministicRng::new(seed);
+    let mut transcript = String::new();
+
+    for episode in 0..6 {
+        let policy = if episode == 0 {
+            // The first episode always cold-spawns the parent every later
+            // episode forks from or resumes.
+            rfaas::AllocationPolicy::Cold
+        } else if rng.range_u64(0, 2) == 0 {
+            rfaas::AllocationPolicy::Fork
+        } else {
+            rfaas::AllocationPolicy::WarmPool
+        };
+        let session = testbed
+            .session(&format!("fork-det-{episode}"))
+            .workers(1)
+            .memory_mib(1024)
+            .polling(rfaas::PollingMode::Warm)
+            .allocation_policy(policy)
+            .connect()
+            .unwrap();
+        let cold = session.cold_start().unwrap();
+        let setup_ns = (cold.spawn_workers + cold.submit_code).as_nanos();
+        transcript.push_str(&format!(
+            "episode {episode}: policy={policy:?} setup={setup_ns} ns\n"
+        ));
+
+        let echo = session.function::<[u8], [u8]>("echo").unwrap();
+        for _ in 0..rng.range_u64(1, 4) {
+            let payload = rng.range_u64(1, 2048) as usize;
+            let data = workloads::generate_payload(payload, seed);
+            let (reply, rtt) = echo.invoke_timed(&data[..]).unwrap();
+            assert_eq!(reply.len(), payload);
+            transcript.push_str(&format!("  invoke {payload} B -> {} ns\n", rtt.as_nanos()));
+        }
+        if let Some(fork) = session.fork_state() {
+            for batch in fork.fault_schedule() {
+                transcript.push_str(&format!(
+                    "  fault batch start={} pages={} cost={} ns\n",
+                    batch.start_page,
+                    batch.pages,
+                    batch.cost.as_nanos()
+                ));
+            }
+            transcript.push_str(&format!(
+                "  faulted {}/{} pages in {} ns\n",
+                fork.pages_faulted(),
+                fork.total_pages(),
+                fork.fault_time().as_nanos()
+            ));
+        }
+        session.close().unwrap();
+    }
+
+    let pool = testbed.executors[0].allocator().warm_pool().stats();
+    transcript.push_str(&format!(
+        "warm pool: hits={} misses={} returned={} evictions={} rejected={}\n",
+        pool.hits, pool.misses, pool.returned, pool.evictions, pool.rejected
+    ));
+    assert!(
+        pool.returned > 0,
+        "churn over an enabled pool must park parents"
+    );
+    let total_cost = testbed.manager.total_cost();
+    transcript.push_str(&format!(
+        "billing: total_cost_bits={:#018x}\n",
+        total_cost.to_bits()
+    ));
+    assert!(total_cost > 0.0, "the scenario must accrue billable usage");
+    transcript
+}
+
+#[test]
+fn fork_tier_runs_are_byte_identical() {
+    let first = run_fork_scenario(0xF0CC);
+    let second = run_fork_scenario(0xF0CC);
+    assert_eq!(
+        first, second,
+        "fault schedules, pool counters or billing diverged between identical runs"
+    );
+}
+
+#[test]
+fn fork_scenario_seeds_change_the_episodes() {
+    let a = run_fork_scenario(9);
+    let b = run_fork_scenario(10);
+    assert_ne!(a, b, "the seed must drive policies and payloads");
+}
+
 #[test]
 fn pooled_churn_runs_are_byte_identical() {
     let first = run_pooled_churn_scenario(0xC0FFEE);

@@ -3,7 +3,7 @@
 //! latency model, and hot workers must demote to warm after spinning past
 //! the configurable hot-poll timeout (Sec. III-C).
 
-use rfaas::{PollingMode, RFaasConfig};
+use rfaas::{AllocationPolicy, PollingMode, RFaasConfig};
 use rfaas_bench::Testbed;
 use sandbox::SandboxType;
 use sim_core::{median, SimDuration};
@@ -85,6 +85,91 @@ fn spectrum_ordering_hot_warm_cold() {
     assert!((3.0..6.0).contains(&hot), "hot median {hot} us");
     assert!((6.0..12.0).contains(&warm), "warm median {warm} us");
     assert!(cold > 10_000.0, "cold median {cold} us should be >= 10 ms");
+}
+
+#[test]
+fn fork_tier_sits_between_warm_and_cold() {
+    // The fork tier extends the spectrum: a forked allocation plus its
+    // fault-paying first invocation must beat the full cold path by orders
+    // of magnitude while staying above a plain leased warm invocation, and
+    // once the page map is resident the forked child *is* a warm executor.
+    let mut config = RFaasConfig::paper_calibration();
+    config.warm_pool_capacity = 1;
+    let testbed = Testbed::with_config(1, config);
+
+    // Park a warm parent: one cold allocation, released.
+    let parent = testbed
+        .session("fork-parent")
+        .polling(PollingMode::Warm)
+        .connect()
+        .unwrap();
+    let cold_setup = {
+        let cold = parent.cold_start().unwrap();
+        (cold.spawn_workers + cold.submit_code).as_micros_f64()
+    };
+    parent.close().unwrap();
+
+    let session = testbed
+        .session("fork-child")
+        .polling(PollingMode::Warm)
+        .allocation_policy(AllocationPolicy::Fork)
+        .connect()
+        .unwrap();
+    let fork = session.fork_state().expect("forked provisioning");
+    let forked_setup = {
+        let cold = session.cold_start().unwrap();
+        (cold.spawn_workers + cold.submit_code).as_micros_f64()
+    };
+    assert!(
+        forked_setup < 100.0 && cold_setup / forked_setup >= 100.0,
+        "forked setup {forked_setup} us vs cold {cold_setup} us"
+    );
+
+    let invoker = session.raw();
+    let alloc = invoker.allocator();
+    let input = alloc.input(64);
+    let output = alloc.output(64);
+    input.write_payload(&workloads::generate_payload(8, 11)).unwrap();
+    // Early invocations each pay one prefetch batch of page faults on top
+    // of the warm path.
+    let first = invoker
+        .invoke_sync("echo", &input, 8, &output)
+        .unwrap()
+        .1
+        .as_micros_f64();
+    let mut rtts = vec![first];
+    while !fork.is_complete() {
+        rtts.push(
+            invoker
+                .invoke_sync("echo", &input, 8, &output)
+                .unwrap()
+                .1
+                .as_micros_f64(),
+        );
+    }
+    // Steady state: the faulted-in child matches the plain warm band.
+    let warm = leased_median_us(PollingMode::Warm, 8, 30);
+    let steady = invoker
+        .invoke_sync("echo", &input, 8, &output)
+        .unwrap()
+        .1
+        .as_micros_f64();
+    assert!(
+        first > warm,
+        "a fault-paying invocation ({first} us) must exceed warm ({warm} us)"
+    );
+    assert!(
+        (steady - warm).abs() < 2.0,
+        "steady forked invocation {steady} us must match the warm band {warm} us"
+    );
+    // The whole fault-in residue stays microseconds — nowhere near a second
+    // cold start.
+    let residue: f64 = rtts.iter().sum();
+    assert!(
+        residue < 1_000.0,
+        "total fault-in residue {residue} us must stay µs-scale"
+    );
+    assert_eq!(fork.pages_faulted(), fork.total_pages());
 }
 
 #[test]
