@@ -116,7 +116,7 @@ fn main() {
         let echo = session.function::<[u8], [u8]>("echo").expect("echo");
         let payload = workloads::generate_payload(64, episode as u64);
         echo.invoke(&payload[..]).expect("invocation succeeds");
-        let stats = session.connection_stats();
+        let stats = session.stats().connections;
         connections_opened += stats.connections_opened;
         srq_watermark = srq_watermark.max(stats.srq_depth_high_watermark);
         session.close().expect("release");

@@ -76,9 +76,14 @@ fn run_rep(rep: usize) -> Rep {
         .expect("fork allocation");
     let forked = setup_cost(&forked_session);
     let fork_state = forked_session
-        .fork_state()
+        .stats()
+        .fork
         .expect("fork provisioning leaves a fault schedule");
-    assert_eq!(fork_state.pages_faulted(), 0, "pages fault lazily, not at fork");
+    assert_eq!(
+        fork_state.pages_faulted(),
+        0,
+        "pages fault lazily, not at fork"
+    );
 
     let invoker = forked_session.raw();
     let alloc = invoker.allocator();
@@ -127,7 +132,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for (series, samples) in [
-        ("cold spawn", reps.iter().map(|r| r.cold).collect::<Vec<_>>()),
+        (
+            "cold spawn",
+            reps.iter().map(|r| r.cold).collect::<Vec<_>>(),
+        ),
         ("remote fork", reps.iter().map(|r| r.forked).collect()),
         ("warm-pool hit", reps.iter().map(|r| r.warm_hit).collect()),
     ] {

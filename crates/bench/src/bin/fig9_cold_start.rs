@@ -32,7 +32,7 @@ fn run_case(sandbox: SandboxType, payload: usize, workers: u32, repetitions: usi
         components[3] += cold.submit_code.as_millis_f64();
         components[4] += cold.connect_to_workers.as_millis_f64();
         components[5] += first_invocation.as_millis_f64();
-        let conn = session.connection_stats();
+        let conn = session.stats().connections;
         opened += conn.connections_opened;
         pool_misses += conn.pool_misses;
         srq_watermark = srq_watermark.max(conn.srq_depth_high_watermark);

@@ -11,11 +11,11 @@ use std::sync::Arc;
 use cluster_sim::NodeResources;
 use rdma_fabric::Fabric;
 use rfaas::{AllocationBuilder, PollingMode, RFaasConfig, ResourceManager, Session, SpotExecutor};
-use sandbox::{echo_function, CodePackage, FunctionRegistry, SandboxType};
+use sandbox::{echo_function, CodePackage, FunctionRegistry, SandboxType, SharedFunction};
 use sim_core::{SimDuration, Summary};
 use workloads::{
     blackscholes_function, image_recognition_function, jacobi_function, matmul_function,
-    thumbnailer_function,
+    streaming_aggregation_function, thumbnailer_function, training_step_function,
 };
 
 /// Name of the code package every testbed deploys.
@@ -95,6 +95,25 @@ impl Testbed {
     }
 }
 
+/// State-plane key holding the reference dataset of the Fig. 19 experiment.
+pub const DATASET_KEY: &str = "dataset";
+
+/// Stateful read-path microbenchmark function (Fig. 19): touches the
+/// [`DATASET_KEY`] value materialised through its `with_state` declaration
+/// and returns the value's length, so the invocation itself moves only
+/// 8 bytes each way regardless of how large the dataset is.
+pub fn state_touch_function() -> SharedFunction {
+    SharedFunction::from_stateful_fn("state-touch", |_input, state, output| {
+        let dataset = state.read(DATASET_KEY)?;
+        // Touch both ends so the read cannot be optimised into a length probe.
+        let fingerprint = dataset.len() as u64
+            + *dataset.first().unwrap_or(&0) as u64
+            + *dataset.last().unwrap_or(&0) as u64;
+        output[..8].copy_from_slice(&fingerprint.to_le_bytes());
+        Ok(8)
+    })
+}
+
 /// The code package containing every evaluation function.
 pub fn evaluation_package() -> CodePackage {
     CodePackage::minimal(PACKAGE)
@@ -104,6 +123,9 @@ pub fn evaluation_package() -> CodePackage {
         .with_function(blackscholes_function())
         .with_function(matmul_function())
         .with_function(jacobi_function())
+        .with_function(streaming_aggregation_function())
+        .with_function(training_step_function())
+        .with_function(state_touch_function())
 }
 
 /// One row of a results table printed by a figure binary.

@@ -191,6 +191,38 @@ impl NicProfile {
             + self.completion_pickup;
         one_way * 2
     }
+
+    /// Cost of fetching `bytes` of state with a single one-sided READ from
+    /// the owner node: issue the READ (no outbound payload, so the WQE always
+    /// pays its descriptor DMA fetch), a full round trip, the value streaming
+    /// back, and the initiator-side completion pickup. The owner's CPU is
+    /// never involved — the property the state plane's hot-key path relies
+    /// on.
+    pub fn state_read_cost(&self, bytes: usize) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.post_send_overhead
+            + self.non_inline_dma_fetch
+            + self.serialization(bytes)
+            + self.one_way_latency * 2
+            + self.completion_pickup
+    }
+
+    /// Cost of pushing `bytes` of state to the owner node with a one-sided
+    /// Write: issue (inlined when small), stream the value out, one-way
+    /// propagation, and the local CQE once the last byte left. No remote
+    /// completion is awaited — push-model puts are fire-and-forget on the
+    /// data path, with ordering recovered on the control path.
+    pub fn state_write_cost(&self, bytes: usize) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.issue_cost(bytes)
+            + self.serialization(bytes)
+            + self.one_way_latency
+            + self.local_completion
+    }
 }
 
 impl Default for NicProfile {
@@ -300,6 +332,32 @@ mod tests {
         for p in [NicProfile::mellanox_cx5_100g(), NicProfile::soft_roce()] {
             assert!(p.warm_connection_setup * 5 <= p.connection_setup);
             assert!(p.datagram_setup < p.warm_connection_setup);
+        }
+    }
+
+    #[test]
+    fn state_access_tiers_are_ordered() {
+        for p in [NicProfile::mellanox_cx5_100g(), NicProfile::soft_roce()] {
+            // A one-sided read pays two one-way latencies, a push-model write
+            // only one: the read can never be cheaper than the write of the
+            // same value.
+            for bytes in [64usize, 4096, 1 << 20] {
+                assert!(p.state_read_cost(bytes) > p.state_write_cost(bytes));
+            }
+            // A one-sided read beats a full write ping-pong of the same
+            // payload once the value outgrows inlining — the
+            // copy-in/copy-out baseline pays that ping-pong per invocation.
+            for bytes in [4096usize, 1 << 20] {
+                assert!(p.state_read_cost(bytes) < p.write_pingpong_rtt(bytes));
+            }
+            assert!(p.state_read_cost(0).is_zero());
+            assert!(p.state_write_cost(0).is_zero());
+            // Large values are bandwidth-bound: doubling the value roughly
+            // doubles the wire time.
+            let one = p.state_read_cost(1 << 20);
+            let two = p.state_read_cost(2 << 20);
+            assert!(two > one);
+            assert!(two < one * 3);
         }
     }
 

@@ -167,7 +167,10 @@ mod tests {
             "full fault-in {total} µs should be µs-scale"
         );
         let batch = plan.batch_cost(32).as_micros_f64();
-        assert!(batch < 100.0, "one window {batch} µs stays well under 100 µs");
+        assert!(
+            batch < 100.0,
+            "one window {batch} µs stays well under 100 µs"
+        );
     }
 
     #[test]

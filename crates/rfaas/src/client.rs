@@ -18,6 +18,7 @@ use rdma_fabric::{
 };
 use sandbox::CodePackage;
 use sim_core::{SimDuration, SimTime, VirtualClock};
+use state_plane::{StateClient, StateClientStats, StateError, StatePlane, StateSpec};
 
 use crate::codec::Codec;
 use crate::config::{PollingMode, RFaasConfig};
@@ -313,6 +314,14 @@ pub struct Invoker {
     /// How the allocator provisions the executor sandbox: full cold spawn,
     /// remote fork from a parked parent, or warm-pool resume.
     policy: AllocationPolicy,
+    /// The state plane this invoker's allocations attach to, if any. Set
+    /// before `allocate`; every fresh allocation re-attaches the executor
+    /// process to it (recovery included).
+    state_plane: Option<StatePlane>,
+    /// The session-side caching state client, attached lazily on the first
+    /// allocation and kept across re-allocations (the cache region and its
+    /// datagram endpoint belong to the client node, not to any lease).
+    session_state: Mutex<Option<StateClient>>,
 }
 
 /// Everything one invocation needs to be posted (and transparently
@@ -392,6 +401,8 @@ impl Invoker {
             recoveries: AtomicU32::new(0),
             recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
             policy: AllocationPolicy::default(),
+            state_plane: None,
+            session_state: Mutex::new(None),
         }
     }
 
@@ -427,9 +438,91 @@ impl Invoker {
     /// Fault state of the active allocation's forked sandbox: `None` when
     /// nothing is allocated or the sandbox was not provisioned by fork.
     pub fn fork_state(&self) -> Option<Arc<ForkFaultState>> {
-        self.active.lock().as_ref().and_then(|a| {
-            a.executor.allocator().fork_state(a.process_id)
-        })
+        self.active
+            .lock()
+            .as_ref()
+            .and_then(|a| a.executor.allocator().fork_state(a.process_id))
+    }
+
+    /// Attach a [`StatePlane`] to this invoker: the session gains a caching
+    /// state client on its first allocation, and every executor process the
+    /// invoker allocates (transparent re-allocations included) is bound to
+    /// the same plane so stateful functions can materialise declared keys.
+    /// Must be called before `allocate`.
+    pub fn set_state_plane(&mut self, plane: &StatePlane) {
+        self.state_plane = Some(plane.clone());
+    }
+
+    /// Whether a state plane is attached.
+    pub fn has_state_plane(&self) -> bool {
+        self.state_plane.is_some()
+    }
+
+    /// Whether `key` currently exists in the attached state plane (false
+    /// when no plane is attached).
+    pub fn state_contains(&self, key: &str) -> bool {
+        self.state_plane.as_ref().is_some_and(|p| p.contains(key))
+    }
+
+    /// Run `f` over the session's state client, surfacing the missing-plane
+    /// case as a typed error.
+    fn with_session_state<R>(&self, f: impl FnOnce(&mut StateClient) -> Result<R>) -> Result<R> {
+        let mut guard = self.session_state.lock();
+        match guard.as_mut() {
+            Some(client) => f(client),
+            None => Err(RFaasError::StatePlane(StateError::Protocol(
+                "no state plane is attached to this session".into(),
+            ))),
+        }
+    }
+
+    /// Store `value` under `key` in the attached state plane (push-model
+    /// RDMA write through the session's cache).
+    pub fn state_put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.with_session_state(|c| c.put(key, value).map_err(RFaasError::StatePlane))
+    }
+
+    /// Read `key` through the session's state cache into an owned vector.
+    pub fn state_get(&self, key: &str) -> Result<Vec<u8>> {
+        self.with_session_state(|c| c.get(key).map_err(RFaasError::StatePlane))
+    }
+
+    /// Read `key` and hand the cached bytes to `f` *in place* — the
+    /// zero-copy path over the pre-registered cache region (pair with
+    /// [`crate::Codec::decode_view`] for a typed window).
+    pub fn state_get_with<R>(&self, key: &str, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        self.with_session_state(|c| c.get_with(key, f).map_err(RFaasError::StatePlane))
+    }
+
+    /// Delete `key` from the attached state plane; returns whether it
+    /// existed.
+    pub fn state_delete(&self, key: &str) -> Result<bool> {
+        self.with_session_state(|c| c.delete(key).map_err(RFaasError::StatePlane))
+    }
+
+    /// Counters of the session-side state client (`None` before the first
+    /// allocation or without a plane).
+    pub fn state_stats(&self) -> Option<StateClientStats> {
+        self.session_state.lock().as_ref().map(|c| c.stats())
+    }
+
+    /// Counters of the active executor process's state client.
+    pub fn executor_state_stats(&self) -> Option<StateClientStats> {
+        self.active
+            .lock()
+            .as_ref()
+            .and_then(|a| a.executor.allocator().state_client_stats(a.process_id))
+    }
+
+    /// Register the declared key set of `function` with the active executor
+    /// process (the executor side of [`crate::FunctionHandle::with_state`]).
+    pub fn bind_state_spec(&self, function: &str, spec: StateSpec) -> Result<()> {
+        let active = self.active.lock();
+        let active = active.as_ref().ok_or(RFaasError::NotAllocated)?;
+        active
+            .executor
+            .allocator()
+            .bind_state_spec(active.process_id, function, spec)
     }
 
     /// Share a completion reactor with other invokers (one event loop driving
@@ -612,17 +705,18 @@ impl Invoker {
         // here on every error path must release the lease just granted, or
         // the manager's reservation leaks until the lease expires.
         let t2 = self.clock.now();
-        let allocation =
-            match executor
-                .allocator()
-                .allocate_with_policy(&lease, request.cores as usize, mode, self.policy)
-            {
-                Ok(allocation) => allocation,
-                Err(e) => {
-                    let _ = self.manager.release_lease(lease.id);
-                    return Err(e);
-                }
-            };
+        let allocation = match executor.allocator().allocate_with_policy(
+            &lease,
+            request.cores as usize,
+            mode,
+            self.policy,
+        ) {
+            Ok(allocation) => allocation,
+            Err(e) => {
+                let _ = self.manager.release_lease(lease.id);
+                return Err(e);
+            }
+        };
         self.clock.advance(allocation.breakdown.spawn.total());
         breakdown.spawn_workers = self.clock.now().saturating_since(t2);
         let t3 = self.clock.now();
@@ -641,6 +735,31 @@ impl Invoker {
             }
         };
         breakdown.connect_to_workers = self.clock.now().saturating_since(t4);
+
+        // Step 6 (stateful sessions only): bind the fresh executor process
+        // to the state plane, and attach the session-side cache on the first
+        // allocation. Re-allocations repeat the executor attach — the new
+        // process starts with a cold state cache, the session cache survives.
+        if let Some(plane) = &self.state_plane {
+            let mut session_state = self.session_state.lock();
+            if session_state.is_none() {
+                *session_state = Some(plane.attach(
+                    &self.node_name,
+                    &self.fabric.add_node(&self.node_name),
+                    &self.clock,
+                    self.config.state_cache_bytes,
+                ));
+            }
+            let exec_client = plane.attach(
+                &format!("{}-exec", lease.executor_node),
+                executor.node(),
+                executor.allocator().clock(),
+                self.config.state_cache_bytes,
+            );
+            executor
+                .allocator()
+                .attach_state_client(allocation.process_id, exec_client)?;
+        }
 
         let fresh = ActiveAllocation {
             epoch: self.allocation_epoch.fetch_add(1, Ordering::Relaxed) + 1,

@@ -23,6 +23,11 @@ pub trait Codec {
     /// The owned value produced by [`Codec::decode`].
     type Owned;
 
+    /// The borrowed view produced by [`Codec::decode_view`]: a typed window
+    /// over payload bytes that stay where they are (a registered buffer, a
+    /// state-plane cache span). No staging copy is made.
+    type View<'a>;
+
     /// Exact number of payload bytes this value encodes to.
     fn encoded_len(&self) -> usize;
 
@@ -35,6 +40,13 @@ pub trait Codec {
     /// Decode a payload back into an owned value. Fails with
     /// [`RFaasError::Codec`] on malformed bytes.
     fn decode(bytes: &[u8]) -> Result<Self::Owned>;
+
+    /// Decode a payload *in place*: validate the bytes and hand back a typed
+    /// view borrowing them. This is the state-plane read path — a value
+    /// cached in a pre-registered client region is decoded without ever
+    /// being copied out of it. Fails with [`RFaasError::Codec`] on the same
+    /// malformed inputs [`Codec::decode`] rejects.
+    fn decode_view(bytes: &[u8]) -> Result<Self::View<'_>>;
 }
 
 /// Shared capacity guard for encoders: rejects a value of `required` bytes
@@ -53,6 +65,7 @@ pub fn check_capacity(required: usize, capacity: usize) -> Result<()> {
 
 impl Codec for [u8] {
     type Owned = Vec<u8>;
+    type View<'a> = &'a [u8];
 
     fn encoded_len(&self) -> usize {
         self.len()
@@ -67,10 +80,52 @@ impl Codec for [u8] {
     fn decode(bytes: &[u8]) -> Result<Vec<u8>> {
         Ok(bytes.to_vec())
     }
+
+    fn decode_view(bytes: &[u8]) -> Result<&[u8]> {
+        Ok(bytes)
+    }
+}
+
+/// Borrowed view over a little-endian `f64` payload: element access without
+/// materialising a `Vec<f64>`. Produced by `<[f64]>::decode_view`.
+#[derive(Debug, Clone, Copy)]
+pub struct F64View<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> F64View<'a> {
+    /// Number of `f64` elements.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the payload holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Element `i`, if in bounds.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        let chunk = self.bytes.get(i * 8..i * 8 + 8)?;
+        Some(f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+    }
+
+    /// Iterate the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+    }
+
+    /// Copy out into an owned vector (leaves the view usable).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
 }
 
 impl Codec for [f64] {
     type Owned = Vec<f64>;
+    type View<'a> = F64View<'a>;
 
     fn encoded_len(&self) -> usize {
         self.len() * 8
@@ -96,6 +151,16 @@ impl Codec for [f64] {
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
             .collect())
+    }
+
+    fn decode_view(bytes: &[u8]) -> Result<F64View<'_>> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(RFaasError::Codec(format!(
+                "f64 payload length {} is not a multiple of 8",
+                bytes.len()
+            )));
+        }
+        Ok(F64View { bytes })
     }
 }
 
@@ -132,6 +197,36 @@ mod tests {
         ));
         let mut short = vec![0u8; 8];
         assert!(values[..].encode_into(&mut short).is_err());
+    }
+
+    #[test]
+    fn byte_view_borrows_without_copying() {
+        let data = [9u8, 8, 7];
+        let view = <[u8]>::decode_view(&data).unwrap();
+        assert_eq!(view, &data[..]);
+        // In-place: the view is the payload bytes, not a staging copy.
+        assert!(std::ptr::eq(view.as_ptr(), data.as_ptr()));
+    }
+
+    #[test]
+    fn f64_view_decodes_in_place_and_rejects_ragged_lengths() {
+        let values = [0.5f64, -3.0, 42.0];
+        let mut buf = vec![0u8; values[..].encoded_len()];
+        values[..].encode_into(&mut buf).unwrap();
+        let view = <[f64]>::decode_view(&buf).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(1), Some(-3.0));
+        assert_eq!(view.get(3), None);
+        assert_eq!(view.iter().sum::<f64>(), 39.5);
+        assert_eq!(view.to_vec(), values.to_vec());
+        assert!(matches!(
+            <[f64]>::decode_view(&buf[..buf.len() - 1]),
+            Err(RFaasError::Codec(_))
+        ));
+        let empty = <[f64]>::decode_view(&[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.get(0), None);
     }
 
     proptest::proptest! {

@@ -86,6 +86,10 @@ pub struct RFaasConfig {
     /// Pages fetched per remote-fork fault: one chained one-sided READ batch
     /// from the parent node serves this many consecutive snapshot pages.
     pub fork_prefetch_window: usize,
+    /// Size of the pre-registered state-cache region each state-plane client
+    /// (session side and executor side) carves hot values out of. Values
+    /// larger than this cannot be served zero-copy.
+    pub state_cache_bytes: usize,
     /// Billing rate per (GiB × second) of leased memory.
     pub price_allocation: f64,
     /// Billing rate per second of active computation.
@@ -119,6 +123,9 @@ impl RFaasConfig {
             warm_pool_capacity: 0,
             warm_pool_idle_timeout: SimDuration::from_secs(120),
             fork_prefetch_window: 32,
+            // Matches the default per-worker payload ceiling: any value that
+            // could ride an invocation can also live in the cache.
+            state_cache_bytes: 16 * 1024 * 1024,
             // Prices follow the provisioned-function model of Sec. IV-C: hot
             // polling is billed like active compute, memory allocation is an
             // order of magnitude cheaper.

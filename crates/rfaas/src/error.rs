@@ -4,6 +4,7 @@ use std::fmt;
 
 use rdma_fabric::FabricError;
 use sandbox::FunctionError;
+use state_plane::StateError;
 
 /// Errors surfaced by the rFaaS client library, resource manager and
 /// executors.
@@ -49,6 +50,9 @@ pub enum RFaasError {
     /// A typed payload failed to encode or decode (malformed wire bytes for
     /// the requested [`crate::Codec`]).
     Codec(String),
+    /// The state plane rejected an operation (unknown key, exhausted arena,
+    /// value too large for the client cache, ...).
+    StatePlane(StateError),
     /// An internal invariant was violated (bug guard).
     Internal(String),
 }
@@ -74,6 +78,7 @@ impl fmt::Display for RFaasError {
             RFaasError::Fabric(e) => write!(f, "fabric error: {e}"),
             RFaasError::ExecutorLost(name) => write!(f, "executor '{name}' is no longer reachable"),
             RFaasError::Codec(msg) => write!(f, "codec error: {msg}"),
+            RFaasError::StatePlane(e) => write!(f, "state plane error: {e}"),
             RFaasError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -93,6 +98,12 @@ impl From<FunctionError> for RFaasError {
     }
 }
 
+impl From<StateError> for RFaasError {
+    fn from(e: StateError) -> Self {
+        RFaasError::StatePlane(e)
+    }
+}
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, RFaasError>;
 
@@ -106,6 +117,8 @@ mod tests {
         assert!(matches!(e, RFaasError::Fabric(FabricError::NotConnected)));
         let e: RFaasError = FunctionError::InvalidInput("bad".into()).into();
         assert!(matches!(e, RFaasError::Function(_)));
+        let e: RFaasError = StateError::UnknownKey("model".into()).into();
+        assert!(matches!(e, RFaasError::StatePlane(_)));
     }
 
     #[test]

@@ -35,10 +35,11 @@ use rdma_fabric::{
 #[cfg(test)]
 use sandbox::SandboxType;
 use sandbox::{
-    CodePackage, FaultTracker, FunctionRegistry, ImageRegistry, Sandbox, SandboxSnapshot,
-    SpawnBreakdown, WarmPool, SNAPSHOT_PAGE_BYTES,
+    CodePackage, FaultTracker, FunctionError, FunctionRegistry, ImageRegistry, Sandbox,
+    SandboxSnapshot, SpawnBreakdown, StateAccess, WarmPool, SNAPSHOT_PAGE_BYTES,
 };
 use sim_core::{SimDuration, SimTime, VirtualClock};
+use state_plane::{StateClient, StateClientStats, StateError, StateMode, StateSpec};
 
 use crate::billing::BillingClient;
 use crate::config::{PollingMode, RFaasConfig};
@@ -123,6 +124,134 @@ impl ForkFaultState {
     /// Total link time spent serving faults so far.
     pub fn fault_time(&self) -> SimDuration {
         self.served.lock().iter().map(|b| b.cost).sum()
+    }
+}
+
+/// Executor-side attachment to a state plane: one caching [`StateClient`]
+/// per executor process, plus the per-function key declarations registered
+/// at bind time. The dispatcher materialises a function's declared keys into
+/// worker-local buffers before dispatch and writes dirty read-write keys
+/// back after completion, so the function body itself never takes a
+/// control-plane round trip.
+pub struct ExecutorStateBinding {
+    client: StateClient,
+    specs: HashMap<String, StateSpec>,
+}
+
+impl std::fmt::Debug for ExecutorStateBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorStateBinding")
+            .field("client", &self.client)
+            .field("functions", &self.specs.len())
+            .finish()
+    }
+}
+
+impl ExecutorStateBinding {
+    fn new(client: StateClient) -> ExecutorStateBinding {
+        ExecutorStateBinding {
+            client,
+            specs: HashMap::new(),
+        }
+    }
+
+    /// Register (or replace) the declared key set of `function`.
+    fn bind(&mut self, function: &str, spec: StateSpec) {
+        self.specs.insert(function.to_string(), spec);
+    }
+
+    /// Virtual time on the clock this binding's state accesses charge.
+    fn now(&self) -> SimTime {
+        self.client.now()
+    }
+
+    fn sync_to(&self, t: SimTime) {
+        self.client.sync_to(t);
+    }
+
+    /// Client-side counters of the executor's state cache.
+    pub fn stats(&self) -> StateClientStats {
+        self.client.stats()
+    }
+
+    /// Materialise the keys `function` declared into worker-local buffers.
+    /// A key deleted since bind time materialises empty (the function
+    /// observes a fresh value, exactly as a first writer would).
+    fn materialize(&mut self, function: &str) -> Result<MaterializedState> {
+        let spec = self.specs.get(function).cloned().unwrap_or_default();
+        let mut entries = Vec::with_capacity(spec.keys().len());
+        for key in spec.keys() {
+            let bytes = match self.client.get(&key.name) {
+                Ok(bytes) => bytes,
+                Err(StateError::UnknownKey(_)) => Vec::new(),
+                Err(e) => return Err(RFaasError::StatePlane(e)),
+            };
+            entries.push(MaterializedEntry {
+                name: key.name.clone(),
+                mode: key.mode,
+                bytes,
+                dirty: false,
+            });
+        }
+        Ok(MaterializedState { entries })
+    }
+
+    /// Push every dirty read-write key back to the plane, in declaration
+    /// order (the write-back schedule is deterministic).
+    fn write_back(&mut self, state: MaterializedState) -> Result<()> {
+        for entry in state.entries {
+            if entry.dirty && entry.mode == StateMode::ReadWrite {
+                self.client
+                    .put(&entry.name, &entry.bytes)
+                    .map_err(RFaasError::StatePlane)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct MaterializedEntry {
+    name: String,
+    mode: StateMode,
+    bytes: Vec<u8>,
+    dirty: bool,
+}
+
+/// The declared keys of one stateful invocation, materialised into
+/// worker-local byte buffers. This is the `StateAccess` window handed to the
+/// function body: reads see the materialised copies, writes mark them dirty
+/// for the post-completion write-back, and any access outside the declared
+/// set (or a write to a read-only key) fails the invocation.
+struct MaterializedState {
+    entries: Vec<MaterializedEntry>,
+}
+
+impl StateAccess for MaterializedState {
+    fn read(&self, key: &str) -> std::result::Result<&[u8], FunctionError> {
+        self.entries
+            .iter()
+            .find(|e| e.name == key)
+            .map(|e| e.bytes.as_slice())
+            .ok_or_else(|| {
+                FunctionError::StateAccess(format!("key '{key}' was not declared via with_state"))
+            })
+    }
+
+    fn write(&mut self, key: &str) -> std::result::Result<&mut Vec<u8>, FunctionError> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == key)
+            .ok_or_else(|| {
+                FunctionError::StateAccess(format!("key '{key}' was not declared via with_state"))
+            })?;
+        if entry.mode == StateMode::Read {
+            return Err(FunctionError::StateAccess(format!(
+                "key '{key}' is declared read-only"
+            )));
+        }
+        entry.dirty = true;
+        Ok(&mut entry.bytes)
     }
 }
 
@@ -218,6 +347,11 @@ pub struct WorkerStats {
     pub fork_faults: u64,
     /// Virtual time spent faulting parent pages in over RDMA reads.
     pub fork_fault_time: SimDuration,
+    /// Invocations that ran against a state-plane window.
+    pub state_invocations: u64,
+    /// Virtual time spent materialising declared keys and writing dirty
+    /// ones back (part of `busy_time`, broken out here).
+    pub state_time: SimDuration,
 }
 
 #[derive(Debug)]
@@ -333,6 +467,10 @@ struct DispatcherContext {
     /// Fault state of a forked process: early invocations drain one prefetch
     /// window each until the child is resident. `None` for cold/warm spawns.
     fork: Option<Arc<ForkFaultState>>,
+    /// State-plane attachment of the process. Populated after spawn (the
+    /// client attaches its plane once the allocation is installed), hence
+    /// the shared slot rather than a construction-time field.
+    state: Arc<Mutex<Option<ExecutorStateBinding>>>,
 }
 
 /// Release a worker's resources and mark it finished. Dropping the
@@ -406,6 +544,7 @@ fn connect_worker(
 /// function and write the result back. The billing is exactly what a
 /// dedicated worker thread charged; only the completion delivery is
 /// multiplexed.
+#[allow(clippy::too_many_arguments)]
 fn serve_completion(
     slot: &mut WorkerSlot,
     raw: WorkCompletion,
@@ -414,6 +553,7 @@ fn serve_completion(
     config: &RFaasConfig,
     billing: &Option<Arc<BillingClient>>,
     fork: &Option<Arc<ForkFaultState>>,
+    state: &Arc<Mutex<Option<ExecutorStateBinding>>>,
 ) {
     let shared = Arc::clone(&slot.shared);
     let core = Arc::clone(&slot.core);
@@ -595,9 +735,54 @@ fn serve_completion(
                 .read(INVOCATION_HEADER_BYTES, payload_len)
                 .unwrap_or_default();
             let started = shared.clock.now();
-            let outcome = conn
-                .output
-                .with_bytes_mut(|buf| function.invoke(&input_bytes, buf));
+            let outcome = if function.is_stateful() {
+                // Stateful path: materialise the declared keys into
+                // worker-local buffers, run the function against the state
+                // window, write dirty keys back. The time the state client
+                // spends on its own clock (cache misses, remote reads, push
+                // writes) is re-billed onto this worker's clock so the
+                // invocation round trip carries it.
+                let mut guard = state.lock();
+                match guard.as_mut() {
+                    None => Err(FunctionError::StateAccess(
+                        "no state plane is attached to this executor process".into(),
+                    )),
+                    Some(binding) => {
+                        // The binding's clock may lag the worker's (it only
+                        // moves on state traffic); sync before measuring so
+                        // the access is billed its real cost, not the
+                        // catch-up to the worker's present.
+                        binding.sync_to(shared.clock.now());
+                        let state_started = binding.now();
+                        let outcome = match binding.materialize(function.name()) {
+                            Err(e) => Err(FunctionError::StateAccess(e.to_string())),
+                            Ok(mut window) => {
+                                let run = conn.output.with_bytes_mut(|buf| {
+                                    function.invoke_stateful(&input_bytes, &mut window, buf)
+                                });
+                                match run {
+                                    Ok(n) => match binding.write_back(window) {
+                                        Ok(()) => Ok(n),
+                                        Err(e) => Err(FunctionError::StateAccess(e.to_string())),
+                                    },
+                                    Err(e) => Err(e),
+                                }
+                            }
+                        };
+                        let spent = binding.now().saturating_since(state_started);
+                        shared.clock.advance(spent);
+                        {
+                            let mut stats = shared.stats.lock();
+                            stats.state_invocations += 1;
+                            stats.state_time += spent;
+                        }
+                        outcome
+                    }
+                }
+            } else {
+                conn.output
+                    .with_bytes_mut(|buf| function.invoke(&input_bytes, buf))
+            };
             shared.clock.advance(function.compute_cost(payload_len));
             let busy = shared.clock.now().saturating_since(started);
             {
@@ -666,6 +851,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
         srq,
         ring,
         fork,
+        state,
     } = ctx;
 
     let mut cqset = CqSet::new();
@@ -759,7 +945,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
             if slot.done || slot.conn.is_none() {
                 continue;
             }
-            serve_completion(slot, wc, &ring, &package, &config, &billing, &fork);
+            serve_completion(slot, wc, &ring, &package, &config, &billing, &fork, &state);
             progressed = true;
         }
 
@@ -865,6 +1051,9 @@ pub struct ExecutorProcess {
     /// shared fault state over the parent snapshot's page map.
     policy: AllocationPolicy,
     fork: Option<Arc<ForkFaultState>>,
+    /// Shared slot the dispatcher reads stateful invocations' binding from;
+    /// the allocator fills it when the client attaches a state plane.
+    state: Arc<Mutex<Option<ExecutorStateBinding>>>,
 }
 
 impl ExecutorProcess {
@@ -907,6 +1096,8 @@ impl ExecutorProcess {
             total.hot_poll_time += s.hot_poll_time;
             total.fork_faults += s.fork_faults;
             total.fork_fault_time += s.fork_fault_time;
+            total.state_invocations += s.state_invocations;
+            total.state_time += s.state_time;
         }
         total
     }
@@ -919,6 +1110,12 @@ impl ExecutorProcess {
     /// Fault state of a forked process (`None` for cold/warm provisioning).
     pub fn fork_state(&self) -> Option<Arc<ForkFaultState>> {
         self.fork.clone()
+    }
+
+    /// Client-side counters of the process's state-plane attachment
+    /// (`None` when no plane is attached).
+    pub fn state_stats(&self) -> Option<StateClientStats> {
+        self.state.lock().as_ref().map(|b| b.stats())
     }
 
     /// Statistics of the process-wide shared receive queue: depth, posted
@@ -1155,7 +1352,7 @@ impl LightweightAllocator {
                         let (sandbox, setup) = Sandbox::fork_from(&snapshot, workers);
                         fork_state = Some(Arc::new(ForkFaultState::new(
                             &snapshot,
-                            &self.fabric.profile(),
+                            self.fabric.profile(),
                             self.config.fork_prefetch_window,
                         )));
                         (sandbox, micro_spawn(setup), SimDuration::ZERO)
@@ -1255,6 +1452,7 @@ impl LightweightAllocator {
 
         // One dispatcher thread per process serves every worker slot.
         let dispatcher_shutdown = Arc::new(AtomicBool::new(false));
+        let state_slot: Arc<Mutex<Option<ExecutorStateBinding>>> = Arc::new(Mutex::new(None));
         let mut dispatcher = None;
         if spawn_error.is_none() {
             if let Ok(ring) = shared_ring {
@@ -1267,6 +1465,7 @@ impl LightweightAllocator {
                     srq: srq.clone(),
                     ring,
                     fork: fork_state.clone(),
+                    state: Arc::clone(&state_slot),
                 };
                 match std::thread::Builder::new()
                     .name(format!("rfaas-dispatch-{process_id}"))
@@ -1312,6 +1511,7 @@ impl LightweightAllocator {
             last_used: Mutex::new(start_time),
             policy,
             fork: fork_state,
+            state: state_slot,
         };
         self.state
             .lock()
@@ -1366,6 +1566,41 @@ impl LightweightAllocator {
     /// cold/warm provisioning).
     pub fn fork_state(&self, process_id: u64) -> Option<Arc<ForkFaultState>> {
         self.process(process_id).and_then(|p| p.lock().fork_state())
+    }
+
+    /// Attach a state-plane client to one executor process: stateful
+    /// invocations dispatched to the process materialise their declared keys
+    /// through it. Replaces any previous attachment.
+    pub fn attach_state_client(&self, process_id: u64, client: StateClient) -> Result<()> {
+        let process = self
+            .process(process_id)
+            .ok_or(RFaasError::UnknownLease(process_id))?;
+        let slot = Arc::clone(&process.lock().state);
+        *slot.lock() = Some(ExecutorStateBinding::new(client));
+        Ok(())
+    }
+
+    /// Register the declared key set of `function` on one process's state
+    /// binding (bind-time validation already happened client-side).
+    pub fn bind_state_spec(&self, process_id: u64, function: &str, spec: StateSpec) -> Result<()> {
+        let process = self
+            .process(process_id)
+            .ok_or(RFaasError::UnknownLease(process_id))?;
+        let slot = Arc::clone(&process.lock().state);
+        let mut guard = slot.lock();
+        let binding = guard.as_mut().ok_or_else(|| {
+            RFaasError::StatePlane(StateError::Protocol(
+                "no state plane is attached to this executor process".into(),
+            ))
+        })?;
+        binding.bind(function, spec);
+        Ok(())
+    }
+
+    /// Client-side state counters of one process's plane attachment.
+    pub fn state_client_stats(&self, process_id: u64) -> Option<StateClientStats> {
+        self.process(process_id)
+            .and_then(|p| p.lock().state_stats())
     }
 
     /// All live executor processes, in ascending process-id order (used by
@@ -1652,8 +1887,10 @@ mod tests {
 
     fn executor_with_pool(capacity: usize) -> Arc<SpotExecutor> {
         let fabric = Fabric::with_defaults();
-        let mut config = RFaasConfig::default();
-        config.warm_pool_capacity = capacity;
+        let config = RFaasConfig {
+            warm_pool_capacity: capacity,
+            ..RFaasConfig::default()
+        };
         SpotExecutor::new(
             &fabric,
             "exec-0",
@@ -1670,7 +1907,10 @@ mod tests {
     /// `echo-pkg`, returning the pool-enabled executor.
     fn executor_with_parked_parent() -> Arc<SpotExecutor> {
         let exec = executor_with_pool(2);
-        let first = exec.allocator().allocate(&test_lease(1, "echo-pkg")).unwrap();
+        let first = exec
+            .allocator()
+            .allocate(&test_lease(1, "echo-pkg"))
+            .unwrap();
         exec.allocator().deallocate(first.process_id).unwrap();
         assert_eq!(
             exec.allocator()

@@ -72,13 +72,13 @@ pub use client::{
     BatchStats, Buffer, BufferAllocator, ColdStartBreakdown, ConnectionPlaneStats,
     InvocationFuture, Invoker,
 };
-pub use codec::{check_capacity, Codec};
+pub use codec::{check_capacity, Codec, F64View};
 pub use config::{PollingMode, RFaasConfig};
 pub use error::{RFaasError, Result};
 pub use executor::{
     AllocationBreakdown, AllocationPolicy, AllocationResult, CoreSlot, ExecutorProcess,
-    ForkFaultState, LeaseDeadline, LightweightAllocator, SpotExecutor, WorkerEndpointInfo,
-    WorkerStats,
+    ExecutorStateBinding, ForkFaultState, LeaseDeadline, LightweightAllocator, SpotExecutor,
+    WorkerEndpointInfo, WorkerStats,
 };
 pub use lifecycle::{GroupLifecycleDriver, LifecycleDriver, LifecycleStats};
 pub use manager::ResourceManager;
@@ -87,5 +87,13 @@ pub use protocol::{
     INVOCATION_HEADER_BYTES,
 };
 pub use reactor::{Reactor, ReactorStats};
-pub use session::{AllocationBuilder, CompletionSet, FunctionHandle, Session, TypedFuture};
+pub use session::{
+    AllocationBuilder, CompletionSet, FunctionHandle, Session, SessionState, SessionStats,
+    TypedFuture,
+};
 pub use sharding::{stable_hash, HashRing, ManagerGroup};
+// The state plane is part of the client surface (builder knob, `with_state`
+// declarations, `Session::state`), so its vocabulary types are re-exported.
+pub use state_plane::{
+    StateClientStats, StateError, StateKey, StateMode, StatePlane, StatePlaneStats, StateSpec,
+};

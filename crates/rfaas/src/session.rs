@@ -42,6 +42,7 @@ use crate::executor::{AllocationPolicy, ForkFaultState};
 use crate::manager::ResourceManager;
 use crate::protocol::{Lease, LeaseRequest};
 use crate::reactor::Reactor;
+use state_plane::{StateClientStats, StateError, StateKey, StatePlane, StateSpec};
 
 /// Smallest output buffer the typed layer registers when the caller gives no
 /// explicit capacity: results at least as large as a small page are common
@@ -75,6 +76,7 @@ pub struct AllocationBuilder {
     shared_clock: Option<Arc<VirtualClock>>,
     connection_pool: Option<ConnectionPool>,
     connect_timeout: Option<std::time::Duration>,
+    state_plane: Option<StatePlane>,
 }
 
 impl AllocationBuilder {
@@ -106,6 +108,7 @@ impl AllocationBuilder {
             shared_clock: None,
             connection_pool: None,
             connect_timeout: None,
+            state_plane: None,
         }
     }
 
@@ -204,6 +207,16 @@ impl AllocationBuilder {
         self
     }
 
+    /// Attach a [`StatePlane`] to the session: [`Session::state`] gains the
+    /// zero-copy get/put surface, and function handles may declare key
+    /// dependencies via [`FunctionHandle::with_state`]. The executor process
+    /// is bound to the same plane at allocation time (and re-bound across
+    /// transparent re-allocations).
+    pub fn state_plane(mut self, plane: &StatePlane) -> AllocationBuilder {
+        self.state_plane = Some(plane.clone());
+        self
+    }
+
     /// Acquire the lease, spin up the workers and connect to them (the cold
     /// path of Fig. 5/6), returning the live [`Session`].
     pub fn connect(self) -> Result<Session> {
@@ -222,6 +235,9 @@ impl AllocationBuilder {
         }
         if let Some(clock) = self.shared_clock {
             invoker.set_clock(clock);
+        }
+        if let Some(plane) = self.state_plane {
+            invoker.set_state_plane(&plane);
         }
         if let Some(at) = self.start_at {
             invoker.clock().advance_to(at);
@@ -359,16 +375,39 @@ impl Session {
         self.invoker.cold_start()
     }
 
-    /// Fault state of the session's forked sandbox: the deterministic
-    /// schedule of RDMA page-fault batches and how far the child has faulted
-    /// in. `None` unless the allocation was provisioned by
-    /// [`AllocationPolicy::Fork`].
+    /// One unified snapshot of the session's runtime counters: the
+    /// connection plane, the fork fault state (when provisioned by
+    /// [`AllocationPolicy::Fork`]), both sides of the state plane (when one
+    /// is attached), worker count and transparent recoveries. This replaces
+    /// the per-subsystem accessors that used to accrete on the session.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            connections: self.invoker.connection_stats(),
+            fork: self.invoker.fork_state(),
+            state_session: self.invoker.state_stats(),
+            state_executor: self.invoker.executor_state_stats(),
+            workers: self.invoker.worker_count(),
+            recoveries: self.invoker.recoveries(),
+        }
+    }
+
+    /// Typed surface over the session's state-plane attachment (see
+    /// [`AllocationBuilder::state_plane`]). Operations fail with
+    /// [`RFaasError::StatePlane`] when no plane is attached.
+    pub fn state(&self) -> SessionState<'_> {
+        SessionState {
+            invoker: &self.invoker,
+        }
+    }
+
+    /// Fault state of the session's forked sandbox.
+    #[deprecated(note = "use Session::stats().fork")]
     pub fn fork_state(&self) -> Option<Arc<ForkFaultState>> {
         self.invoker.fork_state()
     }
 
-    /// Connection-plane counters: physical connects, pool hits/misses and
-    /// the executor's shared-receive-queue depth high watermark.
+    /// Connection-plane counters.
+    #[deprecated(note = "use Session::stats().connections")]
     pub fn connection_stats(&self) -> ConnectionPlaneStats {
         self.invoker.connection_stats()
     }
@@ -393,6 +432,97 @@ impl Session {
     /// Release the lease and all executor resources.
     pub fn close(mut self) -> Result<()> {
         self.invoker.deallocate()
+    }
+}
+
+/// Unified runtime counters of one [`Session`] (see [`Session::stats`]).
+///
+/// Marked `#[non_exhaustive]`: new planes will add fields here instead of
+/// adding accessors on the session, so construct it only through
+/// [`Session::stats`] and keep a `..` pattern when destructuring.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SessionStats {
+    /// Connection-plane counters: physical connects, pool hits/misses and
+    /// the executor's shared-receive-queue depth high watermark.
+    pub connections: ConnectionPlaneStats,
+    /// Fault state of a fork-provisioned sandbox (`None` otherwise).
+    pub fork: Option<Arc<ForkFaultState>>,
+    /// Session-side state-cache counters (`None` without a state plane).
+    pub state_session: Option<StateClientStats>,
+    /// Executor-side state-cache counters (`None` without a state plane or
+    /// an active allocation).
+    pub state_executor: Option<StateClientStats>,
+    /// Connected executor workers.
+    pub workers: usize,
+    /// Transparent re-allocations after lease expiry or executor loss.
+    pub recoveries: u32,
+}
+
+/// The session's window onto its attached state plane: zero-copy reads out
+/// of the pre-registered cache, push-model writes, and typed in-place views
+/// through a [`Codec`].
+#[derive(Clone, Copy)]
+pub struct SessionState<'s> {
+    invoker: &'s Invoker,
+}
+
+impl std::fmt::Debug for SessionState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionState")
+            .field("attached", &self.invoker.has_state_plane())
+            .finish()
+    }
+}
+
+impl SessionState<'_> {
+    /// Whether `key` currently exists in the plane.
+    pub fn contains(&self, key: &str) -> bool {
+        self.invoker.state_contains(key)
+    }
+
+    /// Store `value` under `key` (push-model RDMA write; the session's own
+    /// cache is write-through, so a following `get` is a local hit).
+    pub fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.invoker.state_put(key, value)
+    }
+
+    /// Encode `value` through its [`Codec`] and store it under `key`.
+    pub fn put_encoded<C>(&self, key: &str, value: &C) -> Result<()>
+    where
+        C: Codec + ?Sized,
+    {
+        let mut buf = vec![0u8; value.encoded_len()];
+        value.encode_into(&mut buf)?;
+        self.invoker.state_put(key, &buf)
+    }
+
+    /// Read `key` into an owned vector (hot keys come straight out of the
+    /// local cache; cold keys pay one one-sided RDMA read).
+    pub fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.invoker.state_get(key)
+    }
+
+    /// Read `key` and decode it *in place* through `C`'s
+    /// [`Codec::decode_view`]: `f` runs over a typed view borrowing the
+    /// cached bytes where they lie — no staging copy leaves the
+    /// pre-registered cache region.
+    pub fn view<C, R>(&self, key: &str, f: impl FnOnce(C::View<'_>) -> R) -> Result<R>
+    where
+        C: Codec + ?Sized,
+    {
+        self.invoker
+            .state_get_with(key, |bytes| C::decode_view(bytes).map(f))?
+    }
+
+    /// Delete `key`; returns whether it existed.
+    pub fn delete(&self, key: &str) -> Result<bool> {
+        self.invoker.state_delete(key)
+    }
+
+    /// Session-side cache counters (`None` before the first allocation).
+    pub fn stats(&self) -> Option<StateClientStats> {
+        self.invoker.state_stats()
     }
 }
 
@@ -445,6 +575,32 @@ where
     pub fn with_output_capacity(mut self, bytes: usize) -> Self {
         self.output_capacity = Some(bytes);
         self
+    }
+
+    /// Declare the state-plane keys this handle's invocations touch and how
+    /// ([`StateKey::read`] / [`StateKey::read_write`]). Validated here, at
+    /// bind time: the session must have a plane attached and every declared
+    /// key must exist, so a typo'd key fails the bind instead of the Nth
+    /// invocation. The executor materialises exactly the declared set before
+    /// dispatch and writes dirty read-write keys back after completion; any
+    /// access outside the declaration fails the invocation.
+    pub fn with_state(self, keys: impl IntoIterator<Item = StateKey>) -> Result<Self> {
+        let invoker = &self.session.invoker;
+        if !invoker.has_state_plane() {
+            return Err(RFaasError::StatePlane(StateError::Protocol(
+                "no state plane is attached to this session".into(),
+            )));
+        }
+        let spec = StateSpec::new(keys);
+        for key in spec.keys() {
+            if !invoker.state_contains(&key.name) {
+                return Err(RFaasError::StatePlane(StateError::UnknownKey(
+                    key.name.clone(),
+                )));
+            }
+        }
+        invoker.bind_state_spec(&self.name, spec)?;
+        Ok(self)
     }
 
     /// Build the invocation spec for `input`: size the buffers from the
@@ -1030,7 +1186,7 @@ mod tests {
             .connection_pool(&pool)
             .connect()
             .unwrap();
-        let stats = first.connection_stats();
+        let stats = first.stats().connections;
         assert_eq!(stats.connections_opened, 2);
         assert_eq!(stats.pool_hits, 0);
         assert_eq!(stats.pool_misses, 2);
@@ -1046,7 +1202,7 @@ mod tests {
             .connect_timeout(std::time::Duration::from_secs(2))
             .connect()
             .unwrap();
-        let stats = second.connection_stats();
+        let stats = second.stats().connections;
         assert_eq!(stats.connections_opened, 2);
         // Pool counters are cumulative across the sessions sharing it: the
         // first session's two misses plus the second session's two hits.
@@ -1054,7 +1210,7 @@ mod tests {
         assert_eq!(stats.pool_misses, 2);
         let echo = second.function::<[u8], [u8]>("echo").unwrap();
         assert_eq!(echo.invoke(&[5u8; 8][..]).unwrap(), vec![5u8; 8]);
-        assert!(second.connection_stats().srq_depth_high_watermark >= 1);
+        assert!(second.stats().connections.srq_depth_high_watermark >= 1);
         second.close().unwrap();
     }
 
@@ -1070,5 +1226,185 @@ mod tests {
         // A larger invocation allocates a second pair.
         echo.invoke(&vec![3u8; 100_000][..]).unwrap();
         assert_eq!(session.pool.free.lock().len(), 2);
+    }
+
+    /// Platform with a state plane attached: the package carries a stateful
+    /// counter plus two misbehaving functions used by the rejection tests.
+    fn stateful_platform() -> (Arc<Fabric>, Arc<ResourceManager>, StatePlane, Session) {
+        use sandbox::SharedFunction;
+        let fabric = Fabric::with_defaults();
+        let registry = FunctionRegistry::new();
+        let counter = SharedFunction::from_stateful_fn("counter", |input, state, output| {
+            let mut value = {
+                let bytes = state.read("counter")?;
+                if bytes.is_empty() {
+                    0u64
+                } else {
+                    u64::from_le_bytes(bytes.try_into().map_err(|_| {
+                        sandbox::FunctionError::StateAccess("counter is not 8 bytes".into())
+                    })?)
+                }
+            };
+            value += input.len() as u64;
+            let slot = state.write("counter")?;
+            slot.clear();
+            slot.extend_from_slice(&value.to_le_bytes());
+            output[..8].copy_from_slice(&value.to_le_bytes());
+            Ok(8)
+        });
+        let rogue_writer = SharedFunction::from_stateful_fn("rogue-writer", |_in, state, _out| {
+            state.write("model")?;
+            Ok(0)
+        });
+        let ghost_reader = SharedFunction::from_stateful_fn("ghost-reader", |_in, state, _out| {
+            state.read("ghost")?;
+            Ok(0)
+        });
+        registry.deploy(
+            CodePackage::minimal("pkg")
+                .with_function(echo_function())
+                .with_function(counter)
+                .with_function(rogue_writer)
+                .with_function(ghost_reader),
+        );
+        let manager = ResourceManager::new(&fabric, RFaasConfig::default());
+        let executor = SpotExecutor::new(
+            &fabric,
+            "exec-0",
+            NodeResources {
+                cores: 36,
+                memory_mib: 128 * 1024,
+            },
+            registry,
+            RFaasConfig::default(),
+        );
+        manager.register_executor(&executor);
+        let plane = StatePlane::new(&fabric, "state-0", 64 * 1024 * 1024);
+        let session = Session::builder(&fabric, "client-0", &manager, "pkg")
+            .state_plane(&plane)
+            .connect()
+            .unwrap();
+        (fabric, manager, plane, session)
+    }
+
+    #[test]
+    fn stateful_invocations_round_trip_through_the_plane() {
+        let (_f, _m, _plane, session) = stateful_platform();
+        session.state().put("counter", &0u64.to_le_bytes()).unwrap();
+        let counter = session
+            .function::<[u8], [u8]>("counter")
+            .unwrap()
+            .with_state([StateKey::read_write("counter")])
+            .unwrap();
+
+        // Each invocation reads the running total from the plane, adds the
+        // payload length, and writes the new total back.
+        let reply = counter.invoke(&[0u8; 5][..]).unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 5);
+        let reply = counter.invoke(&[0u8; 3][..]).unwrap();
+        assert_eq!(u64::from_le_bytes(reply.try_into().unwrap()), 8);
+
+        // The committed total is visible from the session side, and both the
+        // session-side and executor-side clients show up in unified stats.
+        let total = session.state().get("counter").unwrap();
+        assert_eq!(u64::from_le_bytes(total.try_into().unwrap()), 8);
+        let stats = session.stats();
+        assert_eq!(stats.state_session.unwrap().puts, 1);
+        let exec = stats.state_executor.unwrap();
+        assert_eq!(exec.puts, 2, "one write-back per invocation");
+        assert_eq!(exec.gets, 2, "one materialisation per invocation");
+        session.close().unwrap();
+    }
+
+    #[test]
+    fn with_state_requires_a_plane_and_known_keys() {
+        // No plane attached to the session: declaring state is rejected.
+        let (_f, _m, session) = platform(1);
+        let err = session
+            .function::<[u8], [u8]>("echo")
+            .unwrap()
+            .with_state([StateKey::read("counter")])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RFaasError::StatePlane(StateError::Protocol(_))
+        ));
+
+        // Plane attached but the key was never put: rejected at bind time.
+        let (_f2, _m2, _plane, stateful) = stateful_platform();
+        let err = stateful
+            .function::<[u8], [u8]>("counter")
+            .unwrap()
+            .with_state([StateKey::read_write("missing")])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RFaasError::StatePlane(StateError::UnknownKey(ref k)) if k == "missing"
+        ));
+    }
+
+    #[test]
+    fn session_state_views_decode_in_place_and_reject_malformed_values() {
+        let (_f, _m, _plane, session) = stateful_platform();
+        let weights = [0.5f64, -1.25, 3.0];
+        let bytes: Vec<u8> = weights.iter().flat_map(|w| w.to_le_bytes()).collect();
+        session.state().put("weights", &bytes).unwrap();
+
+        // The typed view decodes straight over the client's cached bytes.
+        let sum = session
+            .state()
+            .view::<[f64], _>("weights", |v| {
+                (0..v.len()).map(|i| v.get(i).unwrap()).sum::<f64>()
+            })
+            .unwrap();
+        assert_eq!(sum, 2.25);
+
+        // A value whose shape violates the codec is rejected by the view...
+        session.state().put("weights", &[1u8, 2, 3]).unwrap();
+        assert!(matches!(
+            session.state().view::<[f64], _>("weights", |v| v.len()),
+            Err(RFaasError::Codec(_))
+        ));
+        // ...and a missing key surfaces the state plane's error untouched.
+        assert!(matches!(
+            session.state().view::<[f64], _>("absent", |v| v.len()),
+            Err(RFaasError::StatePlane(StateError::UnknownKey(_)))
+        ));
+    }
+
+    #[test]
+    fn state_misuse_fails_the_invocation() {
+        let (_f, _m, _plane, session) = stateful_platform();
+        session.state().put("model", &[1u8; 16]).unwrap();
+
+        // Writing through a read-only declaration fails the invocation.
+        let rogue = session
+            .function::<[u8], [u8]>("rogue-writer")
+            .unwrap()
+            .with_state([StateKey::read("model")])
+            .unwrap();
+        assert!(matches!(
+            rogue.invoke(&[0u8; 1][..]).unwrap_err(),
+            RFaasError::Function(_)
+        ));
+
+        // Touching a key that was never declared fails the invocation.
+        let ghost = session
+            .function::<[u8], [u8]>("ghost-reader")
+            .unwrap()
+            .with_state([StateKey::read("model")])
+            .unwrap();
+        assert!(matches!(
+            ghost.invoke(&[0u8; 1][..]).unwrap_err(),
+            RFaasError::Function(_)
+        ));
+
+        // A stateful function dispatched without any declaration also fails
+        // (its keys were never bound, so every access is undeclared).
+        let undeclared = session.function::<[u8], [u8]>("counter").unwrap();
+        assert!(matches!(
+            undeclared.invoke(&[0u8; 1][..]).unwrap_err(),
+            RFaasError::Function(_)
+        ));
     }
 }

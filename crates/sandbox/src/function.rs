@@ -14,6 +14,10 @@ use std::sync::Arc;
 use sim_core::SimDuration;
 
 /// Error raised by a function body.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure modes can be added without a breaking release.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FunctionError {
     /// The output produced by the function does not fit in the registered
@@ -28,6 +32,9 @@ pub enum FunctionError {
     InvalidInput(String),
     /// The function body failed for a domain-specific reason.
     ExecutionFailed(String),
+    /// The function touched state outside its declaration: an undeclared
+    /// key, or a write to a key declared read-only.
+    StateAccess(String),
 }
 
 impl fmt::Display for FunctionError {
@@ -39,6 +46,7 @@ impl fmt::Display for FunctionError {
             ),
             FunctionError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             FunctionError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
+            FunctionError::StateAccess(msg) => write!(f, "state access violation: {msg}"),
         }
     }
 }
@@ -48,6 +56,43 @@ impl std::error::Error for FunctionError {}
 /// Result of one function execution: the number of bytes written to the
 /// output buffer.
 pub type FunctionOutcome = Result<usize, FunctionError>;
+
+/// The state window handed to a stateful function body.
+///
+/// The executor materialises the keys the binding *declared* into
+/// worker-visible buffers before dispatch; this trait is the function's view
+/// of that window. Reads hand out borrowed bytes (no staging copy inside the
+/// function), writes hand out the mutable value buffer and mark it dirty so
+/// the executor writes it back after completion. Touching an undeclared key,
+/// or writing a key declared read-only, is a [`FunctionError::StateAccess`].
+pub trait StateAccess {
+    /// Borrow the current value of a declared key.
+    fn read(&self, key: &str) -> Result<&[u8], FunctionError>;
+
+    /// Borrow the value of a declared read-write key for mutation (resizing
+    /// is allowed). The key is marked dirty and written back after the
+    /// invocation completes.
+    fn write(&mut self, key: &str) -> Result<&mut Vec<u8>, FunctionError>;
+}
+
+/// A [`StateAccess`] window over nothing — every access fails. Used when a
+/// stateful function is dispatched without declared state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoState;
+
+impl StateAccess for NoState {
+    fn read(&self, key: &str) -> Result<&[u8], FunctionError> {
+        Err(FunctionError::StateAccess(format!(
+            "key '{key}' was not declared by this binding"
+        )))
+    }
+
+    fn write(&mut self, key: &str) -> Result<&mut Vec<u8>, FunctionError> {
+        Err(FunctionError::StateAccess(format!(
+            "key '{key}' was not declared by this binding"
+        )))
+    }
+}
 
 /// A serverless function body.
 ///
@@ -75,6 +120,13 @@ pub struct SharedFunction {
     /// charge nothing beyond the platform dispatch overhead (appropriate for
     /// the paper's no-op echo benchmarks).
     cost: Option<Arc<dyn Fn(usize) -> SimDuration + Send + Sync>>,
+    /// Optional stateful body. When present, [`SharedFunction::invoke_stateful`]
+    /// routes through it with the executor-materialised state window;
+    /// otherwise it falls back to the stateless `body`.
+    #[allow(clippy::type_complexity)]
+    stateful: Option<
+        Arc<dyn Fn(&[u8], &mut dyn StateAccess, &mut [u8]) -> FunctionOutcome + Send + Sync>,
+    >,
 }
 
 impl fmt::Debug for SharedFunction {
@@ -92,6 +144,7 @@ impl SharedFunction {
             name: Arc::from(name),
             body,
             cost: None,
+            stateful: None,
         }
     }
 
@@ -122,6 +175,33 @@ impl SharedFunction {
                 f,
             }),
             cost: None,
+            stateful: None,
+        }
+    }
+
+    /// Adapt a stateful closure: `f(in, state, out) -> out_size`, where
+    /// `state` is the window over the keys the binding declared. Invoking a
+    /// stateful function through the stateless [`SharedFunction::invoke`]
+    /// path fails with [`FunctionError::StateAccess`], so a binding that
+    /// forgot `with_state` fails loudly rather than silently computing on
+    /// nothing.
+    pub fn from_stateful_fn<F>(name: &str, f: F) -> SharedFunction
+    where
+        F: Fn(&[u8], &mut dyn StateAccess, &mut [u8]) -> FunctionOutcome + Send + Sync + 'static,
+    {
+        struct StatelessShim;
+        impl RemoteFunction for StatelessShim {
+            fn invoke(&self, _input: &[u8], _output: &mut [u8]) -> FunctionOutcome {
+                Err(FunctionError::StateAccess(
+                    "stateful function invoked without a state window".into(),
+                ))
+            }
+        }
+        SharedFunction {
+            name: Arc::from(name),
+            body: Arc::new(StatelessShim),
+            cost: None,
+            stateful: Some(Arc::new(f)),
         }
     }
 
@@ -144,6 +224,26 @@ impl SharedFunction {
     /// Execute the function.
     pub fn invoke(&self, input: &[u8], output: &mut [u8]) -> FunctionOutcome {
         self.body.invoke(input, output)
+    }
+
+    /// Execute the function with a state window. Stateless functions ignore
+    /// the window and run their plain body, so executors can route every
+    /// dispatch through this entry point.
+    pub fn invoke_stateful(
+        &self,
+        input: &[u8],
+        state: &mut dyn StateAccess,
+        output: &mut [u8],
+    ) -> FunctionOutcome {
+        match &self.stateful {
+            Some(f) => f(input, state, output),
+            None => self.body.invoke(input, output),
+        }
+    }
+
+    /// Whether this function declares a stateful body.
+    pub fn is_stateful(&self) -> bool {
+        self.stateful.is_some()
     }
 
     /// Virtual compute time charged for an invocation with `input_len` bytes
@@ -261,6 +361,67 @@ mod tests {
         let mut out = vec![0u8; 8];
         assert_eq!(double.invoke(&[7, 8], &mut out).unwrap(), 4);
         assert_eq!(&out[..4], &[7, 8, 7, 8]);
+    }
+
+    #[test]
+    fn stateful_functions_route_through_the_state_window() {
+        use std::collections::BTreeMap;
+
+        /// Minimal window over a map, for the ABI test only — the real
+        /// window lives in the executor.
+        struct MapState(BTreeMap<String, Vec<u8>>);
+        impl StateAccess for MapState {
+            fn read(&self, key: &str) -> Result<&[u8], FunctionError> {
+                self.0
+                    .get(key)
+                    .map(|v| v.as_slice())
+                    .ok_or_else(|| FunctionError::StateAccess(format!("undeclared '{key}'")))
+            }
+            fn write(&mut self, key: &str) -> Result<&mut Vec<u8>, FunctionError> {
+                self.0
+                    .get_mut(key)
+                    .ok_or_else(|| FunctionError::StateAccess(format!("undeclared '{key}'")))
+            }
+        }
+
+        let f = SharedFunction::from_stateful_fn("counter", |input, state, output| {
+            let count = state.write("count")?;
+            count[0] = count[0].wrapping_add(input.len() as u8);
+            output[0] = count[0];
+            Ok(1)
+        });
+        assert!(f.is_stateful());
+        assert!(!echo_function().is_stateful());
+
+        let mut state = MapState(BTreeMap::from([("count".to_string(), vec![0u8])]));
+        let mut out = vec![0u8; 4];
+        f.invoke_stateful(&[1, 2, 3], &mut state, &mut out).unwrap();
+        f.invoke_stateful(&[1], &mut state, &mut out).unwrap();
+        assert_eq!(out[0], 4);
+        assert_eq!(state.0["count"], vec![4]);
+
+        // The stateless entry point refuses to run a stateful body...
+        let err = f.invoke(&[1], &mut out).unwrap_err();
+        assert!(matches!(err, FunctionError::StateAccess(_)));
+        // ...and an undeclared key is a typed violation.
+        let g = SharedFunction::from_stateful_fn("oops", |_in, state, _out| {
+            state.read("undeclared")?;
+            Ok(0)
+        });
+        let err = g.invoke_stateful(&[], &mut state, &mut out).unwrap_err();
+        assert!(matches!(err, FunctionError::StateAccess(_)));
+    }
+
+    #[test]
+    fn stateless_functions_ignore_the_state_window() {
+        let f = echo_function();
+        let mut out = vec![0u8; 4];
+        let n = f.invoke_stateful(&[5, 6], &mut NoState, &mut out).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(&out[..2], &[5, 6]);
+        // NoState rejects everything.
+        assert!(NoState.read("k").is_err());
+        assert!(NoState.write("k").is_err());
     }
 
     #[test]

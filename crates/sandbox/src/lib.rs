@@ -21,8 +21,8 @@ pub mod snapshot;
 pub mod warm_pool;
 
 pub use function::{
-    echo_function, failing_function, zeros_function, FunctionError, FunctionOutcome,
-    RemoteFunction, SharedFunction,
+    echo_function, failing_function, zeros_function, FunctionError, FunctionOutcome, NoState,
+    RemoteFunction, SharedFunction, StateAccess,
 };
 pub use registry::{CodePackage, FunctionRegistry, ImageInfo, ImageRegistry};
 pub use sandbox::{Sandbox, SandboxProfile, SandboxState, SandboxType, SpawnBreakdown};

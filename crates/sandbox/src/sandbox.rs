@@ -430,8 +430,7 @@ mod tests {
     #[test]
     fn terminate_from_paused_still_tears_down() {
         let images = ImageRegistry::new();
-        let (mut sb, _) =
-            Sandbox::spawn(SandboxType::Docker, 1, 1 << 20, &images, "ubuntu:20.04");
+        let (mut sb, _) = Sandbox::spawn(SandboxType::Docker, 1, 1 << 20, &images, "ubuntu:20.04");
         sb.pause();
         let teardown = sb.terminate().expect("paused sandbox can be destroyed");
         assert_eq!(

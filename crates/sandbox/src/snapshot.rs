@@ -219,7 +219,10 @@ mod tests {
         while let Some(batch) = tracker.fault_next_window(32) {
             batches.push(batch);
         }
-        assert_eq!(batches, vec![(0, 32), (32, 32), (64, 32), (96, 32), (128, 2)]);
+        assert_eq!(
+            batches,
+            vec![(0, 32), (32, 32), (64, 32), (96, 32), (128, 2)]
+        );
         assert!(tracker.is_complete());
         assert!(tracker.fault_next_window(32).is_none());
     }

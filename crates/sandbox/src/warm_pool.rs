@@ -271,7 +271,9 @@ mod tests {
     #[test]
     fn park_then_lease_resumes_the_same_parent() {
         let pool = WarmPool::with_capacity(2);
-        let id = pool.park(warm_parent("echo"), SimTime::from_secs(1)).unwrap();
+        let id = pool
+            .park(warm_parent("echo"), SimTime::from_secs(1))
+            .unwrap();
         let parent = pool.lease(SandboxType::BareMetal, "echo").expect("hit");
         assert_eq!(parent.id(), id);
         assert_eq!(parent.sandbox().state(), SandboxState::Paused);
@@ -318,9 +320,14 @@ mod tests {
     #[test]
     fn fork_source_leaves_the_parent_parked() {
         let pool = WarmPool::with_capacity(2);
-        pool.park(warm_parent("echo"), SimTime::from_secs(1)).unwrap();
-        let snap_a = pool.fork_source(SandboxType::BareMetal, "echo").expect("hit");
-        let snap_b = pool.fork_source(SandboxType::BareMetal, "echo").expect("hit");
+        pool.park(warm_parent("echo"), SimTime::from_secs(1))
+            .unwrap();
+        let snap_a = pool
+            .fork_source(SandboxType::BareMetal, "echo")
+            .expect("hit");
+        let snap_b = pool
+            .fork_source(SandboxType::BareMetal, "echo")
+            .expect("hit");
         assert_eq!(snap_a.total_pages(), snap_b.total_pages());
         assert_eq!(pool.idle_count(), 1);
         assert_eq!(pool.stats().hits, 2);

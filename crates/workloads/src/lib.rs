@@ -15,14 +15,20 @@
 //! * [`thumbnailer`] — SeBS-style thumbnail generation over synthetic RGB
 //!   images (Fig. 11a),
 //! * [`inference`] — a ResNet-50-scale CNN inference kernel (Fig. 11b),
-//! * [`payload`] — payload generators and the input sizes used in Sec. V.
+//! * [`payload`] — payload generators and the input sizes used in Sec. V,
+//! * [`streaming`] — stateful streaming aggregation with the running
+//!   aggregate resident in the RDMA state plane,
+//! * [`training`] — iterative minibatch SGD with the model weights resident
+//!   in the RDMA state plane.
 
 pub mod blackscholes;
 pub mod inference;
 pub mod jacobi;
 pub mod matmul;
 pub mod payload;
+pub mod streaming;
 pub mod thumbnailer;
+pub mod training;
 
 pub use blackscholes::{
     blackscholes_function, generate_options, price_batch, price_option, OptionContract,
@@ -30,5 +36,11 @@ pub use blackscholes::{
 pub use inference::{image_recognition_function, InferenceModel};
 pub use jacobi::{jacobi_function, jacobi_solve, JacobiSystem};
 pub use matmul::{matmul_function, multiply, multiply_rows};
-pub use payload::{generate_payload, InputSizes, OptionBatch, OPTION_WIRE_BYTES};
+pub use payload::{
+    generate_payload, ImageView, InputSizes, OptionBatch, OptionBatchView, OPTION_WIRE_BYTES,
+};
+pub use streaming::{
+    aggregate_batches, streaming_aggregation_function, StreamAggregate, AGGREGATE_KEY,
+};
 pub use thumbnailer::{thumbnailer_function, Image};
+pub use training::{sgd_step, training_step_function, TrainingSet, MODEL_KEY};

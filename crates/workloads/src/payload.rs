@@ -80,8 +80,52 @@ impl std::ops::Deref for OptionBatch {
     }
 }
 
+/// Borrowed view over an option-batch payload: contracts are decoded on
+/// access, the record bytes stay in place. Produced by
+/// `<OptionBatch>::decode_view`.
+#[derive(Debug, Clone, Copy)]
+pub struct OptionBatchView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> OptionBatchView<'a> {
+    /// Number of contracts in the batch.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / OPTION_WIRE_BYTES
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Contract `i`, decoded from its wire record.
+    pub fn get(&self, i: usize) -> Option<OptionContract> {
+        let record = self
+            .bytes
+            .get(i * OPTION_WIRE_BYTES..(i + 1) * OPTION_WIRE_BYTES)?;
+        let word = |j: usize| {
+            f64::from_le_bytes(record[j * 8..(j + 1) * 8].try_into().expect("8-byte word"))
+        };
+        Some(OptionContract {
+            spot: word(0),
+            strike: word(1),
+            rate: word(2),
+            volatility: word(3),
+            time: word(4),
+            is_put: word(5) > 0.5,
+        })
+    }
+
+    /// Iterate the contracts in order.
+    pub fn iter(&self) -> impl Iterator<Item = OptionContract> + '_ {
+        (0..self.len()).map(|i| self.get(i).expect("index in bounds"))
+    }
+}
+
 impl Codec for OptionBatch {
     type Owned = OptionBatch;
+    type View<'a> = OptionBatchView<'a>;
 
     fn encoded_len(&self) -> usize {
         self.0.len() * OPTION_WIRE_BYTES
@@ -123,10 +167,33 @@ impl Codec for OptionBatch {
         }
         Ok(OptionBatch(options_from_bytes(bytes)))
     }
+
+    fn decode_view(bytes: &[u8]) -> rfaas::Result<OptionBatchView<'_>> {
+        if !bytes.len().is_multiple_of(OPTION_WIRE_BYTES) {
+            return Err(RFaasError::Codec(format!(
+                "option batch length {} is not a multiple of the {OPTION_WIRE_BYTES}-byte record",
+                bytes.len()
+            )));
+        }
+        Ok(OptionBatchView { bytes })
+    }
+}
+
+/// Borrowed view over an image payload: header decoded, pixel bytes left in
+/// place. Produced by `<Image>::decode_view`.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageView<'a> {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// `width * height * 3` bytes of RGB data, borrowed from the payload.
+    pub pixels: &'a [u8],
 }
 
 impl Codec for Image {
     type Owned = Image;
+    type View<'a> = ImageView<'a>;
 
     fn encoded_len(&self) -> usize {
         8 + self.pixels.len()
@@ -143,6 +210,26 @@ impl Codec for Image {
 
     fn decode(bytes: &[u8]) -> rfaas::Result<Image> {
         Image::decode(bytes).map_err(|e| RFaasError::Codec(e.to_string()))
+    }
+
+    fn decode_view(bytes: &[u8]) -> rfaas::Result<ImageView<'_>> {
+        if bytes.len() < 8 {
+            return Err(RFaasError::Codec("image header missing".into()));
+        }
+        let width = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        let height = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let expected = (width as usize) * (height as usize) * 3;
+        if bytes.len() < 8 + expected || width == 0 || height == 0 {
+            return Err(RFaasError::Codec(format!(
+                "truncated image: {width}x{height} needs {expected} bytes, got {}",
+                bytes.len().saturating_sub(8)
+            )));
+        }
+        Ok(ImageView {
+            width,
+            height,
+            pixels: &bytes[8..8 + expected],
+        })
     }
 }
 
@@ -210,6 +297,37 @@ mod tests {
         ));
         let mut short = vec![0u8; 16];
         assert!(image.encode_into(&mut short).is_err());
+    }
+
+    #[test]
+    fn option_view_decodes_records_in_place() {
+        let options = OptionBatch(generate_options(16, 3));
+        let mut buf = vec![0u8; options.encoded_len()];
+        options.encode_into(&mut buf).unwrap();
+        let view = <OptionBatch as Codec>::decode_view(&buf).unwrap();
+        assert_eq!(view.len(), 16);
+        assert_eq!(view.get(16), None);
+        assert_eq!(view.iter().collect::<Vec<_>>(), options.0);
+        assert!(matches!(
+            <OptionBatch as Codec>::decode_view(&buf[..47]),
+            Err(RFaasError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn image_view_borrows_the_pixel_bytes() {
+        let image = Image::synthetic(5_000, 11);
+        let mut buf = vec![0u8; image.encoded_len()];
+        image.encode_into(&mut buf).unwrap();
+        let view = <Image as Codec>::decode_view(&buf).unwrap();
+        assert_eq!((view.width, view.height), (image.width, image.height));
+        assert_eq!(view.pixels, &image.pixels[..]);
+        // In-place: the pixel view borrows the payload, no staging copy.
+        assert!(std::ptr::eq(view.pixels.as_ptr(), buf[8..].as_ptr()));
+        assert!(matches!(
+            <Image as Codec>::decode_view(&buf[..10]),
+            Err(RFaasError::Codec(_))
+        ));
     }
 
     proptest::proptest! {

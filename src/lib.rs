@@ -14,4 +14,5 @@ pub use rdma_fabric;
 pub use rfaas;
 pub use sandbox;
 pub use sim_core;
+pub use state_plane;
 pub use workloads;

@@ -311,7 +311,7 @@ fn run_pooled_churn_scenario(seed: u64) -> String {
         let data = workloads::generate_payload(payload, seed);
         let (reply, rtt) = echo.invoke_timed(&data[..]).unwrap();
         assert_eq!(reply.len(), payload);
-        let conn = session.connection_stats();
+        let conn = session.stats().connections;
         transcript.push_str(&format!(
             "  invoke {payload} B -> {} ns, opened={} srq_watermark={}\n",
             rtt.as_nanos(),
@@ -340,8 +340,10 @@ fn run_pooled_churn_scenario(seed: u64) -> String {
 /// wall-clock or iteration-order leak anywhere in the fork tier shows up as
 /// a byte diff.
 fn run_fork_scenario(seed: u64) -> String {
-    let mut config = RFaasConfig::default();
-    config.warm_pool_capacity = 2;
+    let config = RFaasConfig {
+        warm_pool_capacity: 2,
+        ..RFaasConfig::default()
+    };
     let testbed = Testbed::with_config(1, config);
     let mut rng = DeterministicRng::new(seed);
     let mut transcript = String::new();
@@ -378,7 +380,7 @@ fn run_fork_scenario(seed: u64) -> String {
             assert_eq!(reply.len(), payload);
             transcript.push_str(&format!("  invoke {payload} B -> {} ns\n", rtt.as_nanos()));
         }
-        if let Some(fork) = session.fork_state() {
+        if let Some(fork) = session.stats().fork {
             for batch in fork.fault_schedule() {
                 transcript.push_str(&format!(
                     "  fault batch start={} pages={} cost={} ns\n",
@@ -413,6 +415,132 @@ fn run_fork_scenario(seed: u64) -> String {
     ));
     assert!(total_cost > 0.0, "the scenario must accrue billable usage");
     transcript
+}
+
+/// The state-plane scenario: one plane shared by a seeded sequence of
+/// stateful sessions. Each episode publishes seeded values, drives the
+/// stateful streaming-aggregation function (running aggregate resident in
+/// the plane), mixes in direct session-side gets/deletes, and occasionally
+/// overwrites a hot key to force invalidation fan-out. The transcript pins
+/// every key's placement (arena offset, length, version), each invocation's
+/// latency, the session- and executor-side client counters (cache hits vs
+/// one-sided READs), the owner-side plane counters and the billing total
+/// bit-for-bit — a wall-clock or iteration-order leak anywhere in the
+/// metadata service, the region allocator, the invalidation fan-out or the
+/// materialise/write-back path shows up as a byte diff.
+fn run_state_scenario(seed: u64) -> String {
+    use rfaas::{StateKey, StatePlane};
+    use workloads::AGGREGATE_KEY;
+
+    let testbed = Testbed::new(2);
+    let plane = StatePlane::new(&testbed.fabric, "det-state-owner", 16 * 1024 * 1024);
+    let mut rng = DeterministicRng::new(seed);
+    let mut transcript = String::new();
+
+    for episode in 0..4 {
+        let session = testbed
+            .session(&format!("state-det-{episode}"))
+            .workers(1)
+            .memory_mib(2048)
+            .state_plane(&plane)
+            .connect()
+            .unwrap();
+        let lease = session.lease().unwrap();
+        transcript.push_str(&format!(
+            "episode {episode}: lease node={}\n",
+            lease.executor_node
+        ));
+
+        // Seed the aggregate and a per-episode dataset key.
+        session.state().put(AGGREGATE_KEY, &[]).unwrap();
+        let dataset = workloads::generate_payload(rng.range_u64(64, 4096) as usize, seed);
+        let key = format!("dataset-{}", rng.range_u64(0, 3));
+        session.state().put(&key, &dataset).unwrap();
+
+        let aggregate = session
+            .function::<[f64], [u8]>("stream-aggregate")
+            .unwrap()
+            .with_state([StateKey::read_write(AGGREGATE_KEY)])
+            .unwrap();
+        for _ in 0..rng.range_u64(1, 4) {
+            let batch: Vec<f64> = (0..rng.range_u64(1, 32))
+                .map(|_| rng.range_f64(-50.0, 50.0))
+                .collect();
+            let (reply, rtt) = aggregate.invoke_timed(&batch[..]).unwrap();
+            let agg = workloads::StreamAggregate::decode(&reply).unwrap();
+            transcript.push_str(&format!(
+                "  aggregate {} readings -> count={} sum_bits={:#018x} in {} ns\n",
+                batch.len(),
+                agg.count,
+                agg.sum.to_bits(),
+                rtt.as_nanos()
+            ));
+        }
+
+        // Session-side reads and the occasional delete exercise the
+        // invalidation fan-out alongside the executor's cache.
+        let len = session.state().get(&key).unwrap().len();
+        transcript.push_str(&format!("  get {key} -> {len} B\n"));
+        if rng.range_u64(0, 2) == 0 {
+            let existed = session.state().delete(&key).unwrap();
+            transcript.push_str(&format!("  delete {key} existed={existed}\n"));
+        }
+
+        let stats = session.stats();
+        let s = stats.state_session.unwrap();
+        let e = stats.state_executor.unwrap();
+        transcript.push_str(&format!(
+            "  session client: gets={} puts={} hits={} reads={} invalidations={}\n",
+            s.gets, s.puts, s.cache_hits, s.remote_reads, s.invalidations_applied
+        ));
+        transcript.push_str(&format!(
+            "  executor client: gets={} puts={} hits={} reads={} invalidations={}\n",
+            e.gets, e.puts, e.cache_hits, e.remote_reads, e.invalidations_applied
+        ));
+        session.close().unwrap();
+    }
+
+    // Every committed key's placement, in key order, bit-exact.
+    for (key, p) in plane.placements() {
+        transcript.push_str(&format!(
+            "placement {key}: offset={} len={} version={}\n",
+            p.offset, p.len, p.version
+        ));
+    }
+    let plane_stats = plane.stats();
+    transcript.push_str(&format!(
+        "plane: keys={} used={} control_frames={} lookups={}\n",
+        plane_stats.keys, plane_stats.used_bytes, plane_stats.control_frames, plane_stats.lookups
+    ));
+    assert!(
+        plane_stats.control_frames > 0,
+        "the scenario must exercise the control path"
+    );
+
+    let total_cost = testbed.manager.total_cost();
+    transcript.push_str(&format!(
+        "billing: total_cost_bits={:#018x}\n",
+        total_cost.to_bits()
+    ));
+    assert!(total_cost > 0.0, "the scenario must accrue billable usage");
+    transcript
+}
+
+#[test]
+fn state_plane_runs_are_byte_identical() {
+    let first = run_state_scenario(0x57A7E);
+    let second = run_state_scenario(0x57A7E);
+    assert_eq!(
+        first, second,
+        "placements, read schedules, client counters or billing diverged between identical runs"
+    );
+}
+
+#[test]
+fn state_scenario_seeds_change_the_accesses() {
+    let a = run_state_scenario(11);
+    let b = run_state_scenario(12);
+    assert_ne!(a, b, "the seed must drive keys, batches and deletes");
 }
 
 #[test]

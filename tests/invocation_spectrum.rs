@@ -115,7 +115,7 @@ fn fork_tier_sits_between_warm_and_cold() {
         .allocation_policy(AllocationPolicy::Fork)
         .connect()
         .unwrap();
-    let fork = session.fork_state().expect("forked provisioning");
+    let fork = session.stats().fork.expect("forked provisioning");
     let forked_setup = {
         let cold = session.cold_start().unwrap();
         (cold.spawn_workers + cold.submit_code).as_micros_f64()
@@ -129,7 +129,9 @@ fn fork_tier_sits_between_warm_and_cold() {
     let alloc = invoker.allocator();
     let input = alloc.input(64);
     let output = alloc.output(64);
-    input.write_payload(&workloads::generate_payload(8, 11)).unwrap();
+    input
+        .write_payload(&workloads::generate_payload(8, 11))
+        .unwrap();
     // Early invocations each pay one prefetch batch of page faults on top
     // of the warm path.
     let first = invoker
