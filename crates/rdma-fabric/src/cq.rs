@@ -81,6 +81,7 @@ impl CqNotifier {
     /// Block until the sequence number moves past `seen` or the wall-clock
     /// timeout expires. Returns `true` when woken by a signal.
     fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        // simlint::allow(wall_clock, reason = "bounds how long the host thread parks; virtual time is charged by the pickup cost model, not here")
         let deadline = std::time::Instant::now() + timeout;
         let mut state = self.inner.state.lock();
         while state.seq == seen {
@@ -253,6 +254,7 @@ impl CompletionQueue {
     /// The timeout is wall-clock (it bounds test execution time); the virtual
     /// cost model is identical to [`CompletionQueue::blocking_wait`].
     pub fn blocking_wait_timeout(&self, timeout: Duration) -> Option<WorkCompletion> {
+        // simlint::allow(wall_clock, reason = "host-side wait bound so tests cannot hang; completions are billed in virtual time on pickup")
         let deadline = std::time::Instant::now() + timeout;
         let mut state = self.inner.state.lock();
         loop {
@@ -263,6 +265,7 @@ impl CompletionQueue {
             if state.disconnected {
                 return None;
             }
+            // simlint::allow(wall_clock, reason = "re-checks the host-side deadline above after each wakeup")
             let now = std::time::Instant::now();
             if now >= deadline {
                 return None;

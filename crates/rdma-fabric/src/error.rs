@@ -9,6 +9,7 @@ use std::fmt;
 /// path (for immediately detectable misuse) and as failed completions (for
 /// asynchronous failures such as remote access violations).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FabricError {
     /// The queue pair is not in a state that allows the requested operation.
     InvalidQpState {

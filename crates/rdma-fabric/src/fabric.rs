@@ -7,7 +7,7 @@
 //! (Fig. 10), and a shared notification channel that serialises blocking
 //! completion events (the warm-invocation contention in the same figure).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -117,9 +117,9 @@ static NEXT_LISTENER_TOKEN: AtomicU64 = AtomicU64::new(1);
 #[derive(Debug)]
 pub struct Fabric {
     profile: NicProfile,
-    nodes: Mutex<HashMap<String, Arc<FabricNode>>>,
-    listeners: Mutex<HashMap<String, crate::cm::ListenerHandle>>,
-    datagrams: Mutex<HashMap<String, crate::cm::DatagramHandle>>,
+    nodes: Mutex<BTreeMap<String, Arc<FabricNode>>>,
+    listeners: Mutex<BTreeMap<String, crate::cm::ListenerHandle>>,
+    datagrams: Mutex<BTreeMap<String, crate::cm::DatagramHandle>>,
 }
 
 impl Fabric {
@@ -127,9 +127,9 @@ impl Fabric {
     pub fn new(profile: NicProfile) -> Arc<Fabric> {
         Arc::new(Fabric {
             profile,
-            nodes: Mutex::new(HashMap::new()),
-            listeners: Mutex::new(HashMap::new()),
-            datagrams: Mutex::new(HashMap::new()),
+            nodes: Mutex::new(BTreeMap::new()),
+            listeners: Mutex::new(BTreeMap::new()),
+            datagrams: Mutex::new(BTreeMap::new()),
         })
     }
 

@@ -453,6 +453,7 @@ impl QueuePair {
                 loop {
                     match srq.pop_for(peer.qp_num) {
                         Err(FabricError::ReceiverNotReady) if !srq.over_credit(peer.qp_num) => {
+                            // simlint::allow(wall_clock, reason = "RNR retry window bounds the host-side spin; the retry itself is billed in virtual time")
                             let now = std::time::Instant::now();
                             match deadline {
                                 None => deadline = Some(now + RNR_RETRY_WINDOW),

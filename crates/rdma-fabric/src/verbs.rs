@@ -186,6 +186,7 @@ pub struct RecvRequest {
 
 /// Status of a completed work request.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CompletionStatus {
     /// The operation completed successfully.
     Success,

@@ -9,11 +9,11 @@
 //! every lease owns a 3-word slot in the manager's registered billing region,
 //! and executors flush usage with remote atomics.
 
-use parking_lot::Mutex;
 use rdma_fabric::{
     AccessFlags, Endpoint, MemoryRegion, QueuePair, RemoteMemoryHandle, SendRequest, Sge,
 };
 use serde::{Deserialize, Serialize};
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::SimDuration;
 
 use crate::config::RFaasConfig;
@@ -64,7 +64,7 @@ impl UsageRecord {
 #[derive(Debug)]
 pub struct BillingDatabase {
     region: MemoryRegion,
-    next_slot: Mutex<usize>,
+    next_slot: OrderedMutex<usize>,
 }
 
 impl BillingDatabase {
@@ -75,7 +75,7 @@ impl BillingDatabase {
             .register(BILLING_SLOTS * WORDS_PER_SLOT * 8, AccessFlags::REMOTE_ALL);
         BillingDatabase {
             region,
-            next_slot: Mutex::new(0),
+            next_slot: OrderedMutex::new(ranks::BILLING_SLOTS, 0),
         }
     }
 
@@ -120,8 +120,8 @@ pub struct BillingClient {
     qp: QueuePair,
     slot: RemoteMemoryHandle,
     scratch: MemoryRegion,
-    pending: Mutex<UsageRecord>,
-    flushes: Mutex<u64>,
+    pending: OrderedMutex<UsageRecord>,
+    flushes: OrderedMutex<u64>,
 }
 
 impl BillingClient {
@@ -133,8 +133,8 @@ impl BillingClient {
             qp,
             slot,
             scratch,
-            pending: Mutex::new(UsageRecord::default()),
-            flushes: Mutex::new(0),
+            pending: OrderedMutex::new(ranks::BILLING_PENDING, UsageRecord::default()),
+            flushes: OrderedMutex::new(ranks::BILLING_FLUSHES, 0),
         }
     }
 

@@ -11,12 +11,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use rdma_fabric::{
     connect_pooled, AccessFlags, ConnectionPool, DatagramSocket, Endpoint, Fabric, MemoryRegion,
     ProtectionDomain, QueuePair, ReceiveRing, RecvRequest, RemoteMemoryHandle, SendRequest, Sge,
 };
 use sandbox::CodePackage;
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::{SimDuration, SimTime, VirtualClock};
 use state_plane::{StateClient, StateClientStats, StateError, StatePlane, StateSpec};
 
@@ -218,7 +218,7 @@ struct WorkerConnection {
     /// flight than the ring holds slots.
     overflow_scratch: MemoryRegion,
     outstanding: AtomicUsize,
-    completed: Mutex<HashMap<u32, (usize, ResultStatus)>>,
+    completed: OrderedMutex<HashMap<u32, (usize, ResultStatus)>>,
     /// Token under which this connection is registered with the invoker's
     /// [`Reactor`] (set right after registration, before any submission).
     reactor_token: AtomicU64,
@@ -294,21 +294,21 @@ pub struct Invoker {
     pool: ConnectionPool,
     /// Datagram socket for first contact with the resource manager, bound
     /// lazily on the first allocation and reused for every re-allocation.
-    control: Mutex<Option<DatagramSocket>>,
+    control: OrderedMutex<Option<DatagramSocket>>,
     connections_opened: AtomicU64,
-    active: Mutex<Option<ActiveAllocation>>,
+    active: OrderedMutex<Option<ActiveAllocation>>,
     // The request that produced the current lease, replayed by the
     // transparent recovery path (Sec. III-B: clients re-allocate when an
     // executor disappears or a lease expires).
-    last_request: Mutex<Option<(LeaseRequest, PollingMode)>>,
+    last_request: OrderedMutex<Option<(LeaseRequest, PollingMode)>>,
     // Serialises recovery: two futures discovering the same dead allocation
     // must produce one re-allocation, not two (the loser would overwrite —
     // and leak — the winner's allocation).
-    recovery_lock: Mutex<()>,
+    recovery_lock: OrderedMutex<()>,
     allocation_epoch: AtomicU64,
     next_invocation: AtomicU32,
     round_robin: AtomicUsize,
-    cold_start: Mutex<Option<ColdStartBreakdown>>,
+    cold_start: OrderedMutex<Option<ColdStartBreakdown>>,
     recoveries: AtomicU32,
     recovery_budget: u32,
     /// How the allocator provisions the executor sandbox: full cold spawn,
@@ -321,7 +321,7 @@ pub struct Invoker {
     /// The session-side caching state client, attached lazily on the first
     /// allocation and kept across re-allocations (the cache region and its
     /// datagram endpoint belong to the client node, not to any lease).
-    session_state: Mutex<Option<StateClient>>,
+    session_state: OrderedMutex<Option<StateClient>>,
 }
 
 /// Everything one invocation needs to be posted (and transparently
@@ -389,20 +389,20 @@ impl Invoker {
             config,
             manager: Arc::clone(manager),
             pool: ConnectionPool::new(),
-            control: Mutex::new(None),
+            control: OrderedMutex::new(ranks::CLIENT_CONTROL, None),
             connections_opened: AtomicU64::new(0),
-            active: Mutex::new(None),
-            last_request: Mutex::new(None),
-            recovery_lock: Mutex::new(()),
+            active: OrderedMutex::new(ranks::CLIENT_ACTIVE, None),
+            last_request: OrderedMutex::new(ranks::CLIENT_LAST_REQUEST, None),
+            recovery_lock: OrderedMutex::new(ranks::CLIENT_RECOVERY, ()),
             allocation_epoch: AtomicU64::new(0),
             next_invocation: AtomicU32::new(1),
             round_robin: AtomicUsize::new(0),
-            cold_start: Mutex::new(None),
+            cold_start: OrderedMutex::new(ranks::CLIENT_COLD_START, None),
             recoveries: AtomicU32::new(0),
             recovery_budget: Invoker::DEFAULT_RECOVERY_BUDGET,
             policy: AllocationPolicy::default(),
             state_plane: None,
-            session_state: Mutex::new(None),
+            session_state: OrderedMutex::new(ranks::CLIENT_SESSION_STATE, None),
         }
     }
 
@@ -899,7 +899,7 @@ impl Invoker {
                 ring,
                 overflow_scratch,
                 outstanding: AtomicUsize::new(0),
-                completed: Mutex::new(HashMap::new()),
+                completed: OrderedMutex::new(ranks::CLIENT_COMPLETED, HashMap::new()),
                 reactor_token: AtomicU64::new(0),
                 index,
             });

@@ -37,10 +37,12 @@ pub struct RFaasConfig {
     pub allocation_processing_cost: SimDuration,
     /// Client-side cost of serialising and submitting the allocation request.
     pub allocation_submit_cost: SimDuration,
-    /// Real-time deadline after which an adaptive worker rolls back from hot
-    /// polling to a blocking wait (the "configurable time without a new
-    /// invocation" of Sec. III-C). Wall-clock, bounds CPU burn in tests.
-    pub hot_poll_fallback: std::time::Duration,
+    /// *Virtual-time* window an adaptive worker busy-polls after serving a
+    /// request before rolling back to a blocking wait (the "configurable
+    /// time without a new invocation" of Sec. III-C). Compared against the
+    /// next completion's virtual timestamp, so the spin-vs-block billing
+    /// decision is deterministic across runs.
+    pub hot_poll_fallback: SimDuration,
     /// Wall-clock deadline for establishing a worker connection (and for the
     /// executor's hello that follows). A peer that never answers surfaces a
     /// typed timeout error instead of hanging the client forever.
@@ -107,7 +109,7 @@ impl RFaasConfig {
             manager_connect_cost: SimDuration::from_millis(2),
             allocation_processing_cost: SimDuration::from_micros(700),
             allocation_submit_cost: SimDuration::from_micros(500),
-            hot_poll_fallback: std::time::Duration::from_millis(50),
+            hot_poll_fallback: SimDuration::from_millis(50),
             connect_timeout: std::time::Duration::from_secs(10),
             hot_poll_timeout: SimDuration::from_millis(100),
             max_payload_bytes: 8 * 1024 * 1024,

@@ -19,14 +19,13 @@
 //! hot/warm cost split and the retrospective hot→warm demotion accounting
 //! stay exactly as a thread-per-worker executor would charge them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use cluster_sim::NodeResources;
-use parking_lot::Mutex;
 use rdma_fabric::{
     AccessFlags, CqSet, DeviceFunction, Endpoint, Fabric, FabricNode, FaultBatch, Listener,
     MemoryRegion, NicProfile, PrefetchPlan, QueuePair, ReceiveRing, SendRequest, Sge,
@@ -38,6 +37,7 @@ use sandbox::{
     CodePackage, FaultTracker, FunctionError, FunctionRegistry, ImageRegistry, Sandbox,
     SandboxSnapshot, SpawnBreakdown, StateAccess, WarmPool, SNAPSHOT_PAGE_BYTES,
 };
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::{SimDuration, SimTime, VirtualClock};
 use state_plane::{StateClient, StateClientStats, StateError, StateMode, StateSpec};
 
@@ -72,16 +72,19 @@ pub enum AllocationPolicy {
 #[derive(Debug)]
 pub struct ForkFaultState {
     plan: PrefetchPlan,
-    tracker: Mutex<FaultTracker>,
-    served: Mutex<Vec<FaultBatch>>,
+    tracker: OrderedMutex<FaultTracker>,
+    served: OrderedMutex<Vec<FaultBatch>>,
 }
 
 impl ForkFaultState {
     fn new(snapshot: &SandboxSnapshot, profile: &NicProfile, window: usize) -> ForkFaultState {
         let plan = PrefetchPlan::new(profile, snapshot.total_pages(), window, SNAPSHOT_PAGE_BYTES);
         ForkFaultState {
-            tracker: Mutex::new(FaultTracker::for_snapshot(snapshot)),
-            served: Mutex::new(Vec::new()),
+            tracker: OrderedMutex::new(
+                ranks::EXECUTOR_FORK_TRACKER,
+                FaultTracker::for_snapshot(snapshot),
+            ),
+            served: OrderedMutex::new(ranks::EXECUTOR_FORK_SERVED, Vec::new()),
             plan,
         }
     }
@@ -357,8 +360,8 @@ pub struct WorkerStats {
 #[derive(Debug)]
 struct WorkerShared {
     shutdown: AtomicBool,
-    mode: Mutex<PollingMode>,
-    stats: Mutex<WorkerStats>,
+    mode: OrderedMutex<PollingMode>,
+    stats: OrderedMutex<WorkerStats>,
     clock: Arc<VirtualClock>,
     deadline: Arc<LeaseDeadline>,
 }
@@ -444,11 +447,14 @@ struct WorkerConn {
     token: usize,
     holds_core: bool,
     last_ready: Option<SimTime>,
-    /// Adaptive workers busy-poll until this wall-clock instant after each
-    /// served request, then park on the completion channel. The flag decides
-    /// whether a pickup is billed as a busy poll or a blocking wake-up,
-    /// mirroring the spin-then-block wait of a dedicated thread.
-    unparked_until: std::time::Instant,
+    /// Adaptive workers busy-poll until this *virtual* instant after each
+    /// served request, then park on the completion channel. Compared against
+    /// the next completion's virtual timestamp to decide whether that pickup
+    /// is billed as a busy poll or a blocking wake-up, mirroring the
+    /// spin-then-block wait of a dedicated thread. Virtual (not wall) time
+    /// keeps the billing decision — and through it every downstream
+    /// timestamp — deterministic across runs.
+    unparked_until: SimTime,
 }
 
 /// Everything one dispatcher thread needs to serve a whole executor process.
@@ -470,7 +476,7 @@ struct DispatcherContext {
     /// State-plane attachment of the process. Populated after spawn (the
     /// client attaches its plane once the allocation is installed), hence
     /// the shared slot rather than a construction-time field.
-    state: Arc<Mutex<Option<ExecutorStateBinding>>>,
+    state_binding: Arc<OrderedMutex<Option<ExecutorStateBinding>>>,
 }
 
 /// Release a worker's resources and mark it finished. Dropping the
@@ -534,7 +540,7 @@ fn connect_worker(
         token,
         holds_core: false,
         last_ready: None,
-        unparked_until: std::time::Instant::now() + config.hot_poll_fallback,
+        unparked_until: slot.shared.clock.now() + config.hot_poll_fallback,
     })
 }
 
@@ -553,7 +559,7 @@ fn serve_completion(
     config: &RFaasConfig,
     billing: &Option<Arc<BillingClient>>,
     fork: &Option<Arc<ForkFaultState>>,
-    state: &Arc<Mutex<Option<ExecutorStateBinding>>>,
+    state_binding: &Arc<OrderedMutex<Option<ExecutorStateBinding>>>,
 ) {
     let shared = Arc::clone(&slot.shared);
     let core = Arc::clone(&slot.core);
@@ -574,7 +580,7 @@ fn serve_completion(
     let parked = match mode {
         PollingMode::Hot => false,
         PollingMode::Warm => true,
-        PollingMode::Adaptive => std::time::Instant::now() >= conn.unparked_until,
+        PollingMode::Adaptive => wc.timestamp >= conn.unparked_until,
     };
     let wc = if parked {
         conn.qp.recv_cq().charge_blocking_pickup(wc)
@@ -583,7 +589,9 @@ fn serve_completion(
         wc
     };
     if matches!(mode, PollingMode::Adaptive) {
-        conn.unparked_until = std::time::Instant::now() + config.hot_poll_fallback;
+        // The pickup charge above synced this worker's clock to the
+        // arrival, so the next spin window opens at the served request.
+        conn.unparked_until = shared.clock.now() + config.hot_poll_fallback;
     }
     if !wc.is_success() {
         return;
@@ -629,9 +637,9 @@ fn serve_completion(
                 // it too only burns CPU up to the budget — never the
                 // whole idle gap.
                 let billed = if matches!(mode, PollingMode::Adaptive)
-                    && !config.hot_poll_timeout.is_zero()
+                    && !config.hot_poll_fallback.is_zero()
                 {
-                    spin.min(config.hot_poll_timeout)
+                    spin.min(config.hot_poll_fallback)
                 } else {
                     spin
                 };
@@ -742,7 +750,7 @@ fn serve_completion(
                 // spends on its own clock (cache misses, remote reads, push
                 // writes) is re-billed onto this worker's clock so the
                 // invocation round trip carries it.
-                let mut guard = state.lock();
+                let mut guard = state_binding.lock();
                 match guard.as_mut() {
                     None => Err(FunctionError::StateAccess(
                         "no state plane is attached to this executor process".into(),
@@ -842,6 +850,11 @@ fn serve_completion(
 /// otherwise it parks on the set's notifier like a warm worker parks on its
 /// completion channel.
 fn dispatcher_main(ctx: DispatcherContext) {
+    /// How often an idle dispatcher re-polls its listeners while a worker
+    /// connection is still being established. Replaces the old hard-coded
+    /// 200µs `thread::sleep`: same accept cadence, but routed through the
+    /// CqSet notifier so completions and disconnects cut the wait short.
+    const SETUP_ACCEPT_POLL: Duration = Duration::from_micros(200);
     let DispatcherContext {
         mut workers,
         package,
@@ -851,7 +864,7 @@ fn dispatcher_main(ctx: DispatcherContext) {
         srq,
         ring,
         fork,
-        state,
+        state_binding,
     } = ctx;
 
     let mut cqset = CqSet::new();
@@ -945,7 +958,16 @@ fn dispatcher_main(ctx: DispatcherContext) {
             if slot.done || slot.conn.is_none() {
                 continue;
             }
-            serve_completion(slot, wc, &ring, &package, &config, &billing, &fork, &state);
+            serve_completion(
+                slot,
+                wc,
+                &ring,
+                &package,
+                &config,
+                &billing,
+                &fork,
+                &state_binding,
+            );
             progressed = true;
         }
 
@@ -956,9 +978,15 @@ fn dispatcher_main(ctx: DispatcherContext) {
             continue;
         }
 
-        // Idle policy: spin while any worker busy-polls (hot, or adaptive
-        // inside its spin window), nap briefly while connections are still
-        // being set up, otherwise park on the set's notifier.
+        // Idle policy: spin while any hot worker busy-polls, otherwise
+        // park on the set's notifier — a delivery or disconnect on any
+        // member CQ wakes the loop immediately, so the timeout only bounds
+        // how often host-side conditions the notifier cannot observe
+        // (shutdown flags, new connections on the listeners) are re-polled.
+        // Adaptive workers park too: their spin window is *virtual* time,
+        // which an idle host thread cannot observe passing; the window is
+        // enforced where it matters — in the billing decision against the
+        // next completion's virtual timestamp.
         let mut spin = false;
         let mut setting_up = false;
         for slot in &workers {
@@ -968,14 +996,9 @@ fn dispatcher_main(ctx: DispatcherContext) {
             match &slot.conn {
                 None => setting_up = true,
                 Some(conn) if !conn.hello_sent => setting_up = true,
-                Some(conn) => match *slot.shared.mode.lock() {
+                Some(_) => match *slot.shared.mode.lock() {
                     PollingMode::Hot => spin = true,
-                    PollingMode::Adaptive => {
-                        if std::time::Instant::now() < conn.unparked_until {
-                            spin = true;
-                        }
-                    }
-                    PollingMode::Warm => {}
+                    PollingMode::Adaptive | PollingMode::Warm => {}
                 },
             }
         }
@@ -983,7 +1006,11 @@ fn dispatcher_main(ctx: DispatcherContext) {
             std::hint::spin_loop();
             std::thread::yield_now();
         } else if setting_up {
-            std::thread::sleep(Duration::from_micros(200));
+            // A connection is still being set up: the notifier cannot see
+            // listener activity, so wait with the accept-poll interval
+            // instead of a bare sleep — queued completions still wake the
+            // loop instantly.
+            cqset.wait(SETUP_ACCEPT_POLL);
         } else {
             cqset.wait(Duration::from_millis(50));
         }
@@ -1031,7 +1058,7 @@ pub struct AllocationResult {
 pub struct ExecutorProcess {
     id: u64,
     lease_id: u64,
-    sandbox: Mutex<Sandbox>,
+    sandbox: OrderedMutex<Sandbox>,
     workers: Vec<WorkerHandle>,
     /// The one event-loop thread multiplexing every worker's receive CQ.
     dispatcher: Option<JoinHandle<()>>,
@@ -1046,14 +1073,14 @@ pub struct ExecutorProcess {
     memory_mib: u64,
     deadline: Arc<LeaseDeadline>,
     created_at: SimTime,
-    last_used: Mutex<SimTime>,
+    last_used: OrderedMutex<SimTime>,
     /// How the sandbox was provisioned, and — for forked processes — the
     /// shared fault state over the parent snapshot's page map.
     policy: AllocationPolicy,
     fork: Option<Arc<ForkFaultState>>,
     /// Shared slot the dispatcher reads stateful invocations' binding from;
     /// the allocator fills it when the client attaches a state plane.
-    state: Arc<Mutex<Option<ExecutorStateBinding>>>,
+    state_binding: Arc<OrderedMutex<Option<ExecutorStateBinding>>>,
 }
 
 impl ExecutorProcess {
@@ -1115,7 +1142,7 @@ impl ExecutorProcess {
     /// Client-side counters of the process's state-plane attachment
     /// (`None` when no plane is attached).
     pub fn state_stats(&self) -> Option<StateClientStats> {
-        self.state.lock().as_ref().map(|b| b.stats())
+        self.state_binding.lock().as_ref().map(|b| b.stats())
     }
 
     /// Statistics of the process-wide shared receive queue: depth, posted
@@ -1153,7 +1180,7 @@ impl ExecutorProcess {
 
 struct AllocatorState {
     available: NodeResources,
-    processes: HashMap<u64, Arc<Mutex<ExecutorProcess>>>,
+    processes: BTreeMap<u64, Arc<OrderedMutex<ExecutorProcess>>>,
 }
 
 /// The lightweight allocator of one spot executor (A2 in Fig. 4): connects
@@ -1166,9 +1193,9 @@ pub struct LightweightAllocator {
     config: RFaasConfig,
     registry: FunctionRegistry,
     images: ImageRegistry,
-    state: Mutex<AllocatorState>,
+    state: OrderedMutex<AllocatorState>,
     clock: Arc<VirtualClock>,
-    billing: Mutex<Option<Arc<BillingClient>>>,
+    billing: OrderedMutex<Option<Arc<BillingClient>>>,
     /// Parked warm parents per `(SandboxType, package)` — deallocation parks
     /// a sandbox here (when capacity admits it) instead of tearing it down,
     /// and fork/warm-pool allocations consult it before a full spawn.
@@ -1208,12 +1235,15 @@ impl LightweightAllocator {
             config,
             registry,
             images,
-            state: Mutex::new(AllocatorState {
-                available: resources,
-                processes: HashMap::new(),
-            }),
+            state: OrderedMutex::new(
+                ranks::EXECUTOR_ALLOCATOR,
+                AllocatorState {
+                    available: resources,
+                    processes: BTreeMap::new(),
+                },
+            ),
             clock: VirtualClock::shared(),
-            billing: Mutex::new(None),
+            billing: OrderedMutex::new(ranks::EXECUTOR_BILLING, None),
             warm_pool: WarmPool::with_capacity(config_warm_capacity),
             alive: AtomicBool::new(true),
             spawn_fail_at: AtomicUsize::new(usize::MAX),
@@ -1420,8 +1450,8 @@ impl LightweightAllocator {
             let worker_clock = Arc::new(VirtualClock::starting_at(start_time));
             let shared = Arc::new(WorkerShared {
                 shutdown: AtomicBool::new(false),
-                mode: Mutex::new(mode),
-                stats: Mutex::new(WorkerStats::default()),
+                mode: OrderedMutex::new(ranks::EXECUTOR_MODE, mode),
+                stats: OrderedMutex::new(ranks::EXECUTOR_STATS, WorkerStats::default()),
                 clock: Arc::clone(&worker_clock),
                 deadline: Arc::clone(&deadline),
             });
@@ -1452,7 +1482,8 @@ impl LightweightAllocator {
 
         // One dispatcher thread per process serves every worker slot.
         let dispatcher_shutdown = Arc::new(AtomicBool::new(false));
-        let state_slot: Arc<Mutex<Option<ExecutorStateBinding>>> = Arc::new(Mutex::new(None));
+        let state_slot: Arc<OrderedMutex<Option<ExecutorStateBinding>>> =
+            Arc::new(OrderedMutex::new(ranks::EXECUTOR_STATE_BINDING, None));
         let mut dispatcher = None;
         if spawn_error.is_none() {
             if let Ok(ring) = shared_ring {
@@ -1465,7 +1496,7 @@ impl LightweightAllocator {
                     srq: srq.clone(),
                     ring,
                     fork: fork_state.clone(),
-                    state: Arc::clone(&state_slot),
+                    state_binding: Arc::clone(&state_slot),
                 };
                 match std::thread::Builder::new()
                     .name(format!("rfaas-dispatch-{process_id}"))
@@ -1499,7 +1530,7 @@ impl LightweightAllocator {
         let process = ExecutorProcess {
             id: process_id,
             lease_id: lease.id,
-            sandbox: Mutex::new(sandbox),
+            sandbox: OrderedMutex::new(ranks::EXECUTOR_SANDBOX, sandbox),
             workers: handles,
             dispatcher,
             dispatcher_shutdown,
@@ -1508,15 +1539,15 @@ impl LightweightAllocator {
             memory_mib: lease.memory_mib,
             deadline,
             created_at: start_time,
-            last_used: Mutex::new(start_time),
+            last_used: OrderedMutex::new(ranks::EXECUTOR_LAST_USED, start_time),
             policy,
             fork: fork_state,
-            state: state_slot,
+            state_binding: state_slot,
         };
-        self.state
-            .lock()
-            .processes
-            .insert(process_id, Arc::new(Mutex::new(process)));
+        self.state.lock().processes.insert(
+            process_id,
+            Arc::new(OrderedMutex::new(ranks::EXECUTOR_PROCESS, process)),
+        );
 
         Ok(AllocationResult {
             process_id,
@@ -1530,7 +1561,7 @@ impl LightweightAllocator {
     }
 
     /// Look up an executor process.
-    pub fn process(&self, process_id: u64) -> Option<Arc<Mutex<ExecutorProcess>>> {
+    pub fn process(&self, process_id: u64) -> Option<Arc<OrderedMutex<ExecutorProcess>>> {
         self.state.lock().processes.get(&process_id).cloned()
     }
 
@@ -1575,7 +1606,7 @@ impl LightweightAllocator {
         let process = self
             .process(process_id)
             .ok_or(RFaasError::UnknownLease(process_id))?;
-        let slot = Arc::clone(&process.lock().state);
+        let slot = Arc::clone(&process.lock().state_binding);
         *slot.lock() = Some(ExecutorStateBinding::new(client));
         Ok(())
     }
@@ -1586,7 +1617,7 @@ impl LightweightAllocator {
         let process = self
             .process(process_id)
             .ok_or(RFaasError::UnknownLease(process_id))?;
-        let slot = Arc::clone(&process.lock().state);
+        let slot = Arc::clone(&process.lock().state_binding);
         let mut guard = slot.lock();
         let binding = guard.as_mut().ok_or_else(|| {
             RFaasError::StatePlane(StateError::Protocol(
@@ -1605,7 +1636,7 @@ impl LightweightAllocator {
 
     /// All live executor processes, in ascending process-id order (used by
     /// experiments and tests to reach worker handles without the id).
-    pub fn processes(&self) -> Vec<Arc<Mutex<ExecutorProcess>>> {
+    pub fn processes(&self) -> Vec<Arc<OrderedMutex<ExecutorProcess>>> {
         let state = self.state.lock();
         let mut ids: Vec<u64> = state.processes.keys().copied().collect();
         ids.sort_unstable();
@@ -1651,6 +1682,11 @@ impl LightweightAllocator {
             billing.record_allocation(allocation_time, memory_mib);
             let _ = billing.flush();
         }
+        // Release the process guard before re-taking the allocator lock:
+        // allocator state ranks below the process lock (reap/cleanup hold
+        // it while locking individual processes), so holding the process
+        // across this acquisition would invert the order.
+        drop(process);
         let mut state = self.state.lock();
         state.available = state.available.add(&NodeResources { cores, memory_mib });
         Ok(stats)
@@ -1660,7 +1696,7 @@ impl LightweightAllocator {
     /// `expires_at` (lease renewal reaching the executor). Returns the number
     /// of processes whose deadline was extended.
     pub fn extend_lease(&self, lease_id: u64, expires_at: SimTime) -> usize {
-        let processes: Vec<Arc<Mutex<ExecutorProcess>>> =
+        let processes: Vec<Arc<OrderedMutex<ExecutorProcess>>> =
             self.state.lock().processes.values().cloned().collect();
         let mut extended = 0;
         for process in processes {
@@ -1709,9 +1745,9 @@ impl LightweightAllocator {
     /// allocations. Returns the number of processes terminated.
     pub fn terminate_all(&self) -> usize {
         self.alive.store(false, Ordering::Release);
-        let processes: Vec<Arc<Mutex<ExecutorProcess>>> = {
+        let processes: Vec<Arc<OrderedMutex<ExecutorProcess>>> = {
             let mut state = self.state.lock();
-            state.processes.drain().map(|(_, p)| p).collect()
+            std::mem::take(&mut state.processes).into_values().collect()
         };
         let count = processes.len();
         for process in processes {
@@ -1751,7 +1787,7 @@ pub struct SpotExecutor {
     resources: NodeResources,
     allocator: LightweightAllocator,
     alive: AtomicBool,
-    last_heartbeat_sent: Mutex<Option<SimTime>>,
+    last_heartbeat_sent: OrderedMutex<Option<SimTime>>,
 }
 
 impl std::fmt::Debug for SpotExecutor {
@@ -1787,7 +1823,7 @@ impl SpotExecutor {
                 config,
             ),
             alive: AtomicBool::new(true),
-            last_heartbeat_sent: Mutex::new(None),
+            last_heartbeat_sent: OrderedMutex::new(ranks::EXECUTOR_HEARTBEAT, None),
         })
     }
 

@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::SimTime;
 
 use crate::manager::ResourceManager;
@@ -58,7 +58,7 @@ impl LifecycleStats {
 /// The manager's lease-lifecycle background step (see module docs).
 pub struct LifecycleDriver {
     manager: Arc<ResourceManager>,
-    total: Mutex<LifecycleStats>,
+    total: OrderedMutex<LifecycleStats>,
 }
 
 impl std::fmt::Debug for LifecycleDriver {
@@ -75,7 +75,7 @@ impl LifecycleDriver {
     pub fn new(manager: &Arc<ResourceManager>) -> LifecycleDriver {
         LifecycleDriver {
             manager: Arc::clone(manager),
-            total: Mutex::new(LifecycleStats::default()),
+            total: OrderedMutex::new(ranks::LIFECYCLE_STATS, LifecycleStats::default()),
         }
     }
 

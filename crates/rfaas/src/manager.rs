@@ -8,13 +8,13 @@
 //! executor heartbeats for failure detection, and owns the billing database
 //! that allocators update with RDMA atomics.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cluster_sim::NodeResources;
-use parking_lot::Mutex;
 use rdma_fabric::{Endpoint, Fabric, FabricNode, QueuePair};
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::{SimDuration, SimTime, VirtualClock};
 
 use rdma_fabric::DatagramSocket;
@@ -46,19 +46,22 @@ pub struct ResourceManager {
     // First-contact control plane: allocation requests arrive as datagrams
     // (no RC handshake) and the verdict goes back to the client's reply
     // address. The mutex serialises concurrent pollers, not the socket.
-    control: Mutex<DatagramSocket>,
+    control: OrderedMutex<DatagramSocket>,
     control_address: String,
-    executors: Mutex<HashMap<String, RegisteredExecutor>>,
-    leases: Mutex<HashMap<u64, Lease>>,
+    // Both registries are ordered maps: placement, failure detection and
+    // expiry sweeps iterate them, and HashMap key order would leak
+    // run-to-run nondeterminism into all three.
+    executors: OrderedMutex<BTreeMap<String, RegisteredExecutor>>,
+    leases: OrderedMutex<BTreeMap<u64, Lease>>,
     // Leases killed because their executor died (as opposed to expiring or
     // being released): clients seeing ExecutorLost consult this to learn the
     // lease will never come back. Ordered so the oldest ids can be pruned —
     // capped at TERMINATED_LEASE_HISTORY to stay bounded under churn.
-    terminated_leases: Mutex<BTreeSet<u64>>,
+    terminated_leases: OrderedMutex<BTreeSet<u64>>,
     billing: BillingDatabase,
     // Manager-side halves of the billing connections; kept alive so executors
     // can keep issuing one-sided atomics without any manager CPU involvement.
-    billing_qps: Mutex<Vec<QueuePair>>,
+    billing_qps: OrderedMutex<Vec<QueuePair>>,
     next_lease_id: AtomicU64,
     // Lease ids advance by this much per grant. A standalone manager strides
     // by 1; shard `i` of an S-shard ManagerGroup starts at `i + 1` and
@@ -116,13 +119,13 @@ impl ResourceManager {
             node,
             clock: Arc::clone(&endpoint.clock),
             endpoint,
-            control: Mutex::new(control),
+            control: OrderedMutex::new(ranks::MANAGER_CONTROL, control),
             control_address,
-            executors: Mutex::new(HashMap::new()),
-            leases: Mutex::new(HashMap::new()),
-            terminated_leases: Mutex::new(BTreeSet::new()),
+            executors: OrderedMutex::new(ranks::MANAGER_EXECUTORS, BTreeMap::new()),
+            leases: OrderedMutex::new(ranks::MANAGER_LEASES, BTreeMap::new()),
+            terminated_leases: OrderedMutex::new(ranks::MANAGER_TERMINATED, BTreeSet::new()),
             billing,
-            billing_qps: Mutex::new(Vec::new()),
+            billing_qps: OrderedMutex::new(ranks::MANAGER_BILLING_QPS, Vec::new()),
             next_lease_id: AtomicU64::new(first_lease_id.max(1)),
             lease_id_stride: stride.max(1),
             round_robin: AtomicUsize::new(0),
@@ -207,12 +210,10 @@ impl ResourceManager {
 
     /// All currently registered executors, in deterministic (name) order.
     pub fn registered_executors(&self) -> Vec<Arc<SpotExecutor>> {
-        let executors = self.executors.lock();
-        let mut names: Vec<&String> = executors.keys().collect();
-        names.sort_unstable();
-        names
-            .into_iter()
-            .map(|name| Arc::clone(&executors[name].executor))
+        self.executors
+            .lock()
+            .values()
+            .map(|r| Arc::clone(&r.executor))
             .collect()
     }
 
@@ -287,10 +288,9 @@ impl ResourceManager {
             cores: request.cores,
             memory_mib: request.memory_mib,
         };
-        // Iterate a sorted view: HashMap key order varies run-to-run, which
-        // would make round-robin placement non-deterministic.
-        let mut names: Vec<String> = executors.keys().cloned().collect();
-        names.sort_unstable();
+        // BTreeMap keys come back sorted, so the round-robin rotation below
+        // is deterministic without a per-placement sort.
+        let names: Vec<String> = executors.keys().cloned().collect();
         let start = self.round_robin.fetch_add(1, Ordering::Relaxed);
         let candidates = || {
             (0..names.len())

@@ -21,7 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sim_core::sync::{ranks, OrderedMutex};
 
 /// A drainable producer of invocation completions (a client worker
 /// connection). `pump` must drain everything currently queued — stashing the
@@ -35,7 +35,7 @@ pub(crate) trait CompletionSource: Send + Sync {
 /// Where a dispatched completion lands: the shared ready queue of a
 /// completion set, and the entry index to push into it.
 pub(crate) struct Continuation {
-    pub(crate) ready: Arc<Mutex<VecDeque<usize>>>,
+    pub(crate) ready: Arc<OrderedMutex<VecDeque<usize>>>,
     pub(crate) index: usize,
 }
 
@@ -60,20 +60,33 @@ struct ReactorState {
     next_token: u64,
 }
 
-#[derive(Default)]
 struct ReactorInner {
     /// Serialises turns: concurrent callers queue behind one sweep instead
     /// of racing over the same rings (the reactor replaces the per-connection
     /// `wait_lock` of the old client).
-    turn_lock: Mutex<()>,
-    state: Mutex<ReactorState>,
+    turn_lock: OrderedMutex<()>,
+    state: OrderedMutex<ReactorState>,
     /// Scratch reused across turns (guarded by `turn_lock`): the steady-state
     /// sweep performs no allocations.
-    events: Mutex<Vec<(u64, u32)>>,
-    sweep: Mutex<Vec<(u64, Arc<dyn CompletionSource>)>>,
+    events: OrderedMutex<Vec<(u64, u32)>>,
+    sweep: OrderedMutex<Vec<(u64, Arc<dyn CompletionSource>)>>,
     turns: AtomicU64,
     pumped: AtomicU64,
     dispatched: AtomicU64,
+}
+
+impl Default for ReactorInner {
+    fn default() -> ReactorInner {
+        ReactorInner {
+            turn_lock: OrderedMutex::new(ranks::REACTOR_TURN, ()),
+            state: OrderedMutex::new(ranks::REACTOR_STATE, ReactorState::default()),
+            events: OrderedMutex::new(ranks::REACTOR_EVENTS, Vec::new()),
+            sweep: OrderedMutex::new(ranks::REACTOR_SWEEP, Vec::new()),
+            turns: AtomicU64::new(0),
+            pumped: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Handle to one reactor; cheap to clone, shareable across sessions.
@@ -134,7 +147,7 @@ impl Reactor {
         &self,
         token: u64,
         invocation_id: u32,
-        ready: &Arc<Mutex<VecDeque<usize>>>,
+        ready: &Arc<OrderedMutex<VecDeque<usize>>>,
         index: usize,
     ) {
         self.inner.state.lock().continuations.insert(
@@ -212,6 +225,7 @@ impl Reactor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicBool;
 
     /// Deterministic stand-in for a worker connection: completions are queued
@@ -253,7 +267,7 @@ mod tests {
         let reactor = Reactor::new();
         let source = MockSource::new();
         let token = reactor.register_source(source.clone());
-        let ready: Arc<Mutex<VecDeque<usize>>> = Arc::default();
+        let ready = Arc::new(OrderedMutex::new(ranks::REACTOR_READY, VecDeque::new()));
         reactor.register_continuation(token, 7, &ready, 3);
         source.push(7);
         assert_eq!(reactor.turn(), 1);
@@ -274,7 +288,7 @@ mod tests {
         let second = MockSource::new();
         let t1 = reactor.register_source(first.clone());
         let t2 = reactor.register_source(second.clone());
-        let ready: Arc<Mutex<VecDeque<usize>>> = Arc::default();
+        let ready = Arc::new(OrderedMutex::new(ranks::REACTOR_READY, VecDeque::new()));
         reactor.register_continuation(t2, 1, &ready, 20);
         reactor.register_continuation(t1, 1, &ready, 10);
         // Queue the later-registered source first; dispatch order must still
@@ -293,7 +307,7 @@ mod tests {
         let reactor = Reactor::new();
         let source = MockSource::new();
         let token = reactor.register_source(source.clone());
-        let ready: Arc<Mutex<VecDeque<usize>>> = Arc::default();
+        let ready = Arc::new(OrderedMutex::new(ranks::REACTOR_READY, VecDeque::new()));
         reactor.register_continuation(token, 9, &ready, 0);
         // The completion queued before the disconnect must still dispatch.
         source.push(9);
@@ -317,7 +331,7 @@ mod tests {
                 .iter()
                 .map(|s| reactor.register_source(s.clone()))
                 .collect();
-            let ready: Arc<Mutex<VecDeque<usize>>> = Arc::default();
+            let ready = Arc::new(OrderedMutex::new(ranks::REACTOR_READY, VecDeque::new()));
             for (index, pick) in assignment.iter().enumerate() {
                 reactor.register_continuation(
                     tokens[(*pick % 4) as usize],

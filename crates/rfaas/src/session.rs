@@ -26,9 +26,9 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use rdma_fabric::{ConnectionPool, Fabric};
 use sandbox::SandboxType;
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::{SimDuration, SimTime, VirtualClock};
 
 use crate::client::{
@@ -259,9 +259,16 @@ impl AllocationBuilder {
 
 /// Pool of registered (input, output) buffer pairs reused across typed
 /// invocations, so steady-state invocations never re-register memory.
-#[derive(Default)]
 struct BufferPool {
-    free: Mutex<Vec<(Buffer, Buffer)>>,
+    free: OrderedMutex<Vec<(Buffer, Buffer)>>,
+}
+
+impl Default for BufferPool {
+    fn default() -> BufferPool {
+        BufferPool {
+            free: OrderedMutex::new(ranks::SESSION_BUFFER_POOL, Vec::new()),
+        }
+    }
 }
 
 impl BufferPool {
@@ -696,7 +703,7 @@ where
             wave: workers,
             session: self.session,
             stats: BatchStats::default(),
-            ready: Arc::default(),
+            ready: Arc::new(OrderedMutex::new(ranks::REACTOR_READY, VecDeque::new())),
         };
         set.submit_next_wave()?;
         Ok(set)
@@ -775,7 +782,7 @@ pub struct CompletionSet<'s, O: ?Sized> {
     /// the old rescan made gathering an n-entry scatter quadratic. Indices
     /// are hints: a duplicate (from the post-registration stash re-check) is
     /// skipped because its entry slot is already `None`.
-    ready: Arc<Mutex<VecDeque<usize>>>,
+    ready: Arc<OrderedMutex<VecDeque<usize>>>,
 }
 
 impl<O: ?Sized> std::fmt::Debug for CompletionSet<'_, O> {

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::{SimDuration, SimTime};
 
 use crate::sandbox::{Sandbox, SandboxState, SandboxType};
@@ -92,7 +92,7 @@ struct WarmPoolInner {
 /// allocator and diagnostics see the same parked parents.
 #[derive(Debug, Clone)]
 pub struct WarmPool {
-    inner: Arc<Mutex<WarmPoolInner>>,
+    inner: Arc<OrderedMutex<WarmPoolInner>>,
 }
 
 impl Default for WarmPool {
@@ -112,12 +112,15 @@ impl WarmPool {
     /// `(SandboxType, package)` key. Zero disables the pool.
     pub fn with_capacity(max_idle_per_key: usize) -> WarmPool {
         WarmPool {
-            inner: Arc::new(Mutex::new(WarmPoolInner {
-                idle: BTreeMap::new(),
-                max_idle_per_key,
-                next_id: 0,
-                stats: WarmPoolStats::default(),
-            })),
+            inner: Arc::new(OrderedMutex::new(
+                ranks::WARM_POOL,
+                WarmPoolInner {
+                    idle: BTreeMap::new(),
+                    max_idle_per_key,
+                    next_id: 0,
+                    stats: WarmPoolStats::default(),
+                },
+            )),
         }
     }
 

@@ -10,16 +10,20 @@
 //! * [`stats`] — medians, percentiles and the non-parametric confidence
 //!   intervals the paper reports,
 //! * [`rng`] — small deterministic PRNG helpers so experiments are repeatable,
-//! * [`histogram`] — fixed-bucket latency histograms for harness output.
+//! * [`histogram`] — fixed-bucket latency histograms for harness output,
+//! * [`sync`] — rank-ordered mutexes enforcing the workspace lock order
+//!   (checked in debug builds and under the `lock-sanitizer` feature).
 
 pub mod clock;
 pub mod histogram;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use clock::VirtualClock;
 pub use histogram::LatencyHistogram;
 pub use rng::{splitmix64_finalize, DeterministicRng};
 pub use stats::{median, percentile, ConfidenceInterval, Summary};
+pub use sync::{LockRank, OrderedMutex, OrderedMutexGuard};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,214 @@
+//! The committed findings baseline: `simlint-baseline.json`.
+//!
+//! The baseline exists for findings that are justified but cannot carry an
+//! in-source suppression (e.g. cycle reports whose witness line moves as
+//! code shifts). Each entry must carry a `reason`. Parsing is a hand-rolled
+//! subset of JSON — the linter is dependency-free by design, and the file
+//! is machine-written by `simlint -- baseline`, so the subset is enough.
+
+use crate::model::Rule;
+use crate::rules::Finding;
+
+/// One accepted finding. `line` is intentionally absent: baselines match on
+/// (rule, file, symbol) so routine edits don't invalidate them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: Rule,
+    pub file: String,
+    pub symbol: String,
+    pub reason: String,
+}
+
+/// Parse the baseline file. Returns `Err` with a human message on any
+/// structural problem (including a missing/empty reason — a baseline entry
+/// without a justification is itself a lint violation).
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let objects = split_objects(text)?;
+    let mut out = Vec::new();
+    for (i, obj) in objects.iter().enumerate() {
+        let get = |key: &str| -> Option<String> { field(obj, key) };
+        let rule_name =
+            get("rule").ok_or_else(|| format!("baseline entry {i}: missing \"rule\""))?;
+        let rule = Rule::parse(&rule_name)
+            .ok_or_else(|| format!("baseline entry {i}: unknown rule '{rule_name}'"))?;
+        let file = get("file").ok_or_else(|| format!("baseline entry {i}: missing \"file\""))?;
+        let symbol =
+            get("symbol").ok_or_else(|| format!("baseline entry {i}: missing \"symbol\""))?;
+        let reason =
+            get("reason").ok_or_else(|| format!("baseline entry {i}: missing \"reason\""))?;
+        if reason.trim().is_empty() {
+            return Err(format!(
+                "baseline entry {i} ({file}:{symbol}): empty reason — every baselined \
+                 finding must be justified"
+            ));
+        }
+        out.push(BaselineEntry {
+            rule,
+            file,
+            symbol,
+            reason,
+        });
+    }
+    Ok(out)
+}
+
+/// Serialize entries (pretty, stable order) for `simlint -- baseline`.
+pub fn emit(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"suppressions\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"rule\": \"{}\",\n", f.rule.name()));
+        s.push_str(&format!("      \"file\": \"{}\",\n", escape(&f.file)));
+        s.push_str(&format!("      \"symbol\": \"{}\",\n", escape(&f.symbol)));
+        s.push_str("      \"reason\": \"TODO: justify or fix\"\n");
+        s.push_str("    }");
+        if i + 1 < findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Split the `"suppressions": [ {...}, {...} ]` array into raw object
+/// strings. Tolerates whitespace and trailing text; rejects non-object
+/// array members.
+fn split_objects(text: &str) -> Result<Vec<String>, String> {
+    let arr_at = text
+        .find("\"suppressions\"")
+        .ok_or("baseline: missing \"suppressions\" key")?;
+    let open = text[arr_at..]
+        .find('[')
+        .ok_or("baseline: missing suppressions array")?
+        + arr_at;
+    let mut objects = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = open + 1;
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if in_str {
+            if c == '\\' {
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' => {
+                    if depth == 0 {
+                        start = Some(i);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        if let Some(s) = start.take() {
+                            objects.push(chars[s..=i].iter().collect());
+                        }
+                    }
+                }
+                ']' if depth == 0 => return Ok(objects),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    Err(String::from("baseline: unterminated suppressions array"))
+}
+
+/// Extract `"key": "value"` from one object body (string values only).
+fn field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)?;
+    let after = &obj[at + pat.len()..];
+    let colon = after.find(':')?;
+    let rest = after[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(e) = chars.next() {
+                    out.push(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                }
+            }
+            '"' => return Some(out),
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_entries() {
+        let text = r#"{
+            "suppressions": [
+                {
+                    "rule": "lock_order",
+                    "file": "crates/x/src/lib.rs",
+                    "symbol": "alpha<->beta",
+                    "reason": "ranks enforced at runtime by OrderedMutex"
+                }
+            ]
+        }"#;
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, Rule::LockOrder);
+        assert_eq!(entries[0].symbol, "alpha<->beta");
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let text = r#"{"suppressions": [{"rule": "wall_clock", "file": "a.rs", "symbol": "f/Instant::now", "reason": "  "}]}"#;
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let text =
+            r#"{"suppressions": [{"rule": "nope", "file": "a.rs", "symbol": "s", "reason": "x"}]}"#;
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn empty_array_parses() {
+        assert!(parse(r#"{"suppressions": []}"#).unwrap().is_empty());
+    }
+
+    #[test]
+    fn emit_produces_parseable_output() {
+        let findings = vec![Finding {
+            rule: Rule::NonExhaustive,
+            file: String::from("crates/y/src/lib.rs"),
+            line: 10,
+            symbol: String::from("FooError"),
+            message: String::new(),
+        }];
+        let emitted = emit(&findings);
+        // The emitted reason is a TODO placeholder, which parse() accepts
+        // as non-empty (humans must edit it, CI review enforces that).
+        let parsed = parse(&emitted).unwrap();
+        assert_eq!(parsed[0].symbol, "FooError");
+    }
+}

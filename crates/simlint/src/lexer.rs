@@ -1,0 +1,360 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! simlint rules — identifiers, punctuation, literals — with line numbers,
+//! plus the line comments (where `simlint::allow(...)` suppressions live).
+//!
+//! The lexer is deliberately not a parser: it never builds an AST. String
+//! and char literals are consumed as opaque tokens (so `".lock()"` inside a
+//! string can never look like a lock acquisition), block comments nest the
+//! way Rust's do, and raw strings honour their `#` fences.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules distinguish keywords by text).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String/char/number literal, consumed opaquely.
+    Literal,
+    /// Lifetime (`'a`); kept distinct so `'a` never parses as a char.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A captured `//` comment (suppressions are line comments only).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    /// Comment body without the leading `//` (or `///`, `//!`).
+    pub text: String,
+}
+
+/// Lexer output: the token stream (comments stripped) and the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Tokenize `source`. Unterminated literals are consumed to end-of-input
+/// rather than reported: the linter runs over code rustc already accepted.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != '\n' {
+                    end += 1;
+                }
+                let body: String = bytes[start..end]
+                    .iter()
+                    .collect::<String>()
+                    .trim_start_matches(['/', '!'])
+                    .to_string();
+                out.comments.push(LineComment { line, text: body });
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (consumed, newlines) = consume_string(&bytes[i..]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("\"…\""),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                let (consumed, newlines) = consume_raw_or_byte(&bytes, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("\"…\""),
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` (ident char, no closing
+                // quote right after) is a lifetime; everything else is a
+                // char literal with escapes.
+                if is_lifetime(&bytes, i) {
+                    let mut end = i + 1;
+                    while end < bytes.len() && is_ident_continue(bytes[end]) {
+                        end += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: bytes[i..end].iter().collect(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let mut end = i + 1;
+                    if end < bytes.len() && bytes[end] == '\\' {
+                        end += 2; // skip the escaped char
+                                  // \u{...} escapes run to the closing brace.
+                        while end < bytes.len() && bytes[end] != '\'' {
+                            end += 1;
+                        }
+                    } else if end < bytes.len() {
+                        end += 1;
+                    }
+                    while end < bytes.len() && bytes[end] != '\'' {
+                        end += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::from("'…'"),
+                        line,
+                    });
+                    i = (end + 1).min(bytes.len());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (is_ident_continue(bytes[end]) || bytes[end] == '.')
+                    && !(bytes[end] == '.' && bytes.get(end + 1) == Some(&'.'))
+                {
+                    end += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: bytes[i..end].iter().collect(),
+                    line,
+                });
+                i = end;
+            }
+            c if is_ident_start(c) => {
+                let mut end = i + 1;
+                while end < bytes.len() && is_ident_continue(bytes[end]) {
+                    end += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: bytes[i..end].iter().collect(),
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_lifetime(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&c) if is_ident_start(c) => bytes.get(i + 2) != Some(&'\''),
+        _ => false,
+    }
+}
+
+/// `r"`, `r#"`, `br"`, `b"`, `rb…` starting at `i`?
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    bytes.get(j) == Some(&'"') && j > i
+}
+
+/// Consume a plain `"..."` with escapes. Returns (chars consumed, newlines).
+fn consume_string(rest: &[char]) -> (usize, u32) {
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    while i < rest.len() {
+        match rest[i] {
+            '\\' => i += 2,
+            '"' => return (i + 1, newlines),
+            '\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (rest.len(), newlines)
+}
+
+/// Consume a raw/byte string starting at `i`. Returns (consumed, newlines).
+fn consume_raw_or_byte(bytes: &[char], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&'"'));
+    j += 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            '\\' if !raw => j += 2,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            '"' => {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(k) == Some(&'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (k - i, newlines);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (bytes.len() - i, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        // A `.lock()` inside a string literal must not produce tokens.
+        let toks = lex(r#"let s = "a.lock()"; x.lock();"#).tokens;
+        let lock_idents = toks.iter().filter(|t| t.is_ident("lock")).count();
+        assert_eq!(lock_idents, 1);
+    }
+
+    #[test]
+    fn raw_strings_honour_hash_fences() {
+        let src = "let s = r#\"embedded \" quote Instant::now()\"#; done";
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// simlint::allow(wall_clock, reason = \"x\")\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("simlint::allow"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_track_lines() {
+        let src = "a /* x /* y\n */ z\n */ b";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn escaped_chars_lex_as_single_literals() {
+        let toks = lex(r"let c = '\n'; let u = '\u{1F600}'; end").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("end")));
+        let chars = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .count();
+        assert_eq!(chars, 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! simlint — the workspace determinism & concurrency analyzer.
+//!
+//! A dependency-free static-analysis pass over the rFaaS-reproduction
+//! sources. Four rules guard the repo's core guarantee (byte-identical
+//! virtual-time runs) and its locking discipline:
+//!
+//! | rule            | what it catches                                        |
+//! |-----------------|--------------------------------------------------------|
+//! | `wall_clock`    | `Instant::now` / `SystemTime` / `thread::sleep` in sim paths |
+//! | `unordered_iter`| `HashMap`/`HashSet` iteration reachable from placement/billing/stats |
+//! | `non_exhaustive`| public `*Error`/`*Status` enums missing `#[non_exhaustive]` |
+//! | `lock_order`    | cycles in the inter-procedural lock-acquisition graph  |
+//!
+//! Suppress an individual finding in-source with
+//! `// simlint::allow(<rule>, reason = "...")` on the same or preceding
+//! line; park findings that cannot carry a comment in
+//! `simlint-baseline.json`. See DESIGN.md "Determinism & locking
+//! invariants" for the full contract, and `sim_core::sync::OrderedMutex`
+//! for the runtime half of the lock-order story.
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use model::FileModel;
+
+/// Directories under `crates/<name>/` that are scanned (only library
+/// sources; `benches/`, `tests/` and `examples/` are exempt — shims,
+/// integration tests, and examples deliberately stay out of scope, since
+/// shims emulate host APIs, wall clocks included, and test/example code is
+/// exempt from every rule anyway).
+const CRATE_SUBDIR: &str = "src";
+
+/// Collect all `.rs` files in scope, returning workspace-relative paths.
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            // The linter does not lint itself: its fixtures seed
+            // violations on purpose.
+            if dir.file_name().is_some_and(|n| n == "simlint") {
+                continue;
+            }
+            walk_rs(&dir.join(CRATE_SUBDIR), &mut out);
+        }
+    }
+    walk_rs(&root.join("src"), &mut out);
+    out.sort();
+    out
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Build models for every in-scope file under `root`.
+pub fn build_models(root: &Path) -> Vec<FileModel> {
+    let mut models = Vec::new();
+    for path in collect_sources(root) {
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("workspace-root")
+            .to_string();
+        models.push(model::build(&rel, &crate_name, &source));
+    }
+    models
+}
+
+/// `check` outcome: findings partitioned against the baseline.
+pub struct CheckReport {
+    /// Findings not covered by the baseline — these fail the build.
+    pub unbaselined: Vec<rules::Finding>,
+    /// Baseline entries that matched nothing — stale, reported as warnings.
+    pub stale_baseline: Vec<baseline::BaselineEntry>,
+    /// Total findings before baseline filtering.
+    pub total: usize,
+}
+
+/// Run all rules and reconcile with an optional baseline.
+pub fn check(root: &Path, baseline_text: Option<&str>) -> Result<CheckReport, String> {
+    let models = build_models(root);
+    let findings = rules::run_all(&models);
+    let entries = match baseline_text {
+        Some(text) => baseline::parse(text)?,
+        None => Vec::new(),
+    };
+    let mut used = vec![false; entries.len()];
+    let mut unbaselined = Vec::new();
+    for f in &findings {
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file && e.symbol == f.symbol);
+        match hit {
+            Some(i) => used[i] = true,
+            None => unbaselined.push(f.clone()),
+        }
+    }
+    let stale_baseline = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok(CheckReport {
+        unbaselined,
+        stale_baseline,
+        total: findings.len(),
+    })
+}

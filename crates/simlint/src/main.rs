@@ -1,0 +1,115 @@
+//! simlint CLI.
+//!
+//! ```text
+//! cargo run -p simlint -- check [--root DIR] [--baseline FILE]
+//! cargo run -p simlint -- locks [--root DIR]
+//! cargo run -p simlint -- baseline [--root DIR]
+//! ```
+//!
+//! `check` is the CI gate: exit 0 iff every finding is suppressed in-source
+//! or baselined. `locks` dumps the deduplicated lock graph (used to derive
+//! the rank table in `sim_core::sync::ranks`). `baseline` prints a fresh
+//! baseline skeleton for the current findings to stdout.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "locks" | "baseline" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "--root" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("simlint: --root needs a value");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--baseline" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("simlint: --baseline needs a value");
+                    return ExitCode::from(2);
+                };
+                baseline_path = Some(PathBuf::from(v));
+            }
+            other => {
+                eprintln!("simlint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Default to the workspace the binary was built from, so
+    // `cargo run -p simlint -- check` works from any directory.
+    if root.as_os_str() == "." {
+        if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+            if let Some(ws) = PathBuf::from(dir).parent().and_then(|p| p.parent()) {
+                root = ws.to_path_buf();
+            }
+        }
+    }
+
+    match cmd.as_deref() {
+        Some("check") => {
+            let baseline_file = baseline_path.unwrap_or_else(|| root.join("simlint-baseline.json"));
+            let baseline_text = std::fs::read_to_string(&baseline_file).ok();
+            let report = match simlint::check(&root, baseline_text.as_deref()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("simlint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            for e in &report.stale_baseline {
+                eprintln!(
+                    "simlint: warning: stale baseline entry {} {} ({}) matched nothing",
+                    e.rule.name(),
+                    e.file,
+                    e.symbol
+                );
+            }
+            if report.unbaselined.is_empty() {
+                println!(
+                    "simlint: clean ({} finding(s) total, all suppressed or baselined)",
+                    report.total
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &report.unbaselined {
+                    println!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message);
+                }
+                eprintln!(
+                    "simlint: {} unbaselined finding(s); fix them, add an in-source \
+                     `// simlint::allow(...)` with a reason, or (last resort) baseline \
+                     them in simlint-baseline.json",
+                    report.unbaselined.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("locks") => {
+            let models = simlint::build_models(&root);
+            print!("{}", simlint::rules::lock_graph_report(&models));
+            ExitCode::SUCCESS
+        }
+        Some("baseline") => {
+            let models = simlint::build_models(&root);
+            let findings = simlint::rules::run_all(&models);
+            print!("{}", simlint::baseline::emit(&findings));
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: simlint <check|locks|baseline> [--root DIR] [--baseline FILE]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,884 @@
+//! Per-file source model: the facts the rules consume, extracted in one
+//! forward walk over the token stream.
+//!
+//! The walk tracks brace depth, `#[cfg(test)]` regions, function boundaries,
+//! `let`-bound versus temporary lock guards, and attributes preceding items.
+//! It is a lexical approximation, not type analysis: lock identity is the
+//! last field name before `.lock()`, call edges are identifier-based, and
+//! `HashMap`/`HashSet` typing is inferred from declarations in the same
+//! file. The rules are tuned so this approximation stays high-signal on the
+//! workspace (see DESIGN.md "Determinism & locking invariants").
+
+use crate::lexer::{lex, LineComment, Tok, TokKind};
+
+/// Lint rules, used for suppression matching and baseline keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: wall-clock calls (`Instant::now`, `SystemTime`, `thread::sleep`)
+    /// in simulation paths.
+    WallClock,
+    /// R2: iteration over `HashMap`/`HashSet` in functions reachable from
+    /// placement/billing/stats output.
+    UnorderedIter,
+    /// R3: public error/status enums must be `#[non_exhaustive]`.
+    NonExhaustive,
+    /// R4: cycles in the static lock-order graph.
+    LockOrder,
+}
+
+impl Rule {
+    /// The name used in `simlint::allow(<name>, ...)` and baseline entries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall_clock",
+            Rule::UnorderedIter => "unordered_iter",
+            Rule::NonExhaustive => "non_exhaustive",
+            Rule::LockOrder => "lock_order",
+        }
+    }
+
+    /// Parse a rule name (as written in suppressions and baselines).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "wall_clock" => Some(Rule::WallClock),
+            "unordered_iter" => Some(Rule::UnorderedIter),
+            "non_exhaustive" => Some(Rule::NonExhaustive),
+            "lock_order" => Some(Rule::LockOrder),
+            _ => None,
+        }
+    }
+}
+
+/// An in-source suppression: `// simlint::allow(rule, reason = "...")`.
+/// Covers findings on its own line and on the next source line.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: Rule,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// A function definition (free function or method).
+#[derive(Debug, Clone)]
+pub struct FunctionInfo {
+    pub name: String,
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region or `#[test]`-attributed.
+    pub in_test: bool,
+}
+
+/// A `pub enum` definition and whether it carries `#[non_exhaustive]`.
+#[derive(Debug, Clone)]
+pub struct EnumInfo {
+    pub name: String,
+    pub line: u32,
+    pub non_exhaustive: bool,
+    pub in_test: bool,
+}
+
+/// One wall-clock call site.
+#[derive(Debug, Clone)]
+pub struct WallClockSite {
+    pub pattern: &'static str,
+    pub line: u32,
+    /// Index into `functions` of the innermost enclosing function, if any.
+    pub function: Option<usize>,
+    pub in_test: bool,
+}
+
+/// One candidate unordered-iteration site (filtered against `hash_names`).
+#[derive(Debug, Clone)]
+pub struct IterSite {
+    /// The receiver identifier (last field/variable component).
+    pub name: String,
+    pub method: String,
+    pub line: u32,
+    pub function: Option<usize>,
+    pub in_test: bool,
+}
+
+/// One `.lock()` acquisition.
+#[derive(Debug, Clone)]
+pub struct LockAcquire {
+    /// Lock identity: last field/variable name before `.lock()`.
+    pub name: String,
+    pub line: u32,
+    pub function: Option<usize>,
+    /// Lock names already held (let-bound guards in scope + temporaries of
+    /// the current statement) when this acquisition happens.
+    pub held: Vec<String>,
+    pub in_test: bool,
+}
+
+/// One call site (for the call graph and held-lock propagation).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: String,
+    pub line: u32,
+    pub function: Option<usize>,
+    pub held: Vec<String>,
+    pub in_test: bool,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate the file belongs to (directory under `crates/`, or the root
+    /// package name).
+    pub crate_name: String,
+    pub functions: Vec<FunctionInfo>,
+    pub enums: Vec<EnumInfo>,
+    pub suppressions: Vec<Suppression>,
+    /// `simlint::allow` comments that failed to parse (unknown rule or
+    /// missing/empty reason) — themselves reported as findings.
+    pub malformed_suppressions: Vec<(u32, String)>,
+    pub wall_clock_sites: Vec<WallClockSite>,
+    /// Identifiers declared with a `HashMap`/`HashSet` type in this file.
+    pub hash_names: Vec<String>,
+    pub iter_sites: Vec<IterSite>,
+    pub lock_acquires: Vec<LockAcquire>,
+    pub calls: Vec<CallSite>,
+}
+
+impl FileModel {
+    /// Whether a finding of `rule` at `line` is covered by an in-source
+    /// suppression (same line, or the line directly above — like an
+    /// attribute). Returns the suppression's reason when covered.
+    pub fn suppressed(&self, rule: Rule, line: u32) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.rule == rule && (s.line == line || s.line + 1 == line))
+    }
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "loop", "return", "fn", "let", "mut", "pub", "impl",
+    "struct", "enum", "trait", "mod", "use", "in", "as", "ref", "move", "where", "unsafe", "const",
+    "static", "type", "break", "continue", "crate", "super", "self", "Self", "dyn", "async",
+    "await", "true", "false",
+];
+
+/// A held lock guard during the walk.
+#[derive(Debug)]
+struct Held {
+    name: String,
+    /// `Some(binding)` for `let g = x.lock();` guards (live until `drop(g)`
+    /// or their block closes), `None` for temporaries (live to end of
+    /// statement).
+    binding: Option<String>,
+    /// Brace depth the guard was created at (for block-scoped release).
+    depth: usize,
+    temporary: bool,
+}
+
+/// Build the model for one file.
+pub fn build(path: &str, crate_name: &str, source: &str) -> FileModel {
+    let lexed = lex(source);
+    let mut m = FileModel {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        ..FileModel::default()
+    };
+    parse_suppressions(&lexed.comments, &mut m);
+
+    let toks = &lexed.tokens;
+    let mut depth: usize = 0;
+    // Stack of (function index, body-open depth): innermost last.
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    // Depth at which a #[cfg(test)] (or #[test]) region opened, if any.
+    let mut test_depth: Option<usize> = None;
+    // Attributes seen since the last item at this position.
+    let mut pending_attrs: Vec<String> = Vec::new();
+    // Function header pending its body `{` (paren depth must be zero).
+    let mut pending_fn: Option<(String, u32)> = None;
+    let mut paren_depth: usize = 0;
+    // Active `let` binding candidate for guard attribution.
+    let mut let_binding: Option<String> = None;
+    let mut in_let_lhs = false;
+    // `let x = *m.lock();` copies the value out and drops the guard at the
+    // semicolon — x is NOT a guard binding. Set when the RHS starts with `*`.
+    let mut let_rhs_deref = false;
+    let mut held: Vec<Held> = Vec::new();
+    // Tokens of a `for ... in <expr> {` header being collected.
+    let mut for_header: Option<Vec<String>> = None;
+    let mut for_header_line: u32 = 0;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let in_test = test_depth.is_some();
+        let cur_fn = fn_stack.last().map(|&(f, _)| f);
+
+        match t.kind {
+            TokKind::Punct
+                if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) =>
+            {
+                // Attribute: capture its flattened text.
+                let mut j = i + 2;
+                let mut bracket = 1usize;
+                let mut text = String::new();
+                while j < toks.len() && bracket > 0 {
+                    if toks[j].is_punct('[') {
+                        bracket += 1;
+                    } else if toks[j].is_punct(']') {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(&toks[j].text);
+                    j += 1;
+                }
+                pending_attrs.push(text);
+                i = j + 1;
+                continue;
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                depth += 1;
+                if let Some((name, line)) = pending_fn.take() {
+                    let is_test_fn = pending_attrs.iter().any(|a| {
+                        a == "test" || a.contains("cfg ( test )") || a.contains("cfg(test)")
+                    });
+                    m.functions.push(FunctionInfo {
+                        name,
+                        line,
+                        in_test: in_test || is_test_fn,
+                    });
+                    fn_stack.push((m.functions.len() - 1, depth));
+                    if is_test_fn && test_depth.is_none() {
+                        test_depth = Some(depth);
+                    }
+                    pending_attrs.clear();
+                }
+                if let Some(header) = for_header.take() {
+                    record_for_iteration(&mut m, header, for_header_line, cur_fn, in_test);
+                }
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                depth = depth.saturating_sub(1);
+                while fn_stack.last().is_some_and(|&(_, d)| d > depth) {
+                    fn_stack.pop();
+                }
+                if test_depth.is_some_and(|d| d > depth) {
+                    test_depth = None;
+                }
+                held.retain(|h| h.depth <= depth);
+            }
+            TokKind::Punct if t.is_punct('(') => paren_depth += 1,
+            TokKind::Punct if t.is_punct(')') => paren_depth = paren_depth.saturating_sub(1),
+            TokKind::Punct if t.is_punct(';') => {
+                held.retain(|h| !h.temporary);
+                let_binding = None;
+                in_let_lhs = false;
+                let_rhs_deref = false;
+            }
+            TokKind::Punct if t.is_punct('=') && in_let_lhs => {
+                in_let_lhs = false;
+                let_rhs_deref = toks.get(i + 1).is_some_and(|n| n.is_punct('*'));
+            }
+            TokKind::Ident => {
+                match t.text.as_str() {
+                    "mod" => {
+                        // `#[cfg(test)] mod tests {` opens a test region at
+                        // the depth of its body.
+                        let is_test_mod = pending_attrs
+                            .iter()
+                            .any(|a| a.contains("cfg ( test )") || a.contains("cfg(test)"));
+                        if is_test_mod && test_depth.is_none() {
+                            // Body opens at depth+1 when we hit `{`.
+                            test_depth = Some(depth + 1);
+                        }
+                        pending_attrs.clear();
+                    }
+                    "fn" => {
+                        if let Some(name_tok) = toks.get(i + 1) {
+                            if name_tok.kind == TokKind::Ident {
+                                pending_fn = Some((name_tok.text.clone(), name_tok.line));
+                            }
+                        }
+                    }
+                    "enum" => {
+                        let is_pub = prev_nonattr_is_pub(toks, i);
+                        if let Some(name_tok) = toks.get(i + 1) {
+                            if name_tok.kind == TokKind::Ident && is_pub {
+                                let non_exhaustive =
+                                    pending_attrs.iter().any(|a| a.contains("non_exhaustive"));
+                                m.enums.push(EnumInfo {
+                                    name: name_tok.text.clone(),
+                                    line: name_tok.line,
+                                    non_exhaustive,
+                                    in_test,
+                                });
+                            }
+                        }
+                        pending_attrs.clear();
+                    }
+                    "struct" | "trait" | "impl" | "use" | "type" | "static" | "const" => {
+                        pending_attrs.clear();
+                    }
+                    "let" => {
+                        in_let_lhs = true;
+                        let_binding = None;
+                        let_rhs_deref = false;
+                        let mut j = i + 1;
+                        while toks.get(j).is_some_and(|n| n.is_ident("mut")) {
+                            j += 1;
+                        }
+                        if let Some(n) = toks.get(j) {
+                            if n.kind == TokKind::Ident && !KEYWORDS.contains(&n.text.as_str()) {
+                                let_binding = Some(n.text.clone());
+                            }
+                        }
+                    }
+                    "for" => {
+                        // Collect the `for <pat> in <expr>` header up to the
+                        // body `{`; `for` in generics (`for<'a>`) has no
+                        // following `in`, so require one before the brace.
+                        let mut j = i + 1;
+                        let mut saw_in = false;
+                        let mut header: Vec<String> = Vec::new();
+                        let mut guard = 0usize;
+                        while let Some(n) = toks.get(j) {
+                            guard += 1;
+                            if guard > 256 || n.is_punct('{') || n.is_punct(';') {
+                                break;
+                            }
+                            if n.is_ident("in") {
+                                saw_in = true;
+                            } else if saw_in && n.kind == TokKind::Ident {
+                                header.push(n.text.clone());
+                            }
+                            j += 1;
+                        }
+                        if saw_in {
+                            for_header = Some(header);
+                            for_header_line = t.line;
+                        }
+                    }
+                    // `drop(guard)` releases a let-bound guard.
+                    "drop" if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                        if let Some(arg) = toks.get(i + 2).filter(|a| a.kind == TokKind::Ident) {
+                            held.retain(|h| h.binding.as_deref() != Some(arg.text.as_str()));
+                        }
+                    }
+                    "Instant" if matches_path(toks, i + 1, &["::", "now"]) => {
+                        m.wall_clock_sites.push(WallClockSite {
+                            pattern: "Instant::now",
+                            line: t.line,
+                            function: cur_fn,
+                            in_test,
+                        });
+                    }
+                    "SystemTime" => {
+                        m.wall_clock_sites.push(WallClockSite {
+                            pattern: "SystemTime",
+                            line: t.line,
+                            function: cur_fn,
+                            in_test,
+                        });
+                    }
+                    "thread" if matches_path(toks, i + 1, &["::", "sleep"]) => {
+                        m.wall_clock_sites.push(WallClockSite {
+                            pattern: "thread::sleep",
+                            line: t.line,
+                            function: cur_fn,
+                            in_test,
+                        });
+                    }
+                    "HashMap" | "HashSet" => {
+                        if let Some(name) = declared_name_before(toks, i) {
+                            if !m.hash_names.contains(&name) {
+                                m.hash_names.push(name);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+
+                // Method calls and free-function calls.
+                let is_method = i > 0 && toks[i - 1].is_punct('.');
+                let next_is_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if next_is_paren && !KEYWORDS.contains(&t.text.as_str()) {
+                    if is_method && t.text == "lock" {
+                        let name =
+                            receiver_name(toks, i - 1).unwrap_or_else(|| String::from("<unknown>"));
+                        let held_names: Vec<String> = held.iter().map(|h| h.name.clone()).collect();
+                        m.lock_acquires.push(LockAcquire {
+                            name: name.clone(),
+                            line: t.line,
+                            function: cur_fn,
+                            held: held_names,
+                            in_test,
+                        });
+                        // Guard-bound iff the statement is exactly
+                        // `let g = <recv>.lock();` — i.e. the token after
+                        // the call's `()` is `;` and a binding is active.
+                        let after = toks.get(i + 2).map(|n| n.is_punct(')')).unwrap_or(false);
+                        let closes_stmt = after && toks.get(i + 3).is_some_and(|n| n.is_punct(';'));
+                        let binding = if closes_stmt && !let_rhs_deref {
+                            let_binding.clone()
+                        } else {
+                            None
+                        };
+                        held.push(Held {
+                            name,
+                            temporary: binding.is_none(),
+                            binding,
+                            depth,
+                        });
+                    } else if is_method && ITER_METHODS.contains(&t.text.as_str()) {
+                        if let Some(name) = receiver_name(toks, i - 1) {
+                            m.iter_sites.push(IterSite {
+                                name,
+                                method: t.text.clone(),
+                                line: t.line,
+                                function: cur_fn,
+                                in_test,
+                            });
+                        }
+                    }
+                    // Call edge (both free and method calls; name-based).
+                    if t.text != "lock" {
+                        m.calls.push(CallSite {
+                            callee: t.text.clone(),
+                            line: t.line,
+                            function: cur_fn,
+                            held: held.iter().map(|h| h.name.clone()).collect(),
+                            in_test,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    m
+}
+
+/// Parse `simlint::allow(rule, reason = "...")` directives out of the line
+/// comments. A directive with an unknown rule or a missing/empty reason is
+/// recorded as malformed.
+fn parse_suppressions(comments: &[LineComment], m: &mut FileModel) {
+    for c in comments {
+        let Some(at) = c.text.find("simlint::allow") else {
+            continue;
+        };
+        let rest = &c.text[at + "simlint::allow".len()..];
+        let parsed = parse_allow_args(rest);
+        match parsed {
+            Some((rule_name, reason)) => match (Rule::parse(&rule_name), reason) {
+                (Some(rule), Some(reason)) if !reason.trim().is_empty() => {
+                    m.suppressions.push(Suppression {
+                        rule,
+                        line: c.line,
+                        reason,
+                    });
+                }
+                (None, _) => m
+                    .malformed_suppressions
+                    .push((c.line, format!("unknown rule '{rule_name}'"))),
+                (Some(_), _) => m
+                    .malformed_suppressions
+                    .push((c.line, String::from("missing or empty reason"))),
+            },
+            None => m
+                .malformed_suppressions
+                .push((c.line, String::from("malformed simlint::allow directive"))),
+        }
+    }
+}
+
+/// Parse `(rule, reason = "...")` → (rule, Some(reason)) or (rule, None).
+fn parse_allow_args(s: &str) -> Option<(String, Option<String>)> {
+    let s = s.trim_start();
+    let s = s.strip_prefix('(')?;
+    let close = s.rfind(')')?;
+    let body = &s[..close];
+    let mut parts = body.splitn(2, ',');
+    let rule = parts.next()?.trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let reason = parts.next().and_then(|kv| {
+        let kv = kv.trim();
+        let kv = kv.strip_prefix("reason")?.trim_start();
+        let kv = kv.strip_prefix('=')?.trim_start();
+        let kv = kv.strip_prefix('"')?;
+        let end = kv.rfind('"')?;
+        Some(kv[..end].to_string())
+    });
+    Some((rule, reason))
+}
+
+/// Does `toks[start..]` begin with the given path pieces, where `"::"`
+/// means two consecutive `:` puncts?
+fn matches_path(toks: &[Tok], start: usize, pieces: &[&str]) -> bool {
+    let mut i = start;
+    for piece in pieces {
+        if *piece == "::" {
+            if !(toks.get(i).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            i += 2;
+        } else {
+            if !toks.get(i).is_some_and(|t| t.is_ident(piece)) {
+                return false;
+            }
+            i += 1;
+        }
+    }
+    true
+}
+
+/// Is the token before `enum_idx` (skipping nothing — attributes were
+/// consumed separately) the `pub` keyword, possibly with a `( crate )`
+/// restriction? Lexically: `pub enum`, `pub ( crate ) enum`.
+fn prev_nonattr_is_pub(toks: &[Tok], enum_idx: usize) -> bool {
+    if enum_idx == 0 {
+        return false;
+    }
+    let p = &toks[enum_idx - 1];
+    if p.is_ident("pub") {
+        return true;
+    }
+    // `pub(crate) enum`: `) enum` with `pub (` before the group.
+    if p.is_punct(')') {
+        let mut j = enum_idx - 1;
+        while j > 0 && !toks[j].is_punct('(') {
+            j -= 1;
+        }
+        return j > 0 && toks[j - 1].is_ident("pub");
+    }
+    false
+}
+
+/// The receiver identifier of a method call: for `a.b.c.lock()` the `.` at
+/// `dot_idx` is preceded by `c`; return the last path component (`c`), or
+/// the bare variable name for `x.lock()`.
+fn receiver_name(toks: &[Tok], dot_idx: usize) -> Option<String> {
+    if dot_idx == 0 {
+        return None;
+    }
+    let prev = &toks[dot_idx - 1];
+    if prev.kind == TokKind::Ident {
+        // Method-call chains like `pool().lock()`: the ident before `.` is
+        // the final field; chains ending in `)` fall through below.
+        return Some(prev.text.clone());
+    }
+    if prev.is_punct(')') {
+        // `self.warm_pool().lock()` or `guard().lock()`: use the method
+        // name before the call's `(`.
+        let mut j = dot_idx - 1;
+        let mut depth = 0usize;
+        while j > 0 {
+            if toks[j].is_punct(')') {
+                depth += 1;
+            } else if toks[j].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j -= 1;
+        }
+        if j > 0 && toks[j - 1].kind == TokKind::Ident {
+            return Some(toks[j - 1].text.clone());
+        }
+    }
+    None
+}
+
+/// The declared name a `HashMap`/`HashSet` type annotation belongs to:
+/// scan back a bounded window for the nearest single `:` (field/variable
+/// annotation) or `=` (initializer) and take the identifier before it.
+fn declared_name_before(toks: &[Tok], hash_idx: usize) -> Option<String> {
+    let window = 16usize;
+    let start = hash_idx.saturating_sub(window);
+    let mut j = hash_idx;
+    while j > start {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(':') {
+            // Skip `::` path separators.
+            if j > 0 && toks[j - 1].is_punct(':') {
+                j -= 1;
+                continue;
+            }
+            if toks.get(j + 1).is_some_and(|n| n.is_punct(':')) {
+                continue;
+            }
+            let mut k = j;
+            while k > 0 {
+                k -= 1;
+                let c = &toks[k];
+                if c.kind == TokKind::Ident && !KEYWORDS.contains(&c.text.as_str()) {
+                    return Some(c.text.clone());
+                }
+                if !(c.is_ident("mut") || c.is_ident("ref")) {
+                    break;
+                }
+            }
+            return None;
+        }
+        if t.is_punct('=') {
+            let mut k = j;
+            while k > 0 {
+                k -= 1;
+                let c = &toks[k];
+                if c.is_ident("mut") {
+                    continue;
+                }
+                if c.kind == TokKind::Ident && !KEYWORDS.contains(&c.text.as_str()) {
+                    return Some(c.text.clone());
+                }
+                break;
+            }
+            return None;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Record iteration of a hash-typed name from a `for ... in <expr>` header.
+fn record_for_iteration(
+    m: &mut FileModel,
+    header: Vec<String>,
+    line: u32,
+    function: Option<usize>,
+    in_test: bool,
+) {
+    for name in header {
+        // Names are filtered against `hash_names` by the rule (the set may
+        // not be complete yet mid-walk), so record all candidates. Dedupe
+        // against method-call sites on the same line.
+        if m.iter_sites
+            .iter()
+            .any(|s| s.line == line && s.name == name)
+        {
+            continue;
+        }
+        m.iter_sites.push(IterSite {
+            name,
+            method: String::from("for-in"),
+            line,
+            function,
+            in_test,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        build("test.rs", "testcrate", src)
+    }
+
+    #[test]
+    fn functions_and_test_regions_are_tracked() {
+        let src = r#"
+            pub fn alpha() { beta(); }
+            fn beta() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn in_test_mod() { std::thread::sleep(d); }
+            }
+        "#;
+        let m = model(src);
+        let names: Vec<(&str, bool)> = m
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_test))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("alpha", false), ("beta", false), ("in_test_mod", true)]
+        );
+        assert_eq!(m.wall_clock_sites.len(), 1);
+        assert!(m.wall_clock_sites[0].in_test);
+    }
+
+    #[test]
+    fn wall_clock_patterns_are_found() {
+        let m = model(
+            "fn f() { let t = std::time::Instant::now(); std::thread::sleep(d); let s = SystemTime::now(); }",
+        );
+        let pats: Vec<&str> = m.wall_clock_sites.iter().map(|s| s.pattern).collect();
+        assert_eq!(pats, vec!["Instant::now", "thread::sleep", "SystemTime"]);
+    }
+
+    #[test]
+    fn hash_names_and_iteration_sites() {
+        let src = r#"
+            struct S { executors: Mutex<HashMap<String, u64>>, names: Vec<String> }
+            fn place(s: &S) {
+                for (k, v) in s.executors.lock().iter() {}
+                for n in &s.names {}
+                let m: HashSet<u32> = HashSet::new();
+                let v: Vec<u32> = m.iter().collect();
+            }
+        "#;
+        let m = model(src);
+        assert!(m.hash_names.contains(&"executors".to_string()));
+        assert!(m.hash_names.contains(&"m".to_string()));
+        assert!(!m.hash_names.contains(&"names".to_string()));
+        let hash_iters: Vec<&str> = m
+            .iter_sites
+            .iter()
+            .filter(|s| m.hash_names.contains(&s.name))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(hash_iters.contains(&"executors"));
+        assert!(hash_iters.contains(&"m"));
+    }
+
+    #[test]
+    fn lock_nesting_and_drop_release() {
+        let src = r#"
+            fn f(a: &S, b: &S) {
+                let ga = a.first.lock();
+                let gb = b.second.lock();
+                drop(ga);
+                let gc = b.third.lock();
+            }
+        "#;
+        let m = model(src);
+        assert_eq!(m.lock_acquires.len(), 3);
+        assert!(m.lock_acquires[0].held.is_empty());
+        assert_eq!(m.lock_acquires[1].held, vec!["first"]);
+        // After drop(ga) only `second` is held.
+        assert_eq!(m.lock_acquires[2].held, vec!["second"]);
+    }
+
+    #[test]
+    fn temporary_guards_release_at_statement_end() {
+        let src = r#"
+            fn f(a: &S) {
+                let v = a.first.lock().remove(&1);
+                let g = a.second.lock();
+            }
+        "#;
+        let m = model(src);
+        // `first` is a temporary (consumed by .remove), so `second` sees
+        // nothing held.
+        assert_eq!(m.lock_acquires[1].held, Vec::<String>::new());
+    }
+
+    #[test]
+    fn block_scope_releases_let_guards() {
+        let src = r#"
+            fn f(a: &S) {
+                {
+                    let g = a.first.lock();
+                }
+                let h = a.second.lock();
+            }
+        "#;
+        let m = model(src);
+        assert_eq!(m.lock_acquires[1].held, Vec::<String>::new());
+    }
+
+    #[test]
+    fn calls_record_held_locks() {
+        let src = r#"
+            fn f(a: &S) {
+                let g = a.first.lock();
+                helper(g.value);
+            }
+        "#;
+        let m = model(src);
+        let call = m.calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert_eq!(call.held, vec!["first"]);
+    }
+
+    #[test]
+    fn pub_enums_and_non_exhaustive_attr() {
+        let src = r#"
+            #[derive(Debug)]
+            #[non_exhaustive]
+            pub enum GoodError { A }
+            pub enum BadStatus { B }
+            enum PrivateError { C }
+            pub(crate) enum CrateError { D }
+        "#;
+        let m = model(src);
+        let summary: Vec<(&str, bool)> = m
+            .enums
+            .iter()
+            .map(|e| (e.name.as_str(), e.non_exhaustive))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("GoodError", true),
+                ("BadStatus", false),
+                ("CrateError", false)
+            ]
+        );
+    }
+
+    #[test]
+    fn suppressions_parse_and_malformed_is_flagged() {
+        let src = r#"
+            // simlint::allow(wall_clock, reason = "bounds test wall time")
+            fn f() { let t = Instant::now(); }
+            // simlint::allow(wall_clock)
+            fn g() {}
+            // simlint::allow(bogus_rule, reason = "x")
+            fn h() {}
+        "#;
+        let m = model(src);
+        assert_eq!(m.suppressions.len(), 1);
+        assert_eq!(m.suppressions[0].rule, Rule::WallClock);
+        assert_eq!(m.suppressions[0].reason, "bounds test wall time");
+        assert_eq!(m.malformed_suppressions.len(), 2);
+        // The suppression on line 2 covers the finding on line 3.
+        assert!(m.suppressed(Rule::WallClock, 3).is_some());
+    }
+
+    #[test]
+    fn deref_copy_is_not_a_held_guard() {
+        let src = r#"
+            fn f(s: &S) {
+                let mode = *s.mode.lock();
+                let g = s.other.lock();
+            }
+        "#;
+        let m = model(src);
+        // `mode` was copied out, its guard dropped at the semicolon: the
+        // second acquisition holds nothing.
+        assert_eq!(m.lock_acquires[1].held, Vec::<String>::new());
+    }
+
+    #[test]
+    fn receiver_through_method_call_chain() {
+        let src = "fn f(e: &E) { let g = e.allocator().lock(); }";
+        let m = model(src);
+        assert_eq!(m.lock_acquires[0].name, "allocator");
+    }
+}

@@ -1,0 +1,627 @@
+//! The four simlint rules, evaluated over a set of [`FileModel`]s.
+//!
+//! R1 wall-clock-in-sim — wall-clock calls outside test code must carry an
+//!     in-source `simlint::allow(wall_clock, ...)` justification.
+//! R2 unordered-iteration — `HashMap`/`HashSet` iteration in functions
+//!     reachable from placement/billing/stats output leaks hasher order
+//!     into deterministic results.
+//! R3 non-exhaustive-audit — public error/status enums must be
+//!     `#[non_exhaustive]` so downstream matches stay source-compatible.
+//! R4 static lock-order — the inter-procedural lock graph must be acyclic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::model::{FileModel, Rule};
+
+/// One reported finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: u32,
+    /// Stable identity for baseline matching (function or enum name, lock
+    /// pair, or wall-clock pattern).
+    pub symbol: String,
+    pub message: String,
+}
+
+/// Function-name markers whose reachable set R2 treats as order-sensitive:
+/// placement decisions, billing, and stats/report output.
+const SENSITIVE_MARKERS: &[&str] = &[
+    "place", "bill", "charge", "stats", "report", "summary", "snapshot", "export", "settle",
+];
+
+/// Run every rule and return findings not covered by in-source suppressions.
+/// Malformed suppression directives are appended as wall-clock-class
+/// findings so they can never silently mask anything.
+pub fn run_all(models: &[FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(wall_clock(models));
+    findings.extend(unordered_iteration(models));
+    findings.extend(non_exhaustive(models));
+    findings.extend(lock_order(models));
+    for m in models {
+        for (line, why) in &m.malformed_suppressions {
+            findings.push(Finding {
+                rule: Rule::WallClock,
+                file: m.path.clone(),
+                line: *line,
+                symbol: String::from("simlint::allow"),
+                message: format!("malformed suppression: {why}"),
+            });
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// R1: every wall-clock call outside test code needs a justification.
+fn wall_clock(models: &[FileModel]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in models {
+        for site in &m.wall_clock_sites {
+            if site.in_test {
+                continue;
+            }
+            if m.suppressed(Rule::WallClock, site.line).is_some() {
+                continue;
+            }
+            let func = site
+                .function
+                .map(|f| m.functions[f].name.clone())
+                .unwrap_or_else(|| String::from("<module>"));
+            out.push(Finding {
+                rule: Rule::WallClock,
+                file: m.path.clone(),
+                line: site.line,
+                symbol: format!("{func}/{}", site.pattern),
+                message: format!(
+                    "wall-clock call `{}` in `{func}`: simulation paths must use \
+                     VirtualClock/SimTime; if this is a genuine host-side wait, add \
+                     `// simlint::allow(wall_clock, reason = \"...\")`",
+                    site.pattern
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R2: hash-order iteration in functions reachable from order-sensitive
+/// roots. Reachability is a forward closure over the name-based call graph
+/// from functions whose names contain a sensitive marker.
+fn unordered_iteration(models: &[FileModel]) -> Vec<Finding> {
+    // callee name -> called-from set is not needed; we need forward edges:
+    // caller -> callees, keyed by function name (workspace-global).
+    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut all_fns: BTreeSet<&str> = BTreeSet::new();
+    for m in models {
+        for f in &m.functions {
+            if !f.in_test {
+                all_fns.insert(f.name.as_str());
+            }
+        }
+        for c in &m.calls {
+            if c.in_test {
+                continue;
+            }
+            if let Some(fi) = c.function {
+                edges
+                    .entry(m.functions[fi].name.as_str())
+                    .or_default()
+                    .insert(c.callee.as_str());
+            }
+        }
+    }
+
+    // Roots: non-test functions whose name carries a sensitive marker.
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut stack: Vec<&str> = all_fns
+        .iter()
+        .copied()
+        .filter(|n| {
+            let lower = n.to_ascii_lowercase();
+            SENSITIVE_MARKERS.iter().any(|mk| lower.contains(mk))
+        })
+        .collect();
+    while let Some(n) = stack.pop() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        if let Some(callees) = edges.get(n) {
+            for c in callees {
+                if all_fns.contains(c) && !reachable.contains(c) {
+                    stack.push(c);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for m in models {
+        for site in &m.iter_sites {
+            if site.in_test {
+                continue;
+            }
+            if !m.hash_names.contains(&site.name) {
+                continue;
+            }
+            let Some(fi) = site.function else { continue };
+            let fname = m.functions[fi].name.as_str();
+            if !reachable.contains(fname) {
+                continue;
+            }
+            if m.suppressed(Rule::UnorderedIter, site.line).is_some() {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::UnorderedIter,
+                file: m.path.clone(),
+                line: site.line,
+                symbol: format!("{fname}/{}", site.name),
+                message: format!(
+                    "iteration over hash-ordered `{}` (via `{}`) in `{fname}`, which is \
+                     reachable from placement/billing/stats output; use BTreeMap/BTreeSet \
+                     or collect-and-sort",
+                    site.name, site.method
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R3: public enums whose names mark them as error/status surfaces must be
+/// `#[non_exhaustive]`.
+fn non_exhaustive(models: &[FileModel]) -> Vec<Finding> {
+    const AUDIT_SUFFIXES: &[&str] = &["Error", "Status"];
+    let mut out = Vec::new();
+    for m in models {
+        for e in &m.enums {
+            if e.in_test || e.non_exhaustive {
+                continue;
+            }
+            if !AUDIT_SUFFIXES.iter().any(|s| e.name.ends_with(s)) {
+                continue;
+            }
+            if m.suppressed(Rule::NonExhaustive, e.line).is_some() {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::NonExhaustive,
+                file: m.path.clone(),
+                line: e.line,
+                symbol: e.name.clone(),
+                message: format!(
+                    "public enum `{}` looks like an error/status surface but is not \
+                     `#[non_exhaustive]`; adding a variant would be a breaking change",
+                    e.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// One directed edge in the lock graph with a witness site.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    /// Function the witness acquisition happens in.
+    via: String,
+}
+
+/// R4: build the lock-order graph (direct nested acquisitions plus
+/// inter-procedural edges through calls made while holding a lock) and
+/// report every cycle, keyed by its smallest edge.
+fn lock_order(models: &[FileModel]) -> Vec<Finding> {
+    let mut edges: Vec<LockEdge> = Vec::new();
+
+    // Locks each function acquires (transitively), for inter-procedural
+    // edges. Functions are keyed by (file, name) and calls only resolve
+    // within the caller's file: the call graph is identifier-based, and
+    // broader resolution makes common names (`invoke`, `state()`,
+    // `allocator()`) collide across subsystems that never share a thread
+    // (client vs executor), welding every lock into one false mega-cycle.
+    // Files here map 1:1 to subsystems, so same-file resolution keeps the
+    // signal; cross-file nesting still surfaces through direct edges.
+    type FnKey<'a> = (&'a str, &'a str);
+    let mut fn_locks: BTreeMap<FnKey, BTreeSet<&str>> = BTreeMap::new();
+    let mut fn_calls: BTreeMap<FnKey, BTreeSet<&str>> = BTreeMap::new();
+    for m in models {
+        for a in &m.lock_acquires {
+            if a.in_test {
+                continue;
+            }
+            if let Some(fi) = a.function {
+                fn_locks
+                    .entry((m.path.as_str(), m.functions[fi].name.as_str()))
+                    .or_default()
+                    .insert(a.name.as_str());
+            }
+        }
+        for c in &m.calls {
+            if c.in_test {
+                continue;
+            }
+            if let Some(fi) = c.function {
+                fn_calls
+                    .entry((m.path.as_str(), m.functions[fi].name.as_str()))
+                    .or_default()
+                    .insert(c.callee.as_str());
+            }
+        }
+    }
+    // Transitive lock closure per function (bounded fixed point).
+    let mut closure: BTreeMap<FnKey, BTreeSet<&str>> = fn_locks.clone();
+    loop {
+        let mut changed = false;
+        let names: Vec<FnKey> = fn_calls.keys().copied().collect();
+        for f in names {
+            let callees: Vec<&str> = fn_calls[&f].iter().copied().collect();
+            let mut add: BTreeSet<&str> = BTreeSet::new();
+            for c in callees {
+                if let Some(locks) = closure.get(&(f.0, c)) {
+                    for l in locks {
+                        add.insert(l);
+                    }
+                }
+            }
+            let entry = closure.entry(f).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for m in models {
+        // Direct edges: acquisition while holding.
+        for a in &m.lock_acquires {
+            if a.in_test || a.name == "<unknown>" {
+                continue;
+            }
+            let via = a
+                .function
+                .map(|f| m.functions[f].name.clone())
+                .unwrap_or_else(|| String::from("<module>"));
+            for h in &a.held {
+                if h == &a.name {
+                    // Self-edge: re-acquiring the same lock name — real
+                    // deadlock risk but usually a different instance
+                    // (e.g. two nodes' `state`); too noisy lexically.
+                    continue;
+                }
+                edges.push(LockEdge {
+                    from: h.clone(),
+                    to: a.name.clone(),
+                    file: m.path.clone(),
+                    line: a.line,
+                    via: via.clone(),
+                });
+            }
+        }
+        // Inter-procedural: calling `f` while holding L adds L -> each lock
+        // in f's closure.
+        for c in &m.calls {
+            if c.in_test || c.held.is_empty() {
+                continue;
+            }
+            let via = c
+                .function
+                .map(|f| m.functions[f].name.clone())
+                .unwrap_or_else(|| String::from("<module>"));
+            // Self-recursive calls (callee name == enclosing function) add
+            // no ordering beyond the direct edges already captured, and a
+            // server method calling an inner struct's same-named method
+            // (`ExecutorServer::srq_stats` -> `ExecutorProcess::srq_stats`)
+            // would otherwise merge both closures into a false cycle.
+            if via == c.callee {
+                continue;
+            }
+            let Some(locks) = closure.get(&(m.path.as_str(), c.callee.as_str())) else {
+                continue;
+            };
+            for h in &c.held {
+                for l in locks {
+                    if *l == h.as_str() {
+                        continue;
+                    }
+                    edges.push(LockEdge {
+                        from: h.clone(),
+                        to: (*l).to_string(),
+                        file: m.path.clone(),
+                        line: c.line,
+                        via: format!("{via} -> {}", c.callee),
+                    });
+                }
+            }
+        }
+    }
+
+    // Collapse to unique directed pairs, keeping the first witness.
+    let mut uniq: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    for e in edges {
+        uniq.entry((e.from.clone(), e.to.clone())).or_insert(e);
+    }
+
+    // Tarjan SCC over the lock nodes; any SCC with >1 node (or a self loop,
+    // excluded above) is a cycle.
+    let nodes: Vec<String> = {
+        let mut s: BTreeSet<String> = BTreeSet::new();
+        for (f, t) in uniq.keys() {
+            s.insert(f.clone());
+            s.insert(t.clone());
+        }
+        s.into_iter().collect()
+    };
+    let index_of: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (f, t) in uniq.keys() {
+        adj[index_of[f.as_str()]].push(index_of[t.as_str()]);
+    }
+    let sccs = tarjan(&adj);
+
+    let mut out = Vec::new();
+    for scc in sccs {
+        if scc.len() < 2 {
+            continue;
+        }
+        let mut members: Vec<&str> = scc.iter().map(|&i| nodes[i].as_str()).collect();
+        members.sort_unstable();
+        let member_set: BTreeSet<&str> = members.iter().copied().collect();
+        // Witness: the lexically-smallest intra-SCC edge.
+        let witness = uniq
+            .iter()
+            .find(|((f, t), _)| member_set.contains(f.as_str()) && member_set.contains(t.as_str()))
+            .map(|(_, e)| e);
+        let (file, line, via) = witness
+            .map(|e| (e.file.clone(), e.line, e.via.clone()))
+            .unwrap_or_else(|| (String::from("<workspace>"), 0, String::new()));
+        let suppressed = models
+            .iter()
+            .filter(|m| m.path == file)
+            .any(|m| m.suppressed(Rule::LockOrder, line).is_some());
+        if suppressed {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::LockOrder,
+            file,
+            line,
+            symbol: members.join("<->"),
+            message: format!(
+                "lock-order cycle between {{{}}} (witness in `{via}`); pick a global \
+                 rank order (see sim_core::sync::ranks) and acquire in rank order",
+                members.join(", ")
+            ),
+        });
+    }
+    out
+}
+
+/// Print the deduplicated lock graph (for deriving the rank table).
+pub fn lock_graph_report(models: &[FileModel]) -> String {
+    let mut pairs: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    for m in models {
+        for a in &m.lock_acquires {
+            if a.in_test || a.name == "<unknown>" {
+                continue;
+            }
+            let via = a
+                .function
+                .map(|f| m.functions[f].name.clone())
+                .unwrap_or_else(|| String::from("<module>"));
+            for h in &a.held {
+                if h == &a.name {
+                    continue;
+                }
+                pairs.entry((h.clone(), a.name.clone())).or_insert((
+                    m.path.clone(),
+                    a.line,
+                    via.clone(),
+                ));
+            }
+        }
+    }
+    let mut s = String::new();
+    for ((f, t), (file, line, via)) in &pairs {
+        s.push_str(&format!("{f} -> {t}    [{file}:{line} in {via}]\n"));
+    }
+    s
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack: (node, next child index).
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+            if *ci == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+                dfs.pop();
+                if let Some(&mut (u, _)) = dfs.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build;
+
+    fn models(srcs: &[(&str, &str)]) -> Vec<FileModel> {
+        srcs.iter()
+            .map(|(path, src)| build(path, "fixture", src))
+            .collect()
+    }
+
+    #[test]
+    fn r1_flags_wall_clock_and_honours_suppression() {
+        let ms = models(&[(
+            "a.rs",
+            r#"
+                fn serve() { let t = std::time::Instant::now(); }
+                // simlint::allow(wall_clock, reason = "bounds a host-side cv wait")
+                fn wait_host() { let t = std::time::Instant::now(); }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        let r1: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::WallClock).collect();
+        assert_eq!(r1.len(), 1);
+        assert!(r1[0].symbol.contains("serve"));
+    }
+
+    #[test]
+    fn r2_flags_reachable_hash_iteration_only() {
+        let ms = models(&[(
+            "b.rs",
+            r#"
+                struct S { executors: Mutex<HashMap<String, u64>>, cache: HashMap<u32, u32> }
+                fn place_request(s: &S) { pick(s); }
+                fn pick(s: &S) { for (k, v) in s.executors.lock().iter() {} }
+                fn unrelated(s: &S) { for (k, v) in s.cache.iter() {} }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        let r2: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::UnorderedIter).collect();
+        assert_eq!(r2.len(), 1);
+        assert!(r2[0].symbol.contains("pick"));
+    }
+
+    #[test]
+    fn r3_flags_missing_non_exhaustive() {
+        let ms = models(&[(
+            "c.rs",
+            r#"
+                #[non_exhaustive]
+                pub enum GoodError { A }
+                pub enum BadError { B }
+                pub enum Widget { C }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        let r3: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::NonExhaustive).collect();
+        assert_eq!(r3.len(), 1);
+        assert_eq!(r3[0].symbol, "BadError");
+    }
+
+    #[test]
+    fn r4_reports_direct_cycle() {
+        let ms = models(&[(
+            "d.rs",
+            r#"
+                fn one(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }
+                fn two(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        let r4: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::LockOrder).collect();
+        assert_eq!(r4.len(), 1);
+        assert_eq!(r4[0].symbol, "alpha<->beta");
+    }
+
+    #[test]
+    fn r4_reports_interprocedural_cycle() {
+        let ms = models(&[(
+            "e.rs",
+            r#"
+                fn outer(s: &S) { let a = s.alpha.lock(); helper(s); }
+                fn helper(s: &S) { let b = s.beta.lock(); }
+                fn reversed(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        let r4: Vec<&Finding> = f.iter().filter(|f| f.rule == Rule::LockOrder).collect();
+        assert_eq!(r4.len(), 1);
+    }
+
+    #[test]
+    fn r4_no_cycle_when_order_is_consistent() {
+        let ms = models(&[(
+            "f.rs",
+            r#"
+                fn one(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }
+                fn two(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        assert!(f.iter().all(|f| f.rule != Rule::LockOrder));
+    }
+
+    #[test]
+    fn malformed_suppression_is_a_finding() {
+        let ms = models(&[("g.rs", "// simlint::allow(wall_clock)\nfn ok() {}\n")]);
+        let f = run_all(&ms);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let ms = models(&[(
+            "h.rs",
+            r#"
+                #[cfg(test)]
+                mod tests {
+                    fn helper() { std::thread::sleep(d); }
+                    pub enum TestError { A }
+                }
+            "#,
+        )]);
+        let f = run_all(&ms);
+        assert!(f.is_empty());
+    }
+}

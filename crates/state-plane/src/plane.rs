@@ -28,10 +28,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use rdma_fabric::{
     AccessFlags, DatagramSocket, Endpoint, Fabric, FabricNode, MemoryRegion, ProtectionDomain,
 };
+use sim_core::sync::{ranks, OrderedMutex};
 use sim_core::VirtualClock;
 
 use crate::error::{Result, StateError};
@@ -125,8 +125,8 @@ struct PlaneInner {
     name: String,
     control_address: String,
     arena: MemoryRegion,
-    state: Mutex<ServerState>,
-    socket: Mutex<DatagramSocket>,
+    state: OrderedMutex<ServerState>,
+    socket: OrderedMutex<DatagramSocket>,
     counters: PlaneCounters,
 }
 
@@ -164,14 +164,17 @@ impl StatePlane {
                 name: node_name.to_string(),
                 control_address,
                 arena,
-                state: Mutex::new(ServerState {
-                    allocator: RegionAllocator::new(capacity),
-                    directory: BTreeMap::new(),
-                    pending: BTreeMap::new(),
-                    clients: Vec::new(),
-                    next_client: 0,
-                }),
-                socket: Mutex::new(socket),
+                state: OrderedMutex::new(
+                    ranks::STATE_SERVER,
+                    ServerState {
+                        allocator: RegionAllocator::new(capacity),
+                        directory: BTreeMap::new(),
+                        pending: BTreeMap::new(),
+                        clients: Vec::new(),
+                        next_client: 0,
+                    },
+                ),
+                socket: OrderedMutex::new(ranks::STATE_SOCKET, socket),
                 counters: PlaneCounters::default(),
             }),
         }

@@ -7,9 +7,12 @@
 
 use cluster_sim::{NodeResources, TenantFleet};
 use rdma_fabric::Fabric;
-use rfaas::{GroupLifecycleDriver, ManagerGroup, RFaasConfig, Reactor, Session, SpotExecutor};
+use rfaas::{
+    GroupLifecycleDriver, ManagerGroup, PollingMode, RFaasConfig, Reactor, Session, SpotExecutor,
+};
 use rfaas_bench::{evaluation_package, Testbed, PACKAGE};
 use sandbox::FunctionRegistry;
+use sandbox::SandboxType;
 use sim_core::{DeterministicRng, LatencyHistogram, SimDuration, VirtualClock};
 
 /// One end-to-end scenario: three executors, two sequential clients, a
@@ -595,4 +598,101 @@ fn reactor_scenario_seeds_change_the_schedule() {
         a, b,
         "the seed must drive the session schedule and payloads"
     );
+}
+
+/// The adaptive-polling scenario: one adaptive worker, a seeded train of
+/// invocations separated by seeded idle gaps that straddle the
+/// `hot_poll_fallback` spin window. Short gaps find the worker still
+/// spinning (picked up inside the `unparked_until` window), long gaps find
+/// it parked — so the transcript pins both branches of the adaptive
+/// park/refresh decision, which previously had no determinism coverage.
+fn run_adaptive_scenario(seed: u64) -> String {
+    let config = RFaasConfig::paper_calibration();
+    let testbed = Testbed::with_config(1, config.clone());
+    let mut rng = DeterministicRng::new(seed);
+    let mut transcript = String::new();
+
+    let session = testbed.allocated_session(
+        "adaptive-det",
+        1,
+        SandboxType::BareMetal,
+        PollingMode::Adaptive,
+    );
+    let invoker = session.raw();
+    let alloc = invoker.allocator();
+    let input = alloc.input(4096);
+    let output = alloc.output(4096);
+
+    const ROUNDS: u64 = 24;
+    for round in 0..ROUNDS {
+        let payload = rng.range_u64(1, 2048) as usize;
+        let data = workloads::generate_payload(payload, seed);
+        input.write_payload(&data).unwrap();
+        let (_, rtt) = invoker
+            .invoke_sync("echo", &input, payload, &output)
+            .unwrap();
+        transcript.push_str(&format!(
+            "round {round}: invoke {payload} B -> {} ns\n",
+            rtt.as_nanos()
+        ));
+        // Seeded idle gap: roughly half stay inside the adaptive spin
+        // window (worker picked up unparked), the rest sleep far past it
+        // (worker picked up parked, spin billed at most the fallback).
+        let gap = if rng.range_u64(0, 1) == 0 {
+            SimDuration::from_millis(rng.range_u64(1, 40))
+        } else {
+            SimDuration::from_millis(rng.range_u64(100, 400))
+        };
+        invoker.clock().advance(gap);
+        transcript.push_str(&format!("gap {} ns\n", gap.as_nanos()));
+    }
+
+    let process = testbed.executors[0].allocator().processes().pop().unwrap();
+    let process = process.lock();
+    let stats = process.stats();
+    assert_eq!(
+        process.workers()[0].mode(),
+        PollingMode::Adaptive,
+        "adaptive workers self-regulate instead of demoting"
+    );
+    assert_eq!(stats.demotions, 0);
+    // The long gaps above sum to seconds of idle time; if the parked branch
+    // were not taken the spin bill would cover those gaps wholesale instead
+    // of being clipped to one fallback window per pickup.
+    assert!(
+        stats.hot_poll_time <= config.hot_poll_fallback * ROUNDS,
+        "adaptive spin bill {} must be clipped to one {} window per pickup",
+        stats.hot_poll_time,
+        config.hot_poll_fallback
+    );
+    transcript.push_str(&format!(
+        "adaptive: mode={:?} demotions={} hot_poll_ns={}\n",
+        process.workers()[0].mode(),
+        stats.demotions,
+        stats.hot_poll_time.as_nanos()
+    ));
+    let total_cost = testbed.manager.total_cost();
+    transcript.push_str(&format!(
+        "billing: total_cost_bits={:#018x}\n",
+        total_cost.to_bits()
+    ));
+    assert!(total_cost > 0.0, "the scenario must accrue billable usage");
+    transcript
+}
+
+#[test]
+fn adaptive_polling_runs_are_byte_identical() {
+    let first = run_adaptive_scenario(0xADA9);
+    let second = run_adaptive_scenario(0xADA9);
+    assert_eq!(
+        first, second,
+        "adaptive park/refresh decisions, latencies or billing diverged between identical runs"
+    );
+}
+
+#[test]
+fn adaptive_scenario_seeds_change_the_timeline() {
+    let a = run_adaptive_scenario(13);
+    let b = run_adaptive_scenario(14);
+    assert_ne!(a, b, "the seed must drive payloads and idle gaps");
 }
